@@ -1,0 +1,106 @@
+"""Section 3.2 "Evolution over time": durations lengthen year over year.
+
+Paper shape: breaking durations down by year shows (a) IPv6 > IPv4 and
+dual-stack > non-dual-stack in every year, and (b) assignment durations
+increasing over the years, especially in ISPs that used to renumber
+aggressively (DTAG, Orange).
+
+The default profiles are time-homogeneous (so the other figures stay
+calibrated); this benchmark simulates an *evolving* DTAG-like ISP whose
+lease policy is administratively lengthened twice — 24 h periods in
+year 1, 3-day periods in year 2, week-long leases afterwards — and
+checks the drift is recovered by the yearly breakdown.
+"""
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.core.evolution import simulation_years, trend_slope, yearly_means
+from repro.core.report import probe_v4_durations, render_table
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.isp import (
+    Isp,
+    IspConfig,
+    PolicyEpoch,
+    V4AddressingConfig,
+    V6AddressingConfig,
+)
+from repro.netsim.policy import ChangePolicy
+from repro.workloads import build_atlas_scenario
+
+DAY = 24.0
+YEAR = 365 * DAY
+
+
+def evolving_profile() -> IspConfig:
+    epochs = (
+        PolicyEpoch(1 * YEAR, ChangePolicy.periodic(3 * DAY, jitter_hours=0.3),
+                    ChangePolicy.periodic(3 * DAY, jitter_hours=0.3)),
+        PolicyEpoch(2 * YEAR, ChangePolicy.periodic(7 * DAY, jitter_hours=0.5),
+                    ChangePolicy.periodic(7 * DAY, jitter_hours=0.5)),
+    )
+    return IspConfig(
+        name="EvolvingISP",
+        asn=64790,
+        country="DE",
+        rir=RIR.RIPE,
+        dual_stack_fraction=0.6,
+        v4=V4AddressingConfig(
+            policy_nds=ChangePolicy.periodic(DAY, jitter_hours=0.2),
+            policy_ds=ChangePolicy.periodic(DAY, jitter_hours=0.2),
+            num_blocks=3,
+            block_plen=18,
+            epochs=epochs,
+        ),
+        v6=V6AddressingConfig(
+            policy=ChangePolicy.exponential(8 * 30 * DAY),
+            allocation_plen=32,
+            pool_plen=40,
+            num_pools=8,
+            delegation_plen=56,
+            sync_with_v4_prob=0.5,
+            cpe_mix=((CpeBehavior(lan_selection="zero"), 1.0),),
+        ),
+    )
+
+
+def compute_evolution(scenario):
+    durations = []
+    for probe in scenario.probes:
+        durations.extend(probe_v4_durations(probe))
+    return yearly_means(durations)
+
+
+def test_evolution(benchmark, artifact_writer):
+    scenario = build_atlas_scenario(
+        probes_per_as=30,
+        years=3.0,
+        seed=404,
+        profiles=[evolving_profile()],
+        anomaly_fraction=0.0,
+        bad_tag_fraction=0.0,
+    )
+    yearly = benchmark(compute_evolution, scenario)
+
+    rows = [[year, f"{mean / 24:.1f}"] for year, mean in sorted(yearly.items())]
+    artifact_writer(
+        "evolution",
+        render_table(
+            ["year", "mean IPv4 duration (days)"],
+            rows,
+            title="Evolution over time: yearly mean durations in an evolving ISP",
+        ),
+    )
+
+    years = sorted(yearly)
+    assert len(years) >= 3
+    assert set(years) <= set(simulation_years(scenario.end_hour))
+    # Durations lengthen monotonically across the policy epochs.  Note
+    # the simulation epoch is September 2014, so calendar years straddle
+    # policy-epoch boundaries and mix adjacent regimes.
+    means = [yearly[year] for year in years]
+    assert all(a < b for a, b in zip(means, means[1:]))
+    assert trend_slope(yearly) > 0
+    # The first calendar year is pure 24 h policy; the last is pure
+    # week-long leases.
+    assert means[0] < 2 * DAY
+    assert means[-1] > 4 * DAY

@@ -1,0 +1,81 @@
+"""Figure 1: cumulative total time fraction of assignment durations.
+
+Three panels — IPv4 non-dual-stack, IPv4 dual-stack, IPv6 — for six
+large ASes.  Paper shape:
+
+* sharp IPv4-NDS modes at 1 day (DTAG), 1.5 days (Proximus), 1 week
+  (Orange), 2 weeks (BT);
+* dual-stack IPv4 durations longer than non-dual-stack in most ASes;
+* IPv6 durations longest of all, months-long, except DTAG's 1-day
+  renumbering.
+"""
+
+from conftest import FEATURED_SIX
+
+from repro.core.report import as_durations, figure1_series, render_table
+from repro.core.timefraction import CANONICAL_LABELS
+
+
+def compute_figure1(scenario):
+    panels = {}
+    for name in FEATURED_SIX:
+        probes = scenario.probes_in(scenario.asn_of(name))
+        durations = as_durations(probes)
+        panels[name] = {
+            "v4_nds": figure1_series(name, durations.v4_non_dual_stack),
+            "v4_ds": figure1_series(name, durations.v4_dual_stack),
+            "v6": figure1_series(name, durations.v6),
+        }
+    return panels
+
+
+def _render(panels, key, title):
+    rows = []
+    for name, series_map in panels.items():
+        series = series_map[key]
+        rows.append(
+            [name, f"{series.total_years:.1f}y"]
+            + [f"{value:.2f}" for value in series.grid_values]
+        )
+    return render_table(["AS", "total"] + list(CANONICAL_LABELS), rows, title=title)
+
+
+def test_figure1(benchmark, atlas_scenario, artifact_writer):
+    panels = benchmark(compute_figure1, atlas_scenario)
+
+    rendered = "\n\n".join(
+        _render(panels, key, title)
+        for key, title in (
+            ("v4_nds", "Figure 1 (left): IPv4 non-dual-stack cumulative total time fraction"),
+            ("v4_ds", "Figure 1 (middle): IPv4 dual-stack"),
+            ("v6", "Figure 1 (right): IPv6 /64"),
+        )
+    )
+    artifact_writer("fig1", rendered)
+
+    index = {label: position for position, label in enumerate(CANONICAL_LABELS)}
+
+    # IPv4-NDS periodic modes: DTAG at 1 day, Proximus <= 3 days,
+    # Orange at 1 week, BT at 2 weeks.
+    dtag = panels["DTAG"]["v4_nds"].grid_values
+    assert dtag[index["1d"]] > 0.85
+    orange = panels["Orange"]["v4_nds"].grid_values
+    assert orange[index["1w"]] - orange[index["3d"]] > 0.5
+    bt = panels["BT"]["v4_nds"].grid_values
+    assert bt[index["2w"]] - bt[index["1w"]] > 0.5
+    proximus = panels["Proximus"]["v4_nds"].grid_values
+    assert proximus[index["3d"]] > 0.8
+
+    # Dual-stack IPv4 lasts longer: mass at short durations shrinks.
+    for name in ("DTAG", "Orange", "BT"):
+        nds = panels[name]["v4_nds"].grid_values
+        ds = panels[name]["v4_ds"].grid_values
+        assert ds[index["2w"]] < nds[index["2w"]]
+
+    # IPv6 is the most stable panel for the lease-renewing ASes: less
+    # than half the assigned time sits in sub-month durations.
+    for name in ("Comcast", "Orange", "LGI", "BT"):
+        v6 = panels[name]["v6"].grid_values
+        assert v6[index["1m"]] < 0.5
+    # ... but DTAG renumbers IPv6 daily for a visible share of time.
+    assert panels["DTAG"]["v6"].grid_values[index["1d"]] > 0.25

@@ -1,0 +1,64 @@
+"""Figure 3: CDN association durations by Internet registry, fixed vs mobile.
+
+Paper shape:
+
+* fixed associations are long everywhere — global median ~2 months,
+  ARIN the longest (~100-day median);
+* mobile associations are ephemeral — 75 % last a day or less, with a
+  tail to ~30 days;
+* RIPE's mobile distribution is the outlier (EE Ltd.), with a p75 far
+  above the other registries';
+* fixed durations exceed mobile by well over an order of magnitude at
+  the median (paper: ~60x).
+"""
+
+from repro.bgp.registry import RIR, AccessKind
+from repro.core.associations import association_durations, box_stats
+from repro.core.report import render_table
+
+
+def compute_figure3(scenario):
+    dataset = scenario.dataset
+    results = {}
+    for kind, kind_label in ((AccessKind.FIXED, "fixed"), (AccessKind.MOBILE, "mobile")):
+        all_durations = association_durations(dataset.triples_by_kind(kind))
+        results[("ALL", kind_label)] = box_stats(all_durations)
+        for rir in RIR:
+            durations = association_durations(dataset.triples_by_rir(rir, kind))
+            if durations:
+                results[(rir.value, kind_label)] = box_stats(durations)
+    return results
+
+
+def test_figure3(benchmark, cdn_scenario, artifact_writer):
+    results = benchmark(compute_figure3, cdn_scenario)
+
+    rows = [
+        [f"{registry} {kind}", stats.count, f"{stats.p5:.0f}", f"{stats.q1:.0f}",
+         f"{stats.median:.0f}", f"{stats.q3:.0f}", f"{stats.p95:.0f}"]
+        for (registry, kind), stats in results.items()
+    ]
+    artifact_writer(
+        "fig3",
+        render_table(
+            ["registry/class", "n", "p5", "q1", "median", "q3", "p95"],
+            rows,
+            title="Figure 3: association durations (days) by registry",
+        ),
+    )
+
+    all_fixed = results[("ALL", "fixed")]
+    all_mobile = results[("ALL", "mobile")]
+    # Mobile: most associations last about a day.
+    assert all_mobile.median <= 2
+    assert all_mobile.q3 <= 5
+    # Fixed: an order of magnitude (paper: ~60x) longer at the median.
+    assert all_fixed.median / all_mobile.median >= 10
+    # ARIN fixed is the most stable registry.
+    arin = results[("ARIN", "fixed")]
+    for rir in ("RIPE", "APNIC", "LACNIC", "AFRINIC"):
+        assert arin.median >= results[(rir, "fixed")].median
+    # RIPE mobile is the outlier with a fat tail (EE-like operator).
+    ripe_mobile = results[("RIPE", "mobile")]
+    for rir in ("ARIN", "APNIC", "LACNIC", "AFRINIC"):
+        assert ripe_mobile.q3 > results[(rir, "mobile")].q3

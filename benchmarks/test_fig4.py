@@ -1,0 +1,72 @@
+"""Figure 4: distribution of IPv6 /64 associations per IPv4 /24.
+
+Paper shape:
+
+* mobile /24s are massively multiplexed: the hit-weighted density
+  peaks around 10^4-10^5 unique /64s per /24 (CGNAT);
+* fixed /24s peak at 150-200 unique /64s — the typical count of active
+  addresses in a residential /24;
+* despite the multiplexing, 87 % of mobile /64s associate with exactly
+  one /24 (device-to-egress affinity).
+"""
+
+from repro.bgp.registry import AccessKind
+from repro.core.associations import (
+    fraction_degree_one,
+    log_density,
+    v4_degree_counts,
+    v6_degree_counts,
+    weighted_peak,
+)
+from repro.core.report import render_table
+
+
+def compute_figure4(scenario):
+    results = {}
+    for kind, label in ((AccessKind.MOBILE, "mobile"), (AccessKind.FIXED, "fixed")):
+        triples = scenario.dataset.triples_by_kind(kind)
+        unique, hits = v4_degree_counts(triples)
+        values = list(unique.values())
+        weights = [hits[key] for key in unique]
+        results[label] = {
+            "unique_density": log_density(values),
+            "weighted_density": log_density(values, weights=weights),
+            "weighted_peak": weighted_peak(*log_density(values, weights=weights)),
+            "unique_peak": weighted_peak(*log_density(values)),
+            "v6_degree_one": fraction_degree_one(v6_degree_counts(triples)),
+            "num_slash24s": len(unique),
+        }
+    return results
+
+
+def test_figure4(benchmark, cdn_scenario, artifact_writer):
+    results = benchmark(compute_figure4, cdn_scenario)
+
+    rows = [
+        [
+            label,
+            data["num_slash24s"],
+            f"{data['unique_peak']:.0f}",
+            f"{data['weighted_peak']:.0f}",
+            f"{data['v6_degree_one']:.0%}",
+        ]
+        for label, data in results.items()
+    ]
+    artifact_writer(
+        "fig4",
+        render_table(
+            ["class", "/24s", "unique-density peak", "weighted peak", "/64s with degree 1"],
+            rows,
+            title="Figure 4: /64-per-/24 association degree",
+        ),
+    )
+
+    mobile, fixed = results["mobile"], results["fixed"]
+    # Mobile multiplexing: weighted peak multiple orders of magnitude
+    # above fixed (paper: ~80,000 vs ~150-200; our scaled world: >=10x).
+    assert mobile["weighted_peak"] > 1_000
+    assert mobile["weighted_peak"] > 20 * fixed["weighted_peak"]
+    # Fixed peak near the residential active-density band.
+    assert 50 <= fixed["weighted_peak"] <= 700
+    # Affinity: the vast majority of mobile /64s see exactly one /24.
+    assert mobile["v6_degree_one"] > 0.8

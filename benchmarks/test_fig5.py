@@ -1,0 +1,61 @@
+"""Figure 5: common prefix lengths of successive IPv6 /64 assignments.
+
+Paper shape, per AS:
+
+* DTAG: no changes with CPL < 24; bulk at CPL 41-47 (draws within a
+  /40 pool); a visible cluster at CPL >= 56 from prefix-scrambling
+  CPEs rotating /64s inside their /56 delegation;
+* LGI: concentration around 44; Orange: 36-48; BT: bimodal.
+"""
+
+from conftest import FEATURED_SIX
+
+from repro.core.report import figure5_for_as, render_table
+
+
+def compute_figure5(scenario):
+    return {
+        name: figure5_for_as(scenario.probes_in(scenario.asn_of(name)))
+        for name in FEATURED_SIX
+    }
+
+
+def _bucket(histogram, low, high):
+    """Total changes with low <= CPL < high."""
+    return sum(count for cpl, count in histogram.changes_by_cpl.items() if low <= cpl < high)
+
+
+def test_figure5(benchmark, atlas_scenario, artifact_writer):
+    histograms = benchmark(compute_figure5, atlas_scenario)
+
+    from repro.core.report import render_histogram
+
+    lines = []
+    for name, histogram in histograms.items():
+        lines.append(f"\nFigure 5 ({name}): CPL of successive /64 assignments")
+        rows = [
+            [cpl, histogram.changes_by_cpl[cpl], histogram.probes_by_cpl.get(cpl, 0)]
+            for cpl in sorted(histogram.changes_by_cpl)
+        ]
+        lines.append(render_table(["CPL", "changes", "probes"], rows))
+        lines.append(render_histogram(histogram.changes_by_cpl, label="CPL "))
+    artifact_writer("fig5", "\n".join(lines))
+
+    dtag = histograms["DTAG"]
+    assert dtag.total_changes > 100
+    # No DTAG changes below CPL 24 (single contiguous allocation).
+    assert _bucket(dtag, 0, 24) == 0
+    # Bulk within the /40 pool (CPL 40..47).
+    assert _bucket(dtag, 40, 48) / dtag.total_changes > 0.5
+    # Scrambling CPEs: a visible cluster at CPL >= 56.
+    assert _bucket(dtag, 56, 64) > 0
+
+    # LGI concentrates at its /44 pool grain.
+    lgi = histograms["LGI"]
+    if lgi.total_changes >= 20:
+        assert _bucket(lgi, 44, 56) / lgi.total_changes > 0.4
+
+    # Orange: clusters between 36 and 48 (its /42 pools).
+    orange = histograms["Orange"]
+    if orange.total_changes >= 20:
+        assert _bucket(orange, 36, 49) / orange.total_changes > 0.5

@@ -1,0 +1,58 @@
+"""Figure 7: trailing-zero frequencies in CDN /64s, per registry.
+
+Paper shape: large inferable fractions everywhere except LACNIC
+(ARIN 59 %, RIPE 79 %, APNIC 54 %, LACNIC 15 %, AFRINIC 83 %); RIPE and
+AFRINIC dominated by the /56 boundary; mobile /64s show essentially no
+trailing-zero structure (they ARE the delegation).
+"""
+
+from repro.bgp.registry import RIR, AccessKind
+from repro.core.delegation import FIG7_BOUNDARIES, trailing_zero_profile
+from repro.core.report import render_table
+from repro.ip.prefix import IPv6Prefix
+
+
+def compute_figure7(scenario):
+    dataset = scenario.dataset
+    profiles = {}
+    for rir in RIR:
+        keys = {t[2] for t in dataset.triples_by_rir(rir, AccessKind.FIXED)}
+        profiles[rir.value] = trailing_zero_profile(IPv6Prefix(k, 64) for k in keys)
+    mobile_keys = {t[2] for t in dataset.triples_by_kind(AccessKind.MOBILE)}
+    profiles["mobile (all)"] = trailing_zero_profile(
+        IPv6Prefix(k, 64) for k in mobile_keys
+    )
+    return profiles
+
+
+def test_figure7(benchmark, cdn_scenario, artifact_writer):
+    profiles = benchmark(compute_figure7, cdn_scenario)
+
+    rows = [
+        [label, profile.total, f"{profile.inferable_pct:.1f}%"]
+        + [f"{profile.fraction_at(boundary):.2f}" for boundary in FIG7_BOUNDARIES]
+        for label, profile in profiles.items()
+    ]
+    artifact_writer(
+        "fig7",
+        render_table(
+            ["registry", "/64s", "inferable"] + [f"/{b}" for b in FIG7_BOUNDARIES],
+            rows,
+            title="Figure 7: trailing-zero inferred delegation lengths (fixed /64s)",
+        ),
+    )
+
+    # Inferable fractions ordered as in the paper: AFRINIC/RIPE high,
+    # LACNIC lowest by far.
+    inferable = {label: profile.inferable_pct for label, profile in profiles.items()}
+    assert inferable["LACNIC"] < 30
+    for rir in ("ARIN", "RIPE", "APNIC", "AFRINIC"):
+        assert inferable[rir] > 40
+        assert inferable[rir] > inferable["LACNIC"]
+    assert inferable["AFRINIC"] > 65
+    assert inferable["RIPE"] > 60
+    # RIPE and AFRINIC are /56-dominated.
+    assert profiles["RIPE"].fraction_at(56) > profiles["RIPE"].fraction_at(60)
+    assert profiles["AFRINIC"].fraction_at(56) > 0.4
+    # Mobile /64s: no trailing-zero structure.
+    assert inferable["mobile (all)"] < 15

@@ -1,0 +1,45 @@
+"""Figure 9: inferred subscriber prefix lengths, all probes pooled.
+
+Paper shape: about half of the probes expose zeroed bits before the
+/64 boundary, with the strongest spike at the /56 boundary (the RIPE-690
+recommended residential delegation) and a second accumulation at /64
+(scrambling or /64-delegating deployments).
+"""
+
+from repro.core.delegation import inferred_plen_distribution, per_probe_prefixes_from_runs
+from repro.core.report import render_table
+
+
+def compute_figure9(scenario):
+    per_probe = per_probe_prefixes_from_runs(scenario.probes)
+    return inferred_plen_distribution(per_probe)
+
+
+def test_figure9(benchmark, atlas_scenario, artifact_writer):
+    distribution = benchmark(compute_figure9, atlas_scenario)
+
+    from repro.core.report import render_histogram
+
+    rows = [[f"/{plen}", f"{pct:.1f}%"] for plen, pct in sorted(distribution.items())]
+    artifact_writer(
+        "fig9",
+        render_table(
+            ["inferred prefix length", "% of probes"],
+            rows,
+            title="Figure 9: inferred subscriber prefix lengths, all probes",
+        )
+        + "\n"
+        + render_histogram(
+            {plen: round(pct) for plen, pct in distribution.items()}, label="/"
+        ),
+    )
+
+    assert distribution, "no eligible probes with assignment changes"
+    # The /56 boundary is the single strongest spike below /60.
+    below_60 = {plen: pct for plen, pct in distribution.items() if plen < 60}
+    assert below_60 and max(below_60.items(), key=lambda item: item[1])[0] == 56
+    # A substantial share of probes expose zero bits (inferable < /64).
+    inferable = sum(pct for plen, pct in distribution.items() if plen < 64)
+    assert inferable > 30
+    # Netcologne's whole-/48 delegations are visible in the pooled data.
+    assert distribution.get(48, 0) > 0

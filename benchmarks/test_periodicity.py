@@ -1,0 +1,106 @@
+"""Section 3.2 text: consistent periodic renumbering detection.
+
+Paper shape: well-defined IPv4 modes at 1 day (DTAG), 1.5 days
+(Proximus), 1 week (Orange) and 2 weeks (BT) for non-dual-stack
+probes; IPv6 24-hour renumbering in German ASes (DTAG, Versatel,
+Netcologne); no periodicity in lease-renewing ISPs (Comcast).
+"""
+
+from collections import defaultdict
+
+from repro.core.dualstack import split_durations_by_stack
+from repro.core.periodicity import consistent_periodic_networks
+from repro.core.report import probe_v4_durations, probe_v6_durations, render_table
+
+
+def compute_periodicity(scenario):
+    v4_nds = defaultdict(dict)
+    v6 = defaultdict(dict)
+    for name, isp in scenario.isps.items():
+        for probe in scenario.probes_in(isp.asn):
+            durations = probe_v4_durations(probe)
+            _dual, non_dual = split_durations_by_stack(durations, probe.v6_runs)
+            if non_dual:
+                v4_nds[name][probe.probe_id] = [float(d.hours) for d in non_dual]
+            v6_durations = probe_v6_durations(probe)
+            if v6_durations:
+                v6[name][probe.probe_id] = [float(d.hours) for d in v6_durations]
+    # min_probes=2 keeps the detection meaningful at reduced benchmark
+    # scales where an AS may only carry a couple of NDS probes.
+    return (
+        consistent_periodic_networks(dict(v4_nds), min_probes=2),
+        consistent_periodic_networks(dict(v6), min_probes=2),
+    )
+
+
+def test_periodicity(benchmark, atlas_scenario, artifact_writer):
+    v4_periods, v6_periods = benchmark(compute_periodicity, atlas_scenario)
+
+    rows = []
+    for name in atlas_scenario.isps:
+        rows.append(
+            [
+                name,
+                f"{v4_periods[name]:g}h" if name in v4_periods else "-",
+                f"{v6_periods[name]:g}h" if name in v6_periods else "-",
+            ]
+        )
+    artifact_writer(
+        "periodicity",
+        render_table(
+            ["AS", "v4 NDS period", "v6 period"],
+            rows,
+            title="Detected consistent periodic renumbering",
+        ),
+    )
+
+    # IPv4 modes the paper reports for non-dual-stack probes.
+    assert v4_periods.get("DTAG") == 24.0
+    assert v4_periods.get("Proximus") == 36.0
+    assert v4_periods.get("Orange") == 7 * 24.0
+    assert v4_periods.get("BT") == 14 * 24.0
+    # Lease-renewing ISPs show no consistent period.
+    assert "Comcast" not in v4_periods
+    assert "Free SAS" not in v4_periods
+    # IPv6 24-hour renumbering in German periodic ASes.
+    assert v6_periods.get("Versatel") == 24.0
+    assert v6_periods.get("Netcologne") == 24.0
+    assert v6_periods.get("DTAG") == 24.0
+    # Stable-IPv6 ISPs show none.
+    assert "Orange" not in v6_periods
+    assert "Comcast" not in v6_periods
+
+
+def test_periodic_network_count_at_scale(benchmark, artifact_writer):
+    """§3.2: "consistent periodic renumbering on 35 networks".
+
+    The featured profiles cover only a handful of periodic ASes; with a
+    long tail of 36 additional small periodic ISPs (periods from the
+    paper's observed set: 12 h ... 2 weeks), the detector must flag
+    (nearly) all of them and none of the lease-renewing controls.
+    """
+    from repro.netsim.profiles import periodic_cohort, profile_by_name
+    from repro.workloads import build_atlas_scenario
+
+    profiles = periodic_cohort(36) + [profile_by_name("Comcast"), profile_by_name("Free SAS")]
+    scenario = build_atlas_scenario(
+        probes_per_as=8,
+        years=1.0,
+        seed=555,
+        profiles=profiles,
+        anomaly_fraction=0.0,
+        bad_tag_fraction=0.0,
+    )
+
+    detected = benchmark.pedantic(
+        lambda: compute_periodicity(scenario)[0], rounds=1, iterations=1
+    )
+    periodic_names = {name for name in detected if name.startswith("Periodic-")}
+    artifact_writer(
+        "periodicity_scale",
+        f"periodic networks detected: {len(periodic_names)} / 36 "
+        f"(controls flagged: {sorted(set(detected) - periodic_names)})",
+    )
+    assert len(periodic_names) >= 33  # nearly all of the cohort
+    assert "Comcast" not in detected
+    assert "Free SAS" not in detected

@@ -1,0 +1,53 @@
+"""Table 1: overview of assignment changes per AS.
+
+Paper shape: thousands of changes in periodically renumbering ASes
+(DTAG, Versatel, Netcologne), far fewer in lease-renewing ones
+(Comcast, Free SAS); the dual-stack share of v4 changes varies widely
+(10 % for Orange up to ~83 % for Netcologne).
+"""
+
+from conftest import FEATURED_SIX
+
+from repro.core.report import render_table, table1_row
+
+
+def compute_table1(scenario):
+    rows = []
+    for name, isp in scenario.isps.items():
+        probes = scenario.probes_in(isp.asn)
+        rows.append(table1_row(name, isp.asn, isp.config.country, probes))
+    return rows
+
+
+def test_table1(benchmark, atlas_scenario, artifact_writer):
+    rows = benchmark(compute_table1, atlas_scenario)
+    by_name = {row.name: row for row in rows}
+
+    rendered = render_table(
+        ["AS", "ASN", "Country", "All probes", "All v4 changes",
+         "DS probes", "DS v4 changes", "DS v6 changes"],
+        [
+            [row.name, row.asn, row.country, row.all_probes, row.all_v4_changes,
+             row.ds_probes, f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)",
+             row.ds_v6_changes]
+            for row in rows
+        ],
+        title="Table 1: assignment changes observed per AS",
+    )
+    artifact_writer("table1", rendered)
+
+    # Shape assertions.
+    for name in FEATURED_SIX:
+        assert by_name[name].all_probes > 0
+        assert by_name[name].all_v4_changes > 0
+    # Periodic renumberers produce at least an order of magnitude more
+    # v4 changes than lease-renewing ISPs.
+    assert by_name["DTAG"].all_v4_changes > 10 * by_name["Comcast"].all_v4_changes
+    assert by_name["Versatel"].all_v4_changes > 10 * by_name["Free SAS"].all_v4_changes
+    # Netcologne: DS probes responsible for the bulk of v4 changes (83%).
+    assert by_name["Netcologne"].ds_v4_share_pct > 50
+    # Orange: DS probes responsible for a small share (10%).
+    assert by_name["Orange"].ds_v4_share_pct < 40
+    # Synchronized periodic ISPs also renumber v6 in volume.
+    assert by_name["Versatel"].ds_v6_changes > 1000
+    assert by_name["Comcast"].ds_v6_changes < by_name["Versatel"].ds_v6_changes / 10

@@ -1,0 +1,57 @@
+"""Table 2: assignment changes across /24 and BGP-prefix boundaries.
+
+Paper shape: IPv4 changes usually land in a different /24 (94-100 % in
+most ASes; Comcast/LGI lower at ~49-59 %) and often a different BGP
+prefix (14-72 %); IPv6 changes almost never leave the BGP prefix
+(0-10 % — Free SAS the outlier at 42 %).
+"""
+
+from repro.core.report import render_table, table2_row
+
+
+def compute_table2(scenario):
+    return {
+        name: table2_row(scenario.probes_in(isp.asn), scenario.table)
+        for name, isp in scenario.isps.items()
+    }
+
+
+def test_table2(benchmark, atlas_scenario, artifact_writer):
+    rates = benchmark(compute_table2, atlas_scenario)
+
+    rows = [
+        [
+            name,
+            row.v4_changes,
+            f"{row.diff_slash24_pct:.0f}%",
+            f"{row.v4_diff_bgp_pct:.0f}%",
+            row.v6_changes,
+            f"{row.v6_diff_bgp_pct:.0f}%",
+        ]
+        for name, row in rates.items()
+    ]
+    artifact_writer(
+        "table2",
+        render_table(
+            ["AS", "v4 changes", "Diff /24", "Diff BGP (v4)", "v6 changes", "Diff BGP (v6)"],
+            rows,
+            title="Table 2: changes across /24 and BGP prefixes",
+        ),
+    )
+
+    # v4 changes usually leave the /24 in randomly-drawing ISPs ...
+    for name in ("DTAG", "Orange", "BT", "Netcologne"):
+        assert rates[name].diff_slash24_pct > 80
+    # ... but far less often in sticky-/24 ISPs.
+    assert rates["Comcast"].diff_slash24_pct < 70
+    # v6 changes rarely cross BGP prefixes in single-announcement ISPs.
+    for name in ("DTAG", "Orange", "BT", "Proximus"):
+        if rates[name].v6_changes >= 10:
+            assert rates[name].v6_diff_bgp_pct < 15
+    # Free SAS announces more-specifics: its v6 changes cross BGP often.
+    if rates["Free SAS"].v6_changes >= 10:
+        assert rates["Free SAS"].v6_diff_bgp_pct > 20
+    # Within each AS, v6 crosses BGP prefixes less often than v4 does.
+    for name, row in rates.items():
+        if row.v4_changes >= 20 and row.v6_changes >= 20:
+            assert row.v6_diff_bgp_pct <= row.v4_diff_bgp_pct + 5

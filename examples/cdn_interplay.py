@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""IPv4-IPv6 interplay from a CDN vantage point (Section 4).
+
+Builds a world-wide RUM association dataset and reproduces the
+section's headline observations:
+
+* fixed-line associations are long-lived; mobile ones are ephemeral;
+* mobile /24s multiplex tens of thousands of /64s (CGNAT), fixed /24s
+  sit near the ~150-200 active-subscriber density;
+* most mobile /64s nevertheless keep an affinity to a single /24;
+* the ASN-mismatch filter removes cellular/WiFi switching artifacts.
+
+Run:  python examples/cdn_interplay.py
+"""
+
+from repro.bgp.registry import RIR, AccessKind
+from repro.core.associations import (
+    association_durations,
+    box_stats,
+    fraction_degree_one,
+    log_density,
+    v4_degree_counts,
+    v6_degree_counts,
+    weighted_peak,
+)
+from repro.core.report import render_table
+from repro.workloads import build_cdn_scenario
+
+
+def main() -> None:
+    print("Collecting CDN association dataset (a few seconds)...")
+    scenario = build_cdn_scenario(
+        days=150,
+        seed=4,
+        fixed_subscribers_per_registry=900,
+        mobile_devices_per_registry=600,
+        featured_subscribers=120,
+        cross_network_noise=0.05,
+    )
+    dataset = scenario.dataset
+    print(
+        f"Collected {dataset.total_collected:,} associations; "
+        f"discarded {dataset.discarded_asn_mismatch:,} with mismatching "
+        f"origin ASNs; kept {dataset.total_kept:,}."
+    )
+
+    mobile = dataset.triples_by_kind(AccessKind.MOBILE)
+    fixed = dataset.triples_by_kind(AccessKind.FIXED)
+
+    # Association durations, fixed vs mobile (Figure 3's ALL columns).
+    rows = []
+    for label, triples in (("fixed", fixed), ("mobile", mobile)):
+        stats = box_stats(association_durations(triples))
+        rows.append(
+            [label, stats.count, f"{stats.p5:.0f}", f"{stats.q1:.0f}",
+             f"{stats.median:.0f}", f"{stats.q3:.0f}", f"{stats.p95:.0f}"]
+        )
+    print()
+    print(
+        render_table(
+            ["class", "assocs", "p5", "q1", "median", "q3", "p95"],
+            rows,
+            title="Association durations in days (cf. Figure 3, ALL)",
+        )
+    )
+
+    # Per-registry split.
+    rows = []
+    for rir in RIR:
+        for kind, label in ((AccessKind.FIXED, "fixed"), (AccessKind.MOBILE, "mobile")):
+            durations = association_durations(dataset.triples_by_rir(rir, kind))
+            if not durations:
+                continue
+            stats = box_stats(durations)
+            rows.append([f"{rir.value} {label}", f"{stats.median:.0f}", f"{stats.q3:.0f}"])
+    print()
+    print(render_table(["registry/class", "median (d)", "q3 (d)"], rows,
+                       title="Durations by registry (cf. Figure 3)"))
+
+    # Cardinality (Figure 4).
+    print()
+    for label, triples in (("mobile", mobile), ("fixed", fixed)):
+        unique, hits = v4_degree_counts(triples)
+        values = list(unique.values())
+        weights = [hits[key] for key in unique]
+        peak = weighted_peak(*log_density(values, weights=weights))
+        degree_one = fraction_degree_one(v6_degree_counts(triples))
+        print(
+            f"{label:6s}: weighted peak {peak:9.0f} unique /64s per /24; "
+            f"{degree_one:.0%} of /64s associate with exactly one /24"
+        )
+    print(
+        "\nReading: mobile /24s are CGNAT egress points multiplexing 10^4+"
+        "\ndevices, yet each device's /64 sticks to one egress /24; fixed"
+        "\n/24s sit near the paper's 150-200 active-subscriber density."
+    )
+
+
+if __name__ == "__main__":
+    main()

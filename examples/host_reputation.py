@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Host reputation: how long can a blocklist entry stay useful?
+
+Section 6 of the paper: blocklists that keep an address after it has
+been reassigned cause collateral damage to the innocent subscriber who
+inherits it; blocklists that expire entries too early let bad actors
+linger.  This example derives, per ISP:
+
+* a **safe IPv4 blocklist TTL** — the time by which a configurable
+  fraction of that ISP's assignments have already churned;
+* the **IPv6 blocking granularity** — the prefix length that identifies
+  exactly one subscriber (blocking a single /128 is useless when the
+  host can re-draw its interface identifier at will; blocking a /48 in
+  an ISP that delegates /56s takes out 256 households);
+* the **escape set** — where a blocked subscriber can reappear
+  (same /24? same BGP prefix? same /40 pool?).
+
+Run:  python examples/host_reputation.py
+"""
+
+from repro.core.delegation import inferred_plen_distribution, per_probe_prefixes_from_runs
+from repro.core.report import as_durations, render_table, table2_row
+from repro.core.timefraction import cumulative_total_time_fraction
+from repro.workloads import build_atlas_scenario
+
+
+def ttl_for_quantile(durations, quantile: float) -> float:
+    """Duration (hours) by which `quantile` of assigned time has churned."""
+    xs, ys = cumulative_total_time_fraction(durations)
+    for x, y in zip(xs, ys):
+        if y >= quantile:
+            return x
+    return float("inf")
+
+
+def format_hours(hours: float) -> str:
+    if hours == float("inf"):
+        return ">obs"
+    if hours < 48:
+        return f"{hours:.0f}h"
+    if hours < 24 * 60:
+        return f"{hours / 24:.0f}d"
+    return f"{hours / (24 * 30):.0f}mo"
+
+
+def main() -> None:
+    print("Simulating measurement study (this takes a few seconds)...")
+    scenario = build_atlas_scenario(probes_per_as=15, years=2.0, seed=7)
+
+    rows = []
+    for name, isp in scenario.isps.items():
+        probes = scenario.probes_in(isp.asn)
+        durations = as_durations(probes)
+        v4 = durations.v4_dual_stack + durations.v4_non_dual_stack
+        if not v4:
+            continue
+
+        # TTL: after this long, >=25% of assigned time has churned — a
+        # conservative "entry may now hit an innocent subscriber" point.
+        ttl = ttl_for_quantile(v4, 0.25)
+
+        # IPv6 blocking granularity: the modal inferred subscriber prefix.
+        per_probe = per_probe_prefixes_from_runs(probes)
+        distribution = inferred_plen_distribution(per_probe)
+        if distribution:
+            modal_plen = max(distribution.items(), key=lambda item: item[1])[0]
+            granularity = f"/{modal_plen}"
+        else:
+            granularity = "n/a"
+
+        # Escape set: how often a renumbered v4 subscriber leaves the /24
+        # and the BGP prefix entirely.
+        rates = table2_row(probes, scenario.table)
+        escape = (
+            f"{rates.diff_slash24_pct:3.0f}% leave /24, "
+            f"{rates.v4_diff_bgp_pct:3.0f}% leave BGP pfx"
+        )
+        rows.append([name, format_hours(ttl), granularity, escape])
+
+    print()
+    print(
+        render_table(
+            ["AS", "safe v4 TTL", "v6 block granularity", "v4 escape behaviour"],
+            rows,
+            title="Blocklist guidance derived from assignment dynamics",
+        )
+    )
+    print(
+        "\nReading: a 24h-renumbering ISP (DTAG) needs sub-day blocklist"
+        "\nTTLs in IPv4, while /56-granular IPv6 blocking follows the"
+        "\nsubscriber across interface-identifier changes. ISPs with high"
+        "\nescape rates make /24-granular IPv4 blocking ineffective."
+    )
+
+
+if __name__ == "__main__":
+    main()

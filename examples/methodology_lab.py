@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Methodology lab: how measurement choices distort duration estimates.
+
+The paper's duration numbers depend on methodological care: Section
+3.2.1 replaces the naive histogram with the total time fraction, the
+sandwiched-duration rule avoids censoring artifacts, and Section 3.2's
+comparison with Moura et al. blames responsiveness scanning for
+under-reporting.  This example reproduces all three effects on one
+simulated ISP where the *truth* is known exactly:
+
+1. naive PMF vs total time fraction on a mixed population;
+2. censored vs sandwiched vs Kaplan-Meier estimation in a short window;
+3. echo-based measurement vs a Zmap-style responsiveness scanner.
+
+Run:  python examples/methodology_lab.py
+"""
+
+from repro.core.changes import all_observed_durations, sandwiched_durations
+from repro.core.report import render_table
+from repro.core.responsiveness import (
+    ProbingConfig,
+    estimate_sessions,
+    true_assignment_durations,
+    underestimation_factor,
+)
+from repro.core.survival import kaplan_meier
+from repro.core.survival import observations_from_runs as survival_observations
+from repro.core.timefraction import (
+    cumulative_total_time_fraction,
+    median_of_cdf,
+    naive_duration_cdf,
+)
+from repro.netsim.profiles import profile_by_name
+from repro.workloads import build_atlas_scenario
+
+DAY = 24.0
+
+
+def main() -> None:
+    print("Simulating a Comcast-like ISP over a short 10-month window...")
+    scenario = build_atlas_scenario(
+        probes_per_as=40,
+        years=0.85,
+        seed=303,
+        profiles=[profile_by_name("Comcast")],
+        anomaly_fraction=0.0,
+        bad_tag_fraction=0.0,
+    )
+    probes = scenario.probes
+
+    # --- Effect 1: naive PMF vs total time fraction -----------------------
+    # The paper's worked example (Section 3.2.1), slightly extended: one
+    # CPE renumbered daily for a year, two CPEs renumbered monthly for a
+    # year each.  Most of the *time* is spent in month-long assignments,
+    # but 94% of the *samples* are day-long.
+    print("\n[1] Weighting: naive histogram vs total time fraction")
+    durations = [24.0] * 365 + [720.0] * 24
+    naive_median = median_of_cdf(*naive_duration_cdf(durations))
+    ttf_median = median_of_cdf(*cumulative_total_time_fraction(durations))
+    print(render_table(
+        ["metric", "median (h)"],
+        [["naive PMF", f"{naive_median:.0f}"],
+         ["total time fraction (Eq. 1)", f"{ttf_median:.0f}"]],
+    ))
+    print("The naive median sees only the daily renumberer; the TTF median\n"
+          "weighs each duration by the time hosts actually spent in it.")
+
+    # --- Effect 2: censoring ----------------------------------------------
+    print("\n[2] Censoring: window-limited duration estimation")
+    sandwiched, censored, km_observations = [], [], []
+    for probe in probes:
+        sandwiched.extend(float(d.hours) for d in sandwiched_durations(probe.v4_runs))
+        censored.extend(float(h) for h in all_observed_durations(probe.v4_runs))
+        km_observations.extend(
+            survival_observations(probe.v4_runs, window_end=scenario.end_hour)
+        )
+    km_mean = kaplan_meier(km_observations).mean() if km_observations else float("nan")
+    print(render_table(
+        ["estimator", "n", "mean (days)"],
+        [
+            ["true (configured)", "-", "132"],
+            ["all runs (censored)", len(censored), f"{sum(censored)/len(censored)/24:.0f}"],
+            ["sandwiched only (paper)", len(sandwiched),
+             f"{sum(sandwiched)/len(sandwiched)/24:.0f}"],
+            ["Kaplan-Meier", len(km_observations), f"{km_mean/24:.0f}"],
+        ],
+    ))
+
+    # --- Effect 3: responsiveness scanning --------------------------------
+    print("\n[3] Vantage: echo measurement vs Zmap-style responsiveness")
+    asn = scenario.isps["Comcast"].asn
+    timelines = scenario.timelines[asn]
+    truth = true_assignment_durations(timelines)
+    estimated = estimate_sessions(
+        timelines,
+        end_hour=scenario.end_hour,
+        config=ProbingConfig(loss_rate=0.03, tolerance_rounds=1),
+        mean_up_hours=1200.0,
+        mean_down_hours=10.0,
+    )
+    factor = underestimation_factor(estimated, truth)
+    print(render_table(
+        ["estimator", "n", "mean (days)"],
+        [
+            ["ground truth", len(truth), f"{sum(truth)/len(truth)/24:.0f}"],
+            ["responsiveness runs", len(estimated),
+             f"{sum(estimated)/len(estimated)/24:.0f}"],
+        ],
+    ))
+    print(f"Responsiveness scanning under-reports by {factor:.1f}x — the paper's\n"
+          "explanation for the gap to Moura et al.'s numbers.")
+
+
+if __name__ == "__main__":
+    main()

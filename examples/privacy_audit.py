@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Privacy audit: is truncation-based IPv6 anonymization safe?
+
+Section 6 application.  Two findings with privacy consequences:
+
+1. **Privacy addresses don't help against prefix tracking** — the /64
+   network component identifies a subscriber for months even while the
+   host rotates its interface identifier (RFC 4941).
+2. **Anonymization by truncation is fallacious** — truncating to /48
+   (as, e.g., Google Analytics does) aggregates 256 subscribers in an
+   ISP that delegates /56s, but exactly ONE subscriber in an ISP that
+   delegates whole /48s (Netcologne).
+
+This example quantifies, per ISP, how long a /64 identifies one
+subscriber and how many subscribers a /48-truncated address actually
+hides among ("anonymity set").
+
+Run:  python examples/privacy_audit.py
+"""
+
+from repro.core.delegation import inferred_plen_distribution, per_probe_prefixes_from_runs
+from repro.core.report import as_durations, render_table
+from repro.core.timefraction import cumulative_total_time_fraction, median_of_cdf
+from repro.workloads import build_atlas_scenario
+
+TRUNCATION_PLEN = 48  # the "anonymizing" truncation under audit
+
+
+def main() -> None:
+    print("Simulating measurement study...")
+    scenario = build_atlas_scenario(probes_per_as=15, years=2.0, seed=13)
+
+    rows = []
+    for name, isp in scenario.isps.items():
+        probes = scenario.probes_in(isp.asn)
+        durations = as_durations(probes)
+        if durations.v6:
+            xs, ys = cumulative_total_time_fraction(durations.v6)
+            median_hours = median_of_cdf(xs, ys)
+            tracking = f"{median_hours / 24:.0f} days"
+        else:
+            tracking = "> observation"
+
+        distribution = inferred_plen_distribution(per_probe_prefixes_from_runs(probes))
+        if distribution:
+            modal_plen = max(distribution.items(), key=lambda item: item[1])[0]
+            # Subscribers per truncated /48: each holds one /modal_plen.
+            if modal_plen >= TRUNCATION_PLEN:
+                anonymity_set = 2 ** (modal_plen - TRUNCATION_PLEN)
+            else:
+                anonymity_set = 1  # delegation SHORTER than truncation
+            verdict = "UNSAFE" if anonymity_set <= 1 else f"~{anonymity_set} subscribers"
+        else:
+            modal_plen, verdict = None, "unknown"
+
+        rows.append(
+            [
+                name,
+                tracking,
+                f"/{modal_plen}" if modal_plen else "n/a",
+                verdict,
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["AS", "/64 tracks subscriber for", "delegation", f"/{TRUNCATION_PLEN} anonymity set"],
+            rows,
+            title="Privacy audit: prefix tracking and truncation anonymization",
+        )
+    )
+    print(
+        "\nReading: a /48-truncating anonymizer leaks individual Netcologne"
+        "\nsubscribers outright (they own whole /48s), while in /56-"
+        "\ndelegating ISPs it hides a household among only 256. Tracking"
+        "\ndurations of weeks to months mean /64s are effectively PII."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Target generation shoot-out: structure beats patterns and density.
+
+The paper argues (Sections 2.3 and 6) that its addressing-structure
+findings — pool boundaries, delegated prefix lengths, zero-filled /64s
+— can augment IPv6 target-generation techniques like Entropy/IP and
+6Gen.  This example stages the comparison end-to-end:
+
+1. simulate an ISP with 400 subscriber lines; measure 30 of them the
+   way RIPE Atlas would (their /64 assignment histories);
+2. infer pool boundaries and the delegated prefix length from those 30
+   measured lines (the paper's Section 5 techniques);
+3. generate candidate targets with three strategies and score them
+   against the *full* 400-line ground truth.
+
+Run:  python examples/target_generation.py
+"""
+
+import random
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.core.delegation import inferred_subscriber_plen
+from repro.core.pools import infer_pool_plen, pool_membership
+from repro.core.report import render_table
+from repro.core.targetgen import (
+    DenseRegionGenerator,
+    NibblePatternGenerator,
+    StructureInformedGenerator,
+    evaluate_generator,
+)
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig, V6AddressingConfig
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.sim import IspSimulation
+
+DAY = 24.0
+
+
+def build_isp():
+    config = IspConfig(
+        name="ScanTarget",
+        asn=64950,
+        country="XX",
+        rir=RIR.RIPE,
+        dual_stack_fraction=1.0,
+        v4=V4AddressingConfig(
+            policy_nds=ChangePolicy.exponential(60 * DAY),
+            policy_ds=ChangePolicy.exponential(60 * DAY),
+            num_blocks=2,
+            block_plen=20,
+        ),
+        v6=V6AddressingConfig(
+            policy=ChangePolicy.exponential(45 * DAY),  # renumbers ~8x/year
+            allocation_plen=32,
+            pool_plen=42,
+            num_pools=4,
+            delegation_plen=56,
+            cpe_mix=((CpeBehavior(lan_selection="zero"), 1.0),),
+        ),
+    )
+    return Isp(config, Registry(), RoutingTable())
+
+
+def main() -> None:
+    print("Simulating 400 subscriber lines for 2 years...")
+    isp = build_isp()
+    timelines = IspSimulation(isp, 400, 730 * DAY, seed=21).run()
+
+    # Ground truth: the /64 each line uses at the end of the window.
+    active = [t.v6_lan[-1].value for t in timelines.values() if t.v6_lan]
+    rng = random.Random(5)
+    seeds = rng.sample(active, len(active) // 4)  # CDN-style partial view
+    unknown = [prefix for prefix in active if prefix not in set(seeds)]
+    print(f"{len(active)} active /64s; scanner knows {len(seeds)} seeds, "
+          f"must find {len(unknown)} more.")
+
+    # Structure inference from 30 measured lines (the Atlas-style view).
+    measured = [timelines[sub_id] for sub_id in range(30)]
+    histories = [
+        [interval.value for interval in timeline.v6_lan] for timeline in measured
+    ]
+    pool_plen = infer_pool_plen(histories) or 40
+    inferred = [
+        inferred_subscriber_plen(list(dict.fromkeys(history)))
+        for history in histories
+        if len(set(history)) >= 2
+    ]
+    delegation_plen = max(set(inferred), key=inferred.count) if inferred else 64
+    pools = sorted(pool_membership(seeds, pool_plen))
+    print(f"Inferred structure: /{pool_plen} pools ({len(pools)} seen in seeds), "
+          f"/{delegation_plen} delegations.")
+
+    budget = 30000
+    scores = {
+        "structure-informed (this paper)": evaluate_generator(
+            StructureInformedGenerator(pools, delegation_plen, seed=1).generate(budget),
+            unknown,
+        ),
+        "nibble pattern (Entropy/IP-style)": evaluate_generator(
+            NibblePatternGenerator(seeds, seed=1).generate(budget), unknown
+        ),
+        "dense regions (6Gen-style)": evaluate_generator(
+            DenseRegionGenerator(seeds, region_plen=48).generate(budget), unknown
+        ),
+    }
+    print()
+    print(
+        render_table(
+            ["strategy", "candidates", "hits", "coverage", "hit rate"],
+            [
+                [name, score.candidates, score.hits,
+                 f"{score.coverage:.1%}", f"{score.hit_rate:.2%}"]
+                for name, score in scores.items()
+            ],
+            title=f"Finding the unknown 3/4 of the active set (budget {budget})",
+        )
+    )
+    print(
+        "\nReading: pattern and density baselines rediscover structure"
+        "\nimplicitly and waste probes across the whole pool; enumerating"
+        "\nthe zero-/64s of inferred delegations inside inferred pools is"
+        "\nthe paper's findings applied directly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""DynamIPs reproduction: IPv4/IPv6 address-assignment dynamics analysis.
+
+This package reproduces the measurement pipeline of "DynamIPs: Analyzing
+address assignment practices in IPv4 and IPv6" (CoNEXT 2020).  It contains:
+
+``repro.ip``
+    From-scratch IPv4/IPv6 address and prefix primitives, Patricia tries,
+    and prefix sets.
+``repro.bgp``
+    A routing-table substrate (pfx2as longest-prefix match) and a synthetic
+    RIR/AS registry.
+``repro.netsim``
+    An event-driven ISP simulator: address pools, DHCP/RADIUS assignment,
+    CGNAT, CPE behaviour models, outages and renumbering policies.
+``repro.atlas``
+    A RIPE Atlas platform substrate that produces hourly "IP echo"
+    measurement streams, plus the paper's data-sanitization pipeline.
+``repro.cdn``
+    A CDN real-user-monitoring substrate producing (IPv4 /24, IPv6 /64,
+    day) association tuples.
+``repro.core``
+    The paper's analysis library: assignment-change detection, the total
+    time fraction metric, periodicity detection, dual-stack interplay,
+    CDN association/cardinality analysis, spatial metrics (common prefix
+    length, BGP crossings, unique-prefix distributions), and delegated
+    prefix inference.
+"""
+
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPv4Address",
+    "IPv6Address",
+    "IPv4Prefix",
+    "IPv6Prefix",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""RIPE Atlas platform substrate.
+
+Produces synthetic "IP echo" measurement data with the same semantics as
+the RIPE Atlas datasets the paper uses (measurement ids 12027/13027):
+every hour, every probe reports the publicly visible IPv4 address and
+IPv6 address that reached the echo server (``X-Client-IP``), along with
+the locally configured source address (``src_addr``).
+
+The platform supports two output encodings:
+
+* **hourly records** (:class:`~repro.atlas.echo.EchoRecord`) — full
+  fidelity, one record per probe per hour per family;
+* **runs** (:class:`~repro.atlas.echo.EchoRun`) — run-length-encoded
+  streaks of identical reported values, byte-for-byte equivalent to
+  what change detection extracts from the hourly records (the test
+  suite verifies the equivalence).
+
+The data-sanitization pipeline of Appendix A.1 lives in
+:mod:`repro.atlas.sanitize`.
+"""
+
+from repro.atlas.echo import TEST_ADDRESS, EchoRecord, EchoRun, runs_from_hourly
+from repro.atlas.platform import AtlasPlatform, ProbeData, ProbeSpec
+from repro.atlas.probe import BAD_TAGS, Probe
+from repro.atlas.sanitize import SanitizationReport, SanitizedProbe, sanitize
+
+__all__ = [
+    "AtlasPlatform",
+    "BAD_TAGS",
+    "EchoRecord",
+    "EchoRun",
+    "Probe",
+    "ProbeData",
+    "ProbeSpec",
+    "SanitizationReport",
+    "SanitizedProbe",
+    "TEST_ADDRESS",
+    "runs_from_hourly",
+    "sanitize",
+]

@@ -1,0 +1,144 @@
+"""The RIPE Atlas "connection logs" dataset (the paper's predecessor).
+
+Padmanabhan et al. (2016) studied IPv4 dynamics through Atlas
+*connection logs*: every probe keeps a long-lived TCP connection to its
+controller, and the logs record, per session, the probe's public IPv4
+address with connect/disconnect timestamps.  An address change tears
+the connection down, so consecutive sessions with different addresses
+pinpoint changes.
+
+The paper moved to the "IP echo" dataset because connection logs (a)
+carry no IPv6 and (b) excluded dual-stacked probes in the prior study.
+This module generates connection-log sessions from the same subscriber
+timelines the echo platform observes, so the two datasets can be
+cross-validated: IPv4 durations derived from either must agree wherever
+both observe the change boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ip.addr import IPv4Address
+from repro.netsim.sim import SubscriberTimeline
+
+
+@dataclass(frozen=True)
+class ConnectionSession:
+    """One controller connection: [connected, disconnected) with one address."""
+
+    probe_id: int
+    address: IPv4Address
+    connected: float
+    disconnected: float
+
+    def __post_init__(self) -> None:
+        if self.disconnected <= self.connected:
+            raise ValueError("session must have positive length")
+
+    @property
+    def duration(self) -> float:
+        return self.disconnected - self.connected
+
+
+def sessions_from_timeline(
+    probe_id: int,
+    timeline: SubscriberTimeline,
+    end_hour: float,
+    mean_up_hours: float = 2500.0,
+    mean_down_hours: float = 10.0,
+    seed: int = 0,
+) -> List[ConnectionSession]:
+    """Connection-log sessions for one probe.
+
+    A session ends when the probe goes down *or* its address changes
+    (the address change resets the TCP connection); it resumes when the
+    probe is back up, reporting the then-current address.
+    """
+    rng = random.Random((seed << 12) ^ probe_id)
+    uptime: List[Tuple[float, float]] = []
+    now = 0.0
+    while now < end_hour:
+        up_end = min(now + rng.expovariate(1.0 / mean_up_hours), end_hour)
+        if up_end > now:
+            uptime.append((now, up_end))
+        now = up_end + (rng.expovariate(1.0 / mean_down_hours) if mean_down_hours else 0.0)
+
+    sessions: List[ConnectionSession] = []
+    interval_index = 0
+    intervals = timeline.v4
+    for up_start, up_end in uptime:
+        while interval_index < len(intervals) and intervals[interval_index].end <= up_start:
+            interval_index += 1
+        cursor = interval_index
+        while cursor < len(intervals) and intervals[cursor].start < up_end:
+            interval = intervals[cursor]
+            start = max(up_start, interval.start)
+            end = min(up_end, interval.end)
+            if end > start:
+                sessions.append(
+                    ConnectionSession(
+                        probe_id=probe_id,
+                        address=interval.value,
+                        connected=start,
+                        disconnected=end,
+                    )
+                )
+            cursor += 1
+    return sessions
+
+
+def detect_changes(sessions: Sequence[ConnectionSession]) -> List[Tuple[float, IPv4Address, IPv4Address]]:
+    """(time, old, new) address changes visible in the session log."""
+    changes = []
+    for previous, current in zip(sessions, sessions[1:]):
+        if current.address != previous.address:
+            changes.append((current.connected, previous.address, current.address))
+    return changes
+
+
+def exact_durations(
+    sessions: Sequence[ConnectionSession],
+    max_gap_hours: float = 0.25,
+) -> List[float]:
+    """Exact assignment durations visible in the session log.
+
+    Consecutive sessions with the same address merge (reconnection
+    without a change).  A merged holding is exact when both of its
+    boundaries are address changes with a reconnect gap of at most
+    ``max_gap_hours`` (a longer gap means the change time is unknown).
+    """
+    if not sessions:
+        return []
+    # Merge same-address streaks into holdings.
+    holdings: List[Tuple[float, float, IPv4Address, float]] = []  # start, end, addr, max_gap
+    start = sessions[0].connected
+    end = sessions[0].disconnected
+    address = sessions[0].address
+    worst_gap = 0.0
+    boundaries: List[float] = []  # reconnect gap at each holding boundary
+    for session in sessions[1:]:
+        if session.address == address:
+            worst_gap = max(worst_gap, session.connected - end)
+            end = session.disconnected
+        else:
+            holdings.append((start, end, address, worst_gap))
+            boundaries.append(session.connected - end)
+            start, end, address, worst_gap = (
+                session.connected, session.disconnected, session.address, 0.0
+            )
+    holdings.append((start, end, address, worst_gap))
+
+    durations: List[float] = []
+    for index in range(1, len(holdings) - 1):
+        gap_before = boundaries[index - 1]
+        gap_after = boundaries[index]
+        if gap_before <= max_gap_hours and gap_after <= max_gap_hours:
+            start, end, _address, _gap = holdings[index]
+            durations.append(end - start)
+    return durations
+
+
+__all__ = ["ConnectionSession", "detect_changes", "exact_durations", "sessions_from_timeline"]

@@ -1,0 +1,121 @@
+"""Converter from real RIPE Atlas "IP echo" results to :class:`EchoRecord`.
+
+The public datasets behind the paper are RIPE Atlas HTTP measurements
+12027 (IPv4) and 13027 (IPv6): every hour each probe issues an HTTP GET
+against an echo server that reflects the publicly visible client
+address in an ``X-Client-IP`` response header.
+
+This module converts the measurement-result JSON into the pipeline's
+:class:`~repro.atlas.echo.EchoRecord` schema so the *real* archives can
+be analyzed with the exact code that processes the simulated data.  It
+is deliberately tolerant about where the echoed address lives:
+
+1. an ``X-Client-IP: <addr>`` line in the result's ``header`` list
+   (the measurement's configured behaviour);
+2. a pre-extracted ``x_client_ip`` field (some processed dumps);
+3. absent both, the record is skipped and counted.
+
+Timestamps are Unix seconds and are mapped onto the simulation clock
+(hours since 2014-09-01 00:00 UTC, the paper's window start), floored
+to the hour.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.atlas.echo import EchoRecord
+from repro.ip.addr import AddressError, parse_address
+from repro.netsim.clock import SIM_EPOCH
+
+
+@dataclass
+class ConversionStats:
+    """What happened during a conversion run."""
+
+    seen: int = 0
+    converted: int = 0
+    missing_client_ip: int = 0
+    unparseable: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+def _extract_client_ip(entry: dict) -> Optional[str]:
+    if "x_client_ip" in entry:
+        return entry["x_client_ip"]
+    for header in entry.get("header", []) or []:
+        name, _sep, value = str(header).partition(":")
+        if name.strip().lower() == "x-client-ip":
+            return value.strip()
+    return None
+
+
+def _hour_of(timestamp: int) -> int:
+    moment = datetime.fromtimestamp(int(timestamp), tz=timezone.utc)
+    return int((moment - SIM_EPOCH).total_seconds() // 3600)
+
+
+def convert_result(result: dict, stats: ConversionStats) -> Iterator[EchoRecord]:
+    """Convert one measurement-result object (may carry several attempts)."""
+    prb_id = result.get("prb_id")
+    timestamp = result.get("timestamp")
+    if prb_id is None or timestamp is None:
+        stats.unparseable += 1
+        stats.errors.append("result missing prb_id/timestamp")
+        return
+    for entry in result.get("result", []) or []:
+        stats.seen += 1
+        family = entry.get("af")
+        if family not in (4, 6):
+            stats.unparseable += 1
+            continue
+        client_text = _extract_client_ip(entry)
+        if client_text is None:
+            stats.missing_client_ip += 1
+            continue
+        src_text = entry.get("src_addr", client_text)
+        try:
+            client_ip = parse_address(client_text)
+            src_addr = parse_address(src_text)
+        except AddressError as exc:
+            stats.unparseable += 1
+            stats.errors.append(str(exc))
+            continue
+        if client_ip.family != family:
+            stats.unparseable += 1
+            continue
+        yield EchoRecord(
+            probe_id=int(prb_id),
+            hour=_hour_of(timestamp),
+            family=int(family),
+            client_ip=client_ip,
+            src_addr=src_addr,
+        )
+
+
+def convert_results(
+    source: Union[TextIO, Iterable[dict]],
+) -> tuple[List[EchoRecord], ConversionStats]:
+    """Convert a JSONL stream or an iterable of result dicts.
+
+    Returns the records (unsorted — sort by (probe, family, hour)
+    before run-length encoding) and conversion statistics.
+    """
+    stats = ConversionStats()
+    records: List[EchoRecord] = []
+    if hasattr(source, "read"):
+        iterator: Iterable[dict] = (
+            json.loads(line) for line in source if line.strip()  # type: ignore[union-attr]
+        )
+    else:
+        iterator = source
+    for result in iterator:
+        records.extend(convert_result(result, stats))
+    stats.converted = len(records)
+    return records, stats
+
+
+__all__ = ["ConversionStats", "convert_result", "convert_results"]

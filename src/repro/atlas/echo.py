@@ -1,0 +1,179 @@
+"""IP echo measurement records.
+
+An :class:`EchoRecord` is one hourly measurement: the address the echo
+server saw (``client_ip``) and the address the probe itself was
+configured with (``src_addr``).  For a typical residential IPv4 probe
+behind NAT, ``client_ip`` is the CPE's public address while ``src_addr``
+is an RFC 1918 address; in IPv6 the two coincide.
+
+:class:`EchoRun` is the run-length-encoded form: a maximal streak of
+consecutive measurements reporting the same ``client_ip`` value.  Runs
+carry enough bookkeeping (first/last observed hour, number of observed
+hours, largest internal observation gap) for the paper's duration
+analysis to decide whether the streak was *continuously observed*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.ip.addr import IPAddress, IPv4Address
+
+#: The RIPE NCC address probes report while being tested before shipping;
+#: Appendix A.1 removes all records carrying it.
+TEST_ADDRESS = IPv4Address.parse("193.0.0.78")
+
+#: RFC 1918 private ranges, used to recognize typical NATed probes.
+_PRIVATE_V4 = (
+    (0x0A000000, 0xFF000000),  # 10.0.0.0/8
+    (0xAC100000, 0xFFF00000),  # 172.16.0.0/12
+    (0xC0A80000, 0xFFFF0000),  # 192.168.0.0/16
+)
+
+
+def is_private_v4(address: IPv4Address) -> bool:
+    """True when ``address`` falls in an RFC 1918 range."""
+    value = int(address)
+    return any((value & mask) == network for network, mask in _PRIVATE_V4)
+
+
+@dataclass(frozen=True)
+class EchoRecord:
+    """One hourly IP echo measurement."""
+
+    probe_id: int
+    hour: int
+    family: int  # 4 or 6
+    client_ip: IPAddress
+    src_addr: IPAddress
+
+    def __post_init__(self) -> None:
+        if self.family not in (4, 6):
+            raise ValueError(f"family must be 4 or 6, got {self.family}")
+
+
+@dataclass(frozen=True)
+class EchoRun:
+    """A maximal streak of measurements reporting the same client value.
+
+    ``first``/``last`` are the first and last hours (inclusive) at which
+    the value was observed; ``observed`` counts the hours actually
+    measured within that span and ``max_gap`` is the largest number of
+    consecutive missing hours inside the span (0 when fully observed).
+    """
+
+    probe_id: int
+    family: int
+    value: IPAddress
+    first: int
+    last: int
+    observed: int
+    max_gap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.last < self.first:
+            raise ValueError(f"run ends ({self.last}) before it starts ({self.first})")
+        span = self.last - self.first + 1
+        if not 1 <= self.observed <= span:
+            raise ValueError(f"observed={self.observed} impossible for span {span}")
+
+    @property
+    def span(self) -> int:
+        """Hours from first to last observation, inclusive."""
+        return self.last - self.first + 1
+
+    def fully_observed(self, max_gap: int = 0) -> bool:
+        """Whether no internal observation gap exceeds ``max_gap`` hours."""
+        return self.max_gap <= max_gap
+
+
+def runs_from_hourly(records: Iterable[EchoRecord]) -> List[EchoRun]:
+    """Collapse one probe's single-family hourly records into runs.
+
+    ``records`` must be sorted by hour and belong to a single
+    (probe, family) series; adjacent records with equal ``client_ip``
+    (even across measurement gaps) belong to the same run, exactly as a
+    change detector scanning the hourly series would conclude.
+    """
+    runs: List[EchoRun] = []
+    current: Optional[dict] = None
+    previous_hour: Optional[int] = None
+    for record in records:
+        if previous_hour is not None and record.hour <= previous_hour:
+            raise ValueError(
+                f"records out of order: hour {record.hour} after {previous_hour}"
+            )
+        if current is not None and record.client_ip == current["value"]:
+            gap = record.hour - current["last"] - 1
+            if gap > current["max_gap"]:
+                current["max_gap"] = gap
+            current["last"] = record.hour
+            current["observed"] += 1
+        else:
+            if current is not None:
+                runs.append(_close_run(current))
+            current = {
+                "probe_id": record.probe_id,
+                "family": record.family,
+                "value": record.client_ip,
+                "first": record.hour,
+                "last": record.hour,
+                "observed": 1,
+                "max_gap": 0,
+            }
+        previous_hour = record.hour
+    if current is not None:
+        runs.append(_close_run(current))
+    return runs
+
+
+def _close_run(state: dict) -> EchoRun:
+    return EchoRun(
+        probe_id=state["probe_id"],
+        family=state["family"],
+        value=state["value"],
+        first=state["first"],
+        last=state["last"],
+        observed=state["observed"],
+        max_gap=state["max_gap"],
+    )
+
+
+def merge_adjacent_equal(runs: Iterable[EchoRun]) -> Iterator[EchoRun]:
+    """Merge consecutive runs with equal values into one run.
+
+    The simulator can emit back-to-back runs of the same value when an
+    intervening assignment went completely unobserved; a change detector
+    reading hourly data cannot tell these apart, so the platform merges
+    them before handing data to the analysis.
+    """
+    pending: Optional[EchoRun] = None
+    for run in runs:
+        if pending is not None and run.value == pending.value:
+            gap = run.first - pending.last - 1
+            pending = EchoRun(
+                probe_id=pending.probe_id,
+                family=pending.family,
+                value=pending.value,
+                first=pending.first,
+                last=run.last,
+                observed=pending.observed + run.observed,
+                max_gap=max(pending.max_gap, run.max_gap, gap),
+            )
+        else:
+            if pending is not None:
+                yield pending
+            pending = run
+    if pending is not None:
+        yield pending
+
+
+__all__ = [
+    "EchoRecord",
+    "EchoRun",
+    "TEST_ADDRESS",
+    "is_private_v4",
+    "merge_adjacent_equal",
+    "runs_from_hourly",
+]

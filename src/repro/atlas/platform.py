@@ -1,0 +1,394 @@
+"""The Atlas measurement platform: turns subscriber timelines into echo data.
+
+:class:`AtlasPlatform` hosts a set of simulated networks (ISP +
+subscriber timelines) and "deploys" probes onto subscriber lines
+according to :class:`ProbeSpec`.  For each probe it produces IP echo
+data in two equivalent encodings — hourly :class:`EchoRecord` streams
+and run-length :class:`EchoRun` lists.
+
+The platform also injects the deployment anomalies Appendix A.1 is
+designed to catch:
+
+``test_prefix``
+    The probe reports RIPE NCC's test address (193.0.0.78) for its
+    first hours, as probes did before shipping to volunteers.
+``public_v4_src``
+    The probe is not behind a NAT: its IPv4 ``src_addr`` equals its
+    public address ("atypical NAT" filter).
+``v6_src_mismatch``
+    The probe's IPv6 ``src_addr`` differs from the echoed address.
+``multihomed``
+    The probe flaps between two upstream networks.
+``as_move``
+    The probe's owner switches ISP mid-deployment (handled by virtual
+    probe splitting, not filtering).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.atlas.echo import (
+    TEST_ADDRESS,
+    EchoRecord,
+    EchoRun,
+    merge_adjacent_equal,
+)
+from repro.atlas.probe import Probe
+from repro.ip.addr import IPAddress, IPv4Address, IPv6Address
+from repro.netsim.cpe import eui64_iid
+from repro.netsim.isp import Isp
+from repro.netsim.sim import SubscriberTimeline
+
+ANOMALIES = ("none", "test_prefix", "public_v4_src", "v6_src_mismatch", "multihomed", "as_move")
+
+#: Constant RFC 1918 source address reported by typical NATed probes.
+_PRIVATE_SRC = IPv4Address.parse("192.168.1.2")
+#: ULA source reported by probes with mismatching IPv6 configuration.
+_ULA_SRC = IPv6Address.parse("fd00::2")
+
+Segment = Tuple[int, int, IPAddress]  # [start_hour, end_hour) reporting value
+Window = Tuple[int, int]  # [start_hour, end_hour) of observation
+
+
+IID_MODES = ("eui64", "privacy")
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Where and how one probe is deployed.
+
+    ``iid_mode`` selects the host part of the probe's IPv6 addresses:
+    ``"eui64"`` (stable MAC-derived, the real RIPE Atlas behaviour) or
+    ``"privacy"`` (RFC 4941 temporary IIDs rotated every
+    ``iid_rotation_hours``).
+    """
+
+    probe_id: int
+    asn: int
+    subscriber_id: int
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+    join_hour: int = 0
+    leave_hour: Optional[int] = None
+    anomaly: str = "none"
+    secondary: Optional[Tuple[int, int]] = None  # (asn, subscriber_id)
+    mean_up_hours: float = 2500.0
+    mean_down_hours: float = 10.0
+    iid_mode: str = "eui64"
+    iid_rotation_hours: int = 7 * 24
+
+    def __post_init__(self) -> None:
+        if self.anomaly not in ANOMALIES:
+            raise ValueError(f"unknown anomaly {self.anomaly!r}; expected one of {ANOMALIES}")
+        if self.anomaly in ("multihomed", "as_move") and self.secondary is None:
+            raise ValueError(f"anomaly {self.anomaly!r} requires a secondary attachment")
+        if self.iid_mode not in IID_MODES:
+            raise ValueError(f"unknown iid_mode {self.iid_mode!r}; expected one of {IID_MODES}")
+        if self.iid_rotation_hours < 1:
+            raise ValueError("iid_rotation_hours must be >= 1")
+
+
+@dataclass
+class ProbeData:
+    """Everything the sanitization pipeline needs for one probe."""
+
+    probe: Probe
+    spec: ProbeSpec
+    v4_runs: List[EchoRun]
+    v6_runs: List[EchoRun]
+    v4_src_public: bool = False
+    v6_src_mismatch: bool = False
+
+
+class AtlasPlatform:
+    """Deploys probes on simulated networks and measures them hourly."""
+
+    def __init__(
+        self,
+        networks: Dict[int, Tuple[Isp, Dict[int, SubscriberTimeline]]],
+        end_hour: int,
+        seed: int = 0,
+    ) -> None:
+        if end_hour <= 0:
+            raise ValueError("end_hour must be positive")
+        self._networks = networks
+        self.end_hour = int(end_hour)
+        self._seed = seed
+
+    # -- deployment helpers ------------------------------------------------
+
+    def _rng_for(self, spec: ProbeSpec) -> random.Random:
+        return random.Random((self._seed << 24) ^ (spec.probe_id * 2654435761 % (1 << 31)))
+
+    def _timeline(self, asn: int, subscriber_id: int) -> SubscriberTimeline:
+        isp, timelines = self._networks[asn]
+        del isp
+        return timelines[subscriber_id]
+
+    def _leave(self, spec: ProbeSpec) -> int:
+        leave = self.end_hour if spec.leave_hour is None else min(spec.leave_hour, self.end_hour)
+        if leave <= spec.join_hour:
+            raise ValueError(
+                f"probe {spec.probe_id}: leave hour {leave} <= join hour {spec.join_hour}"
+            )
+        return leave
+
+    # -- observation windows -------------------------------------------------
+
+    def observation_windows(self, spec: ProbeSpec) -> List[Window]:
+        """Hours during which the probe was up, as [start, end) int ranges.
+
+        Probe uptime follows an alternating renewal process (exponential
+        up-times, exponential down-times), quantized to whole hours.
+        """
+        rng = self._rng_for(spec)
+        join, leave = spec.join_hour, self._leave(spec)
+        windows: List[Window] = []
+        now = float(join)
+        while now < leave:
+            up = rng.expovariate(1.0 / spec.mean_up_hours)
+            window_start = int(-(-now // 1))  # ceil
+            window_end = min(int(-(-(now + up) // 1)), leave)
+            if window_end > window_start:
+                windows.append((window_start, window_end))
+            now += up
+            now += rng.expovariate(1.0 / spec.mean_down_hours)
+        return _normalize_windows(windows, leave)
+
+    # -- assignment segments ---------------------------------------------------
+
+    def _segments_for(
+        self, spec: ProbeSpec, family: int, rng: random.Random
+    ) -> List[Segment]:
+        """The value the probe would report at each hour, as segments."""
+        segments = self._base_segments_for(spec, family, rng)
+        if family == 6 and spec.iid_mode == "privacy":
+            segments = _rotate_privacy_iids(segments, spec)
+        return segments
+
+    def _base_segments_for(
+        self, spec: ProbeSpec, family: int, rng: random.Random
+    ) -> List[Segment]:
+        join, leave = spec.join_hour, self._leave(spec)
+        # Uplink flaps and ISP moves are physical events: they hit both
+        # address families at the same instant, so their times come from
+        # a dedicated per-probe stream (identical for family 4 and 6).
+        event_rng = random.Random((self._seed << 20) ^ (spec.probe_id * 0x9E3779B1) ^ 0xA5)
+        if spec.anomaly == "multihomed":
+            attachments = [(spec.asn, spec.subscriber_id), spec.secondary]
+            segments: List[Segment] = []
+            now = join
+            active = 0
+            while now < leave:
+                flap = max(1, int(event_rng.expovariate(1.0 / 36.0)))
+                window_end = min(now + flap, leave)
+                segments.extend(
+                    self._clip_timeline(attachments[active], family, now, window_end, spec)
+                )
+                active = 1 - active
+                now = window_end
+            return segments
+        if spec.anomaly == "as_move":
+            switch = join + max(1, int((leave - join) * (0.3 + 0.4 * event_rng.random())))
+            first = self._clip_timeline((spec.asn, spec.subscriber_id), family, join, switch, spec)
+            second = self._clip_timeline(spec.secondary, family, switch, leave, spec)
+            return first + second
+        segments = self._clip_timeline((spec.asn, spec.subscriber_id), family, join, leave, spec)
+        if spec.anomaly == "test_prefix" and family == 4:
+            test_until = min(join + 24 * (3 + rng.randrange(5)), leave)
+            segments = [(join, test_until, TEST_ADDRESS)] + [
+                (max(start, test_until), end, value)
+                for start, end, value in segments
+                if end > test_until
+            ]
+        return segments
+
+    def _clip_timeline(
+        self,
+        attachment: Tuple[int, int],
+        family: int,
+        clip_start: int,
+        clip_end: int,
+        spec: ProbeSpec,
+    ) -> List[Segment]:
+        asn, subscriber_id = attachment
+        timeline = self._timeline(asn, subscriber_id)
+        intervals = timeline.v4 if family == 4 else timeline.v6_lan
+        segments: List[Segment] = []
+        for interval in intervals:
+            start = max(_ceil(interval.start), clip_start)
+            end = min(_ceil(interval.end), clip_end)
+            if end <= start:
+                continue
+            if family == 4:
+                value: IPAddress = interval.value
+            else:
+                iid = eui64_iid((spec.probe_id * 0x10001 + asn) & ((1 << 48) - 1))
+                value = IPv6Address(int(interval.value.network) | iid)
+            segments.append((start, end, value))
+        return segments
+
+    # -- outputs -----------------------------------------------------------------
+
+    def probe_data(self, spec: ProbeSpec) -> ProbeData:
+        """Run-length-encoded echo data plus probe metadata."""
+        rng = self._rng_for(spec)
+        windows = self.observation_windows(spec)
+        rng_segments = random.Random(rng.getrandbits(32))
+        timeline = self._timeline(spec.asn, spec.subscriber_id)
+        dual_stack = timeline.dual_stack
+
+        v4_segments = self._segments_for(spec, 4, rng_segments)
+        v4_runs = _segments_to_runs(spec.probe_id, 4, v4_segments, windows)
+        v6_runs: List[EchoRun] = []
+        if dual_stack:
+            v6_segments = self._segments_for(spec, 6, rng_segments)
+            v6_runs = _segments_to_runs(spec.probe_id, 6, v6_segments, windows)
+
+        probe = Probe(
+            probe_id=spec.probe_id, asn=spec.asn, tags=spec.tags, dual_stack=dual_stack
+        )
+        return ProbeData(
+            probe=probe,
+            spec=spec,
+            v4_runs=v4_runs,
+            v6_runs=v6_runs,
+            v4_src_public=spec.anomaly == "public_v4_src",
+            v6_src_mismatch=spec.anomaly == "v6_src_mismatch",
+        )
+
+    def hourly_records(self, spec: ProbeSpec) -> Iterator[EchoRecord]:
+        """Full-fidelity hourly echo records (both families, hour-major)."""
+        rng = self._rng_for(spec)
+        windows = self.observation_windows(spec)
+        rng_segments = random.Random(rng.getrandbits(32))
+        timeline = self._timeline(spec.asn, spec.subscriber_id)
+
+        v4_segments = self._segments_for(spec, 4, rng_segments)
+        v6_segments = (
+            self._segments_for(spec, 6, rng_segments) if timeline.dual_stack else []
+        )
+        v4_cursor = _SegmentCursor(v4_segments)
+        v6_cursor = _SegmentCursor(v6_segments)
+        for window_start, window_end in windows:
+            for hour in range(window_start, window_end):
+                v4_value = v4_cursor.value_at(hour)
+                if v4_value is not None:
+                    src = v4_value if spec.anomaly == "public_v4_src" else _PRIVATE_SRC
+                    yield EchoRecord(spec.probe_id, hour, 4, v4_value, src)
+                v6_value = v6_cursor.value_at(hour)
+                if v6_value is not None:
+                    src = _ULA_SRC if spec.anomaly == "v6_src_mismatch" else v6_value
+                    yield EchoRecord(spec.probe_id, hour, 6, v6_value, src)
+
+
+class _SegmentCursor:
+    """Monotone lookup of the segment value covering increasing hours."""
+
+    def __init__(self, segments: Sequence[Segment]) -> None:
+        self._segments = segments
+        self._index = 0
+
+    def value_at(self, hour: int) -> Optional[IPAddress]:
+        while self._index < len(self._segments) and self._segments[self._index][1] <= hour:
+            self._index += 1
+        if self._index < len(self._segments):
+            start, _end, value = self._segments[self._index]
+            if start <= hour:
+                return value
+        return None
+
+
+def _privacy_iid(probe_id: int, rotation_index: int) -> int:
+    """Deterministic RFC 4941-style temporary IID for one rotation period."""
+    rng = random.Random((probe_id << 32) ^ rotation_index ^ 0x4941)
+    while True:
+        iid = rng.getrandbits(64)
+        # Avoid the (2^-16) chance of impersonating an EUI-64 shape and
+        # the all-zero/small-integer ranges.
+        if (iid >> 24) & 0xFFFF != 0xFFFE and iid >= (1 << 16):
+            return iid
+
+
+def _rotate_privacy_iids(segments: List[Segment], spec: ProbeSpec) -> List[Segment]:
+    """Split v6 segments at IID-rotation boundaries with fresh IIDs."""
+    rotation = spec.iid_rotation_hours
+    rotated: List[Segment] = []
+    prefix_mask = ~((1 << 64) - 1)
+    for start, end, value in segments:
+        prefix_bits = int(value) & prefix_mask
+        cursor = start
+        while cursor < end:
+            index = (cursor - spec.join_hour) // rotation
+            boundary = spec.join_hour + (index + 1) * rotation
+            piece_end = min(end, boundary)
+            iid = _privacy_iid(spec.probe_id, index)
+            rotated.append((cursor, piece_end, IPv6Address(prefix_bits | iid)))
+            cursor = piece_end
+    return rotated
+
+
+def _ceil(x: float) -> int:
+    return int(-(-x // 1))
+
+
+def _normalize_windows(windows: List[Window], limit: int) -> List[Window]:
+    """Sort, clip, and merge overlapping/adjacent windows."""
+    merged: List[Window] = []
+    for start, end in sorted(windows):
+        start, end = max(0, start), min(end, limit)
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _intersect(start: int, end: int, windows: Sequence[Window]) -> List[Window]:
+    """Subranges of [start, end) covered by the observation windows."""
+    result: List[Window] = []
+    for window_start, window_end in windows:
+        if window_end <= start:
+            continue
+        if window_start >= end:
+            break
+        result.append((max(start, window_start), min(end, window_end)))
+    return result
+
+
+def _segments_to_runs(
+    probe_id: int,
+    family: int,
+    segments: Sequence[Segment],
+    windows: Sequence[Window],
+) -> List[EchoRun]:
+    runs: List[EchoRun] = []
+    for start, end, value in segments:
+        observed = _intersect(start, end, windows)
+        if not observed:
+            continue
+        first = observed[0][0]
+        last = observed[-1][1] - 1
+        total = sum(b - a for a, b in observed)
+        max_gap = 0
+        for (_, left_end), (right_start, _) in zip(observed, observed[1:]):
+            max_gap = max(max_gap, right_start - left_end)
+        runs.append(
+            EchoRun(
+                probe_id=probe_id,
+                family=family,
+                value=value,
+                first=first,
+                last=last,
+                observed=total,
+                max_gap=max_gap,
+            )
+        )
+    return list(merge_adjacent_equal(runs))
+
+
+__all__ = ["ANOMALIES", "AtlasPlatform", "ProbeData", "ProbeSpec"]

@@ -1,0 +1,38 @@
+"""Probe metadata.
+
+A :class:`Probe` mirrors the RIPE Atlas registry attributes the paper's
+sanitization pipeline consumes: user-supplied tags, the home AS, and
+dual-stack capability.  Synthetic deployment attributes (which
+simulated subscriber line the probe sits on, anomaly injection) live in
+:class:`repro.atlas.platform.ProbeSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+#: Tags whose presence disqualifies a probe from the residential study
+#: (Appendix A.1, "Bad tag probes").
+BAD_TAGS: FrozenSet[str] = frozenset({"multihomed", "datacentre", "core", "system-anchor"})
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Registry-visible probe attributes."""
+
+    probe_id: int
+    asn: int
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+    dual_stack: bool = True
+
+    def __post_init__(self) -> None:
+        if self.probe_id < 0:
+            raise ValueError(f"probe_id must be non-negative, got {self.probe_id}")
+
+    @property
+    def has_bad_tag(self) -> bool:
+        return any(tag in BAD_TAGS for tag in self.tags)
+
+
+__all__ = ["BAD_TAGS", "Probe"]

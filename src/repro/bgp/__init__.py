@@ -1,0 +1,28 @@
+"""BGP substrate: synthetic RIR/AS registry, routing tables, pfx2as I/O.
+
+The paper uses the Routeviews pfx2as dataset to map each observed
+address to its routed BGP prefix and origin ASN (Appendix A.1, Table 2,
+Section 4.1's ASN-mismatch filter).  This package provides the same
+interface over synthetic-but-realistic contents:
+
+* :mod:`repro.bgp.registry` — five RIRs handing out address blocks to
+  autonomous systems, with per-AS announcement plans (possibly
+  fragmented in IPv4, contiguous in IPv6);
+* :mod:`repro.bgp.table` — longest-prefix-match routing tables built on
+  the Patricia trie;
+* :mod:`repro.bgp.routeviews` — reader/writer for the pfx2as text format.
+"""
+
+from repro.bgp.registry import RIR, ASInfo, Registry
+from repro.bgp.routeviews import read_pfx2as, write_pfx2as
+from repro.bgp.table import Route, RoutingTable
+
+__all__ = [
+    "RIR",
+    "ASInfo",
+    "Registry",
+    "Route",
+    "RoutingTable",
+    "read_pfx2as",
+    "write_pfx2as",
+]

@@ -1,0 +1,191 @@
+"""Synthetic RIR / autonomous-system registry.
+
+The registry plays the role of IANA + the five RIRs: it owns disjoint
+top-level IPv4 and IPv6 super-blocks per RIR and carves allocations out
+of them for autonomous systems.  Allocations are deterministic given
+the order of requests, so a seeded scenario always produces the same
+address plan.
+
+IPv4 allocations may be fragmented (several disjoint blocks), matching
+the scarcity-driven fragmentation the paper highlights; IPv6 allocations
+are single large blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ip.addr import AddressError
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+class RIR(enum.Enum):
+    """The five regional Internet registries."""
+
+    ARIN = "ARIN"
+    RIPE = "RIPE"
+    APNIC = "APNIC"
+    LACNIC = "LACNIC"
+    AFRINIC = "AFRINIC"
+
+
+class AccessKind(enum.Enum):
+    """Coarse service classification used by the CDN analyses."""
+
+    FIXED = "fixed"
+    MOBILE = "mobile"
+    TRANSIT = "transit"
+
+
+#: Top-level IPv4 super-blocks, one /8-equivalent region per RIR.  These are
+#: synthetic (drawn from documentation-adjacent space) but disjoint and stable.
+_V4_SUPERBLOCKS = {
+    RIR.ARIN: IPv4Prefix.parse("23.0.0.0/8"),
+    RIR.RIPE: IPv4Prefix.parse("31.0.0.0/8"),
+    RIR.APNIC: IPv4Prefix.parse("27.0.0.0/8"),
+    RIR.LACNIC: IPv4Prefix.parse("45.0.0.0/8"),
+    RIR.AFRINIC: IPv4Prefix.parse("41.0.0.0/8"),
+}
+
+#: Top-level IPv6 super-blocks, one /16 region per RIR (mirroring how IANA
+#: delegates from 2000::/3).
+_V6_SUPERBLOCKS = {
+    RIR.ARIN: IPv6Prefix.parse("2600::/16"),
+    RIR.RIPE: IPv6Prefix.parse("2a00::/16"),
+    RIR.APNIC: IPv6Prefix.parse("2400::/16"),
+    RIR.LACNIC: IPv6Prefix.parse("2800::/16"),
+    RIR.AFRINIC: IPv6Prefix.parse("2c00::/16"),
+}
+
+
+@dataclass
+class ASInfo:
+    """An autonomous system and its address holdings."""
+
+    asn: int
+    name: str
+    country: str
+    rir: RIR
+    kind: AccessKind = AccessKind.FIXED
+    v4_blocks: List[IPv4Prefix] = field(default_factory=list)
+    v6_block: Optional[IPv6Prefix] = None
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+
+
+class Registry:
+    """Allocate IPv4/IPv6 blocks to ASes out of per-RIR super-blocks."""
+
+    def __init__(self) -> None:
+        self._ases: Dict[int, ASInfo] = {}
+        self._v4_cursor: Dict[RIR, int] = {rir: 0 for rir in RIR}
+        self._v4_allocated: Dict[RIR, List[IPv4Prefix]] = {rir: [] for rir in RIR}
+        # IPv6 cursor counts /24-grid slots inside the RIR super-block.
+        self._v6_cursor: Dict[RIR, int] = {rir: 0 for rir in RIR}
+
+    def register(
+        self,
+        asn: int,
+        name: str,
+        country: str,
+        rir: RIR,
+        kind: AccessKind = AccessKind.FIXED,
+    ) -> ASInfo:
+        """Create an AS with no allocations yet."""
+        if asn in self._ases:
+            raise ValueError(f"AS{asn} already registered")
+        info = ASInfo(asn=asn, name=name, country=country, rir=rir, kind=kind)
+        self._ases[asn] = info
+        return info
+
+    def get(self, asn: int) -> ASInfo:
+        """The AS registered under ``asn`` (KeyError when unknown)."""
+        return self._ases[asn]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ases
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def ases(self) -> List[ASInfo]:
+        """All registered ASes, in registration order."""
+        return list(self._ases.values())
+
+    def allocate_v4(self, asn: int, plen: int, count: int = 1) -> List[IPv4Prefix]:
+        """Allocate ``count`` disjoint IPv4 /plen blocks to ``asn``.
+
+        Deliberately non-contiguous when ``count > 1``: consecutive
+        requests are interleaved across the RIR's super-block so an AS's
+        holdings are fragmented, as in the real IPv4 Internet.
+        """
+        info = self._ases[asn]
+        if not 8 <= plen <= 32:
+            raise AddressError(f"IPv4 allocation plen must be 8..32, got {plen}")
+        superblock = _V4_SUPERBLOCKS[info.rir]
+        total = superblock.num_subprefixes(plen)
+        allocated = self._v4_allocated[info.rir]
+        blocks: List[IPv4Prefix] = []
+        while len(blocks) < count:
+            cursor = self._v4_cursor[info.rir]
+            if cursor >= total:
+                raise AddressError(f"RIR {info.rir.value} IPv4 space exhausted at /{plen}")
+            self._v4_cursor[info.rir] = cursor + 1
+            # Stride through the super-block (odd multiplier is coprime with
+            # the power-of-two slot count, so this is a permutation) so that
+            # blocks allocated to one AS land far apart: IPv4 fragmentation.
+            index = (cursor * 2654435761) % total
+            candidate = superblock.nth_subprefix(plen, index)
+            if any(
+                candidate.contains_prefix(existing) or existing.contains_prefix(candidate)
+                for existing in allocated
+            ):
+                continue
+            allocated.append(candidate)
+            blocks.append(candidate)
+        info.v4_blocks.extend(blocks)
+        return blocks
+
+    def allocate_v6(self, asn: int, plen: int) -> IPv6Prefix:
+        """Allocate one contiguous IPv6 /plen block to ``asn``."""
+        info = self._ases[asn]
+        if info.v6_block is not None:
+            raise AddressError(f"AS{asn} already holds an IPv6 allocation")
+        if not 16 <= plen <= 64:
+            raise AddressError(f"IPv6 allocation plen must be 16..64, got {plen}")
+        superblock = _V6_SUPERBLOCKS[info.rir]
+        # Allocations are placed on a /24 grid.  A /plen shorter than /24
+        # consumes an aligned run of grid slots; a /plen of 24 or longer is
+        # carved from the start of a single slot.  Every slot is consumed at
+        # most once, so allocations of mixed lengths never overlap.
+        cursor = self._v6_cursor[info.rir]
+        slots = 1 << (24 - plen) if plen < 24 else 1
+        index = -(-cursor // slots) * slots  # round up to the required alignment
+        if index + slots > superblock.num_subprefixes(24):
+            raise AddressError(f"RIR {info.rir.value} IPv6 space exhausted")
+        self._v6_cursor[info.rir] = index + slots
+        slot = superblock.nth_subprefix(24, index)
+        block = slot.supernet(plen) if plen < 24 else IPv6Prefix(slot.network, plen)
+        info.v6_block = block
+        return block
+
+    def rir_of_v6(self, prefix: IPv6Prefix) -> Optional[RIR]:
+        """Which RIR's super-block contains ``prefix`` (None if outside all)."""
+        for rir, superblock in _V6_SUPERBLOCKS.items():
+            if superblock.contains_prefix(prefix):
+                return rir
+        return None
+
+    def rir_of_v4(self, prefix: IPv4Prefix) -> Optional[RIR]:
+        """Which RIR's super-block contains ``prefix`` (None if outside all)."""
+        for rir, superblock in _V4_SUPERBLOCKS.items():
+            if superblock.contains_prefix(prefix):
+                return rir
+        return None
+
+
+__all__ = ["AccessKind", "ASInfo", "RIR", "Registry"]

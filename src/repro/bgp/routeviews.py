@@ -1,0 +1,73 @@
+"""Reader/writer for the Routeviews pfx2as text format.
+
+The CAIDA Routeviews prefix-to-AS files are tab-separated lines::
+
+    <network> <TAB> <prefix-length> <TAB> <origin>
+
+where ``origin`` is an ASN, an AS-set (``{1,2}``), or a multi-origin
+sequence (``1_2``).  The paper uses these files to resolve BGP prefixes
+(Appendix A.1); we support reading both IPv4 and IPv6 flavours and
+collapse multi-origin entries to their first ASN, which matches common
+measurement practice.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, TextIO, Union
+
+from repro.bgp.table import Route
+from repro.ip.addr import AddressError
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+class Pfx2asFormatError(ValueError):
+    """Raised on malformed pfx2as input."""
+
+
+def _parse_origin(text: str) -> int:
+    """First ASN from an origin field (plain, AS-set, or multi-origin)."""
+    text = text.strip().lstrip("{").rstrip("}")
+    for sep in (",", "_"):
+        if sep in text:
+            text = text.split(sep, 1)[0]
+    if not text.isdigit() or int(text) <= 0:
+        raise Pfx2asFormatError(f"invalid origin field {text!r}")
+    return int(text)
+
+
+def read_pfx2as(source: Union[str, TextIO]) -> Iterator[Route]:
+    """Yield :class:`Route` objects from pfx2as text (string or file object).
+
+    Blank lines and ``#`` comments are skipped.  Malformed lines raise
+    :class:`Pfx2asFormatError` with the offending line number.
+    """
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t") if "\t" in line else line.split()
+        if len(fields) != 3:
+            raise Pfx2asFormatError(f"line {lineno}: expected 3 fields, got {len(fields)}")
+        network, plen_text, origin_text = fields
+        if not plen_text.isdigit():
+            raise Pfx2asFormatError(f"line {lineno}: bad prefix length {plen_text!r}")
+        prefix_cls = IPv6Prefix if ":" in network else IPv4Prefix
+        try:
+            prefix = prefix_cls.parse(f"{network}/{plen_text}")
+        except AddressError as exc:
+            raise Pfx2asFormatError(f"line {lineno}: {exc}") from exc
+        yield Route(prefix, _parse_origin(origin_text))
+
+
+def write_pfx2as(routes: Iterable[Route], stream: TextIO) -> int:
+    """Write routes in pfx2as format; returns the number of lines written."""
+    count = 0
+    for route in routes:
+        stream.write(f"{route.prefix.network}\t{route.prefix.plen}\t{route.origin_asn}\n")
+        count += 1
+    return count
+
+
+__all__ = ["Pfx2asFormatError", "read_pfx2as", "write_pfx2as"]

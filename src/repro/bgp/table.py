@@ -1,0 +1,109 @@
+"""Routing tables with longest-prefix match, in the pfx2as role.
+
+A :class:`RoutingTable` answers the questions the paper's pipeline needs:
+
+* which routed BGP prefix covers this address / /64?  (Table 2,
+  Section 5.1 "same BGP prefix" tests)
+* which origin ASN announced it?  (Appendix A.1 sanitization and the
+  Section 4.1 ASN-mismatch filter)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.ip.addr import IPAddress
+from repro.ip.prefix import IPPrefix, IPv4Prefix, IPv6Prefix
+from repro.ip.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class Route:
+    """One announced prefix and its origin ASN."""
+
+    prefix: IPPrefix
+    origin_asn: int
+
+    def __post_init__(self) -> None:
+        if self.origin_asn <= 0:
+            raise ValueError(f"origin ASN must be positive, got {self.origin_asn}")
+
+
+class RoutingTable:
+    """A dual-family BGP routing table supporting longest-prefix match."""
+
+    def __init__(self, routes: Optional[Iterable[Route]] = None) -> None:
+        self._v4 = PrefixTrie(IPv4Prefix)
+        self._v6 = PrefixTrie(IPv6Prefix)
+        if routes is not None:
+            for route in routes:
+                self.announce(route.prefix, route.origin_asn)
+
+    def __len__(self) -> int:
+        return len(self._v4) + len(self._v6)
+
+    def _trie_for(self, item: Union[IPAddress, IPPrefix]) -> PrefixTrie:
+        family = item.family
+        return self._v4 if family == 4 else self._v6
+
+    def announce(self, prefix: IPPrefix, origin_asn: int) -> None:
+        """Install ``prefix`` with the given origin (overwrites on re-announce)."""
+        if origin_asn <= 0:
+            raise ValueError(f"origin ASN must be positive, got {origin_asn}")
+        self._trie_for(prefix).insert(prefix, origin_asn)
+
+    def withdraw(self, prefix: IPPrefix) -> None:
+        """Remove ``prefix``; raises ``KeyError`` when not announced."""
+        self._trie_for(prefix).remove(prefix)
+
+    def routed_prefix(self, address: IPAddress) -> Optional[IPPrefix]:
+        """The most specific announced prefix covering ``address``."""
+        match = self._trie_for(address).longest_match(address)
+        return None if match is None else match[0]
+
+    def routed_prefix_of_prefix(self, prefix: IPPrefix) -> Optional[IPPrefix]:
+        """The most specific announced prefix covering all of ``prefix``.
+
+        Used for /64s and /24s, whose covering BGP prefix is what the
+        paper compares across assignment changes.
+        """
+        match = self._trie_for(prefix).covering(prefix)
+        return None if match is None else match[0]
+
+    def origin_asn(self, item: Union[IPAddress, IPPrefix]) -> Optional[int]:
+        """Origin ASN for an address or (fully covered) prefix, or ``None``."""
+        if isinstance(item, IPPrefix):
+            match = self._trie_for(item).covering(item)
+        else:
+            match = self._trie_for(item).longest_match(item)
+        return None if match is None else match[1]
+
+    def same_bgp_prefix(
+        self,
+        a: Union[IPAddress, IPPrefix],
+        b: Union[IPAddress, IPPrefix],
+    ) -> bool:
+        """True when both arguments resolve to the same announced prefix.
+
+        Unrouted items never compare equal.
+        """
+        route_a = (
+            self.routed_prefix_of_prefix(a) if isinstance(a, IPPrefix) else self.routed_prefix(a)
+        )
+        if route_a is None:
+            return False
+        route_b = (
+            self.routed_prefix_of_prefix(b) if isinstance(b, IPPrefix) else self.routed_prefix(b)
+        )
+        return route_a == route_b
+
+    def routes(self) -> Iterator[Route]:
+        """All installed routes, IPv4 first, in address order."""
+        for prefix, asn in self._v4.items():
+            yield Route(prefix, asn)
+        for prefix, asn in self._v6.items():
+            yield Route(prefix, asn)
+
+
+__all__ = ["Route", "RoutingTable"]

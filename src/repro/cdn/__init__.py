@@ -1,0 +1,38 @@
+"""CDN real-user-monitoring (RUM) substrate.
+
+Generates ``(day, IPv4 /24, IPv6 /64)`` association tuples with the
+generative structure the paper infers from the Akamai dataset:
+
+* **fixed-line clients** reuse the :mod:`repro.netsim` subscriber
+  timelines: associations are bounded by the IPv4 address lifetime, the
+  /24s fill up to the ~150-200 active-subscriber density of real
+  residential blocks, and v4/v6 relationships are one-to-one;
+* **mobile devices** sit behind CGNAT: ephemeral per-device /64s (75 %
+  of association durations <= 1 day, a tail to ~30 days), tens of
+  thousands of /64s multiplexed behind each public /24, and /64-to-/24
+  affinity (87 % of mobile /64s associate with a single /24);
+* **cross-network noise** models devices switching between cellular and
+  WiFi mid-transaction — the spurious associations the ASN-mismatch
+  filter removes.
+"""
+
+from repro.cdn.classify import PrefixClassifier
+from repro.cdn.clients import (
+    FixedPopulation,
+    MobileConfig,
+    MobilePopulation,
+    cdn_fixed_config,
+)
+from repro.cdn.collector import CdnDataset, collect
+from repro.cdn.rum import AssociationRecord
+
+__all__ = [
+    "AssociationRecord",
+    "CdnDataset",
+    "FixedPopulation",
+    "MobileConfig",
+    "MobilePopulation",
+    "PrefixClassifier",
+    "cdn_fixed_config",
+    "collect",
+]

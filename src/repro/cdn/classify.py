@@ -1,0 +1,61 @@
+"""Prefix classification: access kind (fixed/mobile) and registry.
+
+The paper labels each prefix as mobile or fixed with a methodology
+following Rula et al. (identifying cellular access prefixes), and
+groups prefixes by delegating RIR.  Our classifier resolves a prefix to
+its origin AS through the routing table and reads the AS's access kind
+from the registry — the same label map a Rula-style classifier would
+materialize — and maps addresses to RIRs via the registry super-blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bgp.registry import AccessKind, RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+class PrefixClassifier:
+    """Resolve /24 and /64 keys to origin ASN, access kind, and RIR."""
+
+    def __init__(self, table: RoutingTable, registry: Registry) -> None:
+        self._table = table
+        self._registry = registry
+        self._v4_cache: Dict[int, Optional[int]] = {}
+        self._v6_cache: Dict[int, Optional[int]] = {}
+
+    def asn_of_v4_key(self, v4_key: int) -> Optional[int]:
+        """Origin ASN of a /24 given as its integer network address."""
+        if v4_key not in self._v4_cache:
+            self._v4_cache[v4_key] = self._table.origin_asn(IPv4Prefix(v4_key, 24))
+        return self._v4_cache[v4_key]
+
+    def asn_of_v6_key(self, v6_key: int) -> Optional[int]:
+        """Origin ASN of a /64 given as its integer network address."""
+        if v6_key not in self._v6_cache:
+            self._v6_cache[v6_key] = self._table.origin_asn(IPv6Prefix(v6_key, 64))
+        return self._v6_cache[v6_key]
+
+    def kind_of_asn(self, asn: Optional[int]) -> Optional[AccessKind]:
+        """Access kind of an AS (None for unknown/unregistered ASNs)."""
+        if asn is None or asn not in self._registry:
+            return None
+        return self._registry.get(asn).kind
+
+    def kind_of_v6_key(self, v6_key: int) -> Optional[AccessKind]:
+        """Mobile/fixed label of a /64 (None when unattributable)."""
+        return self.kind_of_asn(self.asn_of_v6_key(v6_key))
+
+    def rir_of_v6_key(self, v6_key: int) -> Optional[RIR]:
+        """Delegating registry of a /64."""
+        return self._registry.rir_of_v6(IPv6Prefix(v6_key, 64))
+
+    def same_asn(self, v4_key: int, v6_key: int) -> bool:
+        """The Section 4.1 pre-processing filter: both sides in one AS."""
+        asn_v4 = self.asn_of_v4_key(v4_key)
+        return asn_v4 is not None and asn_v4 == self.asn_of_v6_key(v6_key)
+
+
+__all__ = ["PrefixClassifier"]

@@ -1,0 +1,127 @@
+"""The RUM collector: gathers association triples and applies pre-processing.
+
+Mirrors Section 4.1: raw associations are collected per population,
+then any association whose IPv4 and IPv6 sides resolve to different
+origin ASNs is discarded (multi-homed hosts, cellular/WiFi switchers).
+The resulting :class:`CdnDataset` groups clean triples by origin AS and
+carries the classifier for downstream mobile/fixed and registry splits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bgp.registry import AccessKind, RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.cdn.classify import PrefixClassifier
+from repro.core.associations import Triple
+
+
+@dataclass
+class CdnDataset:
+    """Clean association triples grouped by origin AS."""
+
+    triples_by_asn: Dict[int, List[Triple]] = field(default_factory=dict)
+    classifier: Optional[PrefixClassifier] = None
+    total_collected: int = 0
+    discarded_asn_mismatch: int = 0
+
+    @property
+    def total_kept(self) -> int:
+        return sum(len(triples) for triples in self.triples_by_asn.values())
+
+    def all_triples(self) -> List[Triple]:
+        """Every kept triple across all ASes (flattened copy)."""
+        merged: List[Triple] = []
+        for triples in self.triples_by_asn.values():
+            merged.extend(triples)
+        return merged
+
+    def triples_for(self, asn: int) -> List[Triple]:
+        """Kept triples whose origin AS is ``asn`` (empty when absent)."""
+        return self.triples_by_asn.get(asn, [])
+
+    def triples_by_kind(self, kind: AccessKind) -> List[Triple]:
+        """All triples from ASes of the given access kind."""
+        if self.classifier is None:
+            raise ValueError("dataset has no classifier attached")
+        merged: List[Triple] = []
+        for asn, triples in self.triples_by_asn.items():
+            if self.classifier.kind_of_asn(asn) is kind:
+                merged.extend(triples)
+        return merged
+
+    def triples_by_rir(self, rir: RIR, kind: Optional[AccessKind] = None) -> List[Triple]:
+        """Triples whose /64 is delegated by the given RIR (and kind)."""
+        if self.classifier is None:
+            raise ValueError("dataset has no classifier attached")
+        merged: List[Triple] = []
+        for asn, triples in self.triples_by_asn.items():
+            if kind is not None and self.classifier.kind_of_asn(asn) is not kind:
+                continue
+            if not triples:
+                continue
+            sample_v6 = triples[0][2]
+            if self.classifier.rir_of_v6_key(sample_v6) is rir:
+                merged.extend(triples)
+        return merged
+
+    def unique_v6_keys(self, asn: Optional[int] = None) -> set:
+        """Distinct /64 keys, optionally restricted to one AS."""
+        keys = set()
+        sources = [self.triples_by_asn[asn]] if asn is not None else self.triples_by_asn.values()
+        for triples in sources:
+            keys.update(v6_key for _day, _v4, v6_key in triples)
+        return keys
+
+
+def collect(
+    populations: Sequence,
+    table: RoutingTable,
+    registry: Registry,
+    filter_asn_mismatch: bool = True,
+) -> CdnDataset:
+    """Gather triples from populations and apply the ASN-mismatch filter.
+
+    Each population must expose ``triples() -> Iterable[Triple]``.
+    With ``filter_asn_mismatch=False`` the raw stream is grouped by the
+    *v6* side's origin AS instead — the ablation configuration showing
+    the spurious associations the filter exists to remove.
+    """
+    classifier = PrefixClassifier(table, registry)
+    dataset = CdnDataset(classifier=classifier)
+    grouped: Dict[int, List[Triple]] = defaultdict(list)
+    for population in populations:
+        for triple in population.triples():
+            dataset.total_collected += 1
+            _day, v4_key, v6_key = triple
+            asn_v6 = classifier.asn_of_v6_key(v6_key)
+            if asn_v6 is None:
+                dataset.discarded_asn_mismatch += 1
+                continue
+            if filter_asn_mismatch and classifier.asn_of_v4_key(v4_key) != asn_v6:
+                dataset.discarded_asn_mismatch += 1
+                continue
+            grouped[asn_v6].append(triple)
+    dataset.triples_by_asn = dict(grouped)
+    return dataset
+
+
+def merge_datasets(datasets: Iterable[CdnDataset]) -> CdnDataset:
+    """Combine datasets collected in batches (keeps the first classifier)."""
+    merged = CdnDataset()
+    grouped: Dict[int, List[Triple]] = defaultdict(list)
+    for dataset in datasets:
+        if merged.classifier is None:
+            merged.classifier = dataset.classifier
+        merged.total_collected += dataset.total_collected
+        merged.discarded_asn_mismatch += dataset.discarded_asn_mismatch
+        for asn, triples in dataset.triples_by_asn.items():
+            grouped[asn].extend(triples)
+    merged.triples_by_asn = dict(grouped)
+    return merged
+
+
+__all__ = ["CdnDataset", "collect", "merge_datasets"]

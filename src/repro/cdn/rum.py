@@ -1,0 +1,73 @@
+"""RUM association record schema.
+
+The CDN aggregates IPv4 addresses to /24 and IPv6 addresses to /64
+before storage (Section 4.1); an association tuple is
+``(IPv4 /24, IPv6 /64, date)``.  For bulk analysis the integer triple
+form ``(day, v4_key, v6_key)`` is used (see
+:mod:`repro.core.associations`); this module converts between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.core.associations import Triple
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+@dataclass(frozen=True)
+class AssociationRecord:
+    """One IPv4/IPv6 association observed on a given day."""
+
+    day: int
+    v4_prefix: IPv4Prefix
+    v6_prefix: IPv6Prefix
+
+    def __post_init__(self) -> None:
+        if self.v4_prefix.plen != 24:
+            raise ValueError(f"v4 side must be a /24, got /{self.v4_prefix.plen}")
+        if self.v6_prefix.plen != 64:
+            raise ValueError(f"v6 side must be a /64, got /{self.v6_prefix.plen}")
+        if self.day < 0:
+            raise ValueError(f"day must be non-negative, got {self.day}")
+
+    @property
+    def triple(self) -> Triple:
+        return (self.day, int(self.v4_prefix.network), int(self.v6_prefix.network))
+
+    @classmethod
+    def from_triple(cls, triple: Triple) -> "AssociationRecord":
+        day, v4_key, v6_key = triple
+        return cls(
+            day=day,
+            v4_prefix=IPv4Prefix(v4_key, 24),
+            v6_prefix=IPv6Prefix(v6_key, 64),
+        )
+
+    @classmethod
+    def from_addresses(
+        cls, day: int, v4: IPv4Address, v6: IPv6Address
+    ) -> "AssociationRecord":
+        """Aggregate raw client addresses to the CDN's storage granularity."""
+        return cls(day=day, v4_prefix=IPv4Prefix(int(v4), 24), v6_prefix=IPv6Prefix(int(v6), 64))
+
+
+def to_triples(records: Iterable[AssociationRecord]) -> List[Triple]:
+    """Convert rich records to integer triples."""
+    return [record.triple for record in records]
+
+
+def from_triples(triples: Iterable[Triple]) -> Iterator[AssociationRecord]:
+    """Convert integer triples back to rich records."""
+    for triple in triples:
+        yield AssociationRecord.from_triple(triple)
+
+
+def association_key(v4: IPv4Address, v6: IPv6Address) -> Tuple[int, int]:
+    """The aggregated (v4 /24, v6 /64) integer key pair for raw addresses."""
+    return (int(v4) & 0xFFFFFF00, (int(v6) >> 64) << 64)
+
+
+__all__ = ["AssociationRecord", "association_key", "from_triples", "to_triples"]

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``simulate-atlas``
+    Build the Atlas measurement study and write per-probe echo runs
+    (JSONL) plus a sanitization summary.
+``simulate-cdn``
+    Build the CDN association dataset and write it as CSV.
+``report``
+    Build a scenario and print the paper's Table 1 / Table 2 /
+    periodicity summaries.
+``convert-atlas``
+    Convert real RIPE Atlas HTTP measurement results (JSONL) into the
+    pipeline's echo-record JSONL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.atlas.convert import convert_results
+from repro.core.report import render_table, table1_row, table2_row
+from repro.io.records import write_association_csv, write_echo_records, write_echo_runs
+from repro.workloads import build_atlas_scenario, build_cdn_scenario
+
+
+def _add_atlas_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--probes-per-as", type=int, default=15,
+                        help="probes deployed per featured AS (default: 15)")
+    parser.add_argument("--years", type=float, default=2.0,
+                        help="simulated measurement years (default: 2)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+
+def cmd_simulate_atlas(args: argparse.Namespace) -> int:
+    """Generate an Atlas-style dataset and write runs + summary."""
+    scenario = build_atlas_scenario(
+        probes_per_as=args.probes_per_as, years=args.years, seed=args.seed
+    )
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    runs_path = output / "echo_runs.jsonl"
+    with runs_path.open("w") as stream:
+        written = 0
+        for probe in scenario.probes:
+            written += write_echo_runs(probe.v4_runs, stream)
+            written += write_echo_runs(probe.v6_runs, stream)
+    report = scenario.report
+    summary_path = output / "sanitization.txt"
+    summary_path.write_text(
+        f"input probes:      {report.input_probes}\n"
+        f"kept probes:       {report.kept_probes}\n"
+        f"virtual probes:    {report.virtual_probes_created}\n"
+        f"bad tags dropped:  {report.dropped_bad_tag}\n"
+        f"atypical NAT:      {report.dropped_atypical_nat}\n"
+        f"multihomed:        {report.dropped_multihomed}\n"
+        f"short duration:    {report.dropped_short}\n"
+    )
+    print(f"wrote {written} runs for {report.kept_probes} probes to {runs_path}")
+    print(f"sanitization summary in {summary_path}")
+    return 0
+
+
+def cmd_simulate_cdn(args: argparse.Namespace) -> int:
+    """Generate a CDN association dataset and write it as CSV."""
+    scenario = build_cdn_scenario(
+        days=args.days,
+        seed=args.seed,
+        fixed_subscribers_per_registry=args.fixed_subscribers,
+        mobile_devices_per_registry=args.mobile_devices,
+        featured_subscribers=args.featured_subscribers,
+    )
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with output.open("w") as stream:
+        written = write_association_csv(scenario.dataset.all_triples(), stream)
+    print(
+        f"wrote {written} associations ({scenario.dataset.discarded_asn_mismatch}"
+        f" discarded by the ASN filter) to {output}"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Build a scenario and print Table 1 / Table 2 summaries."""
+    scenario = build_atlas_scenario(
+        probes_per_as=args.probes_per_as, years=args.years, seed=args.seed
+    )
+    table1_rows = []
+    table2_rows = []
+    for name, isp in scenario.isps.items():
+        probes = scenario.probes_in(isp.asn)
+        row = table1_row(name, isp.asn, isp.config.country, probes)
+        table1_rows.append(
+            [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
+             f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
+        )
+        rates = table2_row(probes, scenario.table)
+        table2_rows.append(
+            [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
+             f"{rates.v6_diff_bgp_pct:.0f}%"]
+        )
+    print(render_table(
+        ["AS", "ASN", "probes", "v4 changes", "DS probes", "DS v4 changes", "v6 changes"],
+        table1_rows,
+        title="Table 1: assignment changes per AS",
+    ))
+    print()
+    print(render_table(
+        ["AS", "Diff /24", "Diff BGP (v4)", "Diff BGP (v6)"],
+        table2_rows,
+        title="Table 2: boundary crossings",
+    ))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Analyze an echo-runs JSONL file: durations, TTF, periodicity."""
+    from collections import defaultdict
+
+    from repro.core.changes import sandwiched_durations, v6_runs_to_prefix_runs
+    from repro.core.periodicity import detect_periods
+    from repro.core.timefraction import (
+        CANONICAL_LABELS,
+        cumulative_total_time_fraction,
+        evaluate_cdf,
+        total_duration_years,
+    )
+    from repro.io.records import read_echo_runs
+
+    by_probe: dict = defaultdict(lambda: {4: [], 6: []})
+    with Path(args.input).open() as stream:
+        for run in read_echo_runs(stream):
+            by_probe[run.probe_id][run.family].append(run)
+
+    durations = {4: [], 6: []}
+    for families in by_probe.values():
+        for duration in sandwiched_durations(families[4]):
+            durations[4].append(float(duration.hours))
+        if families[6]:
+            prefix_runs = v6_runs_to_prefix_runs(families[6])
+            for duration in sandwiched_durations(prefix_runs):
+                durations[6].append(float(duration.hours))
+
+    print(f"probes: {len(by_probe)}")
+    for family, label in ((4, "IPv4"), (6, "IPv6 /64")):
+        sample = durations[family]
+        if not sample:
+            print(f"{label}: no exact durations")
+            continue
+        xs, ys = cumulative_total_time_fraction(sample)
+        grid = evaluate_cdf(xs, ys)
+        summary = "  ".join(
+            f"{grid_label}:{value:.2f}"
+            for grid_label, value in zip(CANONICAL_LABELS, grid)
+            if grid_label in ("1d", "1w", "1m", "6m")
+        )
+        print(
+            f"{label}: n={len(sample)} total={total_duration_years(sample):.1f}y "
+            f"cumulative-TTF {summary}"
+        )
+        modes = detect_periods(sample)
+        if modes:
+            print(f"{label}: periodic renumbering detected: "
+                  + ", ".join(str(mode) for mode in modes))
+    return 0
+
+
+def cmd_convert_atlas(args: argparse.Namespace) -> int:
+    """Convert real RIPE Atlas results JSONL into echo records."""
+    input_path = Path(args.input)
+    with input_path.open() as stream:
+        records, stats = convert_results(stream)
+    records.sort(key=lambda record: (record.probe_id, record.family, record.hour))
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with output.open("w") as stream:
+        write_echo_records(records, stream)
+    print(
+        f"converted {stats.converted} records "
+        f"({stats.missing_client_ip} without X-Client-IP, "
+        f"{stats.unparseable} unparseable) to {output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser with all subcommands attached."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DynamIPs reproduction: simulate, convert, and analyze "
+        "IP address-assignment dynamics.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    atlas = commands.add_parser("simulate-atlas", help="generate an Atlas-style dataset")
+    _add_atlas_args(atlas)
+    atlas.add_argument("--output", required=True, help="output directory")
+    atlas.set_defaults(func=cmd_simulate_atlas)
+
+    cdn = commands.add_parser("simulate-cdn", help="generate a CDN association dataset")
+    cdn.add_argument("--days", type=int, default=150)
+    cdn.add_argument("--seed", type=int, default=0)
+    cdn.add_argument("--fixed-subscribers", type=int, default=600,
+                     help="fixed subscribers per registry")
+    cdn.add_argument("--mobile-devices", type=int, default=400,
+                     help="mobile devices per registry")
+    cdn.add_argument("--featured-subscribers", type=int, default=120)
+    cdn.add_argument("--output", required=True, help="output CSV path")
+    cdn.set_defaults(func=cmd_simulate_cdn)
+
+    report = commands.add_parser("report", help="print Table 1 / Table 2 summaries")
+    _add_atlas_args(report)
+    report.set_defaults(func=cmd_report)
+
+    convert = commands.add_parser(
+        "convert-atlas", help="convert real RIPE Atlas results JSONL to echo records"
+    )
+    convert.add_argument("--input", required=True)
+    convert.add_argument("--output", required=True)
+    convert.set_defaults(func=cmd_convert_atlas)
+
+    analyze = commands.add_parser(
+        "analyze", help="analyze an echo-runs JSONL file (durations, periodicity)"
+    )
+    analyze.add_argument("--input", required=True)
+    analyze.set_defaults(func=cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

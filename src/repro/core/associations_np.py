@@ -1,0 +1,117 @@
+"""NumPy-vectorized CDN association analytics.
+
+The pure-Python functions in :mod:`repro.core.associations` are the
+reference implementation; these vectorized equivalents handle
+multi-million-tuple datasets (the paper's CDN feed is billions of
+tuples) an order of magnitude faster.  The test suite asserts exact
+agreement between the two implementations on random inputs.
+
+Input is columnar: three equal-length arrays ``days`` (int), ``v4_keys``
+(uint32 /24 network addresses) and ``v6_keys``.  Because NumPy has no
+native 128-bit integer, /64 keys are passed as the *upper 64 bits* of
+the /64 network address (``int(prefix.network) >> 64``), which is a
+bijection for /64s; :func:`columns_from_triples` performs the packing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.associations import Triple
+
+
+def columns_from_triples(triples: Iterable[Triple]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack (day, v4_key, v6_key) triples into columnar arrays."""
+    materialized = list(triples)
+    if not materialized:
+        empty64 = np.empty(0, dtype=np.uint64)
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint64), empty64
+    days = np.fromiter((t[0] for t in materialized), dtype=np.int64, count=len(materialized))
+    v4 = np.fromiter((t[1] for t in materialized), dtype=np.uint64, count=len(materialized))
+    v6 = np.fromiter(
+        (t[2] >> 64 for t in materialized), dtype=np.uint64, count=len(materialized)
+    )
+    return days, v4, v6
+
+
+def association_durations_np(
+    days: np.ndarray, v4_keys: np.ndarray, v6_keys: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.associations.association_durations`.
+
+    Returns the array of run durations (days), in no particular order.
+    """
+    if not (len(days) == len(v4_keys) == len(v6_keys)):
+        raise ValueError("column arrays must have equal length")
+    if len(days) == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((v4_keys, days, v6_keys))
+    day_sorted = days[order]
+    v4_sorted = v4_keys[order]
+    v6_sorted = v6_keys[order]
+
+    # A new run starts where the /64 changes or the /24 changes.
+    new_v6 = np.empty(len(days), dtype=bool)
+    new_v6[0] = True
+    new_v6[1:] = v6_sorted[1:] != v6_sorted[:-1]
+    new_run = new_v6.copy()
+    new_run[1:] |= v4_sorted[1:] != v4_sorted[:-1]
+
+    run_starts = np.flatnonzero(new_run)
+    run_ends = np.empty_like(run_starts)
+    run_ends[:-1] = run_starts[1:] - 1
+    run_ends[-1] = len(days) - 1
+    return day_sorted[run_ends] - day_sorted[run_starts] + 1
+
+
+def v4_degree_counts_np(
+    v4_keys: np.ndarray, v6_keys: np.ndarray
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Vectorized :func:`repro.core.associations.v4_degree_counts`."""
+    if len(v4_keys) != len(v6_keys):
+        raise ValueError("column arrays must have equal length")
+    if len(v4_keys) == 0:
+        return {}, {}
+    keys, hit_counts = np.unique(v4_keys, return_counts=True)
+    hits = dict(zip((int(k) for k in keys), (int(c) for c in hit_counts)))
+    pairs = np.unique(np.stack([v4_keys, v6_keys], axis=1), axis=0)
+    unique_keys, unique_counts = np.unique(pairs[:, 0], return_counts=True)
+    unique = dict(zip((int(k) for k in unique_keys), (int(c) for c in unique_counts)))
+    return unique, hits
+
+
+def v6_degree_counts_np(v4_keys: np.ndarray, v6_keys: np.ndarray) -> Dict[int, int]:
+    """Vectorized :func:`repro.core.associations.v6_degree_counts`."""
+    if len(v4_keys) != len(v6_keys):
+        raise ValueError("column arrays must have equal length")
+    if len(v4_keys) == 0:
+        return {}
+    pairs = np.unique(np.stack([v6_keys, v4_keys], axis=1), axis=0)
+    keys, counts = np.unique(pairs[:, 0], return_counts=True)
+    return dict(zip((int(k) for k in keys), (int(c) for c in counts)))
+
+
+def duration_percentiles_np(
+    durations: np.ndarray, fractions: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)
+) -> List[float]:
+    """Linear-interpolation percentiles matching ``box_stats``."""
+    if len(durations) == 0:
+        raise ValueError("cannot take percentiles of empty data")
+    return [float(value) for value in np.quantile(durations, fractions)]
+
+
+def unpack_v6_degree_keys(degree_counts: Dict[int, int]) -> Dict[int, int]:
+    """Re-expand packed upper-64-bit /64 keys to full integer keys."""
+    return {key << 64: count for key, count in degree_counts.items()}
+
+
+__all__ = [
+    "association_durations_np",
+    "columns_from_triples",
+    "duration_percentiles_np",
+    "unpack_v6_degree_keys",
+    "v4_degree_counts_np",
+    "v6_degree_counts_np",
+]

@@ -1,0 +1,132 @@
+"""Carrier-grade NAT inference from association data (Section 4.3).
+
+The paper reads CGNAT deployment off the /64-per-/24 degree
+distribution: "IPv4 prefixes with high IPv6 connectivity degrees are
+indicative of IPv4 multiplexing through techniques such as CGNATs",
+with mobile /24s multiplexing tens of thousands of /64s while fixed
+/24s top out near the ~256 addresses they physically contain.
+
+:func:`classify_slash24s` turns that observation into a detector: a /24
+whose distinct-/64 degree exceeds what its 256 addresses could host
+(times a churn allowance) must be multiplexing.  The classifier is
+evaluated against simulator ground truth (which /24s really are CGNAT
+egress blocks) in the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core.associations import Triple, v4_degree_counts
+
+
+class NatClass(enum.Enum):
+    """Verdict for one IPv4 /24."""
+
+    CGNAT = "cgnat"
+    PLAIN = "plain"
+    UNDECIDED = "undecided"  # too few observations to call
+
+
+@dataclass(frozen=True)
+class CgnVerdict:
+    """Classification of one /24."""
+
+    v4_key: int
+    unique_v6: int
+    hits: int
+    verdict: NatClass
+
+
+#: A /24 holds 256 addresses; with 1:1 NAT each hosts one /64 at a time.
+#: Subscriber churn lets distinct /64s exceed 256 over a long window, so
+#: the detector allows this multiple before calling CGNAT.
+DEFAULT_CHURN_ALLOWANCE = 8.0
+
+#: Below this many observations a /24 is left undecided.
+DEFAULT_MIN_HITS = 32
+
+
+def classify_slash24s(
+    records: Iterable[Triple],
+    churn_allowance: float = DEFAULT_CHURN_ALLOWANCE,
+    min_hits: int = DEFAULT_MIN_HITS,
+) -> Dict[int, CgnVerdict]:
+    """Classify every observed /24 as CGNAT / plain / undecided."""
+    if churn_allowance <= 0:
+        raise ValueError("churn_allowance must be positive")
+    if min_hits < 1:
+        raise ValueError("min_hits must be >= 1")
+    unique, hits = v4_degree_counts(records)
+    threshold = 256 * churn_allowance
+    verdicts: Dict[int, CgnVerdict] = {}
+    for v4_key, degree in unique.items():
+        observations = hits[v4_key]
+        if observations < min_hits:
+            verdict = NatClass.UNDECIDED
+        elif degree > threshold:
+            verdict = NatClass.CGNAT
+        else:
+            verdict = NatClass.PLAIN
+        verdicts[v4_key] = CgnVerdict(
+            v4_key=v4_key, unique_v6=degree, hits=observations, verdict=verdict
+        )
+    return verdicts
+
+
+@dataclass(frozen=True)
+class MultiplexingEstimate:
+    """Aggregate multiplexing statistics of the CGNAT-classified /24s."""
+
+    cgnat_slash24s: int
+    plain_slash24s: int
+    undecided_slash24s: int
+    median_multiplexing_factor: float  # distinct /64s per CGNAT /24
+
+    @property
+    def cgnat_fraction(self) -> float:
+        decided = self.cgnat_slash24s + self.plain_slash24s
+        return self.cgnat_slash24s / decided if decided else 0.0
+
+
+def estimate_multiplexing(verdicts: Dict[int, CgnVerdict]) -> MultiplexingEstimate:
+    """Summarize a classification run."""
+    cgnat = sorted(
+        v.unique_v6 for v in verdicts.values() if v.verdict is NatClass.CGNAT
+    )
+    plain = sum(1 for v in verdicts.values() if v.verdict is NatClass.PLAIN)
+    undecided = sum(1 for v in verdicts.values() if v.verdict is NatClass.UNDECIDED)
+    median = float(cgnat[len(cgnat) // 2]) if cgnat else 0.0
+    return MultiplexingEstimate(
+        cgnat_slash24s=len(cgnat),
+        plain_slash24s=plain,
+        undecided_slash24s=undecided,
+        median_multiplexing_factor=median,
+    )
+
+
+def score_against_truth(
+    verdicts: Dict[int, CgnVerdict], cgnat_keys: Iterable[int]
+) -> Tuple[float, float]:
+    """(precision, recall) of the CGNAT verdicts against ground truth."""
+    truth = set(cgnat_keys)
+    flagged = {key for key, v in verdicts.items() if v.verdict is NatClass.CGNAT}
+    if not flagged:
+        return (0.0, 0.0 if truth else 1.0)
+    precision = len(flagged & truth) / len(flagged)
+    recall = len(flagged & truth) / len(truth) if truth else 1.0
+    return precision, recall
+
+
+__all__ = [
+    "CgnVerdict",
+    "DEFAULT_CHURN_ALLOWANCE",
+    "DEFAULT_MIN_HITS",
+    "MultiplexingEstimate",
+    "NatClass",
+    "classify_slash24s",
+    "estimate_multiplexing",
+    "score_against_truth",
+]

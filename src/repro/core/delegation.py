@@ -1,0 +1,157 @@
+"""Delegated-prefix inference (Section 5.3) — "finding the zero bits".
+
+Two techniques:
+
+* **RIPE Atlas (multi-assignment)** — for one subscriber, intersect the
+  trailing-zero patterns of *all* /64s the probe ever reported: the
+  number of bits immediately before the /64 boundary that are zero in
+  every observation.  ``64 - zero_bits`` is the inferred delegated
+  prefix length (Figures 6 and 9).
+* **CDN (single-address, nibble-aligned)** — classify each /64 by its
+  longest streak of zeros across consecutive nibble boundaries,
+  yielding inferred delegation lengths of /60, /56, /52, /48
+  (Figure 7).
+
+Both can be fooled: scrambling CPEs hide the real delegation (DTAG's
+/64 spike), and with very few observations trailing zeros can occur by
+chance — the caveats the paper spells out.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ip.prefix import IPv6Prefix
+
+
+def inferred_subscriber_plen(observed: Sequence[IPv6Prefix]) -> Optional[int]:
+    """Inferred prefix length identifying one subscriber (Atlas method).
+
+    ``observed`` is the set of /64s a probe reported.  Returns ``None``
+    for empty input.  The paper applies this to probes with at least one
+    assignment change (two or more distinct /64s); the caller enforces
+    that requirement.
+    """
+    zero_bits: Optional[int] = None
+    for prefix in observed:
+        if prefix.plen != 64:
+            raise ValueError(f"expected /64 prefixes, got /{prefix.plen}")
+        bits = prefix.trailing_zero_bits()
+        zero_bits = bits if zero_bits is None else min(zero_bits, bits)
+    if zero_bits is None:
+        return None
+    return 64 - zero_bits
+
+
+def inferred_plen_distribution(
+    per_probe_prefixes: Dict[str, Sequence[IPv6Prefix]],
+    min_distinct: int = 2,
+) -> Dict[int, float]:
+    """Percentage of probes per inferred prefix length (Figures 6 and 9).
+
+    Only probes with at least ``min_distinct`` distinct /64s (i.e. at
+    least one assignment change) participate.
+    """
+    counter: Counter = Counter()
+    eligible = 0
+    for prefixes in per_probe_prefixes.values():
+        distinct = set(prefixes)
+        if len(distinct) < min_distinct:
+            continue
+        eligible += 1
+        plen = inferred_subscriber_plen(sorted(distinct))
+        counter[plen] += 1
+    if not eligible:
+        return {}
+    return {
+        plen: 100.0 * count / eligible for plen, count in sorted(counter.items())
+    }
+
+
+#: The nibble-aligned boundaries Figure 7 reports.
+FIG7_BOUNDARIES: Tuple[int, ...] = (48, 52, 56, 60)
+
+
+def nibble_aligned_inferred_plen(prefix: IPv6Prefix) -> int:
+    """CDN method: inferred delegation length from nibble-aligned zeros.
+
+    A /64 whose last 4 network bits are zero infers /60, the last 8 bits
+    /56, and so on; fewer than 4 trailing zero bits infers /64 (nothing
+    detectable).
+    """
+    if prefix.plen != 64:
+        raise ValueError(f"expected a /64, got /{prefix.plen}")
+    nibbles = prefix.trailing_zero_bits() // 4
+    return 64 - 4 * nibbles
+
+
+@dataclass(frozen=True)
+class TrailingZeroProfile:
+    """Figure 7 data for one registry/population of /64s."""
+
+    total: int
+    by_boundary: Dict[int, int]  # inferred plen -> count (48/52/56/60 only)
+
+    @property
+    def inferable(self) -> int:
+        return sum(self.by_boundary.values())
+
+    @property
+    def inferable_pct(self) -> float:
+        return 100.0 * self.inferable / self.total if self.total else 0.0
+
+    def fraction_at(self, boundary: int) -> float:
+        """Fraction of all /64s whose inferred delegation is ``boundary``."""
+        return self.by_boundary.get(boundary, 0) / self.total if self.total else 0.0
+
+
+def trailing_zero_profile(
+    prefixes: Iterable[IPv6Prefix],
+    boundaries: Sequence[int] = FIG7_BOUNDARIES,
+) -> TrailingZeroProfile:
+    """Classify a /64 population by longest nibble-aligned zero streak.
+
+    Prefixes whose inferred length is shorter than the shortest boundary
+    (an improbably long zero run) are folded into that shortest
+    boundary, matching the paper's per-boundary grouping.
+    """
+    shortest = min(boundaries)
+    counter: Counter = Counter()
+    total = 0
+    for prefix in prefixes:
+        total += 1
+        plen = nibble_aligned_inferred_plen(prefix)
+        if plen >= 64:
+            continue  # nothing inferable
+        plen = max(plen, shortest)
+        if plen in boundaries:
+            counter[plen] += 1
+    return TrailingZeroProfile(total=total, by_boundary=dict(sorted(counter.items())))
+
+
+def per_probe_prefixes_from_runs(
+    probes: Iterable, plen: int = 64
+) -> Dict[str, List[IPv6Prefix]]:
+    """Collect each sanitized probe's observed /64s (helper for Figs 6/9)."""
+    from repro.core.changes import v6_runs_to_prefix_runs
+
+    result: Dict[str, List[IPv6Prefix]] = {}
+    for probe in probes:
+        if not probe.v6_runs:
+            continue
+        runs = v6_runs_to_prefix_runs(probe.v6_runs, plen)
+        result[probe.probe_id] = [run.value for run in runs]
+    return result
+
+
+__all__ = [
+    "FIG7_BOUNDARIES",
+    "TrailingZeroProfile",
+    "inferred_plen_distribution",
+    "inferred_subscriber_plen",
+    "nibble_aligned_inferred_plen",
+    "per_probe_prefixes_from_runs",
+    "trailing_zero_profile",
+]

@@ -1,0 +1,154 @@
+"""Interface-identifier (IID) analysis (Sections 2.1 and 6).
+
+The low 64 bits of an IPv6 address — the IID — carry their own privacy
+story, orthogonal to the prefix dynamics the paper measures:
+
+* **EUI-64** IIDs embed the interface MAC (with ``ff:fe`` in the middle
+  and the U/L bit flipped): stable forever and *globally* trackable
+  across prefix changes.  RFC 8064 recommends against them, yet the
+  paper observes they remain widespread (RIPE Atlas probes use them
+  deliberately).
+* **privacy** IIDs (RFC 4941) are random and rotate; only the prefix
+  identifies the subscriber — which is exactly why the paper's finding
+  that /64 prefixes are stable for months matters.
+* **small-integer** IIDs (``::1``, ``::2``) indicate manual assignment
+  (routers, servers).
+
+This module classifies IIDs, measures their stability across a probe's
+address history, and quantifies cross-prefix trackability — the
+"devices with EUI-64 addresses will be trackable across network
+address changes" observation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.ip.addr import IPv6Address
+
+
+class IidKind(enum.Enum):
+    """Coarse classification of an interface identifier."""
+
+    EUI64 = "eui64"
+    SMALL_INTEGER = "small-integer"
+    ALL_ZERO = "all-zero"
+    OTHER = "other"  # random-looking: privacy addresses, DHCPv6, opaque
+
+
+#: IIDs numerically below this threshold count as manually assigned.
+SMALL_INTEGER_LIMIT = 1 << 16
+
+
+def iid_of(address: IPv6Address) -> int:
+    """The low 64 bits of an address."""
+    return int(address) & ((1 << 64) - 1)
+
+
+def classify_iid(iid: int) -> IidKind:
+    """Classify a 64-bit interface identifier."""
+    if not 0 <= iid < (1 << 64):
+        raise ValueError(f"IID out of range: {iid:#x}")
+    if iid == 0:
+        return IidKind.ALL_ZERO
+    if (iid >> 24) & 0xFFFF == 0xFFFE:
+        return IidKind.EUI64
+    if iid < SMALL_INTEGER_LIMIT:
+        return IidKind.SMALL_INTEGER
+    return IidKind.OTHER
+
+
+def mac_from_eui64(iid: int) -> int:
+    """Recover the 48-bit MAC address from an EUI-64 IID.
+
+    Inverse of :func:`repro.netsim.cpe.eui64_iid`; raises when the IID
+    is not EUI-64-shaped.
+    """
+    if classify_iid(iid) is not IidKind.EUI64:
+        raise ValueError(f"not an EUI-64 IID: {iid:#x}")
+    flipped = iid ^ (1 << 57)  # undo the U/L bit flip
+    upper = (flipped >> 40) & 0xFFFFFF
+    lower = flipped & 0xFFFFFF
+    return (upper << 24) | lower
+
+
+@dataclass(frozen=True)
+class IidProfile:
+    """IID behaviour of one host's observed addresses."""
+
+    kinds: Tuple[IidKind, ...]
+    distinct_iids: int
+    observations: int
+
+    @property
+    def dominant_kind(self) -> IidKind:
+        return Counter(self.kinds).most_common(1)[0][0]
+
+    @property
+    def stable(self) -> bool:
+        """One IID across all observations."""
+        return self.distinct_iids == 1
+
+    @property
+    def trackable_across_prefixes(self) -> bool:
+        """A stable non-trivial IID re-identifies the host after renumbering."""
+        return self.stable and self.dominant_kind in (IidKind.EUI64, IidKind.SMALL_INTEGER)
+
+
+def profile_addresses(addresses: Sequence[IPv6Address]) -> IidProfile:
+    """Profile one host's address sequence."""
+    if not addresses:
+        raise ValueError("addresses must not be empty")
+    iids = [iid_of(address) for address in addresses]
+    return IidProfile(
+        kinds=tuple(classify_iid(iid) for iid in iids),
+        distinct_iids=len(set(iids)),
+        observations=len(iids),
+    )
+
+
+def kind_distribution(addresses: Iterable[IPv6Address]) -> Dict[IidKind, float]:
+    """Fraction of addresses per IID kind across a population."""
+    counter: Counter = Counter()
+    total = 0
+    for address in addresses:
+        counter[classify_iid(iid_of(address))] += 1
+        total += 1
+    if not total:
+        return {}
+    return {kind: count / total for kind, count in counter.items()}
+
+
+def cross_prefix_tracking_sets(
+    per_host_addresses: Dict[str, Sequence[IPv6Address]],
+) -> Dict[int, List[str]]:
+    """Group hosts by stable trackable IID: who can be followed across prefixes.
+
+    Returns IID -> host ids; entries with more than one host indicate an
+    IID collision (e.g. cloned MAC), entries with one host and multiple
+    distinct prefixes are the paper's trackability risk realized.
+    """
+    groups: Dict[int, List[str]] = {}
+    for host, addresses in per_host_addresses.items():
+        if not addresses:
+            continue
+        profile = profile_addresses(list(addresses))
+        if profile.trackable_across_prefixes:
+            groups.setdefault(iid_of(addresses[0]), []).append(host)
+    return groups
+
+
+__all__ = [
+    "IidKind",
+    "IidProfile",
+    "SMALL_INTEGER_LIMIT",
+    "classify_iid",
+    "cross_prefix_tracking_sets",
+    "iid_of",
+    "kind_distribution",
+    "mac_from_eui64",
+    "profile_addresses",
+]

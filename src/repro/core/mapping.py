@@ -1,0 +1,115 @@
+"""IP-to-host mapping validity decay (the paper's motivating question).
+
+The introduction frames the whole study around one expectation: systems
+from geolocation databases to host-reputation services assume "that a
+host's IP address will persist for sufficient time".  Given ground-truth
+timelines, this module measures exactly how long that expectation
+holds:
+
+* :func:`snapshot` — the address→subscriber (and /64→subscriber)
+  mapping a database would capture at one instant;
+* :func:`validity_curve` — the fraction of those mappings still correct
+  as a function of elapsed time (both "same holder" and the stricter
+  "held continuously" variant);
+* :func:`half_life` — the time at which half the snapshot has decayed,
+  a single per-ISP number an operator can act on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.sim import AssignmentInterval, SubscriberTimeline
+
+
+@dataclass(frozen=True)
+class MappingEntry:
+    """One database row: a value (address or /64 key) bound to a holder."""
+
+    value: int
+    subscriber_id: int
+    valid_until: float  # ground truth: when this binding actually ended
+
+
+def _interval_at(intervals: Sequence[AssignmentInterval], hour: float) -> Optional[AssignmentInterval]:
+    starts = [interval.start for interval in intervals]
+    index = bisect.bisect_right(starts, hour) - 1
+    if index < 0:
+        return None
+    interval = intervals[index]
+    return interval if interval.start <= hour < interval.end else None
+
+
+def snapshot(
+    timelines: Dict[int, SubscriberTimeline],
+    at_hour: float,
+    family: int = 4,
+) -> List[MappingEntry]:
+    """The mapping a database built at ``at_hour`` would contain."""
+    if family not in (4, 6):
+        raise ValueError("family must be 4 or 6")
+    entries: List[MappingEntry] = []
+    for subscriber_id, timeline in timelines.items():
+        intervals = timeline.v4 if family == 4 else timeline.v6_lan
+        interval = _interval_at(intervals, at_hour)
+        if interval is None:
+            continue
+        value = int(interval.value) if family == 4 else int(interval.value.network)
+        entries.append(
+            MappingEntry(
+                value=value,
+                subscriber_id=subscriber_id,
+                valid_until=interval.end,
+            )
+        )
+    return entries
+
+
+def validity_curve(
+    entries: Sequence[MappingEntry],
+    at_hour: float,
+    horizons: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """Fraction of mappings still valid after each horizon (hours).
+
+    A mapping is valid at ``at_hour + h`` when the binding captured in
+    the snapshot was still continuously held at that time — the
+    assumption IP-keyed databases silently make.
+    """
+    if not entries:
+        raise ValueError("snapshot is empty")
+    curve = []
+    for horizon in sorted(horizons):
+        if horizon < 0:
+            raise ValueError("horizons must be non-negative")
+        valid = sum(1 for entry in entries if entry.valid_until > at_hour + horizon)
+        curve.append((horizon, valid / len(entries)))
+    return curve
+
+
+def half_life(entries: Sequence[MappingEntry], at_hour: float) -> float:
+    """Hours until half the snapshot's bindings have churned (inf if never)."""
+    if not entries:
+        raise ValueError("snapshot is empty")
+    remaining = sorted(entry.valid_until - at_hour for entry in entries)
+    midpoint = len(remaining) // 2
+    value = remaining[midpoint] if len(remaining) % 2 else remaining[midpoint - 1]
+    return float(value) if value != float("inf") else float("inf")
+
+
+def compare_families(
+    timelines: Dict[int, SubscriberTimeline],
+    at_hour: float,
+) -> Dict[int, float]:
+    """Half-life per family — the paper's "IPv6 outlasts IPv4" in one dict."""
+    result = {}
+    for family in (4, 6):
+        entries = snapshot(timelines, at_hour, family=family)
+        if entries:
+            result[family] = half_life(entries, at_hour)
+    return result
+
+
+__all__ = ["MappingEntry", "compare_families", "half_life", "snapshot", "validity_curve"]

@@ -1,0 +1,113 @@
+"""Periodic-renumbering detection (Section 3.2).
+
+The paper reports "well-defined modes" in per-AS duration distributions
+— 24 h for DTAG, 1.5 days for Proximus, 1 week for Orange, 2 weeks for
+BT — and counts networks with *consistent* periodic renumbering.
+
+The detector works on the total-time-fraction weighting: a candidate
+period is a detected mode when the fraction of total assigned time
+spent in durations within ``tolerance`` hours of the period exceeds
+``min_mass``.  The per-probe variant then requires a minimum number of
+probes individually exhibiting the mode before declaring the *network*
+a consistent periodic renumberer — one flapping probe must not tag a
+whole AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+DAY = 24.0
+
+#: Candidate renumbering periods (hours) the paper observes in the wild:
+#: 12 h, 24 h, 36 h, 48 h, 1 week, 2 weeks.
+CANONICAL_PERIODS: Tuple[float, ...] = (12.0, 24.0, 36.0, 48.0, 7 * DAY, 14 * DAY)
+
+
+@dataclass(frozen=True)
+class PeriodicMode:
+    """One detected periodic-renumbering mode."""
+
+    period_hours: float
+    mass: float  # fraction of total assigned time within the mode
+    count: int  # number of durations within the mode
+
+    def __str__(self) -> str:
+        return f"{self.period_hours:g}h (mass={self.mass:.2f}, n={self.count})"
+
+
+def detect_periods(
+    durations: Sequence[float],
+    candidate_periods: Sequence[float] = CANONICAL_PERIODS,
+    tolerance: float = 1.0,
+    min_mass: float = 0.15,
+) -> List[PeriodicMode]:
+    """Detected periodic modes in a duration population, strongest first."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if not durations:
+        return []
+    total = float(sum(durations))
+    modes = []
+    for period in candidate_periods:
+        in_mode = [d for d in durations if abs(d - period) <= tolerance]
+        if not in_mode:
+            continue
+        mass = sum(in_mode) / total
+        if mass >= min_mass:
+            modes.append(PeriodicMode(period_hours=period, mass=mass, count=len(in_mode)))
+    modes.sort(key=lambda mode: -mode.mass)
+    return modes
+
+
+def probe_exhibits_period(
+    durations: Sequence[float],
+    period: float,
+    tolerance: float = 1.0,
+    min_mass: float = 0.5,
+    min_count: int = 3,
+) -> bool:
+    """Whether one probe's durations are dominated by the given period."""
+    if not durations:
+        return False
+    in_mode = [d for d in durations if abs(d - period) <= tolerance]
+    if len(in_mode) < min_count:
+        return False
+    return sum(in_mode) / sum(durations) >= min_mass
+
+
+def consistent_periodic_networks(
+    durations_by_network: Dict[str, Dict[str, List[float]]],
+    candidate_periods: Sequence[float] = CANONICAL_PERIODS,
+    tolerance: float = 1.0,
+    min_probes: int = 3,
+) -> Dict[str, float]:
+    """Networks with consistent periodic renumbering, as the paper counts them.
+
+    ``durations_by_network`` maps network name -> probe id -> durations.
+    A network qualifies when at least ``min_probes`` of its probes
+    individually exhibit the same period; the detected period (hours) is
+    returned per qualifying network.
+    """
+    detected: Dict[str, float] = {}
+    for network, by_probe in durations_by_network.items():
+        for period in candidate_periods:
+            probes_with_mode = sum(
+                1
+                for durations in by_probe.values()
+                if probe_exhibits_period(durations, period, tolerance)
+            )
+            if probes_with_mode >= min_probes:
+                detected[network] = period
+                break
+    return detected
+
+
+__all__ = [
+    "CANONICAL_PERIODS",
+    "PeriodicMode",
+    "consistent_periodic_networks",
+    "detect_periods",
+    "probe_exhibits_period",
+]

@@ -1,0 +1,100 @@
+"""Address-pool boundary inference (Section 5.2).
+
+The paper observes that, although IPv6 BGP announcements are huge,
+subsequent delegations to one subscriber stay inside a much smaller
+internal pool (often a /40).  Two inference angles are implemented:
+
+* :func:`infer_pool_plen` — the shortest prefix length at which the
+  typical probe stops accumulating unique prefixes (the Figure 8
+  collapse point);
+* :func:`pool_membership` — group an AS's observed /64s by candidate
+  pool prefix, exposing pool sizes and occupancy for the
+  reputation/anonymization aggregation use case of Section 6.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.ip.prefix import IPv6Prefix
+
+#: Candidate pool prefix lengths, shortest last (checked longest-first).
+CANDIDATE_POOL_PLENS = (48, 44, 42, 40, 36, 32, 28, 24)
+
+
+def infer_pool_plen(
+    per_probe_prefixes: Sequence[Sequence[IPv6Prefix]],
+    max_unique: int = 3,
+    min_changes: int = 3,
+    candidates: Sequence[int] = CANDIDATE_POOL_PLENS,
+) -> Optional[int]:
+    """The longest prefix length that contains a typical probe's history.
+
+    For each candidate length (longest first) the median number of
+    unique covering prefixes across eligible probes is computed; the
+    first candidate with a median of at most ``max_unique`` is the
+    inferred pool grain.  Probes with fewer than ``min_changes``
+    distinct /64s are skipped (nothing to localize).  ``None`` when no
+    candidate qualifies or no probe is eligible.
+    """
+    eligible = [
+        list(dict.fromkeys(prefixes))
+        for prefixes in per_probe_prefixes
+        if len(set(prefixes)) >= min_changes
+    ]
+    if not eligible:
+        return None
+    for plen in candidates:
+        uniques = []
+        for prefixes in eligible:
+            covering = {prefix.supernet(min(plen, prefix.plen)) for prefix in prefixes}
+            uniques.append(len(covering))
+        uniques.sort()
+        if uniques[len(uniques) // 2] <= max_unique:
+            return plen
+    return None
+
+
+def pool_membership(
+    observed: Sequence[IPv6Prefix], pool_plen: int
+) -> Dict[IPv6Prefix, List[IPv6Prefix]]:
+    """Group observed prefixes by their length-``pool_plen`` pool."""
+    pools: Dict[IPv6Prefix, List[IPv6Prefix]] = defaultdict(list)
+    for prefix in observed:
+        pools[prefix.supernet(min(pool_plen, prefix.plen))].append(prefix)
+    return dict(pools)
+
+
+def pool_summary(
+    observed: Sequence[IPv6Prefix], pool_plen: int, delegation_plen: int
+) -> List[dict]:
+    """Per-pool occupancy summary for aggregation/anonymization sizing.
+
+    Each entry reports the pool prefix, how many distinct delegations
+    were observed inside it, and the fraction of the pool's capacity
+    that represents (at ``delegation_plen`` granularity).
+    """
+    if delegation_plen < pool_plen:
+        raise ValueError("delegation_plen must not be shorter than pool_plen")
+    summaries = []
+    for pool, members in sorted(pool_membership(observed, pool_plen).items()):
+        delegations = {member.supernet(min(delegation_plen, member.plen)) for member in members}
+        capacity = 1 << (delegation_plen - pool_plen)
+        summaries.append(
+            {
+                "pool": pool,
+                "observed_delegations": len(delegations),
+                "capacity": capacity,
+                "occupancy": len(delegations) / capacity,
+            }
+        )
+    return summaries
+
+
+__all__ = [
+    "CANDIDATE_POOL_PLENS",
+    "infer_pool_plen",
+    "pool_membership",
+    "pool_summary",
+]

@@ -1,0 +1,170 @@
+"""Spatial analysis of assignments (Sections 5.1 and 5.2).
+
+* :func:`cpl_histogram` — common prefix lengths between *successive*
+  IPv6 /64 assignments, with the per-probe coverage counts shown as the
+  blue bars of Figure 5;
+* :func:`crossing_rates` — how often changes land in a different /24
+  (IPv4) or a different routed BGP prefix (both families): Table 2;
+* :func:`unique_prefix_counts` — how many distinct prefixes of each
+  length a probe observed over its lifetime: Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.table import RoutingTable
+from repro.core.changes import ChangeEvent
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPPrefix, IPv4Prefix, common_prefix_len
+
+
+@dataclass(frozen=True)
+class CplHistogram:
+    """Figure 5 data for one AS."""
+
+    changes_by_cpl: Dict[int, int]  # orange bars
+    probes_by_cpl: Dict[int, int]  # blue bars: probes with >= 1 change at that CPL
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.changes_by_cpl.values())
+
+
+def cpl_of_change(change: ChangeEvent) -> int:
+    """CPL between the old and new value of one change."""
+    return common_prefix_len(change.old_value, change.new_value)
+
+
+def cpl_histogram(changes_by_probe: Dict[str, Sequence[ChangeEvent]]) -> CplHistogram:
+    """Aggregate per-probe v6 prefix changes into the Figure 5 histogram."""
+    change_counter: Counter = Counter()
+    probe_counter: Counter = Counter()
+    for _probe_id, changes in changes_by_probe.items():
+        cpls = {cpl_of_change(change) for change in changes}
+        for change in changes:
+            change_counter[cpl_of_change(change)] += 1
+        for cpl in cpls:
+            probe_counter[cpl] += 1
+    return CplHistogram(
+        changes_by_cpl=dict(sorted(change_counter.items())),
+        probes_by_cpl=dict(sorted(probe_counter.items())),
+    )
+
+
+@dataclass(frozen=True)
+class CrossingRates:
+    """Table 2 row for one AS."""
+
+    v4_changes: int
+    v4_diff_slash24: int
+    v4_diff_bgp: int
+    v6_changes: int
+    v6_diff_bgp: int
+
+    @property
+    def diff_slash24_pct(self) -> float:
+        return 100.0 * self.v4_diff_slash24 / self.v4_changes if self.v4_changes else 0.0
+
+    @property
+    def v4_diff_bgp_pct(self) -> float:
+        return 100.0 * self.v4_diff_bgp / self.v4_changes if self.v4_changes else 0.0
+
+    @property
+    def v6_diff_bgp_pct(self) -> float:
+        return 100.0 * self.v6_diff_bgp / self.v6_changes if self.v6_changes else 0.0
+
+
+def crossing_rates(
+    v4_changes: Iterable[ChangeEvent],
+    v6_changes: Iterable[ChangeEvent],
+    table: RoutingTable,
+) -> CrossingRates:
+    """Fractions of changes crossing /24 and BGP-prefix boundaries."""
+    v4_total = v4_diff24 = v4_diffbgp = 0
+    for change in v4_changes:
+        old, new = change.old_value, change.new_value
+        if not isinstance(old, IPv4Address) or not isinstance(new, IPv4Address):
+            raise TypeError("v4_changes must carry IPv4 addresses")
+        v4_total += 1
+        if IPv4Prefix(int(old), 24) != IPv4Prefix(int(new), 24):
+            v4_diff24 += 1
+        if not table.same_bgp_prefix(old, new):
+            v4_diffbgp += 1
+    v6_total = v6_diffbgp = 0
+    for change in v6_changes:
+        v6_total += 1
+        if not table.same_bgp_prefix(change.old_value, change.new_value):
+            v6_diffbgp += 1
+    return CrossingRates(
+        v4_changes=v4_total,
+        v4_diff_slash24=v4_diff24,
+        v4_diff_bgp=v4_diffbgp,
+        v6_changes=v6_total,
+        v6_diff_bgp=v6_diffbgp,
+    )
+
+
+#: Prefix lengths Figure 8 counts unique prefixes at.
+FIG8_PLENS: Tuple[int, ...] = (64, 56, 48, 40, 32, 24, 16)
+
+
+def unique_prefix_counts(
+    observed: Sequence[IPPrefix],
+    plens: Sequence[int] = FIG8_PLENS,
+    table: Optional[RoutingTable] = None,
+) -> Dict[str, int]:
+    """Unique prefixes of each length covering a probe's observed /64s.
+
+    Returns a mapping like ``{"/64": 12, "/56": 12, ..., "BGP": 1}``;
+    the BGP entry (requiring ``table``) counts distinct routed prefixes.
+    """
+    counts: Dict[str, int] = {}
+    for plen in plens:
+        seen = set()
+        for prefix in observed:
+            if plen > prefix.plen:
+                raise ValueError(f"cannot truncate /{prefix.plen} to longer /{plen}")
+            seen.add(prefix.supernet(plen))
+        counts[f"/{plen}"] = len(seen)
+    if table is not None:
+        routed = set()
+        for prefix in observed:
+            match = table.routed_prefix_of_prefix(prefix)
+            if match is not None:
+                routed.add(match)
+        counts["BGP"] = len(routed)
+    return counts
+
+
+def unique_prefix_cdf(
+    per_probe_counts: Sequence[Dict[str, int]], key: str
+) -> Tuple[List[int], List[float]]:
+    """CDF over probes of the unique-prefix count at one length (Fig. 8)."""
+    values = sorted(counts[key] for counts in per_probe_counts if key in counts)
+    if not values:
+        return [], []
+    xs: List[int] = []
+    ys: List[float] = []
+    total = len(values)
+    for index, value in enumerate(values, start=1):
+        if xs and xs[-1] == value:
+            ys[-1] = index / total
+        else:
+            xs.append(value)
+            ys.append(index / total)
+    return xs, ys
+
+
+__all__ = [
+    "CplHistogram",
+    "CrossingRates",
+    "FIG8_PLENS",
+    "cpl_histogram",
+    "cpl_of_change",
+    "crossing_rates",
+    "unique_prefix_cdf",
+    "unique_prefix_counts",
+]

@@ -1,0 +1,19 @@
+"""Serialization of measurement records (JSONL and CSV)."""
+
+from repro.io.records import (
+    read_association_csv,
+    read_echo_records,
+    read_echo_runs,
+    write_association_csv,
+    write_echo_records,
+    write_echo_runs,
+)
+
+__all__ = [
+    "read_association_csv",
+    "read_echo_records",
+    "read_echo_runs",
+    "write_association_csv",
+    "write_echo_records",
+    "write_echo_runs",
+]

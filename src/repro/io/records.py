@@ -1,0 +1,156 @@
+"""Record (de)serialization.
+
+Echo records and runs round-trip through JSON Lines; association triples
+through a compact CSV.  These formats let the analysis pipeline consume
+externally produced data (e.g. a converter from the real RIPE Atlas
+archives) and let the benchmarks persist generated datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, List, TextIO
+
+from repro.atlas.echo import EchoRecord, EchoRun
+from repro.core.associations import Triple
+from repro.ip.addr import parse_address
+
+
+class RecordFormatError(ValueError):
+    """Raised on malformed serialized records."""
+
+
+# -- echo records (hourly) ---------------------------------------------------
+
+
+def write_echo_records(records: Iterable[EchoRecord], stream: TextIO) -> int:
+    """Write hourly echo records as JSONL; returns the line count."""
+    count = 0
+    for record in records:
+        stream.write(
+            json.dumps(
+                {
+                    "prb_id": record.probe_id,
+                    "hour": record.hour,
+                    "af": record.family,
+                    "x_client_ip": str(record.client_ip),
+                    "src_addr": str(record.src_addr),
+                },
+                separators=(",", ":"),
+            )
+        )
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_echo_records(stream: TextIO) -> Iterator[EchoRecord]:
+    """Parse JSONL hourly echo records (inverse of :func:`write_echo_records`)."""
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            yield EchoRecord(
+                probe_id=int(data["prb_id"]),
+                hour=int(data["hour"]),
+                family=int(data["af"]),
+                client_ip=parse_address(data["x_client_ip"]),
+                src_addr=parse_address(data["src_addr"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordFormatError(f"line {lineno}: {exc}") from exc
+
+
+# -- echo runs (run-length encoded) -------------------------------------------
+
+
+def write_echo_runs(runs: Iterable[EchoRun], stream: TextIO) -> int:
+    """Write run-length-encoded echo data as JSONL."""
+    count = 0
+    for run in runs:
+        stream.write(
+            json.dumps(
+                {
+                    "prb_id": run.probe_id,
+                    "af": run.family,
+                    "value": str(run.value),
+                    "first": run.first,
+                    "last": run.last,
+                    "observed": run.observed,
+                    "max_gap": run.max_gap,
+                },
+                separators=(",", ":"),
+            )
+        )
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_echo_runs(stream: TextIO) -> Iterator[EchoRun]:
+    """Parse JSONL echo runs (inverse of :func:`write_echo_runs`)."""
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            yield EchoRun(
+                probe_id=int(data["prb_id"]),
+                family=int(data["af"]),
+                value=parse_address(data["value"]),
+                first=int(data["first"]),
+                last=int(data["last"]),
+                observed=int(data["observed"]),
+                max_gap=int(data.get("max_gap", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordFormatError(f"line {lineno}: {exc}") from exc
+
+
+# -- association triples -----------------------------------------------------
+
+_CSV_HEADER = "day,v4_slash24,v6_slash64"
+
+
+def write_association_csv(triples: Iterable[Triple], stream: TextIO) -> int:
+    """Write association triples as CSV with integer keys in hex."""
+    stream.write(_CSV_HEADER + "\n")
+    count = 0
+    for day, v4_key, v6_key in triples:
+        stream.write(f"{day},{v4_key:08x},{v6_key:032x}\n")
+        count += 1
+    return count
+
+
+def read_association_csv(stream: TextIO) -> List[Triple]:
+    """Parse the CSV produced by :func:`write_association_csv`."""
+    header = stream.readline().strip()
+    if header != _CSV_HEADER:
+        raise RecordFormatError(f"unexpected header {header!r}")
+    triples: List[Triple] = []
+    for lineno, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        if len(fields) != 3:
+            raise RecordFormatError(f"line {lineno}: expected 3 fields")
+        try:
+            triples.append((int(fields[0]), int(fields[1], 16), int(fields[2], 16)))
+        except ValueError as exc:
+            raise RecordFormatError(f"line {lineno}: {exc}") from exc
+    return triples
+
+
+__all__ = [
+    "RecordFormatError",
+    "read_association_csv",
+    "read_echo_records",
+    "read_echo_runs",
+    "write_association_csv",
+    "write_echo_records",
+    "write_echo_runs",
+]

@@ -1,0 +1,31 @@
+"""Address-space primitives built from scratch.
+
+The classes here intentionally avoid the standard-library ``ipaddress``
+module: the rest of the reproduction needs integer-backed, hashable,
+arithmetic-friendly address and prefix types with measurement-specific
+operations (common prefix length, nibble-aligned zero runs, fast
+sub-prefix selection) that ``ipaddress`` does not expose.
+"""
+
+from repro.ip.addr import AddressError, IPAddress, IPv4Address, IPv6Address, parse_address
+from repro.ip.prefix import IPPrefix, IPv4Prefix, IPv6Prefix, common_prefix_len, parse_prefix
+from repro.ip.reverse import parse_reverse_pointer, reverse_pointer
+from repro.ip.sets import PrefixSet
+from repro.ip.trie import PrefixTrie
+
+__all__ = [
+    "AddressError",
+    "IPAddress",
+    "IPv4Address",
+    "IPv6Address",
+    "IPPrefix",
+    "IPv4Prefix",
+    "IPv6Prefix",
+    "PrefixSet",
+    "PrefixTrie",
+    "common_prefix_len",
+    "parse_address",
+    "parse_reverse_pointer",
+    "parse_prefix",
+    "reverse_pointer",
+]

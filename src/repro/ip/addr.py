@@ -1,0 +1,247 @@
+"""Integer-backed IPv4 and IPv6 address types.
+
+Both address classes wrap a non-negative integer and provide parsing and
+formatting written from first principles:
+
+* IPv4 uses strict dotted-quad parsing (four decimal octets, no leading
+  zeros beyond a lone ``0``).
+* IPv6 parsing implements RFC 4291 section 2.2 (hex groups, one ``::``
+  compression, optional embedded dotted-quad tail) and formatting follows
+  RFC 5952 (lowercase, longest zero run of length >= 2 compressed,
+  leftmost run on tie).
+
+Addresses are immutable, hashable, ordered within a family, and support
+``addr + n`` / ``addr - n`` arithmetic which stays within the family's
+address space.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class AddressError(ValueError):
+    """Raised when an address or prefix cannot be parsed or constructed."""
+
+
+class IPAddress:
+    """Common base for :class:`IPv4Address` and :class:`IPv6Address`.
+
+    Subclasses set :attr:`BITS` (address width in bits).  Instances expose
+    the raw integer as :attr:`value`.
+    """
+
+    BITS = 0
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not isinstance(value, int):
+            raise AddressError(f"address value must be int, got {type(value).__name__}")
+        if not 0 <= value < (1 << self.BITS):
+            raise AddressError(f"address value {value!r} out of range for {self.BITS}-bit family")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @property
+    def family(self) -> int:
+        """Address family as the conventional IP version number (4 or 6)."""
+        return 4 if self.BITS == 32 else 6
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.value == self.value  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((self.BITS, self.value))
+
+    def _check_same_family(self, other: "IPAddress") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot compare {type(self).__name__} with {type(other).__name__}"
+            )
+
+    def __lt__(self, other: "IPAddress") -> bool:
+        self._check_same_family(other)
+        return self.value < other.value
+
+    def __le__(self, other: "IPAddress") -> bool:
+        self._check_same_family(other)
+        return self.value <= other.value
+
+    def __gt__(self, other: "IPAddress") -> bool:
+        self._check_same_family(other)
+        return self.value > other.value
+
+    def __ge__(self, other: "IPAddress") -> bool:
+        self._check_same_family(other)
+        return self.value >= other.value
+
+    def __add__(self, offset: int) -> "IPAddress":
+        return type(self)(self.value + offset)
+
+    def __sub__(self, other: Union[int, "IPAddress"]) -> Union["IPAddress", int]:
+        if isinstance(other, IPAddress):
+            self._check_same_family(other)
+            return self.value - other.value
+        return type(self)(self.value - other)
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` counting from the most significant bit (0-based)."""
+        if not 0 <= index < self.BITS:
+            raise IndexError(f"bit index {index} out of range for {self.BITS}-bit address")
+        return (self.value >> (self.BITS - 1 - index)) & 1
+
+    def trailing_zero_bits(self) -> int:
+        """Number of consecutive zero bits at the least-significant end.
+
+        An all-zero address reports the full width.
+        """
+        if self.value == 0:
+            return self.BITS
+        return (self.value & -self.value).bit_length() - 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+
+class IPv4Address(IPAddress):
+    """A 32-bit IPv4 address."""
+
+    BITS = 32
+    __slots__ = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse strict dotted-quad notation (e.g. ``"192.0.2.1"``)."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"invalid IPv4 address {text!r}: expected 4 octets")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"invalid IPv4 address {text!r}: non-decimal octet {part!r}")
+            if len(part) > 1 and part[0] == "0":
+                raise AddressError(f"invalid IPv4 address {text!r}: leading zero in {part!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"invalid IPv4 address {text!r}: octet {part!r} > 255")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+
+class IPv6Address(IPAddress):
+    """A 128-bit IPv6 address."""
+
+    BITS = 128
+    __slots__ = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        """Parse RFC 4291 textual notation, including ``::`` compression."""
+        if not text:
+            raise AddressError("invalid IPv6 address: empty string")
+        if text.count("::") > 1:
+            raise AddressError(f"invalid IPv6 address {text!r}: multiple '::'")
+
+        # An embedded dotted-quad tail (e.g. ::ffff:192.0.2.1) contributes
+        # two trailing 16-bit groups.
+        tail_groups: list[int] = []
+        if "." in text:
+            head, sep, quad = text.rpartition(":")
+            if not sep:
+                raise AddressError(f"invalid IPv6 address {text!r}")
+            v4 = IPv4Address.parse(quad).value
+            tail_groups = [v4 >> 16, v4 & 0xFFFF]
+            # Preserve a trailing "::" marker if the quad directly follows it.
+            text = head + ":" if head.endswith(":") else head
+
+        if "::" in text:
+            left_text, right_text = text.split("::")
+            left = cls._parse_groups(left_text, text)
+            right = cls._parse_groups(right_text, text)
+        else:
+            left = cls._parse_groups(text, text)
+            right = []
+        right += tail_groups
+
+        if "::" in text:
+            missing = 8 - len(left) - len(right)
+            if missing < 1:
+                raise AddressError(f"invalid IPv6 address {text!r}: '::' expands to nothing")
+            groups = left + [0] * missing + right
+        else:
+            groups = left + right
+            if len(groups) != 8:
+                raise AddressError(
+                    f"invalid IPv6 address {text!r}: expected 8 groups, got {len(groups)}"
+                )
+
+        value = 0
+        for group in groups:
+            value = (value << 16) | group
+        return cls(value)
+
+    @staticmethod
+    def _parse_groups(text: str, original: str) -> list[int]:
+        if not text:
+            return []
+        groups = []
+        for part in text.split(":"):
+            if not part or len(part) > 4:
+                raise AddressError(f"invalid IPv6 address {original!r}: bad group {part!r}")
+            try:
+                groups.append(int(part, 16))
+            except ValueError:
+                raise AddressError(
+                    f"invalid IPv6 address {original!r}: bad group {part!r}"
+                ) from None
+        return groups
+
+    def groups(self) -> tuple[int, ...]:
+        """The eight 16-bit groups, most significant first."""
+        v = self.value
+        return tuple((v >> shift) & 0xFFFF for shift in range(112, -16, -16))
+
+    def __str__(self) -> str:
+        groups = self.groups()
+        # RFC 5952: compress the longest run of >= 2 zero groups (leftmost on tie).
+        best_start, best_len = -1, 0
+        run_start, run_len = -1, 0
+        for i, g in enumerate(groups):
+            if g == 0:
+                if run_start < 0:
+                    run_start, run_len = i, 0
+                run_len += 1
+                if run_len > best_len:
+                    best_start, best_len = run_start, run_len
+            else:
+                run_start, run_len = -1, 0
+        if best_len < 2:
+            return ":".join(f"{g:x}" for g in groups)
+        head = ":".join(f"{g:x}" for g in groups[:best_start])
+        tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+        return f"{head}::{tail}"
+
+    def nibble(self, index: int) -> int:
+        """Return 4-bit nibble ``index`` counting from the most significant (0..31)."""
+        if not 0 <= index < 32:
+            raise IndexError(f"nibble index {index} out of range")
+        return (self.value >> (124 - 4 * index)) & 0xF
+
+
+def parse_address(text: str) -> IPAddress:
+    """Parse ``text`` as IPv4 if it looks dotted-quad, else as IPv6."""
+    if ":" in text:
+        return IPv6Address.parse(text)
+    return IPv4Address.parse(text)

@@ -1,0 +1,226 @@
+"""IPv4 and IPv6 prefix (CIDR block) types.
+
+A prefix is an address plus a prefix length; the network bits are
+normalized (host bits zeroed) at construction unless ``strict=True`` is
+requested, in which case set host bits raise :class:`AddressError`.
+
+The measurement-specific operations the paper relies on live here:
+
+* :func:`common_prefix_len` — the CPL metric of Section 5.2;
+* :meth:`IPPrefix.trailing_zero_run` support via the address type;
+* fast ``supernet`` / ``nth_subprefix`` used throughout the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type, Union
+
+from repro.ip.addr import AddressError, IPAddress, IPv4Address, IPv6Address, parse_address
+
+
+class IPPrefix:
+    """Common base for :class:`IPv4Prefix` and :class:`IPv6Prefix`."""
+
+    ADDRESS_CLASS: Type[IPAddress] = IPAddress
+    __slots__ = ("network", "plen")
+
+    def __init__(self, network: Union[IPAddress, int], plen: int, strict: bool = False) -> None:
+        bits = self.ADDRESS_CLASS.BITS
+        if not 0 <= plen <= bits:
+            raise AddressError(f"prefix length {plen} out of range for /{bits} family")
+        value = int(network)
+        mask = self._mask(plen)
+        if strict and value & ~mask & ((1 << bits) - 1):
+            raise AddressError(f"host bits set in strict prefix {value:#x}/{plen}")
+        object.__setattr__(self, "network", self.ADDRESS_CLASS(value & mask))
+        object.__setattr__(self, "plen", plen)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @classmethod
+    def _mask(cls, plen: int) -> int:
+        bits = cls.ADDRESS_CLASS.BITS
+        return ((1 << plen) - 1) << (bits - plen) if plen else 0
+
+    @classmethod
+    def parse(cls, text: str, strict: bool = False) -> "IPPrefix":
+        """Parse ``"addr/len"`` notation; a bare address gets a full-length mask."""
+        addr_text, sep, plen_text = text.partition("/")
+        address = cls.ADDRESS_CLASS.parse(addr_text)  # type: ignore[attr-defined]
+        if sep:
+            if not plen_text.isdigit():
+                raise AddressError(f"invalid prefix length in {text!r}")
+            plen = int(plen_text)
+        else:
+            plen = cls.ADDRESS_CLASS.BITS
+        return cls(address, plen, strict=strict)
+
+    @property
+    def family(self) -> int:
+        return self.network.family
+
+    @property
+    def bits(self) -> int:
+        return self.ADDRESS_CLASS.BITS
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (self.bits - self.plen)
+
+    @property
+    def first_address(self) -> IPAddress:
+        return self.network
+
+    @property
+    def last_address(self) -> IPAddress:
+        return self.ADDRESS_CLASS(int(self.network) + self.num_addresses - 1)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.plen == self.plen  # type: ignore[attr-defined]
+            and other.network == self.network  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.bits, int(self.network), self.plen))
+
+    def __lt__(self, other: "IPPrefix") -> bool:
+        if type(other) is not type(self):
+            raise TypeError(f"cannot order {type(self).__name__} with {type(other).__name__}")
+        return (int(self.network), self.plen) < (int(other.network), other.plen)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.plen}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+    def contains_address(self, address: IPAddress) -> bool:
+        """True when ``address`` falls inside this prefix."""
+        if type(address) is not self.ADDRESS_CLASS:
+            return False
+        return (int(address) & self._mask(self.plen)) == int(self.network)
+
+    def contains_prefix(self, other: "IPPrefix") -> bool:
+        """True when ``other`` is equal to or more specific than this prefix."""
+        if type(other) is not type(self) or other.plen < self.plen:
+            return False
+        return (int(other.network) & self._mask(self.plen)) == int(self.network)
+
+    def __contains__(self, item: Union[IPAddress, "IPPrefix"]) -> bool:
+        if isinstance(item, IPAddress):
+            return self.contains_address(item)
+        return self.contains_prefix(item)
+
+    def supernet(self, plen: int) -> "IPPrefix":
+        """The enclosing prefix of length ``plen`` (must not exceed own length)."""
+        if plen > self.plen:
+            raise AddressError(f"supernet /{plen} longer than /{self.plen}")
+        return type(self)(self.network, plen)
+
+    def nth_subprefix(self, plen: int, index: int) -> "IPPrefix":
+        """The ``index``-th sub-prefix of length ``plen`` within this prefix."""
+        if plen < self.plen:
+            raise AddressError(f"subprefix /{plen} shorter than /{self.plen}")
+        count = 1 << (plen - self.plen)
+        if not 0 <= index < count:
+            raise AddressError(f"subprefix index {index} out of range (0..{count - 1})")
+        value = int(self.network) | (index << (self.bits - plen))
+        return type(self)(value, plen)
+
+    def num_subprefixes(self, plen: int) -> int:
+        """How many sub-prefixes of length ``plen`` fit in this prefix."""
+        if plen < self.plen:
+            raise AddressError(f"subprefix /{plen} shorter than /{self.plen}")
+        return 1 << (plen - self.plen)
+
+    def subprefixes(self, plen: int) -> Iterator["IPPrefix"]:
+        """Iterate all sub-prefixes of length ``plen`` in address order."""
+        for index in range(self.num_subprefixes(plen)):
+            yield self.nth_subprefix(plen, index)
+
+    def nth_address(self, index: int) -> IPAddress:
+        """The ``index``-th address in this prefix."""
+        if not 0 <= index < self.num_addresses:
+            raise AddressError(f"address index {index} out of range for {self}")
+        return self.ADDRESS_CLASS(int(self.network) + index)
+
+    def index_of(self, address: IPAddress) -> int:
+        """Inverse of :meth:`nth_address`."""
+        if not self.contains_address(address):
+            raise AddressError(f"{address} not in {self}")
+        return int(address) - int(self.network)
+
+    def trailing_zero_bits(self) -> int:
+        """Zero bits at the end of the *network portion* (before the /plen cut).
+
+        For a /64 whose last 8 network bits are zero this returns >= 8; used
+        by the delegated-prefix inference of Section 5.3.
+        """
+        if self.plen == 0:
+            return 0
+        shifted = int(self.network) >> (self.bits - self.plen)
+        if shifted == 0:
+            return self.plen
+        return (shifted & -shifted).bit_length() - 1
+
+
+class IPv4Prefix(IPPrefix):
+    """An IPv4 CIDR block, e.g. ``192.0.2.0/24``."""
+
+    ADDRESS_CLASS = IPv4Address
+    __slots__ = ()
+
+
+class IPv6Prefix(IPPrefix):
+    """An IPv6 CIDR block, e.g. ``2001:db8::/32``."""
+
+    ADDRESS_CLASS = IPv6Address
+    __slots__ = ()
+
+
+def common_prefix_len(a: Union[IPAddress, IPPrefix], b: Union[IPAddress, IPPrefix]) -> int:
+    """Number of leading bits identical between ``a`` and ``b`` (the paper's CPL).
+
+    Both arguments must be from the same family.  For prefixes the
+    comparison runs over network addresses and is additionally capped at
+    the shorter of the two prefix lengths.
+    """
+    a_addr = a.network if isinstance(a, IPPrefix) else a
+    b_addr = b.network if isinstance(b, IPPrefix) else b
+    if type(a_addr) is not type(b_addr):
+        raise TypeError("common_prefix_len requires addresses of the same family")
+    bits = a_addr.BITS
+    diff = int(a_addr) ^ int(b_addr)
+    cpl = bits - diff.bit_length()
+    if isinstance(a, IPPrefix):
+        cpl = min(cpl, a.plen)
+    if isinstance(b, IPPrefix):
+        cpl = min(cpl, b.plen)
+    return cpl
+
+
+def parse_prefix(text: str) -> IPPrefix:
+    """Parse ``text`` as an IPv4 or IPv6 prefix based on its syntax."""
+    if ":" in text:
+        return IPv6Prefix.parse(text)
+    return IPv4Prefix.parse(text)
+
+
+def address_prefix(address: IPAddress, plen: int) -> IPPrefix:
+    """The length-``plen`` prefix containing ``address``."""
+    cls = IPv4Prefix if isinstance(address, IPv4Address) else IPv6Prefix
+    return cls(address, plen)
+
+
+__all__ = [
+    "IPPrefix",
+    "IPv4Prefix",
+    "IPv6Prefix",
+    "address_prefix",
+    "common_prefix_len",
+    "parse_address",
+    "parse_prefix",
+]

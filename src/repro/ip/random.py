@@ -1,0 +1,66 @@
+"""Seeded random generation of addresses and prefixes.
+
+All simulators draw addresses through :class:`AddressSampler` so that a
+single integer seed reproduces an entire synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Type
+
+from repro.ip.addr import IPAddress, IPv4Address, IPv6Address
+from repro.ip.prefix import IPPrefix, IPv4Prefix, IPv6Prefix
+
+
+class AddressSampler:
+    """Draw uniform addresses and sub-prefixes, optionally within a scope."""
+
+    def __init__(self, seed: int = 0, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def address(self, within: IPPrefix) -> IPAddress:
+        """A uniform random address inside ``within``."""
+        offset = self._rng.randrange(within.num_addresses)
+        return within.ADDRESS_CLASS(int(within.network) + offset)
+
+    def subprefix(self, within: IPPrefix, plen: int) -> IPPrefix:
+        """A uniform random /plen inside ``within``."""
+        index = self._rng.randrange(within.num_subprefixes(plen))
+        return within.nth_subprefix(plen, index)
+
+    def v4_address(self) -> IPv4Address:
+        """A uniform random IPv4 address."""
+        return IPv4Address(self._rng.getrandbits(32))
+
+    def v6_address(self) -> IPv6Address:
+        """A uniform random IPv6 address."""
+        return IPv6Address(self._rng.getrandbits(128))
+
+    def choice(self, options: Sequence):
+        """A uniform choice from ``options``."""
+        return self._rng.choice(options)
+
+    def disjoint_subprefixes(self, within: IPPrefix, plen: int, count: int) -> list[IPPrefix]:
+        """``count`` distinct random /plen blocks inside ``within``."""
+        total = within.num_subprefixes(plen)
+        if count > total:
+            raise ValueError(f"cannot draw {count} /{plen}s from {within}")
+        indices = self._rng.sample(range(total), count)
+        return [within.nth_subprefix(plen, i) for i in sorted(indices)]
+
+
+def prefix_class_for_family(family: int) -> Type[IPPrefix]:
+    """Map IP version number to the matching prefix class."""
+    if family == 4:
+        return IPv4Prefix
+    if family == 6:
+        return IPv6Prefix
+    raise ValueError(f"unknown address family {family!r}")
+
+
+__all__ = ["AddressSampler", "prefix_class_for_family"]

@@ -1,0 +1,113 @@
+"""Reverse-DNS helpers (``in-addr.arpa`` / ``ip6.arpa``).
+
+Related-work context (Section 2.3): hitlist construction by "efficiently
+mapping ip6.arpa" (van Dijk) walks the reverse-DNS tree, descending only
+into nibbles that exist.  These helpers generate and parse reverse
+names, and :func:`ip6_arpa_walk_order` enumerates the nibble labels a
+walker would query beneath a prefix — which, combined with the
+structure inference of :mod:`repro.core`, bounds walking effort the
+same way it bounds active scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.ip.addr import AddressError, IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+def reverse_pointer(address: Union[IPv4Address, IPv6Address]) -> str:
+    """The PTR name of an address (RFC 1035 / RFC 3596)."""
+    if isinstance(address, IPv4Address):
+        value = int(address)
+        octets = [str((value >> shift) & 0xFF) for shift in (0, 8, 16, 24)]
+        return ".".join(octets) + ".in-addr.arpa"
+    nibbles = f"{int(address):032x}"
+    return ".".join(reversed(nibbles)) + ".ip6.arpa"
+
+
+def parse_reverse_pointer(name: str) -> Union[IPv4Address, IPv6Address]:
+    """Parse a PTR name back into an address."""
+    lowered = name.lower().rstrip(".")
+    if lowered.endswith(".in-addr.arpa"):
+        labels = lowered[: -len(".in-addr.arpa")].split(".")
+        if len(labels) != 4:
+            raise AddressError(f"bad in-addr.arpa name {name!r}")
+        try:
+            octets = [int(label) for label in reversed(labels)]
+        except ValueError:
+            raise AddressError(f"bad in-addr.arpa name {name!r}") from None
+        if any(not 0 <= octet <= 255 for octet in octets):
+            raise AddressError(f"bad in-addr.arpa name {name!r}")
+        value = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        return IPv4Address(value)
+    if lowered.endswith(".ip6.arpa"):
+        labels = lowered[: -len(".ip6.arpa")].split(".")
+        if len(labels) != 32:
+            raise AddressError(f"bad ip6.arpa name {name!r}: expected 32 nibbles")
+        try:
+            value = int("".join(reversed(labels)), 16)
+        except ValueError:
+            raise AddressError(f"bad ip6.arpa name {name!r}") from None
+        if any(len(label) != 1 for label in labels):
+            raise AddressError(f"bad ip6.arpa name {name!r}")
+        return IPv6Address(value)
+    raise AddressError(f"not a reverse-DNS name: {name!r}")
+
+
+def ip6_arpa_zone(prefix: IPv6Prefix) -> str:
+    """The ip6.arpa zone apex delegating ``prefix`` (nibble-aligned only)."""
+    if prefix.plen % 4:
+        raise AddressError(f"/{prefix.plen} is not nibble-aligned")
+    nibbles = f"{int(prefix.network):032x}"[: prefix.plen // 4]
+    if not nibbles:
+        return "ip6.arpa"
+    return ".".join(reversed(nibbles)) + ".ip6.arpa"
+
+
+def in_addr_arpa_zone(prefix: IPv4Prefix) -> str:
+    """The in-addr.arpa zone apex for an octet-aligned IPv4 prefix."""
+    if prefix.plen % 8:
+        raise AddressError(f"/{prefix.plen} is not octet-aligned")
+    value = int(prefix.network)
+    octets = [str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)][: prefix.plen // 8]
+    if not octets:
+        return "in-addr.arpa"
+    return ".".join(reversed(octets)) + ".in-addr.arpa"
+
+
+def ip6_arpa_walk_order(prefix: IPv6Prefix, depth_nibbles: int = 1) -> Iterator[str]:
+    """Child zone names a tree walker queries beneath ``prefix``.
+
+    Enumerates every nibble combination ``depth_nibbles`` deep, lowest
+    first — the breadth-first frontier of an ip6.arpa walk.
+    """
+    if prefix.plen % 4:
+        raise AddressError(f"/{prefix.plen} is not nibble-aligned")
+    if depth_nibbles < 1 or prefix.plen + 4 * depth_nibbles > 128:
+        raise AddressError("walk depth out of range")
+    base = ip6_arpa_zone(prefix)
+    for value in range(1 << (4 * depth_nibbles)):
+        nibbles = f"{value:0{depth_nibbles}x}"
+        yield ".".join(reversed(nibbles)) + "." + base
+
+
+def walk_cost(prefix_plen: int, target_plen: int) -> int:
+    """Worst-case queries to walk from one nibble boundary to another."""
+    if prefix_plen % 4 or target_plen % 4:
+        raise AddressError("walk boundaries must be nibble-aligned")
+    if target_plen < prefix_plen:
+        raise AddressError("target must be deeper than the start")
+    levels = (target_plen - prefix_plen) // 4
+    return sum(16 ** level for level in range(1, levels + 1))
+
+
+__all__ = [
+    "in_addr_arpa_zone",
+    "ip6_arpa_walk_order",
+    "ip6_arpa_zone",
+    "parse_reverse_pointer",
+    "reverse_pointer",
+    "walk_cost",
+]

@@ -1,0 +1,128 @@
+"""Prefix sets with aggregation.
+
+:class:`PrefixSet` is a mutable collection of same-family prefixes
+supporting membership queries against addresses and prefixes plus
+CIDR aggregation (merging adjacent siblings and removing prefixes
+covered by shorter ones).  It backs the BGP registry and several
+analysis helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Type
+
+from repro.ip.addr import IPAddress
+from repro.ip.prefix import IPPrefix
+from repro.ip.trie import PrefixTrie
+
+
+class PrefixSet:
+    """A set of prefixes from one address family."""
+
+    def __init__(
+        self,
+        prefix_class: Type[IPPrefix],
+        prefixes: Optional[Iterable[IPPrefix]] = None,
+    ) -> None:
+        self._trie = PrefixTrie(prefix_class)
+        if prefixes is not None:
+            for prefix in prefixes:
+                self.add(prefix)
+
+    @property
+    def prefix_class(self) -> Type[IPPrefix]:
+        return self._trie.prefix_class
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __iter__(self) -> Iterator[IPPrefix]:
+        return self._trie.keys()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrefixSet):
+            return NotImplemented
+        return set(self) == set(other)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(p) for _, p in zip(range(4), self))
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"PrefixSet([{preview}{suffix}])"
+
+    def add(self, prefix: IPPrefix) -> None:
+        """Insert ``prefix`` (idempotent)."""
+        self._trie.insert(prefix, True)
+
+    def discard(self, prefix: IPPrefix) -> None:
+        """Remove ``prefix`` if present (no error otherwise)."""
+        try:
+            self._trie.remove(prefix)
+        except KeyError:
+            pass
+
+    def remove(self, prefix: IPPrefix) -> None:
+        """Remove ``prefix``; raises KeyError when absent."""
+        self._trie.remove(prefix)
+
+    def __contains__(self, prefix: IPPrefix) -> bool:
+        return prefix in self._trie
+
+    def contains_address(self, address: IPAddress) -> bool:
+        """True when some member prefix covers ``address``."""
+        return self._trie.longest_match(address) is not None
+
+    def covers(self, prefix: IPPrefix) -> bool:
+        """True when some member prefix covers all of ``prefix``."""
+        return self._trie.covering(prefix) is not None
+
+    def covering_prefix(self, address: IPAddress) -> Optional[IPPrefix]:
+        """The most specific member prefix containing ``address``, or ``None``."""
+        match = self._trie.longest_match(address)
+        return None if match is None else match[0]
+
+    def union(self, other: "PrefixSet") -> "PrefixSet":
+        """A new set containing both sets' members (same family only)."""
+        if other.prefix_class is not self.prefix_class:
+            raise TypeError("cannot union prefix sets of different families")
+        result = PrefixSet(self.prefix_class, self)
+        for prefix in other:
+            result.add(prefix)
+        return result
+
+    def aggregated(self) -> "PrefixSet":
+        """A minimal equivalent set: drop covered prefixes, merge sibling pairs.
+
+        The result covers exactly the same addresses with the fewest
+        prefixes, mirroring classic CIDR aggregation.
+        """
+        cls = self.prefix_class
+        survivors: set[IPPrefix] = set()
+        for prefix in sorted(self, key=lambda p: (p.plen, int(p.network))):
+            if not any(existing.contains_prefix(prefix) for existing in survivors
+                       if existing.plen <= prefix.plen):
+                survivors.add(prefix)
+        # Iteratively merge sibling pairs into their parent.
+        merged = True
+        while merged:
+            merged = False
+            by_key = {(int(p.network), p.plen) for p in survivors}
+            for prefix in sorted(survivors, key=lambda p: (-p.plen, int(p.network))):
+                if prefix.plen == 0:
+                    continue
+                bit = prefix.bits - prefix.plen
+                sibling_net = int(prefix.network) ^ (1 << bit)
+                if (sibling_net, prefix.plen) in by_key and (int(prefix.network), prefix.plen) in by_key:
+                    parent = cls(int(prefix.network) & ~(1 << bit), prefix.plen - 1)
+                    survivors.discard(prefix)
+                    survivors.discard(cls(sibling_net, prefix.plen))
+                    survivors.add(parent)
+                    merged = True
+                    break
+        return PrefixSet(cls, survivors)
+
+    def total_addresses(self) -> int:
+        """Number of distinct addresses covered (after aggregation)."""
+        return sum(p.num_addresses for p in self.aggregated())
+
+
+__all__ = ["PrefixSet"]

@@ -1,0 +1,277 @@
+"""A binary Patricia (path-compressed radix) trie keyed by IP prefixes.
+
+Used as the longest-prefix-match engine behind :mod:`repro.bgp.table` and
+for prefix-set aggregation.  One trie holds one address family; keys are
+:class:`~repro.ip.prefix.IPPrefix` instances and values are arbitrary.
+
+The implementation stores each node's key as ``(value, plen)`` where
+``value`` is the left-aligned network integer.  Internal (non-terminal)
+nodes arise from path splits and carry ``payload_set = False``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple, Type
+
+from repro.ip.addr import IPAddress
+from repro.ip.prefix import IPPrefix
+
+
+class _Node:
+    __slots__ = ("value", "plen", "payload", "payload_set", "left", "right")
+
+    def __init__(self, value: int, plen: int) -> None:
+        self.value = value
+        self.plen = plen
+        self.payload: Any = None
+        self.payload_set = False
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class PrefixTrie:
+    """Patricia trie over prefixes of a single family.
+
+    Parameters
+    ----------
+    prefix_class:
+        The concrete prefix type stored (``IPv4Prefix`` or ``IPv6Prefix``).
+    """
+
+    def __init__(self, prefix_class: Type[IPPrefix]) -> None:
+        self._prefix_class = prefix_class
+        self._bits = prefix_class.ADDRESS_CLASS.BITS
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def prefix_class(self) -> Type[IPPrefix]:
+        return self._prefix_class
+
+    def _check_key(self, prefix: IPPrefix) -> None:
+        if type(prefix) is not self._prefix_class:
+            raise TypeError(
+                f"trie holds {self._prefix_class.__name__}, got {type(prefix).__name__}"
+            )
+
+    def _bit(self, value: int, index: int) -> int:
+        return (value >> (self._bits - 1 - index)) & 1
+
+    def _common_plen(self, a_value: int, a_plen: int, b_value: int, b_plen: int) -> int:
+        diff = a_value ^ b_value
+        return min(a_plen, b_plen, self._bits - diff.bit_length())
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, prefix: IPPrefix, payload: Any = None) -> None:
+        """Insert or overwrite ``prefix`` with ``payload``."""
+        self._check_key(prefix)
+        value, plen = int(prefix.network), prefix.plen
+        if self._root is None:
+            node = _Node(value, plen)
+            node.payload, node.payload_set = payload, True
+            self._root = node
+            self._size = 1
+            return
+
+        parent: Optional[_Node] = None
+        parent_bit = 0
+        node = self._root
+        while True:
+            cpl = self._common_plen(value, plen, node.value, node.plen)
+            if cpl == node.plen == plen:
+                # Exact slot.
+                if not node.payload_set:
+                    self._size += 1
+                node.payload, node.payload_set = payload, True
+                return
+            if cpl == node.plen:
+                # Descend into the subtree selected by the next key bit.
+                branch = self._bit(value, node.plen)
+                child = node.right if branch else node.left
+                if child is None:
+                    leaf = _Node(value, plen)
+                    leaf.payload, leaf.payload_set = payload, True
+                    if branch:
+                        node.right = leaf
+                    else:
+                        node.left = leaf
+                    self._size += 1
+                    return
+                parent, parent_bit, node = node, branch, child
+                continue
+            # Split the edge above `node` at depth `cpl`.
+            if cpl == plen:
+                split = _Node(value, plen)
+                split.payload, split.payload_set = payload, True
+            else:
+                split = _Node(value & self._mask(cpl), cpl)
+            if self._bit(node.value, cpl):
+                split.right = node
+            else:
+                split.left = node
+            if cpl != plen:
+                leaf = _Node(value, plen)
+                leaf.payload, leaf.payload_set = payload, True
+                if self._bit(value, cpl):
+                    split.right = leaf
+                else:
+                    split.left = leaf
+            if parent is None:
+                self._root = split
+            elif parent_bit:
+                parent.right = split
+            else:
+                parent.left = split
+            self._size += 1
+            return
+
+    @classmethod
+    def _mask_for_bits(cls, bits: int, plen: int) -> int:
+        return ((1 << plen) - 1) << (bits - plen) if plen else 0
+
+    def _mask(self, plen: int) -> int:
+        return self._mask_for_bits(self._bits, plen)
+
+    def remove(self, prefix: IPPrefix) -> Any:
+        """Remove ``prefix``; return its payload.  Raises ``KeyError`` if absent."""
+        self._check_key(prefix)
+        value, plen = int(prefix.network), prefix.plen
+        path: list[Tuple[_Node, int]] = []
+        node = self._root
+        while node is not None:
+            cpl = self._common_plen(value, plen, node.value, node.plen)
+            if cpl == node.plen == plen and node.payload_set:
+                payload = node.payload
+                node.payload, node.payload_set = None, False
+                self._size -= 1
+                self._prune(node, path)
+                return payload
+            if cpl < node.plen or node.plen >= plen:
+                break
+            branch = self._bit(value, node.plen)
+            path.append((node, branch))
+            node = node.right if branch else node.left
+        raise KeyError(str(prefix))
+
+    def _prune(self, node: _Node, path: list[Tuple[_Node, int]]) -> None:
+        # Collapse non-payload nodes with < 2 children, walking back up.
+        while not node.payload_set:
+            children = [c for c in (node.left, node.right) if c is not None]
+            if len(children) == 2:
+                return
+            replacement = children[0] if children else None
+            if not path:
+                self._root = replacement
+                return
+            parent, branch = path.pop()
+            if branch:
+                parent.right = replacement
+            else:
+                parent.left = replacement
+            if replacement is not None:
+                return
+            node = parent
+
+    # -- queries ------------------------------------------------------------
+
+    def exact(self, prefix: IPPrefix) -> Any:
+        """Payload stored at exactly ``prefix``; raises ``KeyError`` if absent."""
+        self._check_key(prefix)
+        value, plen = int(prefix.network), prefix.plen
+        node = self._root
+        while node is not None:
+            cpl = self._common_plen(value, plen, node.value, node.plen)
+            if cpl == node.plen == plen:
+                if node.payload_set:
+                    return node.payload
+                break
+            if cpl < node.plen or node.plen >= plen:
+                break
+            node = node.right if self._bit(value, node.plen) else node.left
+        raise KeyError(str(prefix))
+
+    def __contains__(self, prefix: IPPrefix) -> bool:
+        try:
+            self.exact(prefix)
+        except KeyError:
+            return False
+        return True
+
+    def longest_match(self, address: IPAddress) -> Optional[Tuple[IPPrefix, Any]]:
+        """The most specific stored prefix containing ``address``, or ``None``."""
+        if type(address) is not self._prefix_class.ADDRESS_CLASS:
+            raise TypeError(
+                f"trie holds {self._prefix_class.ADDRESS_CLASS.__name__} keys, "
+                f"got {type(address).__name__}"
+            )
+        value = int(address)
+        best: Optional[_Node] = None
+        node = self._root
+        while node is not None:
+            cpl = self._common_plen(value, self._bits, node.value, node.plen)
+            if cpl < node.plen:
+                break
+            if node.payload_set:
+                best = node
+            if node.plen == self._bits:
+                break
+            node = node.right if self._bit(value, node.plen) else node.left
+        if best is None:
+            return None
+        return self._prefix_class(best.value, best.plen), best.payload
+
+    def lookup(self, address: IPAddress) -> Any:
+        """Payload of the longest match for ``address``; ``KeyError`` if none."""
+        match = self.longest_match(address)
+        if match is None:
+            raise KeyError(str(address))
+        return match[1]
+
+    def covering(self, prefix: IPPrefix) -> Optional[Tuple[IPPrefix, Any]]:
+        """The most specific stored prefix that *contains* ``prefix``, or ``None``."""
+        self._check_key(prefix)
+        value, plen = int(prefix.network), prefix.plen
+        best: Optional[_Node] = None
+        node = self._root
+        while node is not None:
+            cpl = self._common_plen(value, plen, node.value, node.plen)
+            if cpl < node.plen:
+                break
+            if node.payload_set and node.plen <= plen:
+                best = node
+            if node.plen >= plen:
+                break
+            node = node.right if self._bit(value, node.plen) else node.left
+        if best is None:
+            return None
+        return self._prefix_class(best.value, best.plen), best.payload
+
+    def items(self) -> Iterator[Tuple[IPPrefix, Any]]:
+        """All stored (prefix, payload) pairs in address order."""
+        stack: list[_Node] = []
+        if self._root is not None:
+            stack.append(self._root)
+        while stack:
+            node = stack.pop()
+            if node.payload_set:
+                yield self._prefix_class(node.value, node.plen), node.payload
+            # Push right first so left (lower addresses) pops first.
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def keys(self) -> Iterator[IPPrefix]:
+        """All stored prefixes in address order."""
+        for prefix, _payload in self.items():
+            yield prefix
+
+
+__all__ = ["PrefixTrie"]

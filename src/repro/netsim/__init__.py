@@ -1,0 +1,62 @@
+"""Event-driven ISP address-assignment simulator.
+
+This package is the substrate that stands in for the real-world networks
+the paper measured.  It models, per ISP:
+
+* fragmented IPv4 BGP blocks and a contiguous IPv6 allocation carved
+  into regional pools (:mod:`repro.netsim.pool`);
+* DHCP-style sticky assignment and RADIUS-style session-timeout
+  assignment (:mod:`repro.netsim.policy`);
+* carrier-grade NAT for cellular access (:mod:`repro.netsim.cgnat`);
+* CPE behaviour — LAN /64 selection (zero-fill, scramble, rotate),
+  reboots (:mod:`repro.netsim.cpe`);
+* per-subscriber assignment timelines produced by a deterministic
+  event-queue simulation (:mod:`repro.netsim.sim`).
+
+Calibrated per-AS configurations matching the paper's ten featured ASes
+live in :mod:`repro.netsim.profiles`.
+"""
+
+from repro.netsim.clock import SIM_EPOCH, SimClock, hours_between, hours_to_datetime
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.dhcp import DhcpClient, DhcpServer, Lease
+from repro.netsim.dhcpv6 import DelegatingRouter, DelegationClient, PrefixDelegation
+from repro.netsim.radius import PppoeSubscriber, RadiusServer, Session
+from repro.netsim.isp import (
+    Isp,
+    IspConfig,
+    PolicyEpoch,
+    V4AddressingConfig,
+    V6AddressingConfig,
+)
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.profiles import default_profiles, profile_by_name
+from repro.netsim.sim import AssignmentInterval, IspSimulation, SubscriberTimeline
+
+__all__ = [
+    "AssignmentInterval",
+    "ChangePolicy",
+    "CpeBehavior",
+    "DelegatingRouter",
+    "DelegationClient",
+    "DhcpClient",
+    "DhcpServer",
+    "Lease",
+    "PppoeSubscriber",
+    "PrefixDelegation",
+    "RadiusServer",
+    "Session",
+    "Isp",
+    "IspConfig",
+    "IspSimulation",
+    "PolicyEpoch",
+    "SIM_EPOCH",
+    "SimClock",
+    "SubscriberTimeline",
+    "V4AddressingConfig",
+    "V6AddressingConfig",
+    "default_profiles",
+    "hours_between",
+    "hours_to_datetime",
+    "profile_by_name",
+]

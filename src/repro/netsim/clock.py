@@ -1,0 +1,74 @@
+"""Simulation time.
+
+All simulator and analysis code measures time in **hours since the
+simulation epoch** (2014-09-01 00:00 UTC, the start of the paper's RIPE
+Atlas observation window).  Hours are plain numbers: integers for
+sampled measurement timestamps, floats for event times inside the
+simulator.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+#: Start of the paper's RIPE Atlas "IP echo" window.
+SIM_EPOCH = datetime(2014, 9, 1, tzinfo=timezone.utc)
+
+HOURS_PER_DAY = 24
+HOURS_PER_WEEK = 7 * HOURS_PER_DAY
+HOURS_PER_MONTH = 30 * HOURS_PER_DAY  # calendar-agnostic month used for bucketing
+HOURS_PER_YEAR = 365 * HOURS_PER_DAY
+
+
+def hours_to_datetime(hours: float) -> datetime:
+    """Convert an hour offset to an absolute UTC datetime."""
+    return SIM_EPOCH + timedelta(hours=hours)
+
+
+def datetime_to_hours(when: datetime) -> float:
+    """Convert an absolute datetime (assumed UTC if naive) to an hour offset."""
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return (when - SIM_EPOCH).total_seconds() / 3600.0
+
+
+def hours_between(start: datetime, end: datetime) -> float:
+    """Signed hour span between two datetimes."""
+    return datetime_to_hours(end) - datetime_to_hours(start)
+
+
+class SimClock:
+    """A monotonically advancing simulation clock.
+
+    The clock refuses to move backwards, which catches event-ordering
+    bugs in the simulator early.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when`` (backwards raises)."""
+        if when < self._now:
+            raise ValueError(f"clock cannot move backwards: {when} < {self._now}")
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now}, {hours_to_datetime(self._now):%Y-%m-%d %H:%M})"
+
+
+__all__ = [
+    "HOURS_PER_DAY",
+    "HOURS_PER_MONTH",
+    "HOURS_PER_WEEK",
+    "HOURS_PER_YEAR",
+    "SIM_EPOCH",
+    "SimClock",
+    "datetime_to_hours",
+    "hours_between",
+    "hours_to_datetime",
+]

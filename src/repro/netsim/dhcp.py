@@ -1,0 +1,219 @@
+"""Protocol-level DHCP lease model (RFC 2131 semantics).
+
+The event simulation in :mod:`repro.netsim.sim` drives renumbering
+through abstract :class:`~repro.netsim.policy.ChangePolicy` objects.
+This module provides the concrete protocol machinery those policies
+abstract — a lease-granting server with T1/T2 renewal timers and
+configurable state retention — so the abstraction can be *validated*
+against protocol behaviour (see ``tests/test_protocol_models.py``):
+
+* a client that renews before lease expiry keeps its address
+  indefinitely → the ``exponential``/``static`` policies;
+* a client that goes silent past expiry loses the binding; whether it
+  gets the *same* address back depends on whether the server remembers
+  expired bindings (``remember_expired``) — the paper's Section 2.2
+  distinction between stateful DHCP and stateless RADIUS deployments.
+
+Time is in hours, matching the rest of the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ip.addr import IPv4Address
+from repro.netsim.pool import V4AddressPlan
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease."""
+
+    client_id: int
+    address: IPv4Address
+    granted_at: float
+    expires_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.expires_at - self.granted_at
+
+    def renewal_time(self) -> float:
+        """T1: when the client first tries to renew (0.5 of the lease)."""
+        return self.granted_at + 0.5 * self.duration
+
+    def rebinding_time(self) -> float:
+        """T2: when the client broadcasts to any server (0.875)."""
+        return self.granted_at + 0.875 * self.duration
+
+
+class DhcpServer:
+    """A DHCP server over a :class:`V4AddressPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The address pool(s) to allocate from.
+    lease_time:
+        Lease duration handed to clients (hours).
+    remember_expired:
+        Whether expired bindings are remembered so a returning client
+        gets its previous address when still free (stateful servers).
+    """
+
+    def __init__(
+        self,
+        plan: V4AddressPlan,
+        lease_time: float,
+        remember_expired: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if lease_time <= 0:
+            raise ValueError("lease_time must be positive")
+        self._plan = plan
+        self.lease_time = float(lease_time)
+        self.remember_expired = remember_expired
+        self._rng = random.Random(seed)
+        self._active: Dict[int, Lease] = {}
+        self._expired_binding: Dict[int, IPv4Address] = {}
+
+    @property
+    def active_leases(self) -> int:
+        return len(self._active)
+
+    def lease_of(self, client_id: int) -> Optional[Lease]:
+        """The client's current lease, expired or not (None when never leased)."""
+        return self._active.get(client_id)
+
+    def _expire_if_due(self, client_id: int, now: float) -> None:
+        lease = self._active.get(client_id)
+        if lease is not None and lease.expires_at <= now:
+            del self._active[client_id]
+            self._plan.release(lease.address)
+            if self.remember_expired:
+                self._expired_binding[client_id] = lease.address
+            else:
+                self._expired_binding.pop(client_id, None)
+
+    def request(self, client_id: int, now: float) -> Lease:
+        """DISCOVER/REQUEST: grant (or extend) a lease for the client.
+
+        An unexpired binding is renewed in place.  An expired binding is
+        re-granted with the same address when the server remembers it
+        and the address is still free; otherwise a fresh address is
+        allocated.
+        """
+        self._expire_if_due(client_id, now)
+        current = self._active.get(client_id)
+        if current is not None:
+            renewed = Lease(
+                client_id=client_id,
+                address=current.address,
+                granted_at=now,
+                expires_at=now + self.lease_time,
+            )
+            self._active[client_id] = renewed
+            return renewed
+
+        address: Optional[IPv4Address] = None
+        remembered = self._expired_binding.get(client_id)
+        if remembered is not None and self._try_claim(remembered):
+            # Stateful server: re-grant the previous address while free.
+            address = remembered
+        if address is None:
+            address = self._plan.allocate(self._rng, previous=remembered)
+        self._expired_binding.pop(client_id, None)
+        lease = Lease(
+            client_id=client_id,
+            address=address,
+            granted_at=now,
+            expires_at=now + self.lease_time,
+        )
+        self._active[client_id] = lease
+        return lease
+
+    def _try_claim(self, address: IPv4Address) -> bool:
+        """Claim a specific free address from the plan (internal)."""
+        in_use = self._plan._in_use  # noqa: SLF001 - deliberate tight coupling
+        if int(address) in in_use:
+            return False
+        in_use.add(int(address))
+        return True
+
+    def renew(self, client_id: int, now: float) -> Optional[Lease]:
+        """RENEW: extend an unexpired lease; ``None`` when none is active."""
+        self._expire_if_due(client_id, now)
+        if client_id not in self._active:
+            return None
+        return self.request(client_id, now)
+
+    def release(self, client_id: int, now: float) -> None:
+        """RELEASE: the client gives its address back voluntarily."""
+        del now
+        lease = self._active.pop(client_id, None)
+        if lease is not None:
+            self._plan.release(lease.address)
+            if self.remember_expired:
+                self._expired_binding[client_id] = lease.address
+
+
+class DhcpClient:
+    """A renewing DHCP client: simulates uptime and reports its address.
+
+    ``address_history(until)`` walks simulated time, renewing at T1
+    while up, and returns the (start, end, address) assignment history —
+    the protocol-level ground truth the abstract policies approximate.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        server: DhcpServer,
+        mean_uptime: float,
+        mean_downtime: float,
+        seed: int = 0,
+    ) -> None:
+        if mean_uptime <= 0 or mean_downtime < 0:
+            raise ValueError("uptime must be positive; downtime non-negative")
+        self.client_id = client_id
+        self.server = server
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self._rng = random.Random((seed << 8) ^ client_id)
+
+    def address_history(self, until: float) -> list[tuple[float, float, IPv4Address]]:
+        """Simulate the client until ``until``; returns assignment spans."""
+        history: list[tuple[float, float, IPv4Address]] = []
+        now = 0.0
+        while now < until:
+            up_for = self._rng.expovariate(1.0 / self.mean_uptime)
+            up_end = min(now + up_for, until)
+            # While up: request, then renew at T1 repeatedly.
+            lease = self.server.request(self.client_id, now)
+            span_start = now
+            current = lease.address
+            while True:
+                next_renewal = lease.renewal_time()
+                if next_renewal >= up_end:
+                    break
+                lease = self.server.request(self.client_id, next_renewal)
+                if lease.address != current:
+                    history.append((span_start, next_renewal, current))
+                    span_start, current = next_renewal, lease.address
+            history.append((span_start, up_end, current))
+            now = up_end
+            if self.mean_downtime:
+                now += self._rng.expovariate(1.0 / self.mean_downtime)
+        # Merge adjacent spans with the same address (renewal kept it).
+        merged: list[tuple[float, float, IPv4Address]] = []
+        for start, end, address in history:
+            if merged and merged[-1][2] == address:
+                merged[-1] = (merged[-1][0], end, address)
+            else:
+                merged.append((start, end, address))
+        return merged
+
+
+__all__ = ["DhcpClient", "DhcpServer", "Lease"]

@@ -1,0 +1,185 @@
+"""Protocol-level DHCPv6 prefix delegation (RFC 3633 IA_PD semantics).
+
+Residential CPEs obtain their IPv6 delegated prefix via DHCPv6 IA_PD
+(Section 2.1).  The model mirrors :mod:`repro.netsim.dhcp` for the v6
+side: a delegating router hands out prefixes of a configured length
+with preferred/valid lifetimes; clients renew at T1; a stateful server
+re-delegates the same prefix to a returning client, a stateless one
+draws fresh — the distinction behind persistent vs non-persistent
+delegations (RIPE-690's "persistent vs non-persistent" debate, which
+the paper's Section 3.2 measures in the wild).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ip.prefix import IPv6Prefix
+from repro.netsim.pool import V6PrefixPlan
+
+
+@dataclass(frozen=True)
+class PrefixDelegation:
+    """One IA_PD binding."""
+
+    client_id: int
+    prefix: IPv6Prefix
+    granted_at: float
+    valid_until: float
+
+    @property
+    def valid_lifetime(self) -> float:
+        return self.valid_until - self.granted_at
+
+    def renewal_time(self) -> float:
+        """T1 (RFC 3633 default: 0.5 x preferred; we use 0.5 x valid)."""
+        return self.granted_at + 0.5 * self.valid_lifetime
+
+
+class DelegatingRouter:
+    """A DHCPv6 server delegating prefixes out of a :class:`V6PrefixPlan`."""
+
+    def __init__(
+        self,
+        plan: V6PrefixPlan,
+        valid_lifetime: float,
+        persistent: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if valid_lifetime <= 0:
+            raise ValueError("valid_lifetime must be positive")
+        self._plan = plan
+        self.valid_lifetime = float(valid_lifetime)
+        self.persistent = persistent
+        self._rng = random.Random(seed)
+        self._bindings: Dict[int, PrefixDelegation] = {}
+        self._home_pools: Dict[int, int] = {}
+        self._expired: Dict[int, IPv6Prefix] = {}
+
+    @property
+    def active_delegations(self) -> int:
+        return len(self._bindings)
+
+    def delegation_of(self, client_id: int) -> Optional[PrefixDelegation]:
+        """The client's current binding (None when never delegated)."""
+        return self._bindings.get(client_id)
+
+    def _home_pool(self, client_id: int) -> int:
+        if client_id not in self._home_pools:
+            self._home_pools[client_id] = self._plan.home_pool_index(self._rng)
+        return self._home_pools[client_id]
+
+    def _expire_if_due(self, client_id: int, now: float) -> None:
+        binding = self._bindings.get(client_id)
+        if binding is not None and binding.valid_until <= now:
+            del self._bindings[client_id]
+            self._plan.release(binding.prefix)
+            if self.persistent:
+                self._expired[client_id] = binding.prefix
+
+    def request(self, client_id: int, now: float) -> PrefixDelegation:
+        """SOLICIT/REQUEST (or RENEW): obtain or extend a delegation."""
+        self._expire_if_due(client_id, now)
+        current = self._bindings.get(client_id)
+        if current is not None:
+            renewed = PrefixDelegation(
+                client_id=client_id,
+                prefix=current.prefix,
+                granted_at=now,
+                valid_until=now + self.valid_lifetime,
+            )
+            self._bindings[client_id] = renewed
+            return renewed
+
+        prefix: Optional[IPv6Prefix] = None
+        remembered = self._expired.get(client_id)
+        if remembered is not None and self._try_claim(remembered):
+            prefix = remembered
+        if prefix is None:
+            prefix, pool = self._plan.allocate(
+                self._rng, self._home_pool(client_id), previous=remembered
+            )
+            self._home_pools[client_id] = pool
+        self._expired.pop(client_id, None)
+        binding = PrefixDelegation(
+            client_id=client_id,
+            prefix=prefix,
+            granted_at=now,
+            valid_until=now + self.valid_lifetime,
+        )
+        self._bindings[client_id] = binding
+        return binding
+
+    def _try_claim(self, prefix: IPv6Prefix) -> bool:
+        in_use = self._plan._in_use  # noqa: SLF001 - deliberate tight coupling
+        key = int(prefix.network)
+        if key in in_use:
+            return False
+        in_use.add(key)
+        return True
+
+    def release(self, client_id: int) -> None:
+        """RELEASE: the client returns its delegation."""
+        binding = self._bindings.pop(client_id, None)
+        if binding is not None:
+            self._plan.release(binding.prefix)
+            if self.persistent:
+                self._expired[client_id] = binding.prefix
+
+
+class DelegationClient:
+    """A CPE requesting and renewing a delegated prefix.
+
+    ``delegation_history(until)`` mirrors the v4 client: renew at T1
+    while the line is up; outages longer than the valid lifetime lose
+    the binding (recovered only on a persistent server).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        router: DelegatingRouter,
+        mean_uptime: float,
+        mean_downtime: float,
+        seed: int = 0,
+    ) -> None:
+        if mean_uptime <= 0 or mean_downtime < 0:
+            raise ValueError("uptime must be positive; downtime non-negative")
+        self.client_id = client_id
+        self.router = router
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self._rng = random.Random((seed << 8) ^ client_id)
+
+    def delegation_history(self, until: float) -> list[tuple[float, float, IPv6Prefix]]:
+        """Simulate the CPE until ``until``; returns delegation spans."""
+        history: list[tuple[float, float, IPv6Prefix]] = []
+        now = 0.0
+        while now < until:
+            up_end = min(now + self._rng.expovariate(1.0 / self.mean_uptime), until)
+            binding = self.router.request(self.client_id, now)
+            span_start, current = now, binding.prefix
+            while True:
+                next_renewal = binding.renewal_time()
+                if next_renewal >= up_end:
+                    break
+                binding = self.router.request(self.client_id, next_renewal)
+                if binding.prefix != current:
+                    history.append((span_start, next_renewal, current))
+                    span_start, current = next_renewal, binding.prefix
+            history.append((span_start, up_end, current))
+            now = up_end
+            if self.mean_downtime:
+                now += self._rng.expovariate(1.0 / self.mean_downtime)
+        merged: list[tuple[float, float, IPv6Prefix]] = []
+        for start, end, prefix in history:
+            if merged and merged[-1][2] == prefix:
+                merged[-1] = (merged[-1][0], end, prefix)
+            else:
+                merged.append((start, end, prefix))
+        return merged
+
+
+__all__ = ["DelegatingRouter", "DelegationClient", "PrefixDelegation"]

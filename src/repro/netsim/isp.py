@@ -1,0 +1,216 @@
+"""ISP construction: configuration dataclasses and address-plan wiring.
+
+An :class:`IspConfig` gathers every knob the paper's observations imply:
+assignment protocol behaviour per stack (and per dual-stack status),
+spatial affinities, IPv6 pool structure, CPE behaviour, and
+v4/v6 change synchronization.  :class:`Isp` materializes a config
+against a :class:`~repro.bgp.registry.Registry`, obtaining address
+blocks and announcing routes into a shared routing table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.registry import RIR, AccessKind, Registry
+from repro.bgp.table import RoutingTable
+from repro.ip.prefix import IPv6Prefix
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.pool import V4AddressPlan, V6PrefixPlan
+
+
+@dataclass(frozen=True)
+class PolicyEpoch:
+    """A scheduled change of an ISP's assignment policies.
+
+    From ``start_hour`` onwards, subscribers follow the epoch's
+    policies instead of the configured base ones — the mechanism behind
+    the paper's "Evolution over time" observation that ISPs such as
+    DTAG and Orange lengthened their assignment durations over the
+    years (Section 3.2).
+    """
+
+    start_hour: float
+    policy_nds: ChangePolicy
+    policy_ds: ChangePolicy
+
+    def __post_init__(self) -> None:
+        if self.start_hour < 0:
+            raise ValueError("epoch start_hour must be non-negative")
+
+
+@dataclass(frozen=True)
+class V4AddressingConfig:
+    """IPv4 side of an ISP's assignment behaviour.
+
+    ``policy_nds`` applies to non-dual-stack subscribers and
+    ``policy_ds`` to dual-stack ones — the paper finds these can differ
+    sharply (Section 3.2, "Probes in dual-stack networks observe longer
+    IPv4 address durations").  ``ds_legacy_fraction`` is the share of
+    dual-stack subscribers still handled by the legacy (NDS) policy,
+    e.g. DTAG probes that keep 24-hour renumbering even when
+    dual-stacked.  ``epochs`` optionally evolve the policies over
+    simulated time (sorted by ``start_hour``).
+    """
+
+    policy_nds: ChangePolicy
+    policy_ds: ChangePolicy
+    num_blocks: int = 4
+    block_plen: int = 16
+    ds_legacy_fraction: float = 0.0
+    same_slash24_affinity: float = 0.05
+    same_block_affinity: float = 0.5
+    epochs: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if not 0 <= self.block_plen <= 32:
+            raise ValueError(f"bad block_plen {self.block_plen}")
+        if not 0.0 <= self.ds_legacy_fraction <= 1.0:
+            raise ValueError("ds_legacy_fraction must be in [0, 1]")
+        for epoch in self.epochs:
+            if not isinstance(epoch, PolicyEpoch):
+                raise TypeError(f"epochs entries must be PolicyEpoch, got {epoch!r}")
+        starts = [epoch.start_hour for epoch in self.epochs]
+        if starts != sorted(starts):
+            raise ValueError("epochs must be sorted by start_hour")
+
+
+def _default_cpe_mix() -> tuple:
+    return ((CpeBehavior(), 1.0),)
+
+
+@dataclass(frozen=True)
+class V6AddressingConfig:
+    """IPv6 side: allocation/pool/delegation structure plus dynamics.
+
+    ``cpe_mix`` is a weighted mixture of CPE behaviours deployed in the
+    ISP's customer base — e.g. DTAG mixes zero-filling CPEs with
+    prefix-scrambling ones, which is why Figure 6 shows both a /56 and a
+    /64 spike for that ISP.
+    """
+
+    policy: ChangePolicy
+    allocation_plen: int = 32
+    pool_plen: int = 40
+    num_pools: int = 16
+    delegation_plen: int = 56
+    num_announcements: int = 1
+    sync_with_v4_prob: float = 0.0
+    pool_switch_prob: float = 0.02
+    cpe_mix: tuple = field(default_factory=_default_cpe_mix)
+
+    def __post_init__(self) -> None:
+        if not self.allocation_plen <= self.pool_plen <= self.delegation_plen <= 64:
+            raise ValueError(
+                "need allocation_plen <= pool_plen <= delegation_plen <= 64, got "
+                f"/{self.allocation_plen} /{self.pool_plen} /{self.delegation_plen}"
+            )
+        if self.num_announcements < 1:
+            raise ValueError("num_announcements must be >= 1")
+        if not 0.0 <= self.sync_with_v4_prob <= 1.0:
+            raise ValueError("sync_with_v4_prob must be in [0, 1]")
+        if not self.cpe_mix:
+            raise ValueError("cpe_mix must contain at least one behaviour")
+        for behavior, weight in self.cpe_mix:
+            if not isinstance(behavior, CpeBehavior):
+                raise TypeError(f"cpe_mix entries must be CpeBehavior, got {behavior!r}")
+            if weight <= 0:
+                raise ValueError(f"cpe_mix weights must be positive, got {weight}")
+
+
+@dataclass(frozen=True)
+class IspConfig:
+    """Everything needed to instantiate one simulated ISP.
+
+    ``infra_outage_mean_hours`` (0 = disabled) enables ISP-level
+    infrastructure outages (Section 2.2: a BNG/DHCP server losing state)
+    as a Poisson process; each event renumbers a random
+    ``infra_outage_scope`` fraction of subscribers *simultaneously*, in
+    both families — the correlated mass-renumbering signature.
+    """
+
+    name: str
+    asn: int
+    country: str
+    rir: RIR
+    v4: V4AddressingConfig
+    v6: Optional[V6AddressingConfig] = None
+    kind: AccessKind = AccessKind.FIXED
+    dual_stack_fraction: float = 0.7
+    infra_outage_mean_hours: float = 0.0
+    infra_outage_scope: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dual_stack_fraction <= 1.0:
+            raise ValueError("dual_stack_fraction must be in [0, 1]")
+        if self.infra_outage_mean_hours < 0:
+            raise ValueError("infra_outage_mean_hours must be non-negative")
+        if not 0.0 < self.infra_outage_scope <= 1.0:
+            raise ValueError("infra_outage_scope must be in (0, 1]")
+        if self.v6 is None and self.dual_stack_fraction > 0:
+            object.__setattr__(self, "dual_stack_fraction", 0.0)
+
+
+class Isp:
+    """A configured ISP with materialized address plans and routes."""
+
+    def __init__(
+        self,
+        config: IspConfig,
+        registry: Registry,
+        routing_table: Optional[RoutingTable] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        self.routing_table = routing_table if routing_table is not None else RoutingTable()
+
+        registry.register(config.asn, config.name, config.country, config.rir, config.kind)
+        blocks = registry.allocate_v4(config.asn, config.v4.block_plen, config.v4.num_blocks)
+        self.v4_plan = V4AddressPlan(
+            blocks,
+            same_slash24_affinity=config.v4.same_slash24_affinity,
+            same_block_affinity=config.v4.same_block_affinity,
+        )
+        for block in blocks:
+            self.routing_table.announce(block, config.asn)
+
+        self.v6_plan: Optional[V6PrefixPlan] = None
+        self.v6_allocation: Optional[IPv6Prefix] = None
+        if config.v6 is not None:
+            allocation = registry.allocate_v6(config.asn, config.v6.allocation_plen)
+            self.v6_allocation = allocation
+            self.v6_plan = V6PrefixPlan(
+                allocation,
+                pool_plen=config.v6.pool_plen,
+                delegation_plen=config.v6.delegation_plen,
+                num_pools=config.v6.num_pools,
+                pool_switch_prob=config.v6.pool_switch_prob,
+            )
+            # The allocation may be announced as several more-specific BGP
+            # prefixes; this is what lets some IPv6 renumberings cross BGP
+            # prefixes (Table 2, e.g. Free SAS).
+            announce_plen = allocation.plen
+            pieces = 1
+            while pieces < config.v6.num_announcements:
+                announce_plen += 1
+                pieces *= 2
+            for piece in allocation.subprefixes(announce_plen):
+                self.routing_table.announce(piece, config.asn)
+
+    @property
+    def asn(self) -> int:
+        return self.config.asn
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def __repr__(self) -> str:
+        return f"Isp({self.config.name!r}, AS{self.config.asn})"
+
+
+__all__ = ["Isp", "IspConfig", "V4AddressingConfig", "V6AddressingConfig"]

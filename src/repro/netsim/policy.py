@@ -1,0 +1,105 @@
+"""Assignment-change policies.
+
+A :class:`ChangePolicy` describes *when* a subscriber's assignment is
+renumbered, abstracting over the mechanisms of Section 2.2:
+
+* ``periodic`` — RADIUS SessionTimeout / aggressive DHCP reclaim: the
+  assignment changes after a fixed period (24 h for DTAG, 1 week for
+  Orange, ...), with optional uniform jitter;
+* ``exponential`` — sticky DHCP with renewals: changes only on rare
+  events (infrastructure outages, administrative renumbering), modelled
+  as a Poisson process with a configurable mean holding time;
+* ``static`` — no scheduled changes at all (changes can still be caused
+  by reboots when ``renumber_on_reboot`` is set).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+VALID_KINDS = ("static", "periodic", "exponential")
+
+
+@dataclass(frozen=True)
+class ChangePolicy:
+    """When assignments are renumbered.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"static"``, ``"periodic"``, ``"exponential"``.
+    period_hours:
+        Holding period for ``periodic`` policies.
+    jitter_hours:
+        Half-width of the uniform jitter added to each period (periodic
+        only); keeps subscriber phases from drifting into lock-step.
+    mean_hours:
+        Mean holding time for ``exponential`` policies.
+    renumber_on_reboot:
+        Whether a CPE reboot/outage triggers immediate renumbering —
+        true of RADIUS deployments that keep no per-client state
+        (Section 2.2 "Changes due to outages").
+    """
+
+    kind: str
+    period_hours: float = 0.0
+    jitter_hours: float = 0.0
+    mean_hours: float = 0.0
+    renumber_on_reboot: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"unknown policy kind {self.kind!r}; expected one of {VALID_KINDS}")
+        if self.kind == "periodic" and self.period_hours <= 0:
+            raise ValueError("periodic policy requires period_hours > 0")
+        if self.kind == "exponential" and self.mean_hours <= 0:
+            raise ValueError("exponential policy requires mean_hours > 0")
+        if self.jitter_hours < 0:
+            raise ValueError("jitter_hours must be non-negative")
+        if self.jitter_hours >= self.period_hours and self.kind == "periodic" and self.jitter_hours:
+            raise ValueError("jitter_hours must be smaller than period_hours")
+
+    def next_change_delay(self, rng: random.Random) -> Optional[float]:
+        """Hours until the next scheduled renumbering, or ``None`` for static."""
+        if self.kind == "static":
+            return None
+        if self.kind == "periodic":
+            if self.jitter_hours:
+                return self.period_hours + rng.uniform(-self.jitter_hours, self.jitter_hours)
+            return self.period_hours
+        return rng.expovariate(1.0 / self.mean_hours)
+
+    @classmethod
+    def static(cls, renumber_on_reboot: bool = False) -> "ChangePolicy":
+        return cls(kind="static", renumber_on_reboot=renumber_on_reboot)
+
+    @classmethod
+    def periodic(
+        cls,
+        period_hours: float,
+        jitter_hours: float = 0.0,
+        renumber_on_reboot: bool = True,
+    ) -> "ChangePolicy":
+        return cls(
+            kind="periodic",
+            period_hours=period_hours,
+            jitter_hours=jitter_hours,
+            renumber_on_reboot=renumber_on_reboot,
+        )
+
+    @classmethod
+    def exponential(
+        cls,
+        mean_hours: float,
+        renumber_on_reboot: bool = False,
+    ) -> "ChangePolicy":
+        return cls(
+            kind="exponential",
+            mean_hours=mean_hours,
+            renumber_on_reboot=renumber_on_reboot,
+        )
+
+
+__all__ = ["ChangePolicy", "VALID_KINDS"]

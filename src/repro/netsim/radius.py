@@ -1,0 +1,137 @@
+"""Protocol-level RADIUS session model (RFC 2865 semantics).
+
+RADIUS-based broadband deployments (PPPoE + Access-Request/Accept)
+assign an address per *session* with a ``Session-Timeout``; when the
+session ends — timeout or line drop — the address returns to the pool
+and the server typically keeps **no per-subscriber state**, so the next
+session draws a fresh address.  This is the mechanism behind the
+paper's periodic renumbering modes (24 h DTAG, 1 week Orange, ...) and
+behind renumber-on-reboot behaviour (Section 2.2).
+
+The model validates the abstract ``periodic`` / ``renumber_on_reboot``
+policies used by the event simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ip.addr import IPv4Address
+from repro.netsim.pool import V4AddressPlan
+
+
+@dataclass(frozen=True)
+class Session:
+    """One accepted access session."""
+
+    subscriber_id: int
+    address: IPv4Address
+    started_at: float
+    timeout_at: float
+
+    @property
+    def session_timeout(self) -> float:
+        return self.timeout_at - self.started_at
+
+
+class RadiusServer:
+    """Session-based address assignment with a fixed Session-Timeout."""
+
+    def __init__(
+        self,
+        plan: V4AddressPlan,
+        session_timeout: float,
+        seed: int = 0,
+    ) -> None:
+        if session_timeout <= 0:
+            raise ValueError("session_timeout must be positive")
+        self._plan = plan
+        self.session_timeout = float(session_timeout)
+        self._rng = random.Random(seed)
+        self._sessions: Dict[int, Session] = {}
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    def session_of(self, subscriber_id: int) -> Optional[Session]:
+        """The subscriber's active session (None when offline)."""
+        return self._sessions.get(subscriber_id)
+
+    def access_request(self, subscriber_id: int, now: float) -> Session:
+        """Start a session; any previous one is terminated first.
+
+        The server retains no binding state: a new session always draws
+        a fresh address (never the immediately previous one, which was
+        just released back into the pool).
+        """
+        previous = self.terminate(subscriber_id, now)
+        address = self._plan.allocate(self._rng, previous=previous)
+        session = Session(
+            subscriber_id=subscriber_id,
+            address=address,
+            started_at=now,
+            timeout_at=now + self.session_timeout,
+        )
+        self._sessions[subscriber_id] = session
+        return session
+
+    def terminate(self, subscriber_id: int, now: float) -> Optional[IPv4Address]:
+        """End a session (line drop / timeout); returns the freed address."""
+        del now
+        session = self._sessions.pop(subscriber_id, None)
+        if session is None:
+            return None
+        self._plan.release(session.address)
+        return session.address
+
+
+class PppoeSubscriber:
+    """A subscriber line that reconnects immediately on session end.
+
+    ``address_history(until)`` produces the protocol-level assignment
+    spans: back-to-back sessions of exactly ``session_timeout`` hours
+    (periodic renumbering), interrupted early by line drops with the
+    configured mean time between failures — each reconnect draws a new
+    address, reproducing renumber-on-reboot.
+    """
+
+    def __init__(
+        self,
+        subscriber_id: int,
+        server: RadiusServer,
+        mean_time_between_drops: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if mean_time_between_drops < 0:
+            raise ValueError("mean_time_between_drops must be non-negative")
+        self.subscriber_id = subscriber_id
+        self.server = server
+        self.mean_time_between_drops = mean_time_between_drops
+        self._rng = random.Random((seed << 8) ^ subscriber_id)
+
+    def _next_drop(self, now: float) -> float:
+        if not self.mean_time_between_drops:
+            return float("inf")
+        return now + self._rng.expovariate(1.0 / self.mean_time_between_drops)
+
+    def address_history(self, until: float) -> List[Tuple[float, float, IPv4Address]]:
+        """Simulate the line until ``until``; returns assignment spans."""
+        history: List[Tuple[float, float, IPv4Address]] = []
+        now = 0.0
+        next_drop = self._next_drop(0.0)
+        while now < until:
+            session = self.server.access_request(self.subscriber_id, now)
+            session_end = min(session.timeout_at, until)
+            if next_drop < session_end:
+                session_end = next_drop
+                next_drop = self._next_drop(session_end)
+            history.append((now, session_end, session.address))
+            now = session_end
+        self.server.terminate(self.subscriber_id, until)
+        return history
+
+
+__all__ = ["PppoeSubscriber", "RadiusServer", "Session"]

@@ -1,0 +1,351 @@
+"""The event-queue simulation that produces per-subscriber timelines.
+
+:class:`IspSimulation` drives one ISP's subscriber population from hour
+0 to ``end_hour`` through a single global event queue, so all pool
+allocations and releases happen in global time order (no two
+subscribers ever hold the same address simultaneously).
+
+Event kinds:
+
+``v4``
+    Scheduled IPv4 renumbering (lease/session expiry per policy).  May
+    synchronously renumber IPv6 with the configured probability.
+``v6``
+    Scheduled, independent IPv6 delegated-prefix renumbering.
+``reboot``
+    CPE reboot; triggers renumbering for policies with
+    ``renumber_on_reboot`` (stateless RADIUS-style deployments).
+``scramble``
+    CPE-local re-draw of the LAN /64 within the current delegation
+    (DTAG-style privacy scrambling) — no ISP involvement.
+
+The output is a :class:`SubscriberTimeline` per subscriber: interval
+lists for the IPv4 address, the IPv6 LAN /64, and (as ground truth for
+the delegated-prefix inference experiments) the IPv6 delegation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv6Prefix
+from repro.netsim.cpe import Cpe
+from repro.netsim.events import EventQueue
+from repro.netsim.isp import Isp
+from repro.netsim.policy import ChangePolicy
+
+Value = Union[IPv4Address, IPv6Prefix]
+
+
+@dataclass(frozen=True)
+class AssignmentInterval:
+    """One assignment held over ``[start, end)`` (hours)."""
+
+    start: float
+    end: float
+    value: Value
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SubscriberTimeline:
+    """Everything one subscriber held over the simulation."""
+
+    subscriber_id: int
+    dual_stack: bool
+    v4: List[AssignmentInterval] = field(default_factory=list)
+    v6_lan: List[AssignmentInterval] = field(default_factory=list)
+    v6_delegation: List[AssignmentInterval] = field(default_factory=list)
+
+
+class _SubscriberState:
+    __slots__ = (
+        "sub_id",
+        "dual_stack",
+        "v4_policy",
+        "is_legacy",
+        "cpe",
+        "home_pool",
+        "v4_addr",
+        "v4_since",
+        "v6_delegation",
+        "v6_delegation_since",
+        "v6_lan",
+        "v6_lan_since",
+        "v4_event",
+        "v6_event",
+        "timeline",
+    )
+
+    def __init__(self, sub_id: int, dual_stack: bool, v4_policy: ChangePolicy, cpe: Cpe) -> None:
+        self.sub_id = sub_id
+        self.dual_stack = dual_stack
+        self.v4_policy = v4_policy
+        self.is_legacy = False
+        self.cpe = cpe
+        self.home_pool = 0
+        self.v4_addr: Optional[IPv4Address] = None
+        self.v4_since = 0.0
+        self.v6_delegation: Optional[IPv6Prefix] = None
+        self.v6_delegation_since = 0.0
+        self.v6_lan: Optional[IPv6Prefix] = None
+        self.v6_lan_since = 0.0
+        self.v4_event = None
+        self.v6_event = None
+        self.timeline = SubscriberTimeline(subscriber_id=sub_id, dual_stack=dual_stack)
+
+
+class IspSimulation:
+    """Simulate ``num_subscribers`` lines of one ISP for ``end_hour`` hours."""
+
+    def __init__(
+        self,
+        isp: Isp,
+        num_subscribers: int,
+        end_hour: float,
+        seed: int = 0,
+    ) -> None:
+        if num_subscribers < 1:
+            raise ValueError("num_subscribers must be >= 1")
+        if end_hour <= 0:
+            raise ValueError("end_hour must be positive")
+        self.isp = isp
+        self.end_hour = float(end_hour)
+        self._rng = random.Random((seed << 16) ^ isp.asn)
+        self._queue = EventQueue()
+        self._subs: Dict[int, _SubscriberState] = {}
+        self._build_population(num_subscribers)
+        if isp.config.infra_outage_mean_hours:
+            delay = self._rng.expovariate(1.0 / isp.config.infra_outage_mean_hours)
+            self._queue.schedule(delay, ("infra", -1))
+
+    # -- setup ---------------------------------------------------------------
+
+    def _build_population(self, count: int) -> None:
+        config = self.isp.config
+        rng = self._rng
+        for sub_id in range(count):
+            dual_stack = config.v6 is not None and rng.random() < config.dual_stack_fraction
+            is_legacy = rng.random() < config.v4.ds_legacy_fraction
+            if dual_stack and not is_legacy:
+                v4_policy = config.v4.policy_ds
+            else:
+                v4_policy = config.v4.policy_nds
+            cpe = None
+            if config.v6 is not None:
+                behaviors = [behavior for behavior, _ in config.v6.cpe_mix]
+                weights = [weight for _, weight in config.v6.cpe_mix]
+                cpe = Cpe(rng.choices(behaviors, weights=weights, k=1)[0], rng)
+            state = _SubscriberState(sub_id, dual_stack, v4_policy, cpe)
+            state.is_legacy = is_legacy
+            self._subs[sub_id] = state
+            for epoch_index, epoch in enumerate(config.v4.epochs):
+                if epoch.start_hour < self.end_hour:
+                    self._queue.schedule(epoch.start_hour, ("policy", sub_id, epoch_index))
+
+            state.v4_addr = self.isp.v4_plan.allocate(rng)
+            state.v4_since = 0.0
+            self._schedule_v4(state, 0.0, first=True)
+
+            if dual_stack:
+                assert self.isp.v6_plan is not None and cpe is not None
+                state.home_pool = self.isp.v6_plan.home_pool_index(rng)
+                delegation, pool = self.isp.v6_plan.allocate(rng, state.home_pool)
+                state.home_pool = pool
+                state.v6_delegation = delegation
+                state.v6_lan = cpe.select_lan_prefix(delegation, rng)
+                self._schedule_v6(state, 0.0, first=True)
+                scramble_delay = cpe.next_scramble_delay(rng)
+                if scramble_delay is not None:
+                    self._queue.schedule(scramble_delay * rng.random(), ("scramble", sub_id))
+            if cpe is not None:
+                reboot_delay = cpe.next_reboot_delay(rng)
+                if reboot_delay is not None:
+                    self._queue.schedule(reboot_delay, ("reboot", sub_id))
+
+    def _schedule_v4(self, state: _SubscriberState, now: float, first: bool = False) -> None:
+        delay = state.v4_policy.next_change_delay(self._rng)
+        if delay is None:
+            state.v4_event = None
+            return
+        if first:
+            # Random phase so periodic populations do not change in lock-step.
+            delay *= self._rng.random()
+        state.v4_event = self._queue.schedule(now + delay, ("v4", state.sub_id))
+
+    def _schedule_v6(self, state: _SubscriberState, now: float, first: bool = False) -> None:
+        config = self.isp.config.v6
+        assert config is not None
+        delay = config.policy.next_change_delay(self._rng)
+        if delay is None:
+            state.v6_event = None
+            return
+        if first:
+            delay *= self._rng.random()
+        state.v6_event = self._queue.schedule(now + delay, ("v6", state.sub_id))
+
+    # -- state transitions ----------------------------------------------------
+
+    def _renumber_v4(self, state: _SubscriberState, now: float) -> None:
+        old = state.v4_addr
+        assert old is not None
+        state.timeline.v4.append(AssignmentInterval(state.v4_since, now, old))
+        self.isp.v4_plan.release(old)
+        state.v4_addr = self.isp.v4_plan.allocate(self._rng, previous=old)
+        state.v4_since = now
+
+    def _renumber_v6(self, state: _SubscriberState, now: float) -> None:
+        plan = self.isp.v6_plan
+        assert plan is not None and state.cpe is not None
+        old = state.v6_delegation
+        assert old is not None and state.v6_lan is not None
+        state.timeline.v6_delegation.append(
+            AssignmentInterval(state.v6_delegation_since, now, old)
+        )
+        state.timeline.v6_lan.append(AssignmentInterval(state.v6_lan_since, now, state.v6_lan))
+        plan.release(old)
+        delegation, pool = plan.allocate(self._rng, state.home_pool, previous=old)
+        state.home_pool = pool
+        state.v6_delegation = delegation
+        state.v6_delegation_since = now
+        state.v6_lan = state.cpe.select_lan_prefix(delegation, self._rng)
+        state.v6_lan_since = now
+
+    def _rescramble(self, state: _SubscriberState, now: float) -> None:
+        assert state.cpe is not None and state.v6_delegation is not None
+        assert state.v6_lan is not None
+        new_lan = state.cpe.select_lan_prefix(state.v6_delegation, self._rng)
+        if new_lan == state.v6_lan:
+            return
+        state.timeline.v6_lan.append(AssignmentInterval(state.v6_lan_since, now, state.v6_lan))
+        state.v6_lan = new_lan
+        state.v6_lan_since = now
+
+    def _maybe_sync_v6(self, state: _SubscriberState, now: float) -> None:
+        """A v4 change drags the v6 delegation along with it (DTAG-style)."""
+        config = self.isp.config.v6
+        if config is None or not state.dual_stack:
+            return
+        if self._rng.random() >= config.sync_with_v4_prob:
+            return
+        self._renumber_v6(state, now)
+        if state.v6_event is not None:
+            self._queue.cancel(state.v6_event)
+        self._schedule_v6(state, now)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> Dict[int, SubscriberTimeline]:
+        """Process all events up to ``end_hour``; returns the timelines."""
+        for now, event in self._queue.drain_until(self.end_hour):
+            kind, sub_id = event[0], event[1]
+            if kind == "infra":
+                self._handle_infrastructure_outage(now)
+                continue
+            state = self._subs[sub_id]
+            if kind == "policy":
+                self._apply_policy_epoch(state, now, event[2])
+            elif kind == "v4":
+                self._renumber_v4(state, now)
+                self._maybe_sync_v6(state, now)
+                self._schedule_v4(state, now)
+            elif kind == "v6":
+                self._renumber_v6(state, now)
+                self._schedule_v6(state, now)
+            elif kind == "reboot":
+                self._handle_reboot(state, now)
+            elif kind == "scramble":
+                self._rescramble(state, now)
+                assert state.cpe is not None
+                delay = state.cpe.next_scramble_delay(self._rng)
+                if delay is not None:
+                    self._queue.schedule(now + delay, ("scramble", sub_id))
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+        return self._close_timelines()
+
+    def _handle_infrastructure_outage(self, now: float) -> None:
+        """A BNG/assignment server loses state: mass simultaneous renumbering.
+
+        A random ``infra_outage_scope`` share of subscribers is renumbered
+        at the same instant in both families (Section 2.2, "outages that
+        affect ISP's infrastructure devices").
+        """
+        config = self.isp.config
+        scope = config.infra_outage_scope
+        for state in self._subs.values():
+            if self._rng.random() >= scope:
+                continue
+            self._renumber_v4(state, now)
+            if state.v4_event is not None:
+                self._queue.cancel(state.v4_event)
+            self._schedule_v4(state, now)
+            if state.dual_stack and state.v6_delegation is not None:
+                self._renumber_v6(state, now)
+                if state.v6_event is not None:
+                    self._queue.cancel(state.v6_event)
+                self._schedule_v6(state, now)
+        delay = self._rng.expovariate(1.0 / config.infra_outage_mean_hours)
+        self._queue.schedule(now + delay, ("infra", -1))
+
+    def _apply_policy_epoch(self, state: _SubscriberState, now: float, epoch_index: int) -> None:
+        """Switch the subscriber onto the epoch's policy (Section 3.2 drift).
+
+        The pending renumbering timer is rescheduled under the new
+        policy, measured from now — an administratively shortened lease
+        takes effect at the next renewal, not retroactively.
+        """
+        epoch = self.isp.config.v4.epochs[epoch_index]
+        if state.dual_stack and not state.is_legacy:
+            state.v4_policy = epoch.policy_ds
+        else:
+            state.v4_policy = epoch.policy_nds
+        if state.v4_event is not None:
+            self._queue.cancel(state.v4_event)
+        self._schedule_v4(state, now)
+
+    def _handle_reboot(self, state: _SubscriberState, now: float) -> None:
+        if state.v4_policy.renumber_on_reboot:
+            self._renumber_v4(state, now)
+            if state.v4_event is not None:
+                self._queue.cancel(state.v4_event)
+            self._schedule_v4(state, now)
+            self._maybe_sync_v6(state, now)
+        config = self.isp.config.v6
+        if (
+            config is not None
+            and state.dual_stack
+            and config.policy.renumber_on_reboot
+        ):
+            self._renumber_v6(state, now)
+            if state.v6_event is not None:
+                self._queue.cancel(state.v6_event)
+            self._schedule_v6(state, now)
+        assert state.cpe is not None
+        delay = state.cpe.next_reboot_delay(self._rng)
+        if delay is not None:
+            self._queue.schedule(now + delay, ("reboot", state.sub_id))
+
+    def _close_timelines(self) -> Dict[int, SubscriberTimeline]:
+        end = self.end_hour
+        for state in self._subs.values():
+            if state.v4_addr is not None:
+                state.timeline.v4.append(AssignmentInterval(state.v4_since, end, state.v4_addr))
+            if state.v6_lan is not None:
+                state.timeline.v6_lan.append(
+                    AssignmentInterval(state.v6_lan_since, end, state.v6_lan)
+                )
+            if state.v6_delegation is not None:
+                state.timeline.v6_delegation.append(
+                    AssignmentInterval(state.v6_delegation_since, end, state.v6_delegation)
+                )
+        return {sub_id: state.timeline for sub_id, state in self._subs.items()}
+
+
+__all__ = ["AssignmentInterval", "IspSimulation", "SubscriberTimeline"]

@@ -1,0 +1,365 @@
+"""One-call scenario builders used by examples, tests and benchmarks.
+
+Two entry points:
+
+* :func:`build_atlas_scenario` — simulate the paper's featured ISPs,
+  deploy RIPE Atlas probes on them (including a configurable share of
+  anomalous deployments), run the sanitization pipeline, and return
+  everything the Section 3/5 analyses need.
+* :func:`build_cdn_scenario` — build a world-wide CDN population (fixed
+  ISPs per registry, mobile operators, the featured ISPs) and collect a
+  RUM association dataset for the Section 4/5.3 analyses.
+
+Both are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.atlas.platform import AtlasPlatform, ProbeData, ProbeSpec
+from repro.atlas.sanitize import SanitizationReport, SanitizedProbe, sanitize
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.cdn.clients import (
+    FixedPopulation,
+    MobileConfig,
+    MobilePopulation,
+    cdn_fixed_config,
+)
+from repro.cdn.collector import CdnDataset, collect
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig, V6AddressingConfig
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.profiles import (
+    PAPER_DS_PROBE_COUNTS,
+    default_profiles,
+    mobile_profile,
+)
+from repro.netsim.sim import IspSimulation, SubscriberTimeline
+
+DAY = 24.0
+MONTH = 30 * DAY
+
+ANOMALY_CYCLE = ("test_prefix", "public_v4_src", "v6_src_mismatch", "multihomed", "as_move")
+
+
+@dataclass
+class AtlasScenario:
+    """A fully built Atlas measurement study."""
+
+    registry: Registry
+    table: RoutingTable
+    isps: Dict[str, Isp]
+    timelines: Dict[int, Dict[int, SubscriberTimeline]]  # asn -> sub -> timeline
+    platform: AtlasPlatform
+    raw_probes: List[ProbeData]
+    probes: List[SanitizedProbe]
+    report: SanitizationReport
+    end_hour: int
+
+    def probes_in(self, asn: int) -> List[SanitizedProbe]:
+        """The sanitized probes attributed to ``asn``."""
+        return [probe for probe in self.probes if probe.asn == asn]
+
+    def asn_of(self, name: str) -> int:
+        """ASN of the ISP named ``name``."""
+        return self.isps[name].asn
+
+
+def build_atlas_scenario(
+    probes_per_as: int = 20,
+    years: float = 2.0,
+    seed: int = 0,
+    profiles: Optional[Sequence[IspConfig]] = None,
+    anomaly_fraction: float = 0.15,
+    bad_tag_fraction: float = 0.05,
+) -> AtlasScenario:
+    """Simulate ISPs, deploy probes, sanitize — the Section 3/5 input."""
+    if probes_per_as < 1:
+        raise ValueError("probes_per_as must be >= 1")
+    if years <= 0:
+        raise ValueError("years must be positive")
+    profiles = list(profiles) if profiles is not None else default_profiles()
+    end_hour = int(years * 365 * DAY)
+
+    registry = Registry()
+    table = RoutingTable()
+    isps: Dict[str, Isp] = {}
+    timelines: Dict[int, Dict[int, SubscriberTimeline]] = {}
+    rng = random.Random(seed)
+
+    # Anomalous probes need a secondary network to flap to / move to.
+    num_subscribers = probes_per_as + 2  # spares for secondary attachments
+    for config in profiles:
+        isp = Isp(config, registry, table)
+        isps[config.name] = isp
+        timelines[config.asn] = IspSimulation(
+            isp, num_subscribers, end_hour, seed=seed
+        ).run()
+
+    platform = AtlasPlatform(
+        {isp.asn: (isp, timelines[isp.asn]) for isp in isps.values()},
+        end_hour=end_hour,
+        seed=seed,
+    )
+
+    specs: List[ProbeSpec] = []
+    probe_id = 0
+    asns = [isp.asn for isp in isps.values()]
+    for config in profiles:
+        for subscriber_id in range(probes_per_as):
+            roll = rng.random()
+            anomaly = "none"
+            tags: tuple = ()
+            secondary = None
+            if roll < anomaly_fraction:
+                anomaly = ANOMALY_CYCLE[probe_id % len(ANOMALY_CYCLE)]
+                if anomaly in ("multihomed", "as_move"):
+                    other_asn = rng.choice([asn for asn in asns if asn != config.asn])
+                    secondary = (other_asn, probes_per_as)  # a spare subscriber line
+            elif roll < anomaly_fraction + bad_tag_fraction:
+                tags = ("datacentre",)
+            specs.append(
+                ProbeSpec(
+                    probe_id=probe_id,
+                    asn=config.asn,
+                    subscriber_id=subscriber_id,
+                    tags=tags,
+                    anomaly=anomaly,
+                    secondary=secondary,
+                )
+            )
+            probe_id += 1
+
+    raw_probes = [platform.probe_data(spec) for spec in specs]
+    probes, report = sanitize(raw_probes, table)
+    return AtlasScenario(
+        registry=registry,
+        table=table,
+        isps=isps,
+        timelines=timelines,
+        platform=platform,
+        raw_probes=raw_probes,
+        probes=probes,
+        report=report,
+        end_hour=end_hour,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CDN scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CdnScenario:
+    """A fully built CDN association study."""
+
+    registry: Registry
+    table: RoutingTable
+    dataset: CdnDataset
+    featured_asns: Dict[str, int]
+    days: int
+    fixed_asns: List[int] = field(default_factory=list)
+    mobile_asns: List[int] = field(default_factory=list)
+
+
+def _registry_fixed_configs(rir: RIR, base_asn: int) -> List[IspConfig]:
+    """Generic fixed-line ISPs per registry, calibrated to Figs 3 and 7.
+
+    Per registry we deploy three ISPs: a ``/60-delegating``, a
+    ``/56-delegating``, and a "non-inferable" one whose CPEs scramble.
+    The weights (via subscriber share, chosen by the caller) land the
+    per-registry inferable fractions near the paper's: ARIN 59 %,
+    RIPE 79 %, APNIC 54 %, LACNIC 15 %, AFRINIC 83 %.
+    """
+    zero = CpeBehavior(lan_selection="zero", reboot_mean_hours=4 * MONTH)
+    scramble = CpeBehavior(lan_selection="scramble", reboot_mean_hours=4 * MONTH)
+
+    # Per-RIR IPv4 holding-time means (hours): ARIN fixed lines are very
+    # stable (Fig. 3 median ~100 days), other registries more moderate.
+    # Reboots do not renumber (sticky DHCP), so the mean is the only knob.
+    v4_mean = {
+        RIR.ARIN: 12 * MONTH,
+        RIR.RIPE: 5 * MONTH,
+        RIR.APNIC: 6 * MONTH,
+        RIR.LACNIC: 4 * MONTH,
+        RIR.AFRINIC: 6 * MONTH,
+    }[rir]
+
+    def config(offset: int, name_suffix: str, delegation_plen: int, cpe: CpeBehavior) -> IspConfig:
+        return IspConfig(
+            name=f"{rir.value}-{name_suffix}",
+            asn=base_asn + offset,
+            country=rir.value[:2],
+            rir=rir,
+            dual_stack_fraction=1.0,
+            v4=V4AddressingConfig(
+                policy_nds=ChangePolicy.exponential(v4_mean),
+                policy_ds=ChangePolicy.exponential(v4_mean),
+                num_blocks=2,
+                block_plen=20,
+                same_slash24_affinity=0.25,
+                same_block_affinity=0.5,
+            ),
+            v6=V6AddressingConfig(
+                policy=ChangePolicy.exponential(12 * MONTH),
+                allocation_plen=32,
+                pool_plen=40,
+                num_pools=8,
+                delegation_plen=delegation_plen,
+                sync_with_v4_prob=0.3,
+                pool_switch_prob=0.02,
+                cpe_mix=((cpe, 1.0),),
+            ),
+        )
+
+    return [
+        config(0, "fixed60", 60, zero),
+        config(1, "fixed56", 56, zero),
+        config(2, "fixedopaque", 60, scramble),
+    ]
+
+
+#: Share of each registry's fixed subscribers on the /60, /56, and opaque
+#: ISPs — the knob behind Figure 7's per-registry inferable fractions.
+_FIXED_DELEGATION_SHARES: Dict[RIR, tuple] = {
+    RIR.ARIN: (0.31, 0.28, 0.41),
+    RIR.RIPE: (0.12, 0.67, 0.21),
+    RIR.APNIC: (0.22, 0.33, 0.45),
+    RIR.LACNIC: (0.05, 0.10, 0.85),
+    RIR.AFRINIC: (0.08, 0.75, 0.17),
+}
+
+
+def build_cdn_scenario(
+    days: int = 150,
+    seed: int = 0,
+    fixed_subscribers_per_registry: int = 600,
+    mobile_devices_per_registry: int = 1500,
+    include_featured_isps: bool = True,
+    featured_subscribers: int = 400,
+    cross_network_noise: float = 0.0,
+    filter_asn_mismatch: bool = True,
+) -> CdnScenario:
+    """Build the world-wide CDN association dataset (Section 4 input)."""
+    if days <= 0:
+        raise ValueError("days must be positive")
+    registry = Registry()
+    table = RoutingTable()
+    end_hour = days * DAY
+    populations: List = []
+    fixed_asns: List[int] = []
+    mobile_asns: List[int] = []
+    featured_asns: Dict[str, int] = {}
+
+    # Pass 1: fixed-line populations (registry generics + featured ISPs).
+    base_asn = 64600
+    for rir_index, rir in enumerate(RIR):
+        configs = _registry_fixed_configs(rir, base_asn + 10 * rir_index)
+        shares = _FIXED_DELEGATION_SHARES[rir]
+        for config, share in zip(configs, shares):
+            count = max(8, int(fixed_subscribers_per_registry * share))
+            scaled = cdn_fixed_config(config, count)
+            isp = Isp(scaled, registry, table)
+            fixed_asns.append(isp.asn)
+            timelines = IspSimulation(isp, count, end_hour, seed=seed).run()
+            populations.append(FixedPopulation(isp, timelines, days, seed=seed))
+
+    if include_featured_isps:
+        # Featured ISP populations are scaled relative to each other by the
+        # paper's dual-stack probe counts (Table 1): DTAG is the largest.
+        reference = max(PAPER_DS_PROBE_COUNTS.values())
+        for config in default_profiles():
+            weight = PAPER_DS_PROBE_COUNTS.get(config.name, reference // 4)
+            count = max(64, featured_subscribers * weight // reference)
+            # The CDN-visible dual-stack population skews toward lines on
+            # modern provisioning: legacy periodic-renumbering DS shares are
+            # scaled down relative to the Atlas probe population (this is
+            # what reconciles Fig. 1's DS 1-day mode with Fig. 2's ~1-week
+            # DTAG median; see EXPERIMENTS.md).
+            config = replace(
+                config,
+                v4=replace(
+                    config.v4, ds_legacy_fraction=config.v4.ds_legacy_fraction * 0.2
+                ),
+            )
+            scaled = cdn_fixed_config(config, count)
+            isp = Isp(scaled, registry, table)
+            featured_asns[config.name] = isp.asn
+            fixed_asns.append(isp.asn)
+            timelines = IspSimulation(isp, count, end_hour, seed=seed).run()
+            populations.append(FixedPopulation(isp, timelines, days, seed=seed))
+
+    # Foreign v4 space for cellular/WiFi switchers: one block per fixed ISP.
+    foreign_blocks = [
+        population.isp.v4_plan.blocks[0]
+        for population in populations
+        if isinstance(population, FixedPopulation)
+    ]
+
+    # Pass 2: one generic mobile operator per registry; RIPE additionally
+    # gets an EE-like operator with long-lived mobile associations.
+    for rir_index, rir in enumerate(RIR):
+        mobile = mobile_profile(
+            f"{rir.value}-mobile", base_asn + 10 * rir_index + 5, rir.value[:2], rir
+        )
+        mobile_isp = Isp(mobile, registry, table)
+        mobile_asns.append(mobile_isp.asn)
+        generic_devices = (
+            mobile_devices_per_registry // 2 if rir is RIR.RIPE else mobile_devices_per_registry
+        )
+        populations.append(
+            MobilePopulation(
+                mobile_isp,
+                MobileConfig(
+                    num_devices=generic_devices,
+                    cross_network_noise=cross_network_noise,
+                ),
+                days,
+                seed=seed,
+                foreign_v4_blocks=foreign_blocks if cross_network_noise > 0 else None,
+            )
+        )
+        if rir is RIR.RIPE:
+            # EE-like operator: a *large* mobile network whose associations
+            # reach 50 days — it single-handedly shifts RIPE's mobile tail
+            # (the paper's "main outlier" discussion around Figure 3).
+            ee = mobile_profile("EE", base_asn + 10 * rir_index + 6, "GB", rir)
+            ee_isp = Isp(ee, registry, table)
+            mobile_asns.append(ee_isp.asn)
+            populations.append(
+                MobilePopulation(
+                    ee_isp,
+                    MobileConfig(
+                        num_devices=4 * mobile_devices_per_registry,
+                        short_lifetime_fraction=0.25,
+                        long_lifetime_mean_days=18.0,
+                        lifetime_cap_days=50.0,
+                    ),
+                    days,
+                    seed=seed,
+                )
+            )
+
+    dataset = collect(populations, table, registry, filter_asn_mismatch=filter_asn_mismatch)
+    return CdnScenario(
+        registry=registry,
+        table=table,
+        dataset=dataset,
+        featured_asns=featured_asns,
+        days=days,
+        fixed_asns=fixed_asns,
+        mobile_asns=mobile_asns,
+    )
+
+
+__all__ = [
+    "AtlasScenario",
+    "CdnScenario",
+    "build_atlas_scenario",
+    "build_cdn_scenario",
+]

@@ -1,0 +1,14 @@
+"""Guard: docs/api.md stays in sync with the package."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).parent.parent / "scripts" / "generate_api_docs.py"
+
+
+def test_api_docs_up_to_date():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--check"], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

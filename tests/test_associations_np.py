@@ -1,0 +1,103 @@
+"""Equivalence tests: numpy-vectorized vs reference association analytics."""
+
+import random
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.associations import (
+    association_durations,
+    box_stats,
+    v4_degree_counts,
+    v6_degree_counts,
+)
+from repro.core.associations_np import (
+    association_durations_np,
+    columns_from_triples,
+    duration_percentiles_np,
+    unpack_v6_degree_keys,
+    v4_degree_counts_np,
+    v6_degree_counts_np,
+)
+
+triple_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=200,
+)
+
+
+def to_triples(raw):
+    # Distinct /24 and /64 keys; /64 keys are full 128-bit ints.
+    return [(day, v4 << 8, v6 << 64) for day, v4, v6 in raw]
+
+
+@given(triple_lists)
+@settings(max_examples=60, deadline=None)
+def test_durations_equivalent(raw):
+    triples = to_triples(raw)
+    reference = sorted(association_durations(triples))
+    days, v4, v6 = columns_from_triples(triples)
+    vectorized = sorted(int(x) for x in association_durations_np(days, v4, v6))
+    assert vectorized == reference
+
+
+@given(triple_lists)
+@settings(max_examples=60, deadline=None)
+def test_degree_counts_equivalent(raw):
+    triples = to_triples(raw)
+    ref_unique, ref_hits = v4_degree_counts(triples)
+    days, v4, v6 = columns_from_triples(triples)
+    np_unique, np_hits = v4_degree_counts_np(v4, v6)
+    assert np_unique == ref_unique
+    assert np_hits == ref_hits
+    ref_v6 = v6_degree_counts(triples)
+    assert unpack_v6_degree_keys(v6_degree_counts_np(v4, v6)) == ref_v6
+
+
+class TestLargeRandomized:
+    def test_equivalence_at_scale(self):
+        rng = random.Random(0)
+        triples = [
+            (rng.randrange(150), rng.randrange(40) << 8, rng.randrange(500) << 64)
+            for _ in range(20000)
+        ]
+        reference = Counter(association_durations(triples))
+        days, v4, v6 = columns_from_triples(triples)
+        vectorized = Counter(int(x) for x in association_durations_np(days, v4, v6))
+        assert vectorized == reference
+
+    def test_percentiles_match_box_stats(self):
+        rng = random.Random(1)
+        durations = [rng.randrange(1, 150) for _ in range(5000)]
+        stats = box_stats(durations)
+        p5, q1, median, q3, p95 = duration_percentiles_np(np.array(durations))
+        assert median == pytest.approx(stats.median)
+        assert q1 == pytest.approx(stats.q1)
+        assert q3 == pytest.approx(stats.q3)
+        assert p5 == pytest.approx(stats.p5)
+        assert p95 == pytest.approx(stats.p95)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        days, v4, v6 = columns_from_triples([])
+        assert len(association_durations_np(days, v4, v6)) == 0
+        assert v4_degree_counts_np(v4, v6) == ({}, {})
+        assert v6_degree_counts_np(v4, v6) == {}
+        with pytest.raises(ValueError):
+            duration_percentiles_np(np.empty(0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            association_durations_np(np.zeros(2), np.zeros(1), np.zeros(2))
+        with pytest.raises(ValueError):
+            v4_degree_counts_np(np.zeros(2), np.zeros(1))
+        with pytest.raises(ValueError):
+            v6_degree_counts_np(np.zeros(2), np.zeros(1))

@@ -1,0 +1,113 @@
+"""Unit tests for echo records and run-length encoding."""
+
+import pytest
+
+from repro.atlas.echo import (
+    TEST_ADDRESS,
+    EchoRecord,
+    EchoRun,
+    is_private_v4,
+    merge_adjacent_equal,
+    runs_from_hourly,
+)
+from repro.ip.addr import IPv4Address
+
+
+def rec(hour, value, probe_id=1, family=4):
+    addr = IPv4Address(value)
+    return EchoRecord(probe_id, hour, family, addr, addr)
+
+
+class TestEchoRecord:
+    def test_bad_family(self):
+        with pytest.raises(ValueError):
+            rec(0, 1, family=5)
+
+
+class TestEchoRun:
+    def test_span(self):
+        run = EchoRun(1, 4, IPv4Address(9), first=10, last=19, observed=10)
+        assert run.span == 10
+        assert run.fully_observed()
+
+    def test_gap_accounting(self):
+        run = EchoRun(1, 4, IPv4Address(9), first=0, last=9, observed=8, max_gap=2)
+        assert not run.fully_observed()
+        assert run.fully_observed(max_gap=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EchoRun(1, 4, IPv4Address(9), first=5, last=4, observed=1)
+        with pytest.raises(ValueError):
+            EchoRun(1, 4, IPv4Address(9), first=0, last=4, observed=6)
+        with pytest.raises(ValueError):
+            EchoRun(1, 4, IPv4Address(9), first=0, last=4, observed=0)
+
+
+class TestRunsFromHourly:
+    def test_single_run(self):
+        runs = runs_from_hourly([rec(h, 7) for h in range(5)])
+        assert len(runs) == 1
+        run = runs[0]
+        assert (run.first, run.last, run.observed, run.max_gap) == (0, 4, 5, 0)
+
+    def test_change_splits_runs(self):
+        records = [rec(0, 7), rec(1, 7), rec(2, 8), rec(3, 8)]
+        runs = runs_from_hourly(records)
+        assert [(r.first, r.last, int(r.value)) for r in runs] == [(0, 1, 7), (2, 3, 8)]
+
+    def test_gap_within_run(self):
+        records = [rec(0, 7), rec(1, 7), rec(5, 7), rec(6, 7)]
+        runs = runs_from_hourly(records)
+        assert len(runs) == 1
+        assert runs[0].observed == 4
+        assert runs[0].max_gap == 3
+
+    def test_gap_across_change(self):
+        records = [rec(0, 7), rec(5, 8)]
+        runs = runs_from_hourly(records)
+        assert len(runs) == 2
+        assert runs[0].max_gap == 0 and runs[1].max_gap == 0
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            runs_from_hourly([rec(5, 7), rec(4, 7)])
+
+    def test_empty(self):
+        assert runs_from_hourly([]) == []
+
+    def test_value_returns_after_gap_is_same_run(self):
+        # The paper's detector cannot see a change if the same address
+        # reappears after missing hours.
+        records = [rec(0, 7), rec(10, 7)]
+        runs = runs_from_hourly(records)
+        assert len(runs) == 1 and runs[0].max_gap == 9
+
+
+class TestMergeAdjacentEqual:
+    def test_merges_equal_neighbours(self):
+        a = EchoRun(1, 4, IPv4Address(7), first=0, last=4, observed=5)
+        b = EchoRun(1, 4, IPv4Address(7), first=8, last=9, observed=2)
+        merged = list(merge_adjacent_equal([a, b]))
+        assert len(merged) == 1
+        assert merged[0].first == 0 and merged[0].last == 9
+        assert merged[0].observed == 7
+        assert merged[0].max_gap == 3
+
+    def test_keeps_distinct_neighbours(self):
+        a = EchoRun(1, 4, IPv4Address(7), first=0, last=4, observed=5)
+        b = EchoRun(1, 4, IPv4Address(8), first=5, last=9, observed=5)
+        assert list(merge_adjacent_equal([a, b])) == [a, b]
+
+
+class TestPrivateV4:
+    @pytest.mark.parametrize("text", ["10.1.2.3", "172.16.0.1", "172.31.255.255", "192.168.0.1"])
+    def test_private(self, text):
+        assert is_private_v4(IPv4Address.parse(text))
+
+    @pytest.mark.parametrize("text", ["9.255.255.255", "172.32.0.0", "192.169.0.0", "8.8.8.8"])
+    def test_public(self, text):
+        assert not is_private_v4(IPv4Address.parse(text))
+
+    def test_test_address_constant(self):
+        assert str(TEST_ADDRESS) == "193.0.0.78"

@@ -1,0 +1,144 @@
+"""Tests for the Appendix A.1 sanitization pipeline."""
+
+import pytest
+
+from repro.atlas.platform import AtlasPlatform, ProbeSpec
+from repro.atlas.sanitize import sanitize
+from repro.bgp.registry import Registry
+from repro.bgp.table import RoutingTable
+from tests.test_atlas_platform import DAY, build_network
+
+
+@pytest.fixture(scope="module")
+def environment():
+    registry, table = Registry(), RoutingTable()
+    isp_a, timelines_a, _ = build_network(asn=64500, registry=registry, table=table,
+                                          num_subscribers=10, end_hour=180 * DAY)
+    isp_b, timelines_b, _ = build_network(asn=64501, registry=registry, table=table,
+                                          num_subscribers=10, end_hour=180 * DAY, seed=5)
+    platform = AtlasPlatform(
+        {isp_a.asn: (isp_a, timelines_a), isp_b.asn: (isp_b, timelines_b)},
+        end_hour=180 * DAY,
+        seed=11,
+    )
+    return platform, isp_a, isp_b, table
+
+
+def data_for(platform, **kwargs):
+    return platform.probe_data(ProbeSpec(**kwargs))
+
+
+class TestSanitize:
+    def test_clean_probe_survives(self, environment):
+        platform, isp_a, _, table = environment
+        data = data_for(platform, probe_id=1, asn=isp_a.asn, subscriber_id=0)
+        kept, report = sanitize([data], table)
+        assert len(kept) == 1
+        assert kept[0].probe_id == "1"
+        assert kept[0].asn == isp_a.asn
+        assert kept[0].dual_stack
+        assert report.kept_probes == 1
+
+    def test_bad_tag_dropped(self, environment):
+        platform, isp_a, _, table = environment
+        data = data_for(platform, probe_id=2, asn=isp_a.asn, subscriber_id=0,
+                        tags=("home", "datacentre"))
+        kept, report = sanitize([data], table)
+        assert kept == []
+        assert report.dropped_bad_tag == 1
+
+    def test_atypical_nat_dropped(self, environment):
+        platform, isp_a, _, table = environment
+        v4_public = data_for(platform, probe_id=3, asn=isp_a.asn, subscriber_id=1,
+                             anomaly="public_v4_src")
+        v6_mismatch = data_for(platform, probe_id=4, asn=isp_a.asn, subscriber_id=2,
+                               anomaly="v6_src_mismatch")
+        kept, report = sanitize([v4_public, v6_mismatch], table)
+        assert kept == []
+        assert report.dropped_atypical_nat == 2
+
+    def test_multihomed_dropped(self, environment):
+        platform, isp_a, isp_b, table = environment
+        data = data_for(platform, probe_id=5, asn=isp_a.asn, subscriber_id=3,
+                        anomaly="multihomed", secondary=(isp_b.asn, 3))
+        kept, report = sanitize([data], table)
+        assert kept == []
+        assert report.dropped_multihomed == 1
+
+    def test_as_move_split_into_virtual_probes(self, environment):
+        platform, isp_a, isp_b, table = environment
+        data = data_for(platform, probe_id=6, asn=isp_a.asn, subscriber_id=4,
+                        anomaly="as_move", secondary=(isp_b.asn, 4))
+        kept, report = sanitize([data], table)
+        assert len(kept) == 2
+        assert {probe.asn for probe in kept} == {isp_a.asn, isp_b.asn}
+        assert {probe.probe_id for probe in kept} == {"6#0", "6#1"}
+        assert report.virtual_probes_created == 2
+
+    def test_test_address_runs_removed(self, environment):
+        platform, isp_a, _, table = environment
+        data = data_for(platform, probe_id=7, asn=isp_a.asn, subscriber_id=5,
+                        anomaly="test_prefix")
+        kept, report = sanitize([data], table)
+        assert report.test_address_runs_removed >= 1
+        assert len(kept) == 1
+        assert all(str(run.value) != "193.0.0.78" for run in kept[0].v4_runs)
+
+    def test_short_duration_dropped(self, environment):
+        platform, isp_a, _, table = environment
+        data = data_for(platform, probe_id=8, asn=isp_a.asn, subscriber_id=6,
+                        join_hour=0, leave_hour=20 * DAY)
+        kept, report = sanitize([data], table)
+        assert kept == []
+        assert report.dropped_short == 1
+
+    def test_unrouted_runs_removed(self, environment):
+        platform, isp_a, _, _ = environment
+        data = data_for(platform, probe_id=9, asn=isp_a.asn, subscriber_id=7)
+        empty_table = RoutingTable()
+        kept, report = sanitize([data], empty_table)
+        assert kept == []
+        assert report.unrouted_runs_removed > 0
+
+    def test_report_totals(self, environment):
+        platform, isp_a, isp_b, table = environment
+        batch = [
+            data_for(platform, probe_id=20, asn=isp_a.asn, subscriber_id=0),
+            data_for(platform, probe_id=21, asn=isp_a.asn, subscriber_id=1,
+                     tags=("system-anchor",)),
+            data_for(platform, probe_id=22, asn=isp_b.asn, subscriber_id=2),
+        ]
+        kept, report = sanitize(batch, table)
+        assert report.input_probes == 3
+        assert report.kept_probes == len(kept) == 2
+        assert report.dropped_bad_tag == 1
+
+    def test_non_dual_stack_classification(self):
+        # A probe on a subscriber line without IPv6 is kept but not dual-stack.
+        from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig, V6AddressingConfig
+        from repro.netsim.policy import ChangePolicy
+        from repro.netsim.sim import IspSimulation
+        from repro.bgp.registry import RIR
+
+        registry, table = Registry(), RoutingTable()
+        config = IspConfig(
+            name="NdsNet",
+            asn=64510,
+            country="XX",
+            rir=RIR.RIPE,
+            dual_stack_fraction=0.0,
+            v4=V4AddressingConfig(
+                policy_nds=ChangePolicy.periodic(5 * DAY),
+                policy_ds=ChangePolicy.periodic(5 * DAY),
+                num_blocks=2,
+                block_plen=18,
+            ),
+            v6=V6AddressingConfig(policy=ChangePolicy.exponential(40 * DAY)),
+        )
+        isp = Isp(config, registry, table)
+        timelines = IspSimulation(isp, 3, 120 * DAY, seed=0).run()
+        platform = AtlasPlatform({isp.asn: (isp, timelines)}, end_hour=120 * DAY, seed=1)
+        data = data_for(platform, probe_id=30, asn=isp.asn, subscriber_id=0)
+        kept, _ = sanitize([data], table)
+        assert len(kept) == 1 and not kept[0].dual_stack
+        assert kept[0].v6_runs == []

@@ -1,0 +1,183 @@
+"""Unit tests for the BGP substrate (registry, routing table, pfx2as I/O)."""
+
+import io
+
+import pytest
+
+from repro.bgp.registry import RIR, AccessKind, Registry
+from repro.bgp.routeviews import Pfx2asFormatError, read_pfx2as, write_pfx2as
+from repro.bgp.table import Route, RoutingTable
+from repro.ip.addr import AddressError, IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry()
+        info = reg.register(3320, "DTAG", "DE", RIR.RIPE)
+        assert reg.get(3320) is info
+        assert 3320 in reg
+        assert len(reg) == 1
+
+    def test_duplicate_asn_rejected(self):
+        reg = Registry()
+        reg.register(1, "a", "US", RIR.ARIN)
+        with pytest.raises(ValueError):
+            reg.register(1, "b", "US", RIR.ARIN)
+
+    def test_v4_blocks_disjoint_within_rir(self):
+        reg = Registry()
+        reg.register(1, "a", "DE", RIR.RIPE)
+        reg.register(2, "b", "DE", RIR.RIPE)
+        blocks_a = reg.allocate_v4(1, 15, count=6)
+        blocks_b = reg.allocate_v4(2, 17, count=4)
+        all_blocks = blocks_a + blocks_b
+        for i, x in enumerate(all_blocks):
+            for y in all_blocks[i + 1:]:
+                assert not x.contains_prefix(y) and not y.contains_prefix(x)
+
+    def test_v4_blocks_inside_superblock(self):
+        reg = Registry()
+        reg.register(1, "a", "US", RIR.ARIN)
+        for block in reg.allocate_v4(1, 16, count=3):
+            assert IPv4Prefix.parse("23.0.0.0/8").contains_prefix(block)
+
+    def test_v4_fragmentation(self):
+        # Consecutive blocks for one AS should not be adjacent.
+        reg = Registry()
+        reg.register(1, "a", "DE", RIR.RIPE)
+        blocks = reg.allocate_v4(1, 16, count=4)
+        values = sorted(int(b.network) for b in blocks)
+        gaps = [b - a for a, b in zip(values, values[1:])]
+        assert all(gap > (1 << 16) for gap in gaps)
+
+    def test_v6_allocations_disjoint_mixed_plens(self):
+        reg = Registry()
+        reg.register(1, "a", "DE", RIR.RIPE)
+        reg.register(2, "b", "DE", RIR.RIPE)
+        reg.register(3, "c", "DE", RIR.RIPE)
+        blocks = [reg.allocate_v6(1, 19), reg.allocate_v6(2, 32), reg.allocate_v6(3, 24)]
+        for i, x in enumerate(blocks):
+            for y in blocks[i + 1:]:
+                assert not x.contains_prefix(y) and not y.contains_prefix(x)
+        for block in blocks:
+            assert IPv6Prefix.parse("2a00::/16").contains_prefix(block)
+
+    def test_v6_single_allocation_per_as(self):
+        reg = Registry()
+        reg.register(1, "a", "US", RIR.ARIN)
+        reg.allocate_v6(1, 32)
+        with pytest.raises(AddressError):
+            reg.allocate_v6(1, 32)
+
+    def test_rir_lookup(self):
+        reg = Registry()
+        assert reg.rir_of_v6(IPv6Prefix.parse("2a00:1234::/32")) == RIR.RIPE
+        assert reg.rir_of_v6(IPv6Prefix.parse("2600::/32")) == RIR.ARIN
+        assert reg.rir_of_v6(IPv6Prefix.parse("2001:db8::/32")) is None
+        assert reg.rir_of_v4(IPv4Prefix.parse("41.1.0.0/16")) == RIR.AFRINIC
+        assert reg.rir_of_v4(IPv4Prefix.parse("10.0.0.0/16")) is None
+
+    def test_access_kind(self):
+        reg = Registry()
+        info = reg.register(1, "cell", "GB", RIR.RIPE, kind=AccessKind.MOBILE)
+        assert info.kind is AccessKind.MOBILE
+
+
+class TestRoutingTable:
+    def _table(self):
+        table = RoutingTable()
+        table.announce(IPv4Prefix.parse("31.0.0.0/15"), 3320)
+        table.announce(IPv4Prefix.parse("31.4.0.0/16"), 3215)
+        table.announce(IPv6Prefix.parse("2a00:100::/32"), 3320)
+        table.announce(IPv6Prefix.parse("2a00:200::/32"), 3215)
+        return table
+
+    def test_lpm_basics(self):
+        table = self._table()
+        assert table.origin_asn(IPv4Address.parse("31.1.2.3")) == 3320
+        assert table.origin_asn(IPv4Address.parse("31.4.2.3")) == 3215
+        assert table.origin_asn(IPv4Address.parse("32.0.0.1")) is None
+
+    def test_routed_prefix(self):
+        table = self._table()
+        assert table.routed_prefix(IPv4Address.parse("31.4.0.1")) == IPv4Prefix.parse("31.4.0.0/16")
+
+    def test_prefix_origin(self):
+        table = self._table()
+        assert table.origin_asn(IPv6Prefix.parse("2a00:100:1:2::/64")) == 3320
+        assert table.origin_asn(IPv6Prefix.parse("2a00:300::/64")) is None
+
+    def test_same_bgp_prefix(self):
+        table = self._table()
+        a = IPv4Address.parse("31.0.0.1")
+        b = IPv4Address.parse("31.1.255.254")
+        c = IPv4Address.parse("31.4.0.1")
+        assert table.same_bgp_prefix(a, b)
+        assert not table.same_bgp_prefix(a, c)
+        # Unrouted addresses never compare equal, even to themselves.
+        unrouted = IPv4Address.parse("8.8.8.8")
+        assert not table.same_bgp_prefix(unrouted, unrouted)
+
+    def test_same_bgp_prefix_for_v6_prefixes(self):
+        table = self._table()
+        a = IPv6Prefix.parse("2a00:100:aaaa::/64")
+        b = IPv6Prefix.parse("2a00:100:bbbb::/64")
+        c = IPv6Prefix.parse("2a00:200::/64")
+        assert table.same_bgp_prefix(a, b)
+        assert not table.same_bgp_prefix(a, c)
+
+    def test_more_specific_announcement_wins(self):
+        table = self._table()
+        table.announce(IPv4Prefix.parse("31.0.128.0/17"), 65000)
+        assert table.origin_asn(IPv4Address.parse("31.0.128.1")) == 65000
+        assert table.origin_asn(IPv4Address.parse("31.0.0.1")) == 3320
+
+    def test_withdraw(self):
+        table = self._table()
+        table.withdraw(IPv4Prefix.parse("31.4.0.0/16"))
+        assert table.origin_asn(IPv4Address.parse("31.4.0.1")) is None
+        with pytest.raises(KeyError):
+            table.withdraw(IPv4Prefix.parse("31.4.0.0/16"))
+
+    def test_bad_asn_rejected(self):
+        table = RoutingTable()
+        with pytest.raises(ValueError):
+            table.announce(IPv4Prefix.parse("10.0.0.0/8"), 0)
+        with pytest.raises(ValueError):
+            Route(IPv4Prefix.parse("10.0.0.0/8"), -1)
+
+    def test_routes_iteration(self):
+        table = self._table()
+        routes = list(table.routes())
+        assert len(routes) == len(table) == 4
+
+
+class TestPfx2as:
+    def test_roundtrip(self):
+        routes = [
+            Route(IPv4Prefix.parse("31.0.0.0/15"), 3320),
+            Route(IPv6Prefix.parse("2a00:100::/32"), 3320),
+        ]
+        buffer = io.StringIO()
+        assert write_pfx2as(routes, buffer) == 2
+        buffer.seek(0)
+        parsed = list(read_pfx2as(buffer))
+        assert parsed == routes
+
+    def test_read_from_string(self):
+        text = "# comment\n31.0.0.0\t15\t3320\n\n2a00:100::\t32\t3215\n"
+        routes = list(read_pfx2as(text))
+        assert [r.origin_asn for r in routes] == [3320, 3215]
+
+    def test_multi_origin_collapsed(self):
+        routes = list(read_pfx2as("10.0.0.0\t8\t1_2\n11.0.0.0\t8\t{3,4}\n"))
+        assert [r.origin_asn for r in routes] == [1, 3]
+
+    @pytest.mark.parametrize(
+        "line",
+        ["10.0.0.0\t8", "10.0.0.0\t8\t1\t2", "10.0.0.0\tx\t1", "10.0.0.999\t8\t1", "10.0.0.0\t8\t0"],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(Pfx2asFormatError):
+            list(read_pfx2as(line + "\n"))

@@ -1,0 +1,115 @@
+"""Property-based tests for the BGP substrate and renderers."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.routeviews import read_pfx2as, write_pfx2as
+from repro.bgp.table import Route, RoutingTable
+from repro.core.report import render_cdf, render_histogram
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=1, max_value=32),
+            st.integers(min_value=1, max_value=65535),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_pfx2as_roundtrip(entries):
+    routes = [Route(IPv4Prefix(value, plen), asn) for value, plen, asn in entries]
+    # Deduplicate by prefix as a table would.
+    unique = {route.prefix: route for route in routes}
+    buffer = io.StringIO()
+    write_pfx2as(unique.values(), buffer)
+    buffer.seek(0)
+    recovered = {route.prefix: route for route in read_pfx2as(buffer)}
+    assert recovered == unique
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(list(RIR)), st.integers(min_value=12, max_value=20),
+                  st.integers(min_value=1, max_value=3)),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_registry_allocations_always_disjoint(requests):
+    registry = Registry()
+    blocks = []
+    for index, (rir, plen, count) in enumerate(requests):
+        registry.register(1000 + index, f"as{index}", "XX", rir)
+        try:
+            blocks.extend(registry.allocate_v4(1000 + index, plen, count=count))
+        except Exception:
+            break  # exhaustion is acceptable; disjointness must still hold
+    for i, a in enumerate(blocks):
+        for b in blocks[i + 1:]:
+            assert not a.contains_prefix(b) and not b.contains_prefix(a)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=8, max_value=28),
+            st.integers(min_value=1, max_value=9999),
+        ),
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_routing_table_lpm_is_most_specific(entries, probe_value):
+    table = RoutingTable()
+    installed = {}
+    for value, plen, asn in entries:
+        prefix = IPv4Prefix(value, plen)
+        table.announce(prefix, asn)
+        installed[prefix] = asn
+    probe = IPv4Address(probe_value)
+    expected = None
+    best_plen = -1
+    for prefix, asn in installed.items():
+        if prefix.contains_address(probe) and prefix.plen > best_plen:
+            expected, best_plen = asn, prefix.plen
+    assert table.origin_asn(probe) == expected
+
+
+class TestRenderers:
+    def test_histogram_bar_lengths_proportional(self):
+        text = render_histogram({1: 10, 2: 5, 3: 0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_histogram_empty_and_validation(self):
+        assert "(empty)" in render_histogram({})
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_histogram({1: 1}, width=0)
+
+    def test_cdf_renderer(self):
+        text = render_cdf([1.0, 2.0], [0.5, 1.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].endswith("0.50")
+        assert lines[1].count("=") == 10
+        assert "(empty)" in render_cdf([], [])
+
+    def test_cdf_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_cdf([1.0], [0.5, 1.0])

@@ -1,0 +1,260 @@
+"""Tests for the CDN substrate (rum, classify, clients, collector)."""
+
+import pytest
+
+from repro.bgp.registry import RIR, AccessKind, Registry
+from repro.bgp.table import RoutingTable
+from repro.cdn.classify import PrefixClassifier
+from repro.cdn.clients import (
+    FixedPopulation,
+    MobileConfig,
+    MobilePopulation,
+    cdn_fixed_config,
+    materialize,
+)
+from repro.cdn.collector import collect, merge_datasets
+from repro.cdn.rum import AssociationRecord, association_key, from_triples, to_triples
+from repro.core.associations import association_durations
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+from repro.netsim.isp import Isp
+from repro.netsim.profiles import mobile_profile, profile_by_name
+from repro.netsim.sim import IspSimulation
+
+DAY = 24
+
+
+class TestAssociationRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssociationRecord(0, IPv4Prefix.parse("10.0.0.0/16"), IPv6Prefix.parse("2a00::/64"))
+        with pytest.raises(ValueError):
+            AssociationRecord(0, IPv4Prefix.parse("10.0.0.0/24"), IPv6Prefix.parse("2a00::/56"))
+        with pytest.raises(ValueError):
+            AssociationRecord(-1, IPv4Prefix.parse("10.0.0.0/24"), IPv6Prefix.parse("2a00::/64"))
+
+    def test_triple_roundtrip(self):
+        record = AssociationRecord(
+            5, IPv4Prefix.parse("10.1.2.0/24"), IPv6Prefix.parse("2a00:1:2:3::/64")
+        )
+        assert AssociationRecord.from_triple(record.triple) == record
+        assert list(from_triples(to_triples([record]))) == [record]
+
+    def test_from_addresses_aggregates(self):
+        record = AssociationRecord.from_addresses(
+            3, IPv4Address.parse("10.1.2.77"), IPv6Address.parse("2a00:1:2:3::beef")
+        )
+        assert str(record.v4_prefix) == "10.1.2.0/24"
+        assert str(record.v6_prefix) == "2a00:1:2:3::/64"
+
+    def test_association_key(self):
+        v4_key, v6_key = association_key(
+            IPv4Address.parse("10.1.2.77"), IPv6Address.parse("2a00:1:2:3::beef")
+        )
+        assert v4_key == int(IPv4Address.parse("10.1.2.0"))
+        assert v6_key == int(IPv6Address.parse("2a00:1:2:3::"))
+
+
+def _fixed_setup(num_subscribers=40, days=60, registry=None, table=None, seed=0):
+    registry = registry if registry is not None else Registry()
+    table = table if table is not None else RoutingTable()
+    config = cdn_fixed_config(profile_by_name("Comcast"), num_subscribers)
+    isp = Isp(config, registry, table)
+    timelines = IspSimulation(isp, num_subscribers, days * DAY, seed=seed).run()
+    return isp, FixedPopulation(isp, timelines, days, seed=seed), registry, table
+
+
+class TestFixedPopulation:
+    def test_triples_are_within_isp_space(self):
+        isp, population, _, _ = _fixed_setup()
+        triples = materialize(population)
+        assert triples
+        for day, v4_key, v6_key in triples:
+            assert 0 <= day < 60
+            assert isp.v4_plan.block_of(IPv4Address(v4_key)) is not None
+            assert isp.v6_allocation.contains_prefix(IPv6Prefix(v6_key, 64))
+
+    def test_v4_key_is_slash24_aligned(self):
+        _, population, _, _ = _fixed_setup()
+        for _day, v4_key, v6_key in materialize(population):
+            assert v4_key & 0xFF == 0
+            assert v6_key & ((1 << 64) - 1) == 0
+
+    def test_deterministic(self):
+        _, population_a, _, _ = _fixed_setup(seed=3)
+        _, population_b, _, _ = _fixed_setup(seed=3)
+        assert materialize(population_a) == materialize(population_b)
+
+    def test_days_validation(self):
+        isp, population, _, _ = _fixed_setup()
+        with pytest.raises(ValueError):
+            FixedPopulation(isp, {}, 0)
+
+    def test_cdn_fixed_config_density(self):
+        config = cdn_fixed_config(profile_by_name("DTAG"), 256, target_density=0.5)
+        capacity = config.v4.num_blocks * 256
+        assert config.v4.block_plen == 24
+        assert 0.3 <= 256 / capacity <= 0.5
+        with pytest.raises(ValueError):
+            cdn_fixed_config(profile_by_name("DTAG"), 10, target_density=1.5)
+
+
+def _mobile_setup(devices=60, days=60, config=None, registry=None, table=None):
+    registry = registry if registry is not None else Registry()
+    table = table if table is not None else RoutingTable()
+    profile = mobile_profile("TestMobile", 64900, "XX", RIR.RIPE)
+    isp = Isp(profile, registry, table)
+    mobile_config = config or MobileConfig(num_devices=devices)
+    return isp, MobilePopulation(isp, mobile_config, days, seed=0)
+
+
+class TestMobilePopulation:
+    def test_triples_shape(self):
+        isp, population = _mobile_setup()
+        triples = materialize(population)
+        assert triples
+        egress_keys = {int(block.network) for block in isp.v4_plan.blocks[:2]}
+        for day, v4_key, v6_key in triples:
+            assert 0 <= day < 60
+            assert v4_key in egress_keys  # all egress /24s sit at block starts
+            assert isp.v6_allocation.contains_prefix(IPv6Prefix(v6_key, 64))
+
+    def test_multiplexing_degree(self):
+        _, population = _mobile_setup(devices=150)
+        triples = materialize(population)
+        by_v4 = {}
+        for _day, v4_key, v6_key in triples:
+            by_v4.setdefault(v4_key, set()).add(v6_key)
+        # Many distinct /64s behind each public /24.
+        assert max(len(v) for v in by_v4.values()) > 100
+
+    def test_short_association_durations(self):
+        _, population = _mobile_setup(devices=100)
+        durations = association_durations(materialize(population))
+        durations.sort()
+        median = durations[len(durations) // 2]
+        assert median <= 2
+
+    def test_requires_v6(self):
+        registry, table = Registry(), RoutingTable()
+        from repro.netsim.isp import IspConfig, V4AddressingConfig
+        from repro.netsim.policy import ChangePolicy
+
+        config = IspConfig(
+            name="v4only",
+            asn=64901,
+            country="XX",
+            rir=RIR.RIPE,
+            v4=V4AddressingConfig(
+                policy_nds=ChangePolicy.static(), policy_ds=ChangePolicy.static()
+            ),
+            v6=None,
+        )
+        isp = Isp(config, registry, table)
+        with pytest.raises(ValueError):
+            MobilePopulation(isp, MobileConfig(num_devices=5), 10)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MobileConfig(num_devices=0)
+        with pytest.raises(ValueError):
+            MobileConfig(activity=0)
+        with pytest.raises(ValueError):
+            MobileConfig(short_lifetime_fraction=1.5)
+        with pytest.raises(ValueError):
+            MobileConfig(cross_network_noise=1.0)
+
+    def test_cross_network_noise_uses_foreign_blocks(self):
+        registry, table = Registry(), RoutingTable()
+        fixed_isp, _, _, _ = _fixed_setup(registry=registry, table=table)
+        profile = mobile_profile("NoisyMobile", 64902, "XX", RIR.RIPE)
+        isp = Isp(profile, registry, table)
+        population = MobilePopulation(
+            isp,
+            MobileConfig(num_devices=80, cross_network_noise=0.5),
+            days=30,
+            seed=0,
+            foreign_v4_blocks=fixed_isp.v4_plan.blocks,
+        )
+        triples = materialize(population)
+        foreign = sum(
+            1
+            for _d, v4_key, _v6 in triples
+            if fixed_isp.v4_plan.block_of(IPv4Address(v4_key)) is not None
+        )
+        assert 0.3 < foreign / len(triples) < 0.7
+
+
+class TestClassifierAndCollector:
+    def test_classifier(self):
+        registry, table = Registry(), RoutingTable()
+        fixed_isp, fixed_population, _, _ = _fixed_setup(registry=registry, table=table)
+        mobile_isp, mobile_population = _mobile_setup(registry=registry, table=table)
+        classifier = PrefixClassifier(table, registry)
+        fixed_triples = materialize(fixed_population)
+        day, v4_key, v6_key = fixed_triples[0]
+        assert classifier.asn_of_v4_key(v4_key) == fixed_isp.asn
+        assert classifier.asn_of_v6_key(v6_key) == fixed_isp.asn
+        assert classifier.kind_of_v6_key(v6_key) is AccessKind.FIXED
+        assert classifier.same_asn(v4_key, v6_key)
+        mobile_triples = materialize(mobile_population)
+        _, mobile_v4, mobile_v6 = mobile_triples[0]
+        assert classifier.kind_of_v6_key(mobile_v6) is AccessKind.MOBILE
+        assert classifier.rir_of_v6_key(mobile_v6) is RIR.RIPE
+        assert not classifier.same_asn(v4_key, mobile_v6)
+
+    def test_collect_filters_mismatches(self):
+        registry, table = Registry(), RoutingTable()
+        fixed_isp, fixed_population, _, _ = _fixed_setup(registry=registry, table=table)
+        profile = mobile_profile("NoisyMobile", 64902, "XX", RIR.RIPE)
+        mobile_isp = Isp(profile, registry, table)
+        noisy = MobilePopulation(
+            mobile_isp,
+            MobileConfig(num_devices=60, cross_network_noise=0.4),
+            days=30,
+            seed=0,
+            foreign_v4_blocks=fixed_isp.v4_plan.blocks,
+        )
+        dataset = collect([fixed_population, noisy], table, registry)
+        assert dataset.discarded_asn_mismatch > 0
+        assert dataset.total_kept + dataset.discarded_asn_mismatch == dataset.total_collected
+        # All surviving mobile triples have matching ASNs.
+        for day, v4_key, v6_key in dataset.triples_for(mobile_isp.asn):
+            assert dataset.classifier.same_asn(v4_key, v6_key)
+
+    def test_collect_without_filter_keeps_mismatches(self):
+        registry, table = Registry(), RoutingTable()
+        fixed_isp, fixed_population, _, _ = _fixed_setup(registry=registry, table=table)
+        profile = mobile_profile("NoisyMobile", 64902, "XX", RIR.RIPE)
+        mobile_isp = Isp(profile, registry, table)
+        noisy = MobilePopulation(
+            mobile_isp,
+            MobileConfig(num_devices=60, cross_network_noise=0.4),
+            days=30,
+            seed=0,
+            foreign_v4_blocks=fixed_isp.v4_plan.blocks,
+        )
+        filtered = collect([noisy], table, registry)
+        unfiltered = collect([noisy], table, registry, filter_asn_mismatch=False)
+        assert unfiltered.total_kept > filtered.total_kept
+
+    def test_dataset_kind_and_rir_queries(self):
+        registry, table = Registry(), RoutingTable()
+        _, fixed_population, _, _ = _fixed_setup(registry=registry, table=table)
+        _, mobile_population = _mobile_setup(registry=registry, table=table)
+        dataset = collect([fixed_population, mobile_population], table, registry)
+        fixed = dataset.triples_by_kind(AccessKind.FIXED)
+        mobile = dataset.triples_by_kind(AccessKind.MOBILE)
+        assert fixed and mobile
+        assert len(fixed) + len(mobile) == dataset.total_kept
+        ripe_mobile = dataset.triples_by_rir(RIR.RIPE, AccessKind.MOBILE)
+        assert len(ripe_mobile) == len(mobile)  # test mobile AS is RIPE
+
+    def test_merge_datasets(self):
+        registry, table = Registry(), RoutingTable()
+        _, fixed_population, _, _ = _fixed_setup(registry=registry, table=table)
+        a = collect([fixed_population], table, registry)
+        _, fixed_population2, _, _ = _fixed_setup(registry=Registry(), table=RoutingTable())
+        b = collect([fixed_population2], RoutingTable(), Registry())
+        merged = merge_datasets([a, b])
+        assert merged.total_collected == a.total_collected + b.total_collected

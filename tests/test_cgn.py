@@ -1,0 +1,85 @@
+"""Tests for CGNAT inference from association data."""
+
+import pytest
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.cdn.clients import FixedPopulation, MobileConfig, MobilePopulation
+from repro.core.cgn import (
+    NatClass,
+    classify_slash24s,
+    estimate_multiplexing,
+    score_against_truth,
+)
+from repro.netsim.isp import Isp
+from repro.netsim.profiles import mobile_profile, profile_by_name
+from repro.netsim.sim import IspSimulation
+from repro.cdn.clients import cdn_fixed_config
+
+DAY = 24
+
+
+class TestClassifier:
+    def test_synthetic_degrees(self):
+        # One obviously multiplexed /24, one plain, one barely observed.
+        records = []
+        records += [(day % 30, 0x0A000000, (v6 << 64)) for day, v6 in
+                    enumerate(range(5000))]
+        records += [(day % 30, 0x0A000100, ((10_000 + day % 150) << 64))
+                    for day in range(600)]
+        records += [(0, 0x0A000200, (1 << 64))]
+        verdicts = classify_slash24s(records)
+        assert verdicts[0x0A000000].verdict is NatClass.CGNAT
+        assert verdicts[0x0A000100].verdict is NatClass.PLAIN
+        assert verdicts[0x0A000200].verdict is NatClass.UNDECIDED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_slash24s([], churn_allowance=0)
+        with pytest.raises(ValueError):
+            classify_slash24s([], min_hits=0)
+
+    def test_estimate(self):
+        records = [(0, 0xA, (v6 << 64)) for v6 in range(3000)]
+        records += [(0, 0xB, (99 << 64))] * 40
+        verdicts = classify_slash24s(records)
+        estimate = estimate_multiplexing(verdicts)
+        assert estimate.cgnat_slash24s == 1
+        assert estimate.plain_slash24s == 1
+        assert estimate.median_multiplexing_factor == 3000
+        assert estimate.cgnat_fraction == 0.5
+
+    def test_score(self):
+        records = [(0, 0xA, (v6 << 64)) for v6 in range(3000)]
+        verdicts = classify_slash24s(records)
+        precision, recall = score_against_truth(verdicts, [0xA])
+        assert precision == 1.0 and recall == 1.0
+        precision, recall = score_against_truth(verdicts, [0xB])
+        assert precision == 0.0 and recall == 0.0
+        assert score_against_truth({}, []) == (0.0, 1.0)
+
+
+class TestAgainstSimulatorGroundTruth:
+    def test_detects_cgnat_egress_blocks(self):
+        registry, table = Registry(), RoutingTable()
+        # Fixed population (plain NAT).
+        fixed_config = cdn_fixed_config(profile_by_name("Comcast"), 150)
+        fixed_isp = Isp(fixed_config, registry, table)
+        timelines = IspSimulation(fixed_isp, 150, 120 * DAY, seed=0).run()
+        fixed = FixedPopulation(fixed_isp, timelines, 120, seed=0,
+                                min_activity=0.4, max_activity=0.9)
+        # Mobile population (CGNAT).
+        mobile_isp = Isp(mobile_profile("CgnMobile", 64890, "XX", RIR.RIPE),
+                         registry, table)
+        mobile = MobilePopulation(
+            mobile_isp, MobileConfig(num_devices=4000), days=120, seed=0
+        )
+        records = list(fixed.triples()) + list(mobile.triples())
+        verdicts = classify_slash24s(records)
+        truth = {int(block.network) for block in mobile_isp.v4_plan.blocks[:2]}
+        precision, recall = score_against_truth(verdicts, truth)
+        assert precision == 1.0
+        assert recall == 1.0
+        estimate = estimate_multiplexing(verdicts)
+        assert estimate.cgnat_slash24s == 2
+        assert estimate.median_multiplexing_factor > 256 * 8

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.records import read_association_csv, read_echo_records, read_echo_runs
+
+
+class TestSimulateAtlas:
+    def test_writes_runs_and_summary(self, tmp_path, capsys):
+        output = tmp_path / "atlas"
+        code = main([
+            "simulate-atlas", "--probes-per-as", "3", "--years", "0.5",
+            "--seed", "1", "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        runs_file = output / "echo_runs.jsonl"
+        assert runs_file.exists()
+        with runs_file.open() as stream:
+            runs = list(read_echo_runs(stream))
+        assert runs
+        summary = (output / "sanitization.txt").read_text()
+        assert "kept probes" in summary
+
+
+class TestSimulateCdn:
+    def test_writes_csv(self, tmp_path):
+        output = tmp_path / "cdn" / "assoc.csv"
+        code = main([
+            "simulate-cdn", "--days", "20", "--seed", "2",
+            "--fixed-subscribers", "60", "--mobile-devices", "40",
+            "--featured-subscribers", "30", "--output", str(output),
+        ])
+        assert code == 0
+        with output.open() as stream:
+            triples = read_association_csv(stream)
+        assert triples
+        assert all(0 <= day < 20 for day, _v4, _v6 in triples)
+
+
+class TestReport:
+    def test_prints_tables(self, capsys):
+        code = main(["report", "--probes-per-as", "3", "--years", "0.5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "DTAG" in out and "Netcologne" in out
+
+
+class TestConvertAtlas:
+    def test_roundtrip(self, tmp_path, capsys):
+        source = tmp_path / "raw.jsonl"
+        results = [
+            {
+                "prb_id": 7,
+                "timestamp": 1409529600 + 3600 * hour,
+                "type": "http",
+                "result": [{
+                    "af": 4,
+                    "src_addr": "192.168.1.2",
+                    "header": ["X-Client-IP: 31.0.0.5"],
+                }],
+            }
+            for hour in range(4)
+        ]
+        source.write_text("\n".join(json.dumps(r) for r in results) + "\n")
+        output = tmp_path / "converted.jsonl"
+        code = main(["convert-atlas", "--input", str(source), "--output", str(output)])
+        assert code == 0
+        assert "converted 4 records" in capsys.readouterr().out
+        with output.open() as stream:
+            records = list(read_echo_records(stream))
+        assert [record.hour for record in records] == [0, 1, 2, 3]
+
+
+class TestAnalyze:
+    def test_end_to_end(self, tmp_path, capsys):
+        output = tmp_path / "atlas"
+        main([
+            "simulate-atlas", "--probes-per-as", "3", "--years", "1.0",
+            "--seed", "9", "--output", str(output),
+        ])
+        capsys.readouterr()
+        code = main(["analyze", "--input", str(output / "echo_runs.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probes:" in out
+        assert "IPv4:" in out
+        assert "periodic renumbering detected" in out  # DTAG et al. at 24h
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,117 @@
+"""Tests for the connection-logs dataset substrate."""
+
+import pytest
+
+from repro.atlas.connlogs import (
+    ConnectionSession,
+    detect_changes,
+    exact_durations,
+    sessions_from_timeline,
+)
+from repro.ip.addr import IPv4Address
+from repro.netsim.policy import ChangePolicy
+from tests.test_responsiveness import simulate
+
+DAY = 24.0
+
+
+def session(value, start, end, probe_id=1):
+    return ConnectionSession(probe_id, IPv4Address(value), start, end)
+
+
+class TestSessionBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            session(1, 5.0, 5.0)
+
+    def test_duration(self):
+        assert session(1, 2.0, 10.0).duration == 8.0
+
+
+class TestDetectChanges:
+    def test_changes(self):
+        sessions = [session(1, 0, 10), session(1, 10.1, 20), session(2, 20.1, 30)]
+        changes = detect_changes(sessions)
+        assert len(changes) == 1
+        when, old, new = changes[0]
+        assert when == 20.1 and int(old) == 1 and int(new) == 2
+
+    def test_no_changes(self):
+        assert detect_changes([session(1, 0, 10)]) == []
+
+
+class TestExactDurations:
+    def test_sandwiched_holding(self):
+        sessions = [
+            session(1, 0, 10),
+            session(2, 10.05, 34.0),
+            session(3, 34.1, 50),
+        ]
+        durations = exact_durations(sessions)
+        assert len(durations) == 1
+        assert durations[0] == pytest.approx(23.95)
+
+    def test_reconnect_same_address_merges(self):
+        sessions = [
+            session(1, 0, 10),
+            session(2, 10.05, 20),
+            session(2, 20.5, 34.0),  # reconnect, same address
+            session(3, 34.1, 50),
+        ]
+        durations = exact_durations(sessions)
+        assert len(durations) == 1
+        assert durations[0] == pytest.approx(34.0 - 10.05)
+
+    def test_long_gap_disqualifies(self):
+        sessions = [
+            session(1, 0, 10),
+            session(2, 15.0, 34.0),  # 5h offline across the change
+            session(3, 34.1, 50),
+        ]
+        assert exact_durations(sessions) == []
+        assert len(exact_durations(sessions, max_gap_hours=6.0)) == 1
+
+    def test_empty(self):
+        assert exact_durations([]) == []
+
+
+class TestCrossDatasetConsistency:
+    def test_connlog_durations_match_ground_truth(self):
+        timelines, end = simulate(ChangePolicy.periodic(2 * DAY), subscribers=12, seed=6)
+        for probe_id, timeline in timelines.items():
+            sessions = sessions_from_timeline(
+                probe_id, timeline, end, mean_up_hours=1e9, mean_down_hours=0.0
+            )
+            durations = exact_durations(sessions)
+            # Always-up probe: every interior holding is exact and equals
+            # the true 48h period.
+            assert len(durations) == len(timeline.v4) - 2
+            for duration in durations:
+                assert duration == pytest.approx(2 * DAY, abs=1e-6)
+
+    def test_downtime_reduces_exact_sample_but_not_correctness(self):
+        timelines, end = simulate(ChangePolicy.periodic(3 * DAY), subscribers=15, seed=7)
+        total_exact = 0
+        for probe_id, timeline in timelines.items():
+            sessions = sessions_from_timeline(
+                probe_id, timeline, end, mean_up_hours=300.0, mean_down_hours=12.0,
+                seed=probe_id,
+            )
+            durations = exact_durations(sessions)
+            total_exact += len(durations)
+            for duration in durations:
+                # Exact holdings still reflect the true period.
+                assert duration == pytest.approx(3 * DAY, rel=0.02)
+        interior_truth = sum(len(t.v4) - 2 for t in timelines.values())
+        assert 0 < total_exact < interior_truth
+
+    def test_sessions_cover_only_uptime(self):
+        timelines, end = simulate(ChangePolicy.static(), subscribers=3, seed=8)
+        sessions = sessions_from_timeline(
+            0, timelines[0], end, mean_up_hours=100.0, mean_down_hours=50.0, seed=1
+        )
+        assert sessions
+        covered = sum(s.duration for s in sessions)
+        assert covered < end  # downtime excluded
+        for left, right in zip(sessions, sessions[1:]):
+            assert left.disconnected <= right.connected

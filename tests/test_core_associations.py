@@ -1,0 +1,116 @@
+"""Tests for CDN association analysis (core.associations)."""
+
+import pytest
+
+from repro.core.associations import (
+    association_durations,
+    box_stats,
+    duration_cdf,
+    fraction_degree_one,
+    log_density,
+    v4_degree_counts,
+    v6_degree_counts,
+    weighted_peak,
+)
+
+
+def triples(*entries):
+    return [tuple(entry) for entry in entries]
+
+
+class TestAssociationDurations:
+    def test_stable_association(self):
+        records = triples((0, 100, 900), (1, 100, 900), (4, 100, 900))
+        assert association_durations(records) == [5]
+
+    def test_change_splits(self):
+        records = triples((0, 100, 900), (1, 100, 900), (2, 200, 900), (3, 200, 900))
+        assert sorted(association_durations(records)) == [2, 2]
+
+    def test_multiple_v6(self):
+        records = triples((0, 100, 900), (0, 100, 901), (9, 100, 901))
+        assert sorted(association_durations(records)) == [1, 10]
+
+    def test_single_day(self):
+        assert association_durations(triples((5, 1, 2))) == [1]
+
+    def test_same_day_duplicates_are_harmless(self):
+        records = triples((0, 100, 900), (0, 100, 900), (1, 100, 900))
+        assert association_durations(records) == [2]
+
+    def test_flapping(self):
+        records = triples((0, 1, 9), (1, 2, 9), (2, 1, 9), (3, 2, 9))
+        assert association_durations(records) == [1, 1, 1, 1]
+
+    def test_empty(self):
+        assert association_durations([]) == []
+
+
+class TestDurationCdf:
+    def test_basic(self):
+        xs, ys = duration_cdf([1, 1, 1, 10])
+        assert xs == [1, 10]
+        assert ys == [0.75, 1.0]
+
+    def test_empty(self):
+        assert duration_cdf([]) == ([], [])
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        stats = box_stats(list(range(1, 101)))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.p5 == pytest.approx(5.95)
+        assert stats.p95 == pytest.approx(95.05)
+        assert stats.count == 100
+
+    def test_single_value(self):
+        stats = box_stats([7.0])
+        assert stats.as_tuple() == (7.0, 7.0, 7.0, 7.0, 7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestDegrees:
+    def test_v4_degree(self):
+        records = triples((0, 1, 10), (0, 1, 11), (1, 1, 10), (0, 2, 12))
+        unique, hits = v4_degree_counts(records)
+        assert unique == {1: 2, 2: 1}
+        assert hits == {1: 3, 2: 1}
+
+    def test_v6_degree_and_fraction_one(self):
+        records = triples((0, 1, 10), (1, 2, 10), (0, 1, 11))
+        degrees = v6_degree_counts(records)
+        assert degrees == {10: 2, 11: 1}
+        assert fraction_degree_one(degrees) == pytest.approx(0.5)
+        assert fraction_degree_one({}) == 0.0
+
+
+class TestLogDensity:
+    def test_density_sums_to_one(self):
+        centers, densities = log_density([1, 10, 100, 150, 200, 100000])
+        assert sum(densities) == pytest.approx(1.0)
+        assert all(center > 0 for center in centers)
+        assert centers == sorted(centers)
+
+    def test_weighted(self):
+        values = [10, 100000]
+        centers, densities = log_density(values, weights=[1.0, 99.0])
+        assert densities[-1] == pytest.approx(0.99)
+
+    def test_peak(self):
+        centers, densities = log_density([150] * 90 + [80000] * 10)
+        peak = weighted_peak(centers, densities)
+        assert 100 < peak < 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_density([1, 2], weights=[1.0])
+        with pytest.raises(ValueError):
+            log_density([0])
+        assert log_density([]) == ([], [])
+        assert weighted_peak([], []) != weighted_peak([], [])  # NaN

@@ -1,0 +1,108 @@
+"""Unit tests for change detection and duration inference (core.changes)."""
+
+import pytest
+
+from repro.atlas.echo import EchoRun
+from repro.core.changes import (
+    all_observed_durations,
+    changes_from_runs,
+    observations_from_runs,
+    sandwiched_durations,
+    v6_runs_to_prefix_runs,
+)
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv6Prefix
+
+
+def run(value, first, last, observed=None, max_gap=0, family=4, probe_id=1):
+    if observed is None:
+        observed = last - first + 1
+    addr = IPv4Address(value) if family == 4 else IPv6Address(value)
+    return EchoRun(probe_id, family, addr, first, last, observed, max_gap)
+
+
+class TestChanges:
+    def test_no_changes_for_single_run(self):
+        assert changes_from_runs([run(1, 0, 10)]) == []
+
+    def test_change_fields(self):
+        runs = [run(1, 0, 9), run(2, 10, 19)]
+        changes = changes_from_runs(runs)
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.hour == 10
+        assert int(change.old_value) == 1 and int(change.new_value) == 2
+        assert change.boundary_gap == 0
+
+    def test_boundary_gap_recorded(self):
+        runs = [run(1, 0, 9), run(2, 15, 19)]
+        assert changes_from_runs(runs)[0].boundary_gap == 5
+
+
+class TestSandwichedDurations:
+    def test_middle_run_yields_exact_duration(self):
+        runs = [run(1, 0, 9), run(2, 10, 33), run(3, 34, 50)]
+        durations = sandwiched_durations(runs)
+        assert len(durations) == 1
+        assert durations[0].hours == 24
+        assert durations[0].start == 10 and durations[0].end == 33
+
+    def test_first_and_last_runs_excluded(self):
+        runs = [run(1, 0, 9), run(2, 10, 19)]
+        assert sandwiched_durations(runs) == []
+
+    def test_boundary_gap_disqualifies(self):
+        runs = [run(1, 0, 9), run(2, 12, 33), run(3, 34, 50)]  # 2h gap before
+        assert sandwiched_durations(runs) == []
+        assert len(sandwiched_durations(runs, max_boundary_gap=2)) == 1
+
+    def test_internal_gap_allowed_by_default(self):
+        runs = [run(1, 0, 9), run(2, 10, 33, observed=20, max_gap=4), run(3, 34, 50)]
+        assert len(sandwiched_durations(runs)) == 1
+
+    def test_internal_gap_limit(self):
+        runs = [run(1, 0, 9), run(2, 10, 33, observed=20, max_gap=4), run(3, 34, 50)]
+        assert sandwiched_durations(runs, max_internal_gap=3) == []
+        assert len(sandwiched_durations(runs, max_internal_gap=4)) == 1
+
+    def test_multiple_durations(self):
+        runs = [run(v, 10 * i, 10 * i + 9) for i, v in enumerate([1, 2, 3, 4, 5])]
+        durations = sandwiched_durations(runs)
+        assert [d.hours for d in durations] == [10, 10, 10]
+
+    def test_observations_annotations(self):
+        runs = [run(1, 0, 9), run(2, 10, 19), run(3, 21, 30)]
+        observations = observations_from_runs(runs)
+        assert [o.sandwiched for o in observations] == [False, True, False]
+        assert [o.exact for o in observations] == [False, False, False]  # gap after run 2
+
+    def test_all_observed_durations_includes_censored(self):
+        runs = [run(1, 0, 9), run(2, 10, 19), run(3, 20, 24)]
+        assert all_observed_durations(runs) == [10, 10, 5]
+
+
+class TestV6PrefixRuns:
+    def test_rekey_to_64(self):
+        base = int(IPv6Prefix.parse("2a00:100:1:1::/64").network)
+        runs = [
+            run(base | 0xABCD, 0, 9, family=6),
+            run(base | 0x1234, 10, 19, family=6),  # same /64, different IID
+            run(int(IPv6Prefix.parse("2a00:100:1:2::/64").network) | 5, 20, 29, family=6),
+        ]
+        prefix_runs = v6_runs_to_prefix_runs(runs)
+        assert len(prefix_runs) == 2
+        assert prefix_runs[0].value == IPv6Prefix.parse("2a00:100:1:1::/64")
+        assert prefix_runs[0].first == 0 and prefix_runs[0].last == 19
+        assert prefix_runs[1].value == IPv6Prefix.parse("2a00:100:1:2::/64")
+
+    def test_custom_plen(self):
+        base = int(IPv6Prefix.parse("2a00:100:1:100::/64").network)
+        other = int(IPv6Prefix.parse("2a00:100:1:1ff::/64").network)
+        runs = [run(base, 0, 9, family=6), run(other, 10, 19, family=6)]
+        prefix_runs = v6_runs_to_prefix_runs(runs, plen=56)
+        assert len(prefix_runs) == 1  # same /56 -> merged
+        assert prefix_runs[0].value.plen == 56
+
+    def test_rejects_v4(self):
+        with pytest.raises(TypeError):
+            v6_runs_to_prefix_runs([run(1, 0, 9, family=4)])

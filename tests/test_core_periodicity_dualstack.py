@@ -1,0 +1,175 @@
+"""Tests for periodicity detection and dual-stack analyses."""
+
+import random
+
+import pytest
+
+from repro.atlas.echo import EchoRun
+from repro.core.changes import ChangeEvent
+from repro.core.dualstack import (
+    CoOccurrence,
+    co_occurrence,
+    merge_co_occurrence,
+    split_durations_by_stack,
+    v6_coverage_fraction,
+)
+from repro.core.changes import Duration
+from repro.core.periodicity import (
+    CANONICAL_PERIODS,
+    consistent_periodic_networks,
+    detect_periods,
+    probe_exhibits_period,
+)
+from repro.ip.addr import IPv4Address, IPv6Address
+
+
+class TestDetectPeriods:
+    def test_pure_24h_population(self):
+        modes = detect_periods([24.0] * 500)
+        assert len(modes) == 1
+        assert modes[0].period_hours == 24.0
+        assert modes[0].mass == pytest.approx(1.0)
+
+    def test_mode_with_background(self):
+        rng = random.Random(0)
+        background = [rng.uniform(100, 5000) for _ in range(50)]
+        durations = [24.0] * 2000 + background
+        modes = detect_periods(durations)
+        assert any(mode.period_hours == 24.0 for mode in modes)
+
+    def test_tolerance(self):
+        durations = [24.4] * 100
+        assert detect_periods(durations, tolerance=0.5)[0].period_hours == 24.0
+        assert detect_periods(durations, tolerance=0.2) == []
+
+    def test_no_mode_below_mass_threshold(self):
+        durations = [24.0] * 5 + [5000.0] * 100
+        assert detect_periods(durations, min_mass=0.15) == []
+
+    def test_empty(self):
+        assert detect_periods([]) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            detect_periods([24.0], tolerance=-1)
+
+    def test_multiple_modes_sorted_by_mass(self):
+        durations = [24.0] * 100 + [168.0] * 100  # one week carries 7x the time
+        modes = detect_periods(durations, min_mass=0.05)
+        assert [mode.period_hours for mode in modes] == [168.0, 24.0]
+
+
+class TestProbePeriodicity:
+    def test_periodic_probe(self):
+        assert probe_exhibits_period([24.0] * 50, 24.0)
+
+    def test_aperiodic_probe(self):
+        rng = random.Random(1)
+        durations = [rng.uniform(10, 1000) for _ in range(50)]
+        assert not probe_exhibits_period(durations, 24.0)
+
+    def test_min_count(self):
+        assert not probe_exhibits_period([24.0] * 2, 24.0, min_count=3)
+
+    def test_network_level_detection(self):
+        by_network = {
+            "periodic_as": {f"p{i}": [24.0] * 20 for i in range(5)},
+            "stable_as": {f"p{i}": [4000.0, 3500.0] for i in range(5)},
+        }
+        detected = consistent_periodic_networks(by_network)
+        assert detected == {"periodic_as": 24.0}
+
+    def test_canonical_periods_contents(self):
+        assert 24.0 in CANONICAL_PERIODS and 14 * 24.0 in CANONICAL_PERIODS
+
+
+def v6_run(first, last, probe_id=1):
+    return EchoRun(probe_id, 6, IPv6Address(1), first, last, last - first + 1)
+
+
+def v4_duration(start, end, probe_id=1):
+    return Duration(probe_id, 4, IPv4Address(1), start, end)
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert v6_coverage_fraction([v6_run(0, 100)], 10, 20) == 1.0
+
+    def test_no_coverage(self):
+        assert v6_coverage_fraction([v6_run(50, 100)], 10, 20) == 0.0
+
+    def test_partial(self):
+        assert v6_coverage_fraction([v6_run(15, 100)], 11, 20) == pytest.approx(0.6)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            v6_coverage_fraction([], 20, 10)
+
+
+class TestStackSplit:
+    def test_covered_duration_is_dual_stack(self):
+        dual, non_dual = split_durations_by_stack(
+            [v4_duration(10, 30)], [v6_run(0, 100)]
+        )
+        assert len(dual) == 1 and non_dual == []
+
+    def test_uncovered_duration_is_non_dual_stack(self):
+        dual, non_dual = split_durations_by_stack(
+            [v4_duration(10, 30)], [v6_run(200, 300)]
+        )
+        assert dual == [] and len(non_dual) == 1
+
+    def test_no_v6_runs_at_all(self):
+        dual, non_dual = split_durations_by_stack([v4_duration(10, 30)], [])
+        assert dual == [] and len(non_dual) == 1
+
+    def test_threshold(self):
+        # 50% covered: DS at min_coverage 0.5, NDS at 0.9.
+        runs = [v6_run(10, 15)]
+        duration = v4_duration(10, 21)
+        assert split_durations_by_stack([duration], runs, min_coverage=0.5)[0]
+        assert split_durations_by_stack([duration], runs, min_coverage=0.9)[1]
+
+
+def change(hour, family):
+    value = IPv4Address(1) if family == 4 else IPv6Address(1)
+    other = IPv4Address(2) if family == 4 else IPv6Address(2)
+    return ChangeEvent(1, family, hour, value, other, 0)
+
+
+class TestCoOccurrence:
+    def test_synchronized_changes(self):
+        v4 = [change(h, 4) for h in (10, 20, 30)]
+        v6 = [change(h, 6) for h in (10, 20, 30)]
+        result = co_occurrence(v4, v6, window_hours=0)
+        assert result.v4_fraction == 1.0 and result.v6_fraction == 1.0
+
+    def test_independent_changes(self):
+        v4 = [change(h, 4) for h in (10, 20, 30)]
+        v6 = [change(h, 6) for h in (100, 200)]
+        result = co_occurrence(v4, v6, window_hours=1)
+        assert result.v4_fraction == 0.0 and result.v6_fraction == 0.0
+
+    def test_window(self):
+        v4 = [change(10, 4)]
+        v6 = [change(12, 6)]
+        assert co_occurrence(v4, v6, window_hours=1).v4_fraction == 0.0
+        assert co_occurrence(v4, v6, window_hours=2).v4_fraction == 1.0
+
+    def test_empty_sides(self):
+        result = co_occurrence([], [change(1, 6)])
+        assert result.v4_fraction == 0.0
+        assert result.v6_changes == 1
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            co_occurrence([], [], window_hours=-1)
+
+    def test_merge(self):
+        parts = [
+            CoOccurrence(10, 10, 9, 9),
+            CoOccurrence(10, 0, 0, 0),
+        ]
+        merged = merge_co_occurrence(parts)
+        assert merged.v4_changes == 20
+        assert merged.v4_fraction == pytest.approx(0.45)

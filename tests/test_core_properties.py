@@ -1,0 +1,176 @@
+"""Property-based tests on core analysis invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atlas.echo import EchoRun
+from repro.core.associations import (
+    association_durations,
+    box_stats,
+    v4_degree_counts,
+    v6_degree_counts,
+)
+from repro.core.changes import changes_from_runs, observations_from_runs, sandwiched_durations
+from repro.core.delegation import inferred_subscriber_plen, nibble_aligned_inferred_plen
+from repro.core.periodicity import detect_periods
+from repro.core.timefraction import (
+    cumulative_total_time_fraction,
+    evaluate_cdf,
+    total_time_fraction,
+)
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv6Prefix
+
+
+# -- run-series strategy -------------------------------------------------------
+
+
+@st.composite
+def run_series(draw):
+    """A well-formed single-probe run series (ordered, adjacent-distinct)."""
+    num_runs = draw(st.integers(min_value=0, max_value=12))
+    runs = []
+    hour = 0
+    previous_value = None
+    for _ in range(num_runs):
+        gap = draw(st.integers(min_value=0, max_value=5))
+        length = draw(st.integers(min_value=1, max_value=50))
+        value = draw(st.integers(min_value=0, max_value=30))
+        if previous_value is not None and value == previous_value:
+            value = (value + 1) % 31
+        first = hour + gap
+        last = first + length - 1
+        runs.append(EchoRun(1, 4, IPv4Address(value), first, last, length))
+        previous_value = value
+        hour = last + 1
+    return runs
+
+
+@given(run_series())
+def test_changes_count_is_runs_minus_one(runs):
+    changes = changes_from_runs(runs)
+    assert len(changes) == max(0, len(runs) - 1)
+    for change in changes:
+        assert change.old_value != change.new_value
+        assert change.boundary_gap >= 0
+
+
+@given(run_series())
+def test_sandwiched_durations_subset_of_interior_runs(runs):
+    durations = sandwiched_durations(runs, max_boundary_gap=10)
+    assert len(durations) <= max(0, len(runs) - 2)
+    interior_spans = {(run.first, run.last) for run in runs[1:-1]}
+    for duration in durations:
+        assert (duration.start, duration.end) in interior_spans
+        assert duration.hours >= 1
+
+
+@given(run_series())
+def test_observations_flags_consistent(runs):
+    observations = observations_from_runs(runs)
+    for observation in observations:
+        if observation.exact:
+            assert observation.sandwiched
+
+
+@given(st.lists(st.floats(min_value=0.5, max_value=1e6), min_size=1, max_size=100))
+def test_cdf_evaluation_monotone(durations):
+    xs, ys = cumulative_total_time_fraction(durations)
+    grid = sorted({1.0, 24.0, max(durations), max(durations) * 2})
+    values = evaluate_cdf(xs, ys, grid)
+    assert values == sorted(values)
+    assert values[-1] == 1.0  # grid extends past the maximum duration
+
+
+@given(st.lists(st.sampled_from([12.0, 24.0, 36.0, 168.0]), min_size=1, max_size=60))
+def test_detected_period_masses_bounded(durations):
+    modes = detect_periods(durations, min_mass=0.0, tolerance=0.5)
+    total_mass = sum(mode.mass for mode in modes)
+    assert total_mass <= 1.0 + 1e-9
+    assert sum(mode.count for mode in modes) == len(durations)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_association_duration_invariants(raw):
+    triples = [(day, v4 << 8, v6 << 64) for day, v4, v6 in raw]
+    durations = association_durations(triples)
+    assert durations
+    max_span = max(day for day, _, _ in raw) - min(day for day, _, _ in raw) + 1
+    for duration in durations:
+        assert 1 <= duration <= max_span
+    # One run per (v6, v4-switch) at least: total runs >= distinct v6 keys.
+    distinct_v6 = len({v6 for _, _, v6 in triples})
+    assert len(durations) >= distinct_v6
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=8),
+            st.integers(min_value=0, max_value=8),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_degree_counts_consistent(raw):
+    triples = [(day, v4, v6) for day, v4, v6 in raw]
+    unique, hits = v4_degree_counts(triples)
+    assert sum(hits.values()) == len(triples)
+    for key, degree in unique.items():
+        assert 1 <= degree <= hits[key]
+    inverse = v6_degree_counts(triples)
+    # Sum over /24s of distinct /64s == sum over /64s of distinct /24s
+    # only counts edges in a bipartite graph, from both sides.
+    edges_a = sum(unique.values())
+    edges_b = sum(inverse.values())
+    assert edges_a == edges_b
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=200))
+def test_box_stats_ordering(values):
+    stats = box_stats(values)
+    assert stats.p5 <= stats.q1 <= stats.median <= stats.q3 <= stats.p95
+    assert min(values) <= stats.median <= max(values)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=1, max_size=20))
+def test_inferred_plen_bounds(subnet_ids):
+    prefixes = [IPv6Prefix(value << 64, 64) for value in subnet_ids]
+    plen = inferred_subscriber_plen(prefixes)
+    assert 0 <= plen <= 64
+    # Adding a prefix can only increase (or keep) the inferred length.
+    extended = prefixes + [IPv6Prefix((subnet_ids[0] | 1) << 64, 64)]
+    assert inferred_subscriber_plen(extended) >= plen if (subnet_ids[0] | 1) != subnet_ids[0] else True
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_nibble_inference_consistent_with_bit_inference(subnet_id):
+    prefix = IPv6Prefix(subnet_id << 64, 64)
+    nibble_plen = nibble_aligned_inferred_plen(prefix)
+    exact_plen = 64 - prefix.trailing_zero_bits()
+    assert nibble_plen % 4 == 0
+    assert nibble_plen >= min(exact_plen, 64) or nibble_plen == 64
+    # Nibble-aligned inference never claims more zeros than exist.
+    assert nibble_plen >= exact_plen
+
+
+@given(st.lists(st.floats(min_value=1, max_value=1e5), min_size=1, max_size=50))
+@settings(max_examples=50)
+def test_total_time_fraction_scale_invariant(durations):
+    base = total_time_fraction(durations)
+    scaled = total_time_fraction([d * 2 for d in durations])
+    for (d1, f1), (d2, f2) in zip(sorted(base.items()), sorted(scaled.items())):
+        assert abs(d2 - 2 * d1) < 1e-6
+        assert abs(f2 - f1) < 1e-9

@@ -1,0 +1,154 @@
+"""Unit tests for the figure/table assembly layer (core.report)."""
+
+import pytest
+
+from repro.atlas.echo import EchoRun
+from repro.atlas.sanitize import SanitizedProbe
+from repro.core.report import (
+    as_durations,
+    figure1_series,
+    figure5_for_as,
+    probe_v4_changes,
+    probe_v4_durations,
+    probe_v6_changes,
+    probe_v6_durations,
+    render_table,
+    table1_row,
+)
+from repro.core.timefraction import CANONICAL_GRID
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv6Prefix
+
+
+def v4_run(value, first, last):
+    return EchoRun(1, 4, IPv4Address(value), first, last, last - first + 1)
+
+
+def v6_run(prefix_text, iid, first, last):
+    value = IPv6Address(int(IPv6Prefix.parse(prefix_text).network) | iid)
+    return EchoRun(1, 6, value, first, last, last - first + 1)
+
+
+def make_probe(v4_runs=(), v6_runs=(), dual_stack=True, probe_id="1", asn=64500):
+    return SanitizedProbe(
+        probe_id=probe_id,
+        asn=asn,
+        dual_stack=dual_stack,
+        v4_runs=list(v4_runs),
+        v6_runs=list(v6_runs),
+    )
+
+
+class TestProbeHelpers:
+    def test_v4_changes_and_durations(self):
+        probe = make_probe(v4_runs=[v4_run(1, 0, 9), v4_run(2, 10, 19), v4_run(3, 20, 29)])
+        assert len(probe_v4_changes(probe)) == 2
+        durations = probe_v4_durations(probe)
+        assert len(durations) == 1 and durations[0].hours == 10
+
+    def test_v6_changes_ignore_iid_changes(self):
+        # Same /64, different IIDs: not a change at /64 granularity.
+        probe = make_probe(
+            v6_runs=[
+                v6_run("2a00:1:2:3::/64", 0xAAAA, 0, 9),
+                v6_run("2a00:1:2:3::/64", 0xBBBB, 10, 19),
+                v6_run("2a00:1:2:4::/64", 0xAAAA, 20, 29),
+            ]
+        )
+        changes = probe_v6_changes(probe)
+        assert len(changes) == 1
+        assert changes[0].new_value == IPv6Prefix.parse("2a00:1:2:4::/64")
+
+    def test_v6_durations_at_56(self):
+        probe = make_probe(
+            v6_runs=[
+                v6_run("2a00:1:2:300::/64", 1, 0, 9),
+                v6_run("2a00:1:2:3ff::/64", 1, 10, 19),  # same /56
+                v6_run("2a00:1:2:400::/64", 1, 20, 29),
+            ]
+        )
+        durations_64 = probe_v6_durations(probe)
+        durations_56 = probe_v6_durations(probe, plen=56)
+        assert len(durations_64) == 1 and durations_64[0].hours == 10
+        assert durations_56 == []  # merged run 0..19 is first run -> not sandwiched
+
+
+class TestAsDurations:
+    def test_stack_split(self):
+        # v6 covers hours 0..19 only; the second v4 duration is NDS.
+        probe = make_probe(
+            v4_runs=[v4_run(1, 0, 9), v4_run(2, 10, 19), v4_run(3, 20, 49),
+                     v4_run(4, 50, 59), v4_run(5, 60, 69)],
+            v6_runs=[v6_run("2a00:1:2:3::/64", 1, 0, 19)],
+        )
+        durations = as_durations([probe])
+        assert 10.0 in durations.v4_dual_stack
+        assert 30.0 in durations.v4_non_dual_stack
+        assert 10.0 in durations.v4_non_dual_stack  # the 50..59 run
+
+
+class TestTable1Row:
+    def test_counts(self):
+        ds_probe = make_probe(
+            v4_runs=[v4_run(1, 0, 9), v4_run(2, 10, 19)],
+            v6_runs=[
+                v6_run("2a00:1:2:3::/64", 1, 0, 9),
+                v6_run("2a00:1:2:4::/64", 1, 10, 19),
+            ],
+            dual_stack=True,
+        )
+        nds_probe = make_probe(
+            v4_runs=[v4_run(3, 0, 9), v4_run(4, 10, 19), v4_run(5, 20, 29)],
+            dual_stack=False,
+            probe_id="2",
+        )
+        row = table1_row("X", 1, "XX", [ds_probe, nds_probe])
+        assert row.all_probes == 2
+        assert row.all_v4_changes == 3
+        assert row.ds_probes == 1
+        assert row.ds_v4_changes == 1
+        assert row.ds_v6_changes == 1
+        assert row.ds_v4_share_pct == pytest.approx(100 / 3)
+
+    def test_empty(self):
+        row = table1_row("X", 1, "XX", [])
+        assert row.ds_v4_share_pct == 0.0
+
+
+class TestFigure1Series:
+    def test_grid_and_totals(self):
+        series = figure1_series("x", [24.0] * 365)
+        assert len(series.grid_values) == len(CANONICAL_GRID)
+        assert series.total_years == pytest.approx(1.0)
+        assert series.grid_values[3] == 1.0  # all mass at <= 1 day
+        assert series.value_at(0) == 0.0
+
+    def test_empty_durations(self):
+        series = figure1_series("x", [])
+        assert series.total_years == 0.0
+        assert all(value == 0.0 for value in series.grid_values)
+
+
+class TestFigure5:
+    def test_histogram_from_probes(self):
+        probe = make_probe(
+            v6_runs=[
+                v6_run("2a00:1:2:300::/64", 1, 0, 9),
+                v6_run("2a00:1:2:400::/64", 1, 10, 19),
+            ]
+        )
+        histogram = figure5_for_as([probe])
+        assert histogram.total_changes == 1
+        (cpl, count), = histogram.changes_by_cpl.items()
+        assert count == 1 and 48 <= cpl < 56
+
+
+class TestRenderTable:
+    def test_column_alignment(self):
+        text = render_table(["col", "x"], [["aaaa", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col ")
+        assert all(len(line) <= len(lines[0]) + 4 for line in lines)
+
+    def test_title_optional(self):
+        assert render_table(["a"], [["1"]]).splitlines()[0] != ""

@@ -1,0 +1,221 @@
+"""Tests for spatial metrics and delegated-prefix inference."""
+
+import pytest
+
+from repro.bgp.table import RoutingTable
+from repro.core.changes import ChangeEvent
+from repro.core.delegation import (
+    inferred_plen_distribution,
+    inferred_subscriber_plen,
+    nibble_aligned_inferred_plen,
+    trailing_zero_profile,
+)
+from repro.core.spatial import (
+    cpl_histogram,
+    cpl_of_change,
+    crossing_rates,
+    unique_prefix_cdf,
+    unique_prefix_counts,
+)
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+
+def v6_change(old_text, new_text, probe_id=1, hour=10):
+    return ChangeEvent(
+        probe_id, 6, hour, IPv6Prefix.parse(old_text), IPv6Prefix.parse(new_text), 0
+    )
+
+
+def v4_change(old_text, new_text, probe_id=1, hour=10):
+    return ChangeEvent(
+        probe_id, 4, hour, IPv4Address.parse(old_text), IPv4Address.parse(new_text), 0
+    )
+
+
+class TestCpl:
+    def test_paper_example(self):
+        change = v6_change("2604:3d08:4b80:aa00::/64", "2604:3d08:4b80:aaf0::/64")
+        assert cpl_of_change(change) == 56
+
+    def test_histogram(self):
+        by_probe = {
+            "a": [
+                v6_change("2a00:100:0:1::/64", "2a00:100:0:2::/64"),  # CPL 62
+                v6_change("2a00:100:0:2::/64", "2a00:200::/64"),  # CPL 22
+            ],
+            "b": [v6_change("2a00:100:0:4::/64", "2a00:100:0:5::/64")],  # CPL 63
+        }
+        histogram = cpl_histogram(by_probe)
+        assert histogram.total_changes == 3
+        assert histogram.changes_by_cpl == {22: 1, 62: 1, 63: 1}
+        assert histogram.probes_by_cpl == {22: 1, 62: 1, 63: 1}
+
+    def test_probe_counted_once_per_cpl(self):
+        by_probe = {
+            "a": [
+                v6_change("2a00:100:0:1::/64", "2a00:100:0:2::/64"),
+                v6_change("2a00:100:0:3::/64", "2a00:100:0:2::/64", hour=20),
+            ]
+        }
+        histogram = cpl_histogram(by_probe)
+        # Both changes share CPL 62; one probe counted once.
+        assert histogram.changes_by_cpl[62] == 1
+        assert histogram.changes_by_cpl[63] == 1
+        assert histogram.probes_by_cpl == {62: 1, 63: 1}
+
+
+class TestCrossingRates:
+    def _table(self):
+        table = RoutingTable()
+        table.announce(IPv4Prefix.parse("31.0.0.0/16"), 1)
+        table.announce(IPv4Prefix.parse("31.1.0.0/16"), 1)
+        table.announce(IPv6Prefix.parse("2a00:100::/32"), 1)
+        table.announce(IPv6Prefix.parse("2a00:200::/32"), 1)
+        return table
+
+    def test_counts(self):
+        table = self._table()
+        v4 = [
+            v4_change("31.0.0.1", "31.0.0.9"),  # same /24, same BGP
+            v4_change("31.0.0.1", "31.0.5.1"),  # diff /24, same BGP
+            v4_change("31.0.0.1", "31.1.0.1"),  # diff /24, diff BGP
+        ]
+        v6 = [
+            v6_change("2a00:100:1::/64", "2a00:100:2::/64"),  # same BGP
+            v6_change("2a00:100:1::/64", "2a00:200::/64"),  # diff BGP
+        ]
+        rates = crossing_rates(v4, v6, table)
+        assert rates.v4_changes == 3
+        assert rates.diff_slash24_pct == pytest.approx(200 / 3)
+        assert rates.v4_diff_bgp_pct == pytest.approx(100 / 3)
+        assert rates.v6_diff_bgp_pct == 50.0
+
+    def test_empty(self):
+        rates = crossing_rates([], [], self._table())
+        assert rates.diff_slash24_pct == 0.0
+        assert rates.v6_diff_bgp_pct == 0.0
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            crossing_rates(
+                [v6_change("2a00:100:1::/64", "2a00:100:2::/64")], [], self._table()
+            )
+
+
+class TestUniquePrefixes:
+    def test_counts_at_each_length(self):
+        observed = [
+            IPv6Prefix.parse("2a00:100:0:1::/64"),
+            IPv6Prefix.parse("2a00:100:0:2::/64"),
+            IPv6Prefix.parse("2a00:100:1:1::/64"),
+        ]
+        counts = unique_prefix_counts(observed, plens=(64, 48, 32))
+        assert counts == {"/64": 3, "/48": 2, "/32": 1}
+
+    def test_bgp_counts(self):
+        table = RoutingTable()
+        table.announce(IPv6Prefix.parse("2a00:100::/32"), 1)
+        observed = [
+            IPv6Prefix.parse("2a00:100:0:1::/64"),
+            IPv6Prefix.parse("2a00:100:1:1::/64"),
+        ]
+        counts = unique_prefix_counts(observed, plens=(64,), table=table)
+        assert counts["BGP"] == 1
+
+    def test_rejects_longer_target(self):
+        with pytest.raises(ValueError):
+            unique_prefix_counts([IPv6Prefix.parse("2a00::/32")], plens=(48,))
+
+    def test_cdf(self):
+        per_probe = [{"/40": 1}, {"/40": 1}, {"/40": 3}, {"/40": 5}]
+        xs, ys = unique_prefix_cdf(per_probe, "/40")
+        assert xs == [1, 3, 5]
+        assert ys == [0.5, 0.75, 1.0]
+        assert unique_prefix_cdf([], "/40") == ([], [])
+
+
+class TestAtlasDelegationInference:
+    def test_infers_56_from_zeroed_64s(self):
+        observed = [
+            IPv6Prefix.parse("2a00:100:0:100::/64"),
+            IPv6Prefix.parse("2a00:100:0:2100::/64"),
+            IPv6Prefix.parse("2a00:100:0:ff00::/64"),
+        ]
+        assert inferred_subscriber_plen(observed) == 56
+
+    def test_non_zero_bits_push_to_64(self):
+        observed = [
+            IPv6Prefix.parse("2a00:100:0:100::/64"),
+            IPv6Prefix.parse("2a00:100:0:2101::/64"),  # scrambled
+        ]
+        assert inferred_subscriber_plen(observed) == 64
+
+    def test_infers_48(self):
+        observed = [
+            IPv6Prefix.parse("2a00:100:1::/64"),
+            IPv6Prefix.parse("2a00:100:2::/64"),
+        ]
+        assert inferred_subscriber_plen(observed) == 48
+
+    def test_empty_and_validation(self):
+        assert inferred_subscriber_plen([]) is None
+        with pytest.raises(ValueError):
+            inferred_subscriber_plen([IPv6Prefix.parse("2a00::/56")])
+
+    def test_distribution_requires_changes(self):
+        per_probe = {
+            "changer": [
+                IPv6Prefix.parse("2a00:100:0:100::/64"),
+                IPv6Prefix.parse("2a00:100:0:200::/64"),
+            ],
+            "static": [IPv6Prefix.parse("2a00:100:0:300::/64")],
+        }
+        distribution = inferred_plen_distribution(per_probe)
+        assert distribution == {56: 100.0}
+
+    def test_distribution_percentages(self):
+        per_probe = {
+            "a": [IPv6Prefix.parse("2a00:100:0:100::/64"), IPv6Prefix.parse("2a00:100:0:200::/64")],
+            "b": [IPv6Prefix.parse("2a00:100:1::/64"), IPv6Prefix.parse("2a00:100:2::/64")],
+        }
+        distribution = inferred_plen_distribution(per_probe)
+        assert distribution == {48: 50.0, 56: 50.0}
+
+    def test_empty_distribution(self):
+        assert inferred_plen_distribution({}) == {}
+
+
+class TestCdnDelegationInference:
+    def test_nibble_classification(self):
+        assert nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00:100:0:fff0::/64")) == 60
+        assert nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00:100:0:ff00::/64")) == 56
+        assert nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00:100:0:f000::/64")) == 52
+        assert nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00:100:1::/64")) == 48
+        assert nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00:100:0:ffff::/64")) == 64
+        with pytest.raises(ValueError):
+            nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00::/56"))
+
+    def test_partial_nibble_ignored(self):
+        # Two trailing zero bits are not a full nibble: nothing inferable.
+        assert nibble_aligned_inferred_plen(IPv6Prefix.parse("2a00:100:0:fffc::/64")) == 64
+
+    def test_profile(self):
+        prefixes = [
+            IPv6Prefix.parse("2a00:100:0:ff00::/64"),  # /56
+            IPv6Prefix.parse("2a00:100:0:fe00::/64"),  # /56
+            IPv6Prefix.parse("2a00:100:0:fff0::/64"),  # /60
+            IPv6Prefix.parse("2a00:100:0:ffff::/64"),  # nothing
+        ]
+        profile = trailing_zero_profile(prefixes)
+        assert profile.total == 4
+        assert profile.by_boundary == {56: 2, 60: 1}
+        assert profile.inferable == 3
+        assert profile.inferable_pct == 75.0
+        assert profile.fraction_at(56) == 0.5
+
+    def test_profile_folds_very_short_plens(self):
+        # A /64 that is entirely zero after /32 folds into the /48 bucket.
+        prefixes = [IPv6Prefix.parse("2a00:100::/64")]
+        profile = trailing_zero_profile(prefixes)
+        assert profile.by_boundary == {48: 1}

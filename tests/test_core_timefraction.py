@@ -1,0 +1,112 @@
+"""Tests for the total time fraction metric (core.timefraction)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timefraction import (
+    CANONICAL_GRID,
+    CANONICAL_LABELS,
+    cumulative_total_time_fraction,
+    evaluate_cdf,
+    median_of_cdf,
+    naive_duration_cdf,
+    total_duration_years,
+    total_time_fraction,
+)
+
+
+class TestTotalTimeFraction:
+    def test_paper_example(self):
+        # Section 3.2.1: CPE1 changes daily (365 samples of 24h), CPE2
+        # monthly (12 samples of 720h) over one year each.  With equal
+        # observation time, each should carry half the total time mass.
+        durations = [24.0] * 365 + [720.0] * 12
+        fractions = total_time_fraction(durations)
+        assert fractions[24.0] == pytest.approx(365 * 24 / (365 * 24 + 12 * 720))
+        assert fractions[720.0] == pytest.approx(12 * 720 / (365 * 24 + 12 * 720))
+        # Naive PMF would give CPE1 a ~97% share instead.
+        assert 365 / 377 > 0.96
+
+    def test_sums_to_one(self):
+        fractions = total_time_fraction([1, 5, 5, 24, 100])
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert total_time_fraction([]) == {}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            total_time_fraction([5, 0])
+        with pytest.raises(ValueError):
+            total_time_fraction([-1])
+
+    def test_single_duration(self):
+        assert total_time_fraction([42.0]) == {42.0: 1.0}
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=1e5), min_size=1, max_size=200))
+    def test_property_mass_conserved(self, durations):
+        fractions = total_time_fraction(durations)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(fraction > 0 for fraction in fractions.values())
+
+    @given(st.lists(st.sampled_from([24.0, 168.0, 720.0]), min_size=2, max_size=100))
+    def test_property_weighting_monotone_in_duration(self, durations):
+        # For equal counts, a longer duration must carry more mass.
+        fractions = total_time_fraction(durations)
+        from collections import Counter
+
+        counts = Counter(durations)
+        items = sorted(fractions.items())
+        for (d1, f1), (d2, f2) in zip(items, items[1:]):
+            if counts[d1] == counts[d2]:
+                assert f2 > f1
+
+
+class TestCumulativeCurve:
+    def test_monotone_and_ends_at_one(self):
+        xs, ys = cumulative_total_time_fraction([24.0] * 10 + [720.0] * 2)
+        assert xs == [24.0, 720.0]
+        assert ys[-1] == 1.0
+        assert all(a <= b for a, b in zip(ys, ys[1:]))
+
+    def test_empty(self):
+        assert cumulative_total_time_fraction([]) == ([], [])
+
+    def test_evaluate_on_canonical_grid(self):
+        xs, ys = cumulative_total_time_fraction([24.0] * 100 + [720.0] * 10)
+        values = evaluate_cdf(xs, ys, CANONICAL_GRID)
+        assert len(values) == len(CANONICAL_GRID) == len(CANONICAL_LABELS)
+        day_index = CANONICAL_LABELS.index("1d")
+        month_index = CANONICAL_LABELS.index("1m")
+        assert values[day_index] == pytest.approx(2400 / (2400 + 7200))
+        assert values[month_index] == pytest.approx(1.0)
+        assert values[0] == 0.0  # nothing at 1 hour
+
+    def test_evaluate_validates(self):
+        with pytest.raises(ValueError):
+            evaluate_cdf([1.0], [0.5, 1.0])
+
+
+class TestHelpers:
+    def test_naive_cdf(self):
+        xs, ys = naive_duration_cdf([24.0] * 3 + [720.0])
+        assert xs == [24.0, 720.0]
+        assert ys == [0.75, 1.0]
+        assert naive_duration_cdf([]) == ([], [])
+
+    def test_total_duration_years(self):
+        assert total_duration_years([365 * 24.0] * 2) == pytest.approx(2.0)
+
+    def test_median_of_cdf(self):
+        xs, ys = naive_duration_cdf([1, 2, 3, 4])
+        assert median_of_cdf(xs, ys) == 2
+        assert median_of_cdf([], []) != median_of_cdf([], [])  # NaN
+
+    def test_naive_vs_ttf_disagree_on_mixed_population(self):
+        # The core motivation: short durations dominate counts but not time.
+        durations = [24.0] * 365 + [720.0] * 12
+        naive_xs, naive_ys = naive_duration_cdf(durations)
+        ttf_xs, ttf_ys = cumulative_total_time_fraction(durations)
+        assert naive_ys[0] > 0.9  # naive: >90% of samples are 1-day
+        assert ttf_ys[0] == pytest.approx(0.5034, abs=1e-3)  # TTF: ~half the time

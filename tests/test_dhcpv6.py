@@ -1,0 +1,98 @@
+"""Tests for the DHCPv6 prefix-delegation model."""
+
+import pytest
+
+from repro.ip.prefix import IPv6Prefix
+from repro.netsim.dhcpv6 import DelegatingRouter, DelegationClient, PrefixDelegation
+from repro.netsim.pool import V6PrefixPlan
+
+DAY = 24.0
+
+
+def make_plan(num_pools=2):
+    return V6PrefixPlan(
+        IPv6Prefix.parse("2a00:300::/32"),
+        pool_plen=40,
+        delegation_plen=56,
+        num_pools=num_pools,
+    )
+
+
+class TestDelegatingRouter:
+    def test_grant_and_renew_keeps_prefix(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=2 * DAY)
+        binding = router.request(1, 0.0)
+        assert binding.prefix.plen == 56
+        for hour in (24.0, 48.0, 60.0):
+            renewed = router.request(1, hour)
+            assert renewed.prefix == binding.prefix
+            assert renewed.valid_until == hour + 2 * DAY
+
+    def test_persistent_router_redelegates_same_prefix(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=DAY, persistent=True)
+        first = router.request(1, 0.0)
+        again = router.request(1, 100.0)  # long outage
+        assert again.prefix == first.prefix
+
+    def test_non_persistent_router_draws_fresh(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=DAY, persistent=False)
+        changed = 0
+        for client in range(20):
+            first = router.request(client, 0.0)
+            again = router.request(client, 100.0 + client)
+            changed += first.prefix != again.prefix
+        assert changed == 20  # allocate() explicitly avoids `previous`
+
+    def test_home_pool_affinity(self):
+        plan = make_plan(num_pools=4)
+        router = DelegatingRouter(plan, valid_lifetime=DAY, persistent=False)
+        pools = set()
+        for round_index in range(10):
+            binding = router.request(5, round_index * 100.0)
+            pools.add(plan.pool_index_of(binding.prefix))
+        assert len(pools) == 1  # always re-homed to the same pool
+
+    def test_release(self):
+        plan = make_plan()
+        router = DelegatingRouter(plan, valid_lifetime=DAY)
+        router.request(1, 0.0)
+        assert plan.in_use_count == 1
+        router.release(1)
+        assert plan.in_use_count == 0
+        assert router.active_delegations == 0
+
+    def test_timers(self):
+        binding = PrefixDelegation(1, IPv6Prefix.parse("2a00::/56"), 0.0, 48.0)
+        assert binding.valid_lifetime == 48.0
+        assert binding.renewal_time() == 24.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelegatingRouter(make_plan(), valid_lifetime=0)
+
+
+class TestDelegationClient:
+    def test_renewing_client_keeps_delegation(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=2 * DAY)
+        client = DelegationClient(1, router, mean_uptime=1e9, mean_downtime=0.0, seed=1)
+        history = client.delegation_history(until=400 * DAY)
+        assert len(history) == 1
+
+    def test_outages_renumber_on_non_persistent_router(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=DAY, persistent=False)
+        client = DelegationClient(2, router, mean_uptime=10 * DAY, mean_downtime=3 * DAY,
+                                  seed=2)
+        history = client.delegation_history(until=300 * DAY)
+        prefixes = {prefix for _s, _e, prefix in history}
+        assert len(prefixes) > 1
+
+    def test_persistent_router_survives_short_outages(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=14 * DAY, persistent=True)
+        client = DelegationClient(3, router, mean_uptime=5 * DAY, mean_downtime=4.0, seed=3)
+        history = client.delegation_history(until=200 * DAY)
+        assert len({prefix for _s, _e, prefix in history}) == 1
+
+    def test_validation(self):
+        router = DelegatingRouter(make_plan(), valid_lifetime=DAY)
+        with pytest.raises(ValueError):
+            DelegationClient(1, router, mean_uptime=0, mean_downtime=0)

@@ -1,0 +1,69 @@
+"""Documentation meta-tests: every public item carries a docstring.
+
+Deliverable-level guard: the library promises doc comments on every
+public module, class, and function.  This test walks the installed
+package and fails on any public item without one.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro"]
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+            if info.name.rsplit(".", 1)[-1].startswith("_"):
+                continue  # __main__ runs the CLI on import
+            yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        defined_here = getattr(member, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+@pytest.mark.parametrize("module", list(_iter_modules()), ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} has no docstring"
+
+
+def test_all_public_functions_and_classes_documented():
+    missing = []
+    for module in _iter_modules():
+        for name, member in _public_members(module):
+            if not (member.__doc__ and member.__doc__.strip()):
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(member):
+                for method_name, method in vars(member).items():
+                    if method_name.startswith("_") or not inspect.isfunction(method):
+                        continue
+                    if not (method.__doc__ and method.__doc__.strip()):
+                        missing.append(f"{module.__name__}.{name}.{method_name}")
+    assert not missing, "undocumented public items:\n  " + "\n  ".join(sorted(missing))
+
+
+def test_all_modules_define_dunder_all_consistently():
+    problems = []
+    for module in _iter_modules():
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            if not hasattr(module, name):
+                problems.append(f"{module.__name__}.__all__ lists missing {name!r}")
+    assert not problems, "\n".join(problems)

@@ -1,0 +1,185 @@
+"""Tests for evolution analysis, pool inference, and the Atlas converter."""
+
+import io
+import json
+
+import pytest
+
+from repro.atlas.convert import ConversionStats, convert_result, convert_results
+from repro.core.changes import Duration
+from repro.core.evolution import (
+    durations_by_year,
+    simulation_years,
+    trend_slope,
+    year_of_duration,
+    yearly_means,
+)
+from repro.core.pools import infer_pool_plen, pool_membership, pool_summary
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv6Prefix
+
+HOURS_PER_YEAR = 365 * 24
+
+
+def duration(start, hours):
+    return Duration(1, 4, IPv4Address(1), start, start + hours - 1)
+
+
+class TestEvolution:
+    def test_year_attribution(self):
+        # Simulation epoch is 2014-09-01; hour 0 is in 2014.
+        assert year_of_duration(duration(0, 24)) == 2014
+        # ~6 months in, we're in 2015.
+        assert year_of_duration(duration(200 * 24, 24)) == 2015
+
+    def test_midpoint_attribution(self):
+        # A duration straddling new-year is attributed to its midpoint year.
+        long = duration(100 * 24, 300 * 24)
+        assert year_of_duration(long) == 2015
+
+    def test_grouping_and_means(self):
+        durations = [duration(0, 24), duration(24, 24), duration(HOURS_PER_YEAR, 48)]
+        by_year = durations_by_year(durations)
+        assert set(by_year) == {2014, 2015}
+        means = yearly_means(durations)
+        assert means[2014] == 24.0
+        assert means[2015] == 48.0
+
+    def test_trend_slope(self):
+        assert trend_slope({2014: 24.0, 2015: 48.0, 2016: 72.0}) == pytest.approx(24.0)
+        assert trend_slope({2014: 24.0}) == 0.0
+        assert trend_slope({}) == 0.0
+
+    def test_simulation_years(self):
+        assert simulation_years(24) == [2014]
+        years = simulation_years(6 * HOURS_PER_YEAR)
+        assert years[0] == 2014 and years[-1] == 2020
+
+
+class TestPoolInference:
+    def _histories(self, pool_a, pool_b, per_pool=30):
+        history = []
+        for index in range(per_pool):
+            history.append(pool_a.nth_subprefix(64, index * ((1 << 24) // 31) + 1))
+        history.append(pool_b.nth_subprefix(64, 3))
+        return history
+
+    def test_infers_40_for_40_grained_pools(self):
+        base = IPv6Prefix.parse("2a00:100::/32")
+        histories = []
+        for probe in range(6):
+            pool = base.nth_subprefix(40, probe)
+            histories.append(
+                [pool.nth_subprefix(64, i * ((1 << 24) // 31) + i) for i in range(30)]
+            )
+        assert infer_pool_plen(histories) == 40
+
+    def test_none_when_no_eligible_probes(self):
+        assert infer_pool_plen([[IPv6Prefix.parse("2a00::/64")]]) is None
+        assert infer_pool_plen([]) is None
+
+    def test_occasional_pool_switch_tolerated(self):
+        base = IPv6Prefix.parse("2a00:100::/32")
+        pool_a, pool_b = base.nth_subprefix(40, 0), base.nth_subprefix(40, 200)
+        histories = [self._histories(pool_a, pool_b) for _ in range(5)]
+        # Median unique /40s is 2 <= 3: still inferred as /40.
+        assert infer_pool_plen(histories) == 40
+
+    def test_membership_and_summary(self):
+        base = IPv6Prefix.parse("2a00:100::/32")
+        pool = base.nth_subprefix(40, 1)
+        observed = [pool.nth_subprefix(64, i << 8) for i in range(4)]  # distinct /56s
+        membership = pool_membership(observed, 40)
+        assert list(membership) == [pool]
+        summary = pool_summary(observed, 40, 56)
+        assert summary[0]["observed_delegations"] == 4
+        assert summary[0]["capacity"] == 1 << 16
+        assert 0 < summary[0]["occupancy"] < 1
+
+    def test_summary_validation(self):
+        with pytest.raises(ValueError):
+            pool_summary([], 40, 36)
+
+
+def atlas_result(prb_id=1, timestamp=1409529600, af=4, client="31.1.2.3",
+                 src="192.168.1.2", header=True):
+    entry = {"af": af, "src_addr": src, "method": "GET", "res": 200}
+    if header:
+        entry["header"] = [f"X-Client-IP: {client}", "Content-Type: text/plain"]
+    else:
+        entry["x_client_ip"] = client
+    return {
+        "fw": 4790,
+        "msm_id": 12027,
+        "prb_id": prb_id,
+        "timestamp": timestamp,
+        "type": "http",
+        "result": [entry],
+    }
+
+
+class TestAtlasConverter:
+    def test_header_extraction(self):
+        stats = ConversionStats()
+        records = list(convert_result(atlas_result(), stats))
+        assert len(records) == 1
+        record = records[0]
+        assert record.probe_id == 1
+        assert record.family == 4
+        assert str(record.client_ip) == "31.1.2.3"
+        assert str(record.src_addr) == "192.168.1.2"
+        # 1409529600 is 2014-09-01 00:00 UTC == hour 0.
+        assert record.hour == 0
+
+    def test_preextracted_field(self):
+        stats = ConversionStats()
+        records = list(convert_result(atlas_result(header=False), stats))
+        assert len(records) == 1
+
+    def test_missing_client_ip_counted(self):
+        result = atlas_result()
+        result["result"][0].pop("header")
+        stats = ConversionStats()
+        assert list(convert_result(result, stats)) == []
+        assert stats.missing_client_ip == 1
+
+    def test_family_mismatch_rejected(self):
+        result = atlas_result(af=6, client="31.1.2.3")
+        stats = ConversionStats()
+        assert list(convert_result(result, stats)) == []
+        assert stats.unparseable == 1
+
+    def test_v6_results(self):
+        result = atlas_result(af=6, client="2a00:1:2:3::1", src="2a00:1:2:3::1")
+        stats = ConversionStats()
+        records = list(convert_result(result, stats))
+        assert records[0].family == 6
+
+    def test_jsonl_stream(self):
+        lines = "\n".join(
+            json.dumps(atlas_result(prb_id=p, timestamp=1409529600 + 3600 * p))
+            for p in range(3)
+        )
+        records, stats = convert_results(io.StringIO(lines))
+        assert stats.converted == len(records) == 3
+        assert [record.hour for record in records] == [0, 1, 2]
+
+    def test_malformed_result(self):
+        records, stats = convert_results([{"type": "http"}])
+        assert records == []
+        assert stats.unparseable == 1
+
+    def test_converted_records_flow_into_pipeline(self):
+        from repro.atlas.echo import runs_from_hourly
+
+        results = [
+            atlas_result(timestamp=1409529600 + 3600 * h, client="31.1.2.3")
+            for h in range(5)
+        ] + [
+            atlas_result(timestamp=1409529600 + 3600 * h, client="31.9.9.9")
+            for h in range(5, 8)
+        ]
+        records, _stats = convert_results(results)
+        runs = runs_from_hourly(sorted(records, key=lambda r: r.hour))
+        assert len(runs) == 2
+        assert str(runs[0].value) == "31.1.2.3" and runs[0].span == 5

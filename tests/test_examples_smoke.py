@@ -1,0 +1,41 @@
+"""Smoke tests executing every example script end-to-end.
+
+These run the real scripts (seconds to ~a minute each), so they are
+opt-in: set ``REPRO_RUN_EXAMPLE_SMOKE=1`` to enable. The lightweight
+import check always runs and catches syntax/import breakage.
+"""
+
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+RUN_SMOKE = os.environ.get("REPRO_RUN_EXAMPLE_SMOKE") == "1"
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda path: path.stem)
+def test_example_parses_and_has_docstring(script):
+    tree = ast.parse(script.read_text())
+    assert ast.get_docstring(tree), f"{script.name} lacks a module docstring"
+    # Every example exposes a main() and the __main__ guard.
+    names = {node.name for node in tree.body if isinstance(node, ast.FunctionDef)}
+    assert "main" in names, f"{script.name} lacks a main() function"
+
+
+@pytest.mark.skipif(not RUN_SMOKE, reason="set REPRO_RUN_EXAMPLE_SMOKE=1 to run")
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda path: path.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script.name} produced no output"

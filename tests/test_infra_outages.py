@@ -1,0 +1,92 @@
+"""Tests for ISP infrastructure-outage mass renumbering."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig, V6AddressingConfig
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.sim import IspSimulation
+
+DAY = 24.0
+
+
+def make_isp(infra_mean=0.0, scope=0.5):
+    config = IspConfig(
+        name="OutageNet",
+        asn=64880,
+        country="XX",
+        rir=RIR.RIPE,
+        dual_stack_fraction=1.0,
+        infra_outage_mean_hours=infra_mean,
+        infra_outage_scope=scope,
+        v4=V4AddressingConfig(
+            policy_nds=ChangePolicy.static(),
+            policy_ds=ChangePolicy.static(),
+            num_blocks=2,
+            block_plen=18,
+        ),
+        v6=V6AddressingConfig(
+            policy=ChangePolicy.static(),
+            allocation_plen=32,
+            pool_plen=40,
+            num_pools=4,
+            delegation_plen=56,
+            cpe_mix=((CpeBehavior(lan_selection="zero"), 1.0),),
+        ),
+    )
+    return Isp(config, Registry(), RoutingTable())
+
+
+class TestInfraOutages:
+    def test_disabled_by_default(self):
+        isp = make_isp(infra_mean=0.0)
+        timelines = IspSimulation(isp, 10, 200 * DAY, seed=1).run()
+        for timeline in timelines.values():
+            assert len(timeline.v4) == 1  # static policies, no outages
+
+    def test_outages_renumber_both_families(self):
+        isp = make_isp(infra_mean=30 * DAY, scope=1.0)
+        timelines = IspSimulation(isp, 10, 200 * DAY, seed=2).run()
+        for timeline in timelines.values():
+            assert len(timeline.v4) > 1
+            assert len(timeline.v6_delegation) > 1
+            # Changes are synchronized across families.
+            v4_changes = {interval.end for interval in timeline.v4[:-1]}
+            v6_changes = {interval.end for interval in timeline.v6_delegation[:-1]}
+            assert v6_changes == v4_changes
+
+    def test_changes_are_correlated_across_subscribers(self):
+        isp = make_isp(infra_mean=40 * DAY, scope=1.0)
+        timelines = IspSimulation(isp, 20, 200 * DAY, seed=3).run()
+        change_times = Counter()
+        for timeline in timelines.values():
+            for interval in timeline.v4[:-1]:
+                change_times[interval.end] += 1
+        # Every change instant hits the whole population at once.
+        assert change_times
+        assert all(count == 20 for count in change_times.values())
+
+    def test_scope_fraction(self):
+        isp = make_isp(infra_mean=20 * DAY, scope=0.3)
+        timelines = IspSimulation(isp, 40, 400 * DAY, seed=4).run()
+        change_times = Counter()
+        for timeline in timelines.values():
+            for interval in timeline.v4[:-1]:
+                change_times[interval.end] += 1
+        # Each event affects roughly 30% of the 40 subscribers.
+        affected = [count for count in change_times.values()]
+        assert affected
+        mean_affected = sum(affected) / len(affected)
+        assert 5 < mean_affected < 22
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_isp(infra_mean=-1)
+        with pytest.raises(ValueError):
+            make_isp(infra_mean=10, scope=0.0)
+        with pytest.raises(ValueError):
+            make_isp(infra_mean=10, scope=1.5)

@@ -1,0 +1,80 @@
+"""Tests for record serialization (repro.io.records)."""
+
+import io
+
+import pytest
+
+from repro.atlas.echo import EchoRecord, EchoRun
+from repro.io.records import (
+    RecordFormatError,
+    read_association_csv,
+    read_echo_records,
+    read_echo_runs,
+    write_association_csv,
+    write_echo_records,
+    write_echo_runs,
+)
+from repro.ip.addr import IPv4Address, IPv6Address
+
+
+class TestEchoRecordsIO:
+    def test_roundtrip(self):
+        records = [
+            EchoRecord(1, 0, 4, IPv4Address.parse("31.0.0.1"), IPv4Address.parse("192.168.1.2")),
+            EchoRecord(1, 0, 6, IPv6Address.parse("2a00::1"), IPv6Address.parse("2a00::1")),
+        ]
+        buffer = io.StringIO()
+        assert write_echo_records(records, buffer) == 2
+        buffer.seek(0)
+        assert list(read_echo_records(buffer)) == records
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('\n{"prb_id":1,"hour":0,"af":4,"x_client_ip":"1.2.3.4","src_addr":"1.2.3.4"}\n\n')
+        assert len(list(read_echo_records(buffer))) == 1
+
+    def test_malformed_raises_with_line_number(self):
+        buffer = io.StringIO('{"prb_id":1}\n')
+        with pytest.raises(RecordFormatError, match="line 1"):
+            list(read_echo_records(buffer))
+
+
+class TestEchoRunsIO:
+    def test_roundtrip(self):
+        runs = [
+            EchoRun(7, 4, IPv4Address.parse("31.0.0.1"), 0, 23, 24, 0),
+            EchoRun(7, 6, IPv6Address.parse("2a00:1:2:3::9"), 24, 99, 70, 3),
+        ]
+        buffer = io.StringIO()
+        assert write_echo_runs(runs, buffer) == 2
+        buffer.seek(0)
+        assert list(read_echo_runs(buffer)) == runs
+
+    def test_max_gap_defaults_to_zero(self):
+        buffer = io.StringIO(
+            '{"prb_id":1,"af":4,"value":"1.2.3.4","first":0,"last":5,"observed":6}\n'
+        )
+        run = next(read_echo_runs(buffer))
+        assert run.max_gap == 0
+
+    def test_malformed(self):
+        with pytest.raises(RecordFormatError):
+            list(read_echo_runs(io.StringIO('{"af":4}\n')))
+
+
+class TestAssociationCsv:
+    def test_roundtrip(self):
+        triples = [(0, 0x1F000000, 0x2A000000 << 96), (149, 0x1F000100, (0x2A000001 << 96) | (5 << 64))]
+        buffer = io.StringIO()
+        assert write_association_csv(triples, buffer) == 2
+        buffer.seek(0)
+        assert read_association_csv(buffer) == triples
+
+    def test_bad_header(self):
+        with pytest.raises(RecordFormatError):
+            read_association_csv(io.StringIO("nope\n"))
+
+    def test_bad_fields(self):
+        with pytest.raises(RecordFormatError):
+            read_association_csv(io.StringIO("day,v4_slash24,v6_slash64\n1,2\n"))
+        with pytest.raises(RecordFormatError):
+            read_association_csv(io.StringIO("day,v4_slash24,v6_slash64\nx,ff,ff\n"))

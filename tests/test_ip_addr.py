@@ -1,0 +1,169 @@
+"""Unit tests for repro.ip.addr (parsing, formatting, arithmetic)."""
+
+import pytest
+
+from repro.ip.addr import (
+    AddressError,
+    IPv4Address,
+    IPv6Address,
+    parse_address,
+)
+
+
+class TestIPv4Parsing:
+    def test_parse_basic(self):
+        assert int(IPv4Address.parse("192.0.2.1")) == 0xC0000201
+
+    def test_parse_zero(self):
+        assert int(IPv4Address.parse("0.0.0.0")) == 0
+
+    def test_parse_max(self):
+        assert int(IPv4Address.parse("255.255.255.255")) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "1.2.3.256", "1.2.3.-1", "01.2.3.4", "a.b.c.d", "1..2.3", ""],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(bad)
+
+    def test_roundtrip(self):
+        for text in ["0.0.0.0", "10.1.2.3", "172.16.254.1", "255.255.255.255"]:
+            assert str(IPv4Address.parse(text)) == text
+
+
+class TestIPv6Parsing:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("2001:db8::", 0x20010DB8 << 96),
+            ("ff02::1:2", (0xFF02 << 112) | (1 << 16) | 2),
+            ("1:2:3:4:5:6:7:8", 0x00010002000300040005000600070008),
+        ],
+    )
+    def test_parse_values(self, text, value):
+        assert int(IPv6Address.parse(text)) == value
+
+    def test_parse_embedded_ipv4(self):
+        addr = IPv6Address.parse("::ffff:192.0.2.1")
+        assert int(addr) == (0xFFFF << 32) | 0xC0000201
+
+    def test_parse_embedded_ipv4_with_groups(self):
+        addr = IPv6Address.parse("64:ff9b::192.0.2.33")
+        assert int(addr) == (0x64 << 112) | (0xFF9B << 96) | 0xC0000221
+
+    def test_parse_uppercase(self):
+        assert IPv6Address.parse("2001:DB8::A") == IPv6Address.parse("2001:db8::a")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ":",
+            ":::",
+            "1::2::3",
+            "1:2:3:4:5:6:7",
+            "1:2:3:4:5:6:7:8:9",
+            "12345::",
+            "g::1",
+            "1:2:3:4:5:6:7:8::",
+        ],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(AddressError):
+            IPv6Address.parse(bad)
+
+    def test_rfc5952_compression(self):
+        # Longest zero run compressed; leftmost on tie; no 1-group compression.
+        assert str(IPv6Address.parse("2001:db8:0:0:1:0:0:1")) == "2001:db8::1:0:0:1"
+        assert str(IPv6Address.parse("2001:0:0:1:0:0:0:1")) == "2001:0:0:1::1"
+        assert str(IPv6Address.parse("2001:db8:0:1:1:1:1:1")) == "2001:db8:0:1:1:1:1:1"
+        assert str(IPv6Address(0)) == "::"
+        assert str(IPv6Address(1)) == "::1"
+
+    def test_roundtrip(self):
+        for text in ["::", "::1", "2001:db8::8:800:200c:417a", "fe80::1", "ff02::2"]:
+            assert str(IPv6Address.parse(text)) == text
+
+
+class TestAddressBehaviour:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+        with pytest.raises(AddressError):
+            IPv6Address(1 << 128)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address("1.2.3.4")  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        addr = IPv4Address(5)
+        with pytest.raises(AttributeError):
+            addr.value = 6  # type: ignore[misc]
+
+    def test_ordering_same_family(self):
+        assert IPv4Address(1) < IPv4Address(2) <= IPv4Address(2)
+
+    def test_ordering_cross_family_raises(self):
+        with pytest.raises(TypeError):
+            IPv4Address(1) < IPv6Address(2)  # type: ignore[operator]
+
+    def test_cross_family_never_equal(self):
+        assert IPv4Address(7) != IPv6Address(7)
+
+    def test_arithmetic(self):
+        assert IPv4Address(10) + 5 == IPv4Address(15)
+        assert IPv4Address(10) - 3 == IPv4Address(7)
+        assert IPv4Address(10) - IPv4Address(3) == 7
+
+    def test_arithmetic_overflow(self):
+        with pytest.raises(AddressError):
+            IPv4Address(0xFFFFFFFF) + 1
+
+    def test_hashable(self):
+        assert len({IPv4Address(1), IPv4Address(1), IPv4Address(2)}) == 2
+
+    def test_bit_indexing(self):
+        addr = IPv4Address(0x80000001)
+        assert addr.bit(0) == 1
+        assert addr.bit(31) == 1
+        assert addr.bit(1) == 0
+        with pytest.raises(IndexError):
+            addr.bit(32)
+
+    def test_trailing_zero_bits(self):
+        assert IPv4Address(0).trailing_zero_bits() == 32
+        assert IPv4Address(0b1000).trailing_zero_bits() == 3
+        assert IPv6Address(1 << 64).trailing_zero_bits() == 64
+
+    def test_family(self):
+        assert IPv4Address(0).family == 4
+        assert IPv6Address(0).family == 6
+
+    def test_nibble(self):
+        addr = IPv6Address.parse("2001:db8::")
+        assert addr.nibble(0) == 0x2
+        assert addr.nibble(1) == 0x0
+        assert addr.nibble(4) == 0x0
+        assert addr.nibble(5) == 0xD
+        with pytest.raises(IndexError):
+            addr.nibble(32)
+
+    def test_groups(self):
+        addr = IPv6Address.parse("1:2:3:4:5:6:7:8")
+        assert addr.groups() == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_repr(self):
+        assert repr(IPv4Address.parse("10.0.0.1")) == "IPv4Address('10.0.0.1')"
+
+
+class TestParseAddress:
+    def test_dispatch(self):
+        assert isinstance(parse_address("10.0.0.1"), IPv4Address)
+        assert isinstance(parse_address("::1"), IPv6Address)

@@ -1,0 +1,176 @@
+"""Unit tests for repro.ip.prefix."""
+
+import pytest
+
+from repro.ip.addr import AddressError, IPv4Address, IPv6Address
+from repro.ip.prefix import (
+    IPv4Prefix,
+    IPv6Prefix,
+    address_prefix,
+    common_prefix_len,
+    parse_prefix,
+)
+
+
+class TestConstruction:
+    def test_normalizes_host_bits(self):
+        p = IPv4Prefix.parse("192.0.2.77/24")
+        assert str(p) == "192.0.2.0/24"
+
+    def test_strict_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("192.0.2.77/24", strict=True)
+        assert str(IPv4Prefix.parse("192.0.2.0/24", strict=True)) == "192.0.2.0/24"
+
+    def test_bare_address_gets_full_length(self):
+        assert IPv4Prefix.parse("10.0.0.1").plen == 32
+        assert IPv6Prefix.parse("::1").plen == 128
+
+    def test_bad_plen(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            IPv6Prefix.parse("::/129")
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("10.0.0.0/x")
+
+    def test_zero_length_prefix(self):
+        p = IPv4Prefix.parse("0.0.0.0/0")
+        assert p.num_addresses == 1 << 32
+        assert p.contains_address(IPv4Address.parse("255.255.255.255"))
+
+    def test_immutable_and_hashable(self):
+        p = IPv4Prefix.parse("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            p.plen = 9  # type: ignore[misc]
+        assert len({p, IPv4Prefix.parse("10.0.0.0/8")}) == 1
+
+
+class TestContainment:
+    def test_contains_address(self):
+        p = IPv6Prefix.parse("2001:db8::/32")
+        assert p.contains_address(IPv6Address.parse("2001:db8::1"))
+        assert not p.contains_address(IPv6Address.parse("2001:db9::1"))
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_in_operator(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        assert IPv4Address.parse("10.1.2.3") in outer
+        assert IPv4Prefix.parse("10.2.0.0/16") in outer
+        assert IPv4Prefix.parse("11.0.0.0/16") not in outer
+
+    def test_cross_family_containment_false(self):
+        assert not IPv4Prefix.parse("0.0.0.0/0").contains_address(IPv6Address(0))
+        assert not IPv4Prefix.parse("0.0.0.0/0").contains_prefix(IPv6Prefix.parse("::/0"))
+
+
+class TestNavigation:
+    def test_supernet(self):
+        p = IPv6Prefix.parse("2001:db8:abcd::/48")
+        assert str(p.supernet(32)) == "2001:db8::/32"
+        with pytest.raises(AddressError):
+            p.supernet(56)
+
+    def test_nth_subprefix(self):
+        p = IPv4Prefix.parse("10.0.0.0/8")
+        assert str(p.nth_subprefix(16, 0)) == "10.0.0.0/16"
+        assert str(p.nth_subprefix(16, 255)) == "10.255.0.0/16"
+        with pytest.raises(AddressError):
+            p.nth_subprefix(16, 256)
+        with pytest.raises(AddressError):
+            p.nth_subprefix(7, 0)
+
+    def test_subprefixes_iteration(self):
+        p = IPv4Prefix.parse("192.0.2.0/24")
+        subs = list(p.subprefixes(26))
+        assert [str(s) for s in subs] == [
+            "192.0.2.0/26",
+            "192.0.2.64/26",
+            "192.0.2.128/26",
+            "192.0.2.192/26",
+        ]
+
+    def test_nth_address_and_index(self):
+        p = IPv4Prefix.parse("192.0.2.0/24")
+        addr = p.nth_address(77)
+        assert str(addr) == "192.0.2.77"
+        assert p.index_of(addr) == 77
+        with pytest.raises(AddressError):
+            p.nth_address(256)
+        with pytest.raises(AddressError):
+            p.index_of(IPv4Address.parse("192.0.3.0"))
+
+    def test_first_last(self):
+        p = IPv4Prefix.parse("192.0.2.0/30")
+        assert str(p.first_address) == "192.0.2.0"
+        assert str(p.last_address) == "192.0.2.3"
+
+
+class TestCommonPrefixLen:
+    def test_identical(self):
+        a = IPv6Address.parse("2001:db8::1")
+        assert common_prefix_len(a, a) == 128
+
+    def test_paper_example(self):
+        # From Section 5.2: 2604:3d08:4b80:aa00::/64 -> 2604:3d08:4b80:aaf0::/64 is CPL 56.
+        a = IPv6Prefix.parse("2604:3d08:4b80:aa00::/64")
+        b = IPv6Prefix.parse("2604:3d08:4b80:aaf0::/64")
+        assert common_prefix_len(a, b) == 56
+
+    def test_first_bit_differs(self):
+        assert common_prefix_len(IPv4Address(0), IPv4Address(0x80000000)) == 0
+
+    def test_capped_by_plen(self):
+        a = IPv6Prefix.parse("2001:db8::/32")
+        b = IPv6Prefix.parse("2001:db8::/48")
+        assert common_prefix_len(a, b) == 32
+
+    def test_cross_family_raises(self):
+        with pytest.raises(TypeError):
+            common_prefix_len(IPv4Address(0), IPv6Address(0))
+
+
+class TestTrailingZeroBits:
+    def test_prefix_trailing_zero_bits(self):
+        # /64 with last 8 network bits zero -> inferred /56 delegation.
+        p = IPv6Prefix.parse("2001:db8:1:100::/64")
+        assert p.trailing_zero_bits() == 8
+
+    def test_no_trailing_zeros(self):
+        p = IPv6Prefix.parse("2001:db8:1:101::/64")
+        assert p.trailing_zero_bits() == 0
+
+    def test_all_zero_network(self):
+        assert IPv6Prefix.parse("::/64").trailing_zero_bits() == 64
+        assert IPv4Prefix.parse("0.0.0.0/0").trailing_zero_bits() == 0
+
+
+class TestMisc:
+    def test_parse_prefix_dispatch(self):
+        assert isinstance(parse_prefix("10.0.0.0/8"), IPv4Prefix)
+        assert isinstance(parse_prefix("2001:db8::/32"), IPv6Prefix)
+
+    def test_address_prefix(self):
+        p = address_prefix(IPv6Address.parse("2001:db8::1"), 64)
+        assert str(p) == "2001:db8::/64"
+        p4 = address_prefix(IPv4Address.parse("10.1.2.3"), 24)
+        assert str(p4) == "10.1.2.0/24"
+
+    def test_ordering(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.0.0.0/16")
+        c = IPv4Prefix.parse("11.0.0.0/8")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_ordering_cross_family_raises(self):
+        with pytest.raises(TypeError):
+            IPv4Prefix.parse("10.0.0.0/8") < IPv6Prefix.parse("::/8")
+
+    def test_repr(self):
+        assert repr(IPv4Prefix.parse("10.0.0.0/8")) == "IPv4Prefix('10.0.0.0/8')"

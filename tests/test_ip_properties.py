@@ -1,0 +1,107 @@
+"""Property-based tests for the address-space primitives (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix, common_prefix_len
+from repro.ip.sets import PrefixSet
+from repro.ip.trie import PrefixTrie
+
+v4_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+v6_values = st.integers(min_value=0, max_value=(1 << 128) - 1)
+v4_plens = st.integers(min_value=0, max_value=32)
+v6_plens = st.integers(min_value=0, max_value=128)
+
+
+@given(v4_values)
+def test_v4_string_roundtrip(value):
+    addr = IPv4Address(value)
+    assert int(IPv4Address.parse(str(addr))) == value
+
+
+@given(v6_values)
+def test_v6_string_roundtrip(value):
+    addr = IPv6Address(value)
+    assert int(IPv6Address.parse(str(addr))) == value
+
+
+@given(v6_values)
+def test_v6_formatting_is_rfc5952_lowercase(value):
+    text = str(IPv6Address(value))
+    assert text == text.lower()
+    assert ":::" not in text
+    assert text.count("::") <= 1
+
+
+@given(v4_values, v4_plens)
+def test_prefix_contains_own_network(value, plen):
+    prefix = IPv4Prefix(value, plen)
+    assert prefix.contains_address(prefix.network)
+    assert prefix.contains_prefix(prefix)
+
+
+@given(v6_values, v6_plens)
+def test_prefix_roundtrip_via_parse(value, plen):
+    prefix = IPv6Prefix(value, plen)
+    assert IPv6Prefix.parse(str(prefix)) == prefix
+
+
+@given(v6_values, v6_values)
+def test_cpl_symmetric_and_bounded(a, b):
+    addr_a, addr_b = IPv6Address(a), IPv6Address(b)
+    cpl = common_prefix_len(addr_a, addr_b)
+    assert cpl == common_prefix_len(addr_b, addr_a)
+    assert 0 <= cpl <= 128
+    if a == b:
+        assert cpl == 128
+    else:
+        # Bit at position cpl must differ.
+        assert addr_a.bit(cpl) != addr_b.bit(cpl)
+
+
+@given(v6_values, st.integers(min_value=0, max_value=64))
+def test_supernet_contains_prefix(value, plen):
+    prefix = IPv6Prefix(value, 64)
+    supernet = prefix.supernet(plen)
+    assert supernet.contains_prefix(prefix)
+    assert common_prefix_len(supernet, prefix) == plen
+
+
+@given(st.lists(st.tuples(v4_values, st.integers(min_value=1, max_value=32)), max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_trie_matches_linear_scan(entries):
+    trie = PrefixTrie(IPv4Prefix)
+    reference = {}
+    for value, plen in entries:
+        p = IPv4Prefix(value, plen)
+        trie.insert(p, (int(p.network), plen))
+        reference[p] = (int(p.network), plen)
+    assert len(trie) == len(reference)
+    probes = [IPv4Address(value) for value, _ in entries[:20]]
+    for addr in probes:
+        best = None
+        for p, payload in reference.items():
+            if p.contains_address(addr) and (best is None or p.plen > best[1][1]):
+                best = (p, payload)
+        got = trie.longest_match(addr)
+        if best is None:
+            assert got is None
+        else:
+            assert got is not None and got[1] == best[1]
+
+
+@given(st.lists(st.tuples(v4_values, st.integers(min_value=1, max_value=24)), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_aggregation_preserves_coverage(entries):
+    prefixes = [IPv4Prefix(value, plen) for value, plen in entries]
+    original = PrefixSet(IPv4Prefix, prefixes)
+    aggregated = original.aggregated()
+    # Every original network address is still covered, and every aggregated
+    # member's network was covered by some original member.
+    for p in prefixes:
+        assert aggregated.covers(p)
+    for agg in aggregated:
+        assert any(
+            orig.contains_prefix(agg) or agg.contains_prefix(orig) for orig in prefixes
+        )

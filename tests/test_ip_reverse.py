@@ -1,0 +1,107 @@
+"""Tests for reverse-DNS helpers (repro.ip.reverse)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ip.addr import AddressError, IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+from repro.ip.reverse import (
+    in_addr_arpa_zone,
+    ip6_arpa_walk_order,
+    ip6_arpa_zone,
+    parse_reverse_pointer,
+    reverse_pointer,
+    walk_cost,
+)
+
+
+class TestPointers:
+    def test_v4_pointer(self):
+        assert reverse_pointer(IPv4Address.parse("31.5.77.9")) == "9.77.5.31.in-addr.arpa"
+
+    def test_v6_pointer(self):
+        name = reverse_pointer(IPv6Address.parse("2a00:1:2:3::1"))
+        assert name.endswith(".ip6.arpa")
+        assert name.startswith("1.0.0.0.")
+        assert name.count(".") == 33
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_v4_roundtrip(self, value):
+        address = IPv4Address(value)
+        assert parse_reverse_pointer(reverse_pointer(address)) == address
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_v6_roundtrip(self, value):
+        address = IPv6Address(value)
+        assert parse_reverse_pointer(reverse_pointer(address)) == address
+
+    def test_parse_tolerates_case_and_trailing_dot(self):
+        assert parse_reverse_pointer("9.77.5.31.IN-ADDR.ARPA.") == IPv4Address.parse("31.5.77.9")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "example.com",
+            "1.2.3.in-addr.arpa",
+            "300.2.3.4.in-addr.arpa",
+            "x.2.3.4.in-addr.arpa",
+            "1.2.ip6.arpa",
+            "gg." * 32 + "ip6.arpa",
+        ],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(AddressError):
+            parse_reverse_pointer(bad)
+
+
+class TestZones:
+    def test_ip6_zone(self):
+        assert ip6_arpa_zone(IPv6Prefix.parse("2a00::/16")) == "0.0.a.2.ip6.arpa"
+        assert ip6_arpa_zone(IPv6Prefix.parse("::/0")) == "ip6.arpa"
+
+    def test_ip6_zone_requires_nibble_alignment(self):
+        with pytest.raises(AddressError):
+            ip6_arpa_zone(IPv6Prefix.parse("2a00::/17"))
+
+    def test_in_addr_zone(self):
+        assert in_addr_arpa_zone(IPv4Prefix.parse("31.5.0.0/16")) == "5.31.in-addr.arpa"
+        assert in_addr_arpa_zone(IPv4Prefix.parse("0.0.0.0/0")) == "in-addr.arpa"
+        with pytest.raises(AddressError):
+            in_addr_arpa_zone(IPv4Prefix.parse("31.5.0.0/20"))
+
+
+class TestWalk:
+    def test_walk_order(self):
+        children = list(ip6_arpa_walk_order(IPv6Prefix.parse("2a00::/16")))
+        assert len(children) == 16
+        assert children[0] == "0.0.0.a.2.ip6.arpa"
+        assert children[-1] == "f.0.0.a.2.ip6.arpa"
+
+    def test_walk_two_deep(self):
+        children = list(ip6_arpa_walk_order(IPv6Prefix.parse("2a00::/16"), depth_nibbles=2))
+        assert len(children) == 256
+        # Two nibble labels prepended, least significant first.
+        assert children[1].startswith("1.0.")
+
+    def test_walk_validation(self):
+        with pytest.raises(AddressError):
+            list(ip6_arpa_walk_order(IPv6Prefix.parse("2a00::/15")))
+        with pytest.raises(AddressError):
+            list(ip6_arpa_walk_order(IPv6Prefix.parse("::/124"), depth_nibbles=2))
+
+    def test_walk_cost(self):
+        assert walk_cost(48, 52) == 16
+        assert walk_cost(48, 56) == 16 + 256
+        assert walk_cost(48, 48) == 0
+        with pytest.raises(AddressError):
+            walk_cost(47, 56)
+        with pytest.raises(AddressError):
+            walk_cost(56, 48)
+
+    def test_walk_cost_shrinks_with_structure(self):
+        # Knowing the /48-delegation boundary instead of walking blindly
+        # from the /32 pool to /64 saves orders of magnitude.
+        blind = walk_cost(32, 64)
+        informed = walk_cost(32, 48)
+        assert informed < blind / 1e4

@@ -1,0 +1,80 @@
+"""Unit tests for repro.ip.sets."""
+
+import pytest
+
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+from repro.ip.sets import PrefixSet
+
+
+def v4(text):
+    return IPv4Prefix.parse(text)
+
+
+class TestBasics:
+    def test_construct_from_iterable(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8"), v4("192.168.0.0/16")])
+        assert len(s) == 2
+        assert v4("10.0.0.0/8") in s
+
+    def test_add_discard_remove(self):
+        s = PrefixSet(IPv4Prefix)
+        s.add(v4("10.0.0.0/8"))
+        s.discard(v4("11.0.0.0/8"))  # absent: no error
+        assert len(s) == 1
+        s.remove(v4("10.0.0.0/8"))
+        assert len(s) == 0
+        with pytest.raises(KeyError):
+            s.remove(v4("10.0.0.0/8"))
+
+    def test_contains_address(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8")])
+        assert s.contains_address(IPv4Address.parse("10.1.2.3"))
+        assert not s.contains_address(IPv4Address.parse("11.0.0.0"))
+
+    def test_covers(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8")])
+        assert s.covers(v4("10.5.0.0/16"))
+        assert not s.covers(v4("0.0.0.0/0"))
+
+    def test_covering_prefix(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8"), v4("10.1.0.0/16")])
+        assert s.covering_prefix(IPv4Address.parse("10.1.2.3")) == v4("10.1.0.0/16")
+        assert s.covering_prefix(IPv4Address.parse("11.0.0.0")) is None
+
+    def test_union(self):
+        a = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8")])
+        b = PrefixSet(IPv4Prefix, [v4("192.168.0.0/16")])
+        assert len(a.union(b)) == 2
+        with pytest.raises(TypeError):
+            a.union(PrefixSet(IPv6Prefix))
+
+    def test_equality(self):
+        a = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8")])
+        b = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8")])
+        assert a == b
+
+
+class TestAggregation:
+    def test_merges_siblings(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/9"), v4("10.128.0.0/9")])
+        agg = s.aggregated()
+        assert set(agg) == {v4("10.0.0.0/8")}
+
+    def test_drops_covered(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/8"), v4("10.5.0.0/16")])
+        assert set(s.aggregated()) == {v4("10.0.0.0/8")}
+
+    def test_recursive_merge(self):
+        quarters = [v4(f"192.0.2.{i * 64}/26") for i in range(4)]
+        s = PrefixSet(IPv4Prefix, quarters)
+        assert set(s.aggregated()) == {v4("192.0.2.0/24")}
+
+    def test_non_siblings_not_merged(self):
+        # 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not siblings.
+        s = PrefixSet(IPv4Prefix, [v4("10.0.1.0/24"), v4("10.0.2.0/24")])
+        assert len(s.aggregated()) == 2
+
+    def test_total_addresses(self):
+        s = PrefixSet(IPv4Prefix, [v4("10.0.0.0/24"), v4("10.0.0.0/25")])
+        assert s.total_addresses() == 256

@@ -1,0 +1,190 @@
+"""Unit tests for the Patricia trie (repro.ip.trie)."""
+
+import random
+
+import pytest
+
+from repro.ip.addr import IPv4Address, IPv6Address
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+from repro.ip.trie import PrefixTrie
+
+
+def v4(text):
+    return IPv4Prefix.parse(text)
+
+
+class TestBasicOps:
+    def test_empty(self):
+        trie = PrefixTrie(IPv4Prefix)
+        assert len(trie) == 0
+        assert not trie
+        assert trie.longest_match(IPv4Address(0)) is None
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"), "a")
+        assert trie.exact(v4("10.0.0.0/8")) == "a"
+        assert len(trie) == 1
+
+    def test_overwrite(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"), "a")
+        trie.insert(v4("10.0.0.0/8"), "b")
+        assert trie.exact(v4("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_exact_missing_raises(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"), "a")
+        with pytest.raises(KeyError):
+            trie.exact(v4("10.0.0.0/16"))
+        with pytest.raises(KeyError):
+            trie.exact(v4("11.0.0.0/8"))
+
+    def test_contains(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"))
+        assert v4("10.0.0.0/8") in trie
+        assert v4("10.0.0.0/9") not in trie
+
+    def test_wrong_family_key(self):
+        trie = PrefixTrie(IPv4Prefix)
+        with pytest.raises(TypeError):
+            trie.insert(IPv6Prefix.parse("::/8"))
+        with pytest.raises(TypeError):
+            trie.longest_match(IPv6Address(0))
+
+
+class TestLongestMatch:
+    def test_nesting(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"), 8)
+        trie.insert(v4("10.1.0.0/16"), 16)
+        trie.insert(v4("10.1.2.0/24"), 24)
+        assert trie.lookup(IPv4Address.parse("10.1.2.3")) == 24
+        assert trie.lookup(IPv4Address.parse("10.1.3.4")) == 16
+        assert trie.lookup(IPv4Address.parse("10.9.9.9")) == 8
+        with pytest.raises(KeyError):
+            trie.lookup(IPv4Address.parse("11.0.0.0"))
+
+    def test_default_route(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("0.0.0.0/0"), "default")
+        trie.insert(v4("10.0.0.0/8"), "ten")
+        assert trie.lookup(IPv4Address.parse("10.0.0.1")) == "ten"
+        assert trie.lookup(IPv4Address.parse("192.168.1.1")) == "default"
+
+    def test_host_routes(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.1/32"), "host")
+        trie.insert(v4("10.0.0.0/24"), "net")
+        assert trie.lookup(IPv4Address.parse("10.0.0.1")) == "host"
+        assert trie.lookup(IPv4Address.parse("10.0.0.2")) == "net"
+
+    def test_internal_split_nodes_not_matched(self):
+        trie = PrefixTrie(IPv4Prefix)
+        # These two force a split node at a plen that has no payload.
+        trie.insert(v4("10.0.0.0/24"), "a")
+        trie.insert(v4("10.0.1.0/24"), "b")
+        # The split node covers 10.0.0.0/23 but must not match.
+        assert trie.longest_match(IPv4Address.parse("10.0.2.1")) is None
+
+    def test_covering(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"), 8)
+        trie.insert(v4("10.1.0.0/16"), 16)
+        match = trie.covering(v4("10.1.2.0/24"))
+        assert match is not None and match[1] == 16
+        match = trie.covering(v4("10.2.0.0/16"))
+        assert match is not None and match[1] == 8
+        assert trie.covering(v4("11.0.0.0/16")) is None
+        # A prefix covers itself.
+        match = trie.covering(v4("10.1.0.0/16"))
+        assert match is not None and match[1] == 16
+
+
+class TestRemoval:
+    def test_remove(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"), 8)
+        trie.insert(v4("10.1.0.0/16"), 16)
+        assert trie.remove(v4("10.1.0.0/16")) == 16
+        assert len(trie) == 1
+        assert trie.lookup(IPv4Address.parse("10.1.2.3")) == 8
+
+    def test_remove_missing_raises(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/8"))
+        with pytest.raises(KeyError):
+            trie.remove(v4("10.0.0.0/16"))
+
+    def test_remove_collapses_split_nodes(self):
+        trie = PrefixTrie(IPv4Prefix)
+        trie.insert(v4("10.0.0.0/24"), "a")
+        trie.insert(v4("10.0.1.0/24"), "b")
+        trie.remove(v4("10.0.0.0/24"))
+        assert len(trie) == 1
+        assert trie.lookup(IPv4Address.parse("10.0.1.5")) == "b"
+        assert trie.longest_match(IPv4Address.parse("10.0.0.5")) is None
+
+    def test_remove_all(self):
+        trie = PrefixTrie(IPv4Prefix)
+        prefixes = [v4("10.0.0.0/8"), v4("10.1.0.0/16"), v4("192.168.0.0/16")]
+        for p in prefixes:
+            trie.insert(p, str(p))
+        for p in prefixes:
+            trie.remove(p)
+        assert len(trie) == 0
+        assert trie.longest_match(IPv4Address.parse("10.0.0.1")) is None
+
+
+class TestIteration:
+    def test_items_in_order(self):
+        trie = PrefixTrie(IPv4Prefix)
+        inserted = [v4("10.0.0.0/8"), v4("10.0.0.0/16"), v4("192.168.0.0/16"), v4("10.5.0.0/16")]
+        for p in inserted:
+            trie.insert(p, str(p))
+        keys = list(trie.keys())
+        assert set(keys) == set(inserted)
+        assert keys == sorted(keys)
+
+
+class TestRandomized:
+    def test_against_linear_scan(self):
+        rng = random.Random(42)
+        trie = PrefixTrie(IPv4Prefix)
+        reference = {}
+        for _ in range(400):
+            plen = rng.randint(4, 32)
+            net = rng.getrandbits(32)
+            p = IPv4Prefix(net, plen)
+            trie.insert(p, str(p))
+            reference[p] = str(p)
+        assert len(trie) == len(reference)
+        for _ in range(300):
+            addr = IPv4Address(rng.getrandbits(32))
+            expected = None
+            best_plen = -1
+            for p, payload in reference.items():
+                if p.contains_address(addr) and p.plen > best_plen:
+                    expected, best_plen = payload, p.plen
+            got = trie.longest_match(addr)
+            assert (got[1] if got else None) == expected
+
+    def test_randomized_removal(self):
+        rng = random.Random(7)
+        trie = PrefixTrie(IPv6Prefix)
+        prefixes = []
+        for _ in range(200):
+            plen = rng.randint(8, 64)
+            p = IPv6Prefix(rng.getrandbits(128), plen)
+            prefixes.append(p)
+            trie.insert(p, int(p.network))
+        unique = list(dict.fromkeys(prefixes))
+        rng.shuffle(unique)
+        keep = set(unique[: len(unique) // 2])
+        for p in unique[len(unique) // 2:]:
+            trie.remove(p)
+        assert set(trie.keys()) == keep
+        for p in keep:
+            assert trie.exact(p) == int(p.network)

@@ -1,0 +1,77 @@
+"""Tests for IP-to-host mapping validity decay (core.mapping)."""
+
+import pytest
+
+from repro.core.mapping import (
+    compare_families,
+    half_life,
+    snapshot,
+    validity_curve,
+)
+from repro.netsim.policy import ChangePolicy
+from tests.test_applications import build_network
+
+DAY = 24.0
+
+
+@pytest.fixture(scope="module")
+def periodic_world():
+    _isp, timelines = build_network(
+        ChangePolicy.periodic(2 * DAY),
+        v6_policy=ChangePolicy.exponential(60 * DAY),
+        subscribers=20,
+        end=120 * DAY,
+        seed=3,
+    )
+    return timelines
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self, periodic_world):
+        entries = snapshot(periodic_world, at_hour=500.0, family=4)
+        assert entries
+        subscriber_ids = {entry.subscriber_id for entry in entries}
+        assert len(subscriber_ids) == len(entries)  # one binding per line
+        for entry in entries:
+            assert entry.valid_until > 500.0
+
+    def test_v6_snapshot_uses_prefix_keys(self, periodic_world):
+        entries = snapshot(periodic_world, at_hour=500.0, family=6)
+        for entry in entries:
+            assert entry.value & ((1 << 64) - 1) == 0
+
+    def test_family_validation(self, periodic_world):
+        with pytest.raises(ValueError):
+            snapshot(periodic_world, 0.0, family=5)
+
+
+class TestValidity:
+    def test_curve_monotone_decreasing(self, periodic_world):
+        at = 500.0
+        entries = snapshot(periodic_world, at, family=4)
+        curve = validity_curve(entries, at, horizons=[0, 12, 24, 48, 96])
+        fractions = [fraction for _h, fraction in curve]
+        assert fractions[0] == 1.0
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+        # With exact 2-day periods, nothing survives past 48h.
+        assert fractions[-1] == 0.0
+
+    def test_half_life_matches_period(self, periodic_world):
+        at = 500.0
+        entries = snapshot(periodic_world, at, family=4)
+        life = half_life(entries, at)
+        # Random phase: median residual lifetime of a 48h period ~ 24h.
+        assert 10.0 < life < 40.0
+
+    def test_v6_outlasts_v4(self, periodic_world):
+        lives = compare_families(periodic_world, at_hour=500.0)
+        assert lives[6] > lives[4] * 5
+
+    def test_validation(self, periodic_world):
+        entries = snapshot(periodic_world, 500.0)
+        with pytest.raises(ValueError):
+            validity_curve([], 0.0, [0])
+        with pytest.raises(ValueError):
+            validity_curve(entries, 500.0, [-1])
+        with pytest.raises(ValueError):
+            half_life([], 0.0)

@@ -1,0 +1,107 @@
+"""Property-based tests on netsim invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+from repro.netsim.cpe import Cpe, CpeBehavior, eui64_iid
+from repro.netsim.events import EventQueue
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.pool import V4AddressPlan, V6PrefixPlan
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                          st.integers()), max_size=50))
+def test_event_queue_pops_in_order(entries):
+    queue = EventQueue()
+    for time, payload in entries:
+        queue.schedule(time, payload)
+    popped = []
+    while queue:
+        popped.append(queue.pop()[0])
+    assert popped == sorted(popped)
+    assert len(popped) == len(entries)
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=0.1, max_value=500),
+    st.floats(min_value=0, max_value=0.09),
+)
+def test_periodic_policy_delay_bounds(count, period, jitter_fraction):
+    jitter = period * jitter_fraction
+    policy = ChangePolicy.periodic(period, jitter_hours=jitter)
+    rng = random.Random(count)
+    for _ in range(min(count, 50)):
+        delay = policy.next_change_delay(rng)
+        assert period - jitter <= delay <= period + jitter
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_eui64_roundtrip_structure(mac):
+    iid = eui64_iid(mac)
+    assert 0 <= iid < (1 << 64)
+    assert (iid >> 24) & 0xFFFF == 0xFFFE
+    # Low 24 bits preserved; high 24 preserved modulo the U/L bit flip.
+    assert iid & 0xFFFFFF == mac & 0xFFFFFF
+    assert ((iid >> 40) ^ (1 << 17)) & 0xFFFFFF == (mac >> 24) & 0xFFFFFF
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=56, max_value=64))
+@settings(max_examples=30)
+def test_cpe_lan_selection_always_inside_delegation(seed, delegation_plen):
+    rng = random.Random(seed)
+    delegation = IPv6Prefix(rng.getrandbits(128), delegation_plen)
+    for behavior in (
+        CpeBehavior(lan_selection="zero"),
+        CpeBehavior(lan_selection="scramble"),
+        CpeBehavior(lan_selection="constant"),
+    ):
+        cpe = Cpe(behavior, random.Random(seed))
+        lan = cpe.select_lan_prefix(delegation, rng)
+        assert lan.plen == 64
+        assert delegation.contains_prefix(lan)
+        if behavior.lan_selection == "zero":
+            assert lan.network == delegation.network
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_v4_plan_no_duplicate_holdings(seed, churn):
+    rng = random.Random(seed)
+    plan = V4AddressPlan(
+        [IPv4Prefix.parse("10.0.0.0/25"), IPv4Prefix.parse("10.0.1.0/25")],
+        same_slash24_affinity=0.3,
+        same_block_affinity=0.5,
+    )
+    held = [plan.allocate(rng) for _ in range(30)]
+    assert len(set(held)) == 30
+    for _ in range(churn):
+        index = rng.randrange(len(held))
+        old = held[index]
+        plan.release(old)
+        held[index] = plan.allocate(rng, previous=old)
+        assert held[index] != old
+        assert len({int(a) for a in held}) == len(held)
+
+
+@given(st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_v6_plan_delegations_disjoint(seed):
+    rng = random.Random(seed)
+    plan = V6PrefixPlan(
+        IPv6Prefix.parse("2a00:100::/32"),
+        pool_plen=40,
+        delegation_plen=56,
+        num_pools=4,
+        pool_switch_prob=0.2,
+    )
+    held = []
+    for _ in range(40):
+        delegation, pool = plan.allocate(rng, rng.randrange(4))
+        assert plan.pools[pool].contains_prefix(delegation)
+        held.append(delegation)
+    # Pairwise disjoint (same plen, so distinct == disjoint).
+    assert len(set(held)) == len(held)

@@ -1,0 +1,248 @@
+"""Integration tests for the ISP event simulation (repro.netsim.sim)."""
+
+import pytest
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.ip.addr import IPv4Address
+from repro.ip.prefix import IPv6Prefix
+from repro.netsim.cpe import CpeBehavior
+from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig, V6AddressingConfig
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.profiles import default_profiles, profile_by_name
+from repro.netsim.sim import IspSimulation
+
+DAY = 24.0
+
+
+def make_isp(v4_policy=None, v6_policy=None, **overrides):
+    """A small test ISP with overridable policies."""
+    registry = Registry()
+    table = RoutingTable()
+    v4_policy = v4_policy or ChangePolicy.periodic(DAY)
+    v6_policy = v6_policy or ChangePolicy.exponential(2000.0)
+    v6_kwargs = dict(
+        policy=v6_policy,
+        allocation_plen=32,
+        pool_plen=40,
+        num_pools=4,
+        delegation_plen=56,
+        sync_with_v4_prob=overrides.pop("sync_with_v4_prob", 0.0),
+        pool_switch_prob=overrides.pop("pool_switch_prob", 0.0),
+        cpe_mix=overrides.pop("cpe_mix", ((CpeBehavior(lan_selection="zero"), 1.0),)),
+    )
+    config = IspConfig(
+        name="TestNet",
+        asn=64500,
+        country="XX",
+        rir=RIR.RIPE,
+        dual_stack_fraction=overrides.pop("dual_stack_fraction", 1.0),
+        v4=V4AddressingConfig(
+            policy_nds=v4_policy,
+            policy_ds=overrides.pop("policy_ds", v4_policy),
+            ds_legacy_fraction=overrides.pop("ds_legacy_fraction", 0.0),
+            num_blocks=2,
+            block_plen=18,
+        ),
+        v6=V6AddressingConfig(**v6_kwargs),
+    )
+    assert not overrides, f"unused overrides: {overrides}"
+    return Isp(config, registry, table)
+
+
+class TestTimelineInvariants:
+    def test_intervals_are_contiguous_and_cover_the_run(self):
+        isp = make_isp()
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=30 * DAY, seed=1).run()
+        assert len(timelines) == 10
+        for timeline in timelines.values():
+            for intervals in (timeline.v4, timeline.v6_lan, timeline.v6_delegation):
+                if not intervals:
+                    continue
+                assert intervals[0].start == 0.0
+                assert intervals[-1].end == 30 * DAY
+                for left, right in zip(intervals, intervals[1:]):
+                    assert left.end == right.start
+                    assert left.value != right.value or True  # values may repeat non-adjacently
+                assert all(interval.duration > 0 for interval in intervals)
+
+    def test_adjacent_intervals_differ(self):
+        isp = make_isp()
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=60 * DAY, seed=2).run()
+        for timeline in timelines.values():
+            for intervals in (timeline.v4, timeline.v6_delegation):
+                for left, right in zip(intervals, intervals[1:]):
+                    assert left.value != right.value
+
+    def test_non_dual_stack_subscribers_have_no_v6(self):
+        isp = make_isp(dual_stack_fraction=0.0)
+        timelines = IspSimulation(isp, num_subscribers=5, end_hour=10 * DAY, seed=3).run()
+        for timeline in timelines.values():
+            assert not timeline.dual_stack
+            assert timeline.v6_lan == [] and timeline.v6_delegation == []
+            assert timeline.v4
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            isp = make_isp()
+            return IspSimulation(isp, num_subscribers=8, end_hour=20 * DAY, seed=99).run()
+
+        a, b = run_once(), run_once()
+        for sub_id in a:
+            assert [(i.start, i.end, str(i.value)) for i in a[sub_id].v4] == [
+                (i.start, i.end, str(i.value)) for i in b[sub_id].v4
+            ]
+
+    def test_addresses_come_from_isp_blocks(self):
+        isp = make_isp()
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=20 * DAY, seed=4).run()
+        for timeline in timelines.values():
+            for interval in timeline.v4:
+                assert isinstance(interval.value, IPv4Address)
+                assert isp.v4_plan.block_of(interval.value) is not None
+            for interval in timeline.v6_delegation:
+                assert isp.v6_allocation.contains_prefix(interval.value)
+
+    def test_lan_prefix_inside_delegation(self):
+        isp = make_isp(cpe_mix=((CpeBehavior(lan_selection="scramble"), 1.0),))
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=60 * DAY, seed=5).run()
+        for timeline in timelines.values():
+            for lan in timeline.v6_lan:
+                assert isinstance(lan.value, IPv6Prefix) and lan.value.plen == 64
+                containing = [
+                    d for d in timeline.v6_delegation
+                    if d.start <= lan.start and d.end >= lan.end
+                ]
+                assert len(containing) == 1
+                assert containing[0].value.contains_prefix(lan.value)
+
+    def test_no_concurrent_address_sharing(self):
+        # At any sampled hour, no two subscribers hold the same v4 address.
+        isp = make_isp()
+        timelines = IspSimulation(isp, num_subscribers=30, end_hour=30 * DAY, seed=6).run()
+        for hour in range(0, 30 * 24, 7):
+            held = []
+            for timeline in timelines.values():
+                for interval in timeline.v4:
+                    if interval.start <= hour < interval.end:
+                        held.append(int(interval.value))
+            assert len(held) == len(set(held))
+
+
+class TestPolicyEffects:
+    def test_periodic_policy_produces_period_durations(self):
+        isp = make_isp(v4_policy=ChangePolicy.periodic(DAY))
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=30 * DAY, seed=7).run()
+        for timeline in timelines.values():
+            inner = timeline.v4[1:-1]  # exclude phase-offset first and truncated last
+            assert inner, "expected many changes at 24h period"
+            for interval in inner:
+                assert interval.duration == pytest.approx(DAY, abs=1e-6)
+
+    def test_static_policy_produces_single_interval(self):
+        isp = make_isp(
+            v4_policy=ChangePolicy.static(),
+            v6_policy=ChangePolicy.static(),
+        )
+        timelines = IspSimulation(isp, num_subscribers=5, end_hour=100 * DAY, seed=8).run()
+        for timeline in timelines.values():
+            assert len(timeline.v4) == 1
+            assert len(timeline.v6_delegation) == 1
+
+    def test_sync_changes_co_occur(self):
+        isp = make_isp(
+            v4_policy=ChangePolicy.periodic(DAY),
+            v6_policy=ChangePolicy.exponential(1e9),
+            sync_with_v4_prob=1.0,
+        )
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=20 * DAY, seed=9).run()
+        for timeline in timelines.values():
+            v4_changes = {interval.end for interval in timeline.v4[:-1]}
+            v6_changes = {interval.end for interval in timeline.v6_delegation[:-1]}
+            assert v6_changes == v4_changes
+
+    def test_no_sync_changes_do_not_co_occur(self):
+        isp = make_isp(
+            v4_policy=ChangePolicy.exponential(5 * DAY),
+            v6_policy=ChangePolicy.exponential(5 * DAY),
+            sync_with_v4_prob=0.0,
+        )
+        timelines = IspSimulation(isp, num_subscribers=20, end_hour=100 * DAY, seed=10).run()
+        co_occurring = 0
+        total = 0
+        for timeline in timelines.values():
+            v4_changes = {interval.end for interval in timeline.v4[:-1]}
+            for interval in timeline.v6_delegation[:-1]:
+                total += 1
+                if interval.end in v4_changes:
+                    co_occurring += 1
+        assert total > 0 and co_occurring == 0
+
+    def test_scramble_changes_lan_but_not_delegation(self):
+        isp = make_isp(
+            v4_policy=ChangePolicy.static(),
+            v6_policy=ChangePolicy.static(),
+            cpe_mix=(
+                (CpeBehavior(lan_selection="scramble", scramble_period_hours=2 * DAY), 1.0),
+            ),
+        )
+        timelines = IspSimulation(isp, num_subscribers=10, end_hour=60 * DAY, seed=11).run()
+        scrambled = 0
+        for timeline in timelines.values():
+            assert len(timeline.v6_delegation) == 1
+            if len(timeline.v6_lan) > 1:
+                scrambled += 1
+                delegation = timeline.v6_delegation[0].value
+                for lan in timeline.v6_lan:
+                    assert delegation.contains_prefix(lan.value)
+        assert scrambled >= 8
+
+    def test_reboot_renumbering(self):
+        isp = make_isp(
+            v4_policy=ChangePolicy.static(renumber_on_reboot=True),
+            v6_policy=ChangePolicy.static(),
+            cpe_mix=((CpeBehavior(lan_selection="zero", reboot_mean_hours=5 * DAY), 1.0),),
+        )
+        timelines = IspSimulation(isp, num_subscribers=20, end_hour=100 * DAY, seed=12).run()
+        total_v4_changes = sum(len(t.v4) - 1 for t in timelines.values())
+        assert total_v4_changes > 20  # ~20 subs * ~20 reboots expected / >20 is lenient
+
+    def test_ds_legacy_fraction_mixes_policies(self):
+        isp = make_isp(
+            v4_policy=ChangePolicy.periodic(DAY),
+            policy_ds=ChangePolicy.static(),
+            ds_legacy_fraction=0.5,
+        )
+        timelines = IspSimulation(isp, num_subscribers=40, end_hour=30 * DAY, seed=13).run()
+        static_like = sum(1 for t in timelines.values() if len(t.v4) == 1)
+        churning = sum(1 for t in timelines.values() if len(t.v4) > 10)
+        assert static_like >= 8
+        assert churning >= 8
+
+
+class TestProfiles:
+    def test_default_profiles_instantiate(self):
+        registry = Registry()
+        table = RoutingTable()
+        for config in default_profiles():
+            isp = Isp(config, registry, table)
+            assert isp.v4_plan.blocks
+            assert isp.v6_plan is not None
+
+    def test_profile_lookup(self):
+        assert profile_by_name("dtag").asn == 3320
+        with pytest.raises(KeyError):
+            profile_by_name("nosuch")
+
+    def test_profiles_have_distinct_asns(self):
+        asns = [c.asn for c in default_profiles()]
+        assert len(asns) == len(set(asns))
+
+    def test_profile_smoke_simulation(self):
+        registry = Registry()
+        table = RoutingTable()
+        isp = Isp(profile_by_name("DTAG"), registry, table)
+        timelines = IspSimulation(isp, num_subscribers=12, end_hour=60 * DAY, seed=0).run()
+        # DTAG renumbers v4 daily for NDS subscribers: plenty of changes.
+        total_changes = sum(len(t.v4) - 1 for t in timelines.values())
+        assert total_changes > 100

@@ -1,0 +1,95 @@
+"""Exhaustive equivalence sweep: run encoding == hourly encoding.
+
+The platform's two output encodings must agree for every combination of
+anomaly and IID mode — this is the correctness backbone of the whole
+measurement layer, so it gets a dedicated parametrized sweep.
+"""
+
+import pytest
+
+from repro.atlas.echo import runs_from_hourly
+from repro.atlas.platform import ANOMALIES, AtlasPlatform, ProbeSpec
+from repro.bgp.registry import Registry
+from repro.bgp.table import RoutingTable
+from tests.test_atlas_platform import DAY, build_network
+
+
+@pytest.fixture(scope="module")
+def environment():
+    registry, table = Registry(), RoutingTable()
+    isp_a, timelines_a, _ = build_network(asn=64520, registry=registry, table=table,
+                                          num_subscribers=6, end_hour=120 * DAY)
+    isp_b, timelines_b, _ = build_network(asn=64521, registry=registry, table=table,
+                                          num_subscribers=6, end_hour=120 * DAY, seed=9)
+    platform = AtlasPlatform(
+        {isp_a.asn: (isp_a, timelines_a), isp_b.asn: (isp_b, timelines_b)},
+        end_hour=120 * DAY,
+        seed=77,
+    )
+    return platform, isp_a, isp_b
+
+
+def make_spec(platform_env, probe_id, anomaly, iid_mode):
+    _platform, isp_a, isp_b = platform_env
+    secondary = (isp_b.asn, probe_id % 6) if anomaly in ("multihomed", "as_move") else None
+    return ProbeSpec(
+        probe_id=probe_id,
+        asn=isp_a.asn,
+        subscriber_id=probe_id % 6,
+        anomaly=anomaly,
+        secondary=secondary,
+        iid_mode=iid_mode,
+        iid_rotation_hours=5 * 24,
+    )
+
+
+@pytest.mark.parametrize("anomaly", ANOMALIES)
+@pytest.mark.parametrize("iid_mode", ("eui64", "privacy"))
+def test_run_and_hourly_paths_agree(environment, anomaly, iid_mode):
+    platform, _isp_a, _isp_b = environment
+    spec = make_spec(environment, probe_id=hash((anomaly, iid_mode)) % 1000 + 100,
+                     anomaly=anomaly, iid_mode=iid_mode)
+    data = platform.probe_data(spec)
+    records = list(platform.hourly_records(spec))
+    v4 = [record for record in records if record.family == 4]
+    v6 = [record for record in records if record.family == 6]
+    assert runs_from_hourly(v4) == data.v4_runs
+    assert runs_from_hourly(v6) == data.v6_runs
+
+
+@pytest.mark.parametrize("anomaly", ANOMALIES)
+def test_probe_data_is_deterministic(environment, anomaly):
+    platform, _isp_a, _isp_b = environment
+    spec = make_spec(environment, probe_id=500, anomaly=anomaly, iid_mode="eui64")
+    first = platform.probe_data(spec)
+    second = platform.probe_data(spec)
+    assert first.v4_runs == second.v4_runs
+    assert first.v6_runs == second.v6_runs
+
+
+def test_multihomed_flaps_synchronized_across_families(environment):
+    """Uplink flaps are physical: both families switch AS at the same hours."""
+    platform, isp_a, isp_b = environment
+    spec = make_spec(environment, probe_id=700, anomaly="multihomed", iid_mode="eui64")
+    data = platform.probe_data(spec)
+
+    def as_sequence(runs, which_isp):
+        allocation = which_isp.v6_allocation
+        sequence = []
+        for run in runs:
+            if run.family == 4:
+                inside = which_isp.v4_plan.block_of(run.value) is not None
+            else:
+                from repro.ip.prefix import IPv6Prefix
+
+                inside = allocation.contains_prefix(IPv6Prefix(int(run.value), 64))
+            sequence.append((run.first, inside))
+        return sequence
+
+    # For every v6 run, the probe's v4 runs covering the same hours must
+    # belong to the same attachment.
+    v4_seq = as_sequence(data.v4_runs, isp_a)
+    for first, inside_a in as_sequence(data.v6_runs, isp_a):
+        covering = [ia for (f, ia) in v4_seq if f <= first]
+        if covering:
+            assert covering[-1] == inside_a

@@ -1,0 +1,102 @@
+"""Tests for time-varying assignment policies (PolicyEpoch)."""
+
+import pytest
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.netsim.isp import Isp, IspConfig, PolicyEpoch, V4AddressingConfig
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.sim import IspSimulation
+
+DAY = 24.0
+
+
+def make_isp(epochs=(), ds_fraction=0.0):
+    registry, table = Registry(), RoutingTable()
+    config = IspConfig(
+        name="Evolving",
+        asn=64700,
+        country="XX",
+        rir=RIR.RIPE,
+        dual_stack_fraction=ds_fraction,
+        v4=V4AddressingConfig(
+            policy_nds=ChangePolicy.periodic(DAY),
+            policy_ds=ChangePolicy.periodic(DAY),
+            num_blocks=2,
+            block_plen=18,
+            epochs=tuple(epochs),
+        ),
+        v6=None,
+    )
+    return Isp(config, registry, table)
+
+
+class TestPolicyEpochValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyEpoch(-1, ChangePolicy.static(), ChangePolicy.static())
+
+    def test_unsorted_epochs_rejected(self):
+        epochs = (
+            PolicyEpoch(100, ChangePolicy.static(), ChangePolicy.static()),
+            PolicyEpoch(50, ChangePolicy.static(), ChangePolicy.static()),
+        )
+        with pytest.raises(ValueError):
+            make_isp(epochs=epochs)
+
+    def test_non_epoch_entries_rejected(self):
+        with pytest.raises(TypeError):
+            make_isp(epochs=("not an epoch",))
+
+
+class TestEpochBehaviour:
+    def test_policy_switch_lengthens_durations(self):
+        # Daily renumbering for 50 days, then a 10-day period.
+        switch = 50 * DAY
+        epochs = (PolicyEpoch(switch, ChangePolicy.periodic(10 * DAY),
+                              ChangePolicy.periodic(10 * DAY)),)
+        isp = make_isp(epochs=epochs)
+        timelines = IspSimulation(isp, 20, 150 * DAY, seed=3).run()
+        for timeline in timelines.values():
+            before = [iv for iv in timeline.v4 if iv.end <= switch][1:]
+            after = [iv for iv in timeline.v4 if iv.start >= switch + 10 * DAY][:-1]
+            for interval in before:
+                assert interval.duration == pytest.approx(DAY)
+            for interval in after:
+                assert interval.duration == pytest.approx(10 * DAY)
+
+    def test_switch_to_static_stops_changes(self):
+        epochs = (PolicyEpoch(30 * DAY, ChangePolicy.static(), ChangePolicy.static()),)
+        isp = make_isp(epochs=epochs)
+        timelines = IspSimulation(isp, 10, 200 * DAY, seed=4).run()
+        for timeline in timelines.values():
+            changes_after = [iv for iv in timeline.v4[:-1] if iv.end > 31 * DAY]
+            assert changes_after == []
+
+    def test_epoch_beyond_end_is_ignored(self):
+        epochs = (PolicyEpoch(1e9, ChangePolicy.static(), ChangePolicy.static()),)
+        isp = make_isp(epochs=epochs)
+        timelines = IspSimulation(isp, 5, 30 * DAY, seed=5).run()
+        for timeline in timelines.values():
+            assert len(timeline.v4) > 10  # still renumbering daily
+
+    def test_yearly_means_increase(self):
+        from repro.core.evolution import trend_slope
+
+        year = 365 * DAY
+        epochs = (
+            PolicyEpoch(1 * year, ChangePolicy.periodic(3 * DAY), ChangePolicy.periodic(3 * DAY)),
+            PolicyEpoch(2 * year, ChangePolicy.periodic(WEEK := 7 * DAY),
+                        ChangePolicy.periodic(WEEK)),
+        )
+        isp = make_isp(epochs=epochs)
+        timelines = IspSimulation(isp, 10, 3 * year, seed=6).run()
+        # Mean holding time per simulated year rises monotonically.
+        yearly = {}
+        for timeline in timelines.values():
+            for interval in timeline.v4[1:-1]:
+                bucket = int(((interval.start + interval.end) / 2) // year)
+                yearly.setdefault(bucket, []).append(interval.duration)
+        means = {year_index: sum(v) / len(v) for year_index, v in yearly.items()}
+        assert means[0] < means[1] < means[2]
+        assert trend_slope(means) > 0

@@ -1,0 +1,198 @@
+"""Tests validating the protocol-level DHCP/RADIUS models.
+
+These also validate the *abstraction* used by the event simulation: a
+renewing DHCP client behaves like a ``static``/``exponential`` policy,
+while RADIUS sessions behave like a ``periodic`` policy with
+``renumber_on_reboot``.
+"""
+
+import pytest
+
+from repro.ip.prefix import IPv4Prefix
+from repro.netsim.dhcp import DhcpClient, DhcpServer, Lease
+from repro.netsim.pool import V4AddressPlan
+from repro.netsim.radius import PppoeSubscriber, RadiusServer
+
+DAY = 24.0
+
+
+def make_plan(plen=24):
+    return V4AddressPlan([IPv4Prefix.parse(f"31.0.0.0/{plen}")])
+
+
+class TestLease:
+    def test_timers(self):
+        lease = Lease(1, None, granted_at=0.0, expires_at=48.0)
+        assert lease.duration == 48.0
+        assert lease.renewal_time() == 24.0
+        assert lease.rebinding_time() == 42.0
+
+
+class TestDhcpServer:
+    def test_grant_and_renew_keeps_address(self):
+        server = DhcpServer(make_plan(), lease_time=24.0)
+        lease = server.request(client_id=1, now=0.0)
+        for hour in (12.0, 24.0, 30.0, 41.0):
+            renewed = server.request(1, hour)
+            assert renewed.address == lease.address
+            assert renewed.expires_at == hour + 24.0
+
+    def test_expiry_releases_address(self):
+        server = DhcpServer(make_plan(), lease_time=24.0)
+        plan = make_plan()
+        server = DhcpServer(plan, lease_time=24.0)
+        server.request(1, 0.0)
+        assert server.active_leases == 1
+        assert plan.in_use_count == 1
+        # Expiration is lazy, applied when the client is next touched.
+        server._expire_if_due(1, 50.0)
+        assert server.lease_of(1) is None
+        assert plan.in_use_count == 0
+
+    def test_stateful_server_regrants_same_address(self):
+        server = DhcpServer(make_plan(), lease_time=24.0, remember_expired=True)
+        first = server.request(1, 0.0)
+        # Client silent past expiry, then comes back.
+        again = server.request(1, 100.0)
+        assert again.address == first.address
+
+    def test_stateless_server_usually_regrants_different(self):
+        # With remember_expired=False the new draw is random; over many
+        # clients the previous address is practically never reused.
+        server = DhcpServer(make_plan(plen=20), lease_time=24.0, remember_expired=False)
+        same = 0
+        for client in range(50):
+            first = server.request(client, 0.0)
+            again = server.request(client, 100.0 + client)
+            same += first.address == again.address
+        assert same == 0  # plan.allocate avoids `previous` explicitly
+
+    def test_remembered_address_can_be_lost_to_other_client(self):
+        plan = V4AddressPlan([IPv4Prefix.parse("31.0.0.0/30")])  # 4 addresses
+        server = DhcpServer(plan, lease_time=10.0, remember_expired=True)
+        first = server.request(1, 0.0)
+        server._expire_if_due(1, 20.0)
+        # Other clients grab the whole pool, including client 1's old address.
+        taken = {int(server.request(client, 20.0).address) for client in (2, 3, 4, 5)}
+        assert int(first.address) in taken
+
+    def test_release(self):
+        server = DhcpServer(make_plan(), lease_time=24.0)
+        lease = server.request(1, 0.0)
+        server.release(1, 1.0)
+        assert server.active_leases == 0
+        # The address is free for others now.
+        assert server.request(1, 2.0).address == lease.address  # remembered
+
+    def test_renew_without_lease(self):
+        server = DhcpServer(make_plan(), lease_time=24.0)
+        assert server.renew(1, 0.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DhcpServer(make_plan(), lease_time=0)
+
+
+class TestDhcpClient:
+    def test_renewing_client_keeps_address_while_up(self):
+        server = DhcpServer(make_plan(), lease_time=24.0)
+        client = DhcpClient(1, server, mean_uptime=1e9, mean_downtime=0.0, seed=1)
+        history = client.address_history(until=100 * DAY)
+        assert len(history) == 1  # never renumbered
+        start, end, _address = history[0]
+        assert start == 0.0 and end == 100 * DAY
+
+    def test_long_outage_changes_address_on_stateless_server(self):
+        server = DhcpServer(make_plan(plen=20), lease_time=24.0, remember_expired=False)
+        client = DhcpClient(2, server, mean_uptime=5 * DAY, mean_downtime=3 * DAY, seed=2)
+        history = client.address_history(until=200 * DAY)
+        assert len(history) > 1
+        addresses = [address for _s, _e, address in history]
+        assert len(set(addresses)) > 1
+
+    def test_short_outages_keep_address_on_stateful_server(self):
+        # Outages shorter than leases: binding survives on a stateful server.
+        server = DhcpServer(make_plan(), lease_time=10 * DAY, remember_expired=True)
+        client = DhcpClient(3, server, mean_uptime=3 * DAY, mean_downtime=2.0, seed=3)
+        history = client.address_history(until=100 * DAY)
+        assert len({address for _s, _e, address in history}) == 1
+
+    def test_validation(self):
+        server = DhcpServer(make_plan(), lease_time=24.0)
+        with pytest.raises(ValueError):
+            DhcpClient(1, server, mean_uptime=0, mean_downtime=1)
+
+
+class TestRadius:
+    def test_sessions_draw_fresh_addresses(self):
+        server = RadiusServer(make_plan(), session_timeout=24.0)
+        first = server.access_request(1, 0.0)
+        second = server.access_request(1, 24.0)
+        assert first.address != second.address
+        assert second.session_timeout == 24.0
+
+    def test_terminate_frees_address(self):
+        plan = make_plan()
+        server = RadiusServer(plan, session_timeout=24.0)
+        session = server.access_request(1, 0.0)
+        assert plan.in_use_count == 1
+        freed = server.terminate(1, 5.0)
+        assert freed == session.address
+        assert plan.in_use_count == 0
+        assert server.terminate(1, 6.0) is None
+
+    def test_periodic_renumbering_emerges(self):
+        server = RadiusServer(make_plan(plen=20), session_timeout=24.0)
+        subscriber = PppoeSubscriber(1, server, mean_time_between_drops=0.0, seed=4)
+        history = subscriber.address_history(until=30 * DAY)
+        # Exactly back-to-back 24h sessions.
+        assert len(history) == 30
+        for start, end, _address in history:
+            assert end - start == pytest.approx(24.0)
+        addresses = [address for _s, _e, address in history]
+        assert all(a != b for a, b in zip(addresses, addresses[1:]))
+
+    def test_line_drops_shorten_sessions(self):
+        server = RadiusServer(make_plan(plen=20), session_timeout=7 * DAY)
+        subscriber = PppoeSubscriber(2, server, mean_time_between_drops=2 * DAY, seed=5)
+        history = subscriber.address_history(until=100 * DAY)
+        durations = [end - start for start, end, _a in history]
+        assert min(durations) < 7 * DAY
+        assert max(durations) <= 7 * DAY + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadiusServer(make_plan(), session_timeout=0)
+        server = RadiusServer(make_plan(), session_timeout=24.0)
+        with pytest.raises(ValueError):
+            PppoeSubscriber(1, server, mean_time_between_drops=-1)
+
+
+class TestAbstractionEquivalence:
+    """The protocol models reproduce the abstract policies' statistics."""
+
+    def test_radius_matches_periodic_policy(self):
+        server = RadiusServer(make_plan(plen=18), session_timeout=24.0)
+        durations = []
+        for subscriber_id in range(20):
+            subscriber = PppoeSubscriber(subscriber_id, server, seed=subscriber_id)
+            history = subscriber.address_history(until=60 * DAY)
+            durations.extend(end - start for start, end, _a in history[1:-1])
+        # All interior durations are exactly the session timeout — the
+        # definition of the `periodic` ChangePolicy.
+        assert durations
+        assert all(duration == pytest.approx(24.0) for duration in durations)
+
+    def test_dhcp_with_rare_outages_matches_long_exponential(self):
+        server = DhcpServer(make_plan(plen=18), lease_time=24.0, remember_expired=False)
+        changes = 0
+        total_time = 0.0
+        for client_id in range(20):
+            client = DhcpClient(client_id, server, mean_uptime=60 * DAY,
+                                mean_downtime=2 * DAY, seed=client_id)
+            history = client.address_history(until=300 * DAY)
+            changes += len(history) - 1
+            total_time += sum(end - start for start, end, _a in history)
+        # Mean holding time ~ mean_uptime (changes only at long outages):
+        mean_holding = total_time / max(1, changes + 20)
+        assert 20 * DAY < mean_holding < 120 * DAY

@@ -1,0 +1,104 @@
+"""Tests for the Zmap-style session-duration comparison."""
+
+import pytest
+
+from repro.bgp.registry import RIR, Registry
+from repro.bgp.table import RoutingTable
+from repro.core.responsiveness import (
+    ProbingConfig,
+    estimate_sessions,
+    true_assignment_durations,
+    underestimation_factor,
+)
+from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig
+from repro.netsim.policy import ChangePolicy
+from repro.netsim.sim import IspSimulation
+
+DAY = 24.0
+
+
+def simulate(v4_policy, subscribers=25, end=120 * DAY, seed=0):
+    config = IspConfig(
+        name="ZmapNet",
+        asn=64870,
+        country="XX",
+        rir=RIR.RIPE,
+        dual_stack_fraction=0.0,
+        v4=V4AddressingConfig(
+            policy_nds=v4_policy,
+            policy_ds=v4_policy,
+            num_blocks=1,
+            block_plen=22,
+        ),
+        v6=None,
+    )
+    isp = Isp(config, Registry(), RoutingTable())
+    return IspSimulation(isp, subscribers, end, seed=seed).run(), end
+
+
+class TestProbingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbingConfig(round_hours=0)
+        with pytest.raises(ValueError):
+            ProbingConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ProbingConfig(tolerance_rounds=-1)
+
+
+class TestEstimation:
+    def test_perfect_conditions_recover_periodic_durations(self):
+        # No probe loss, always-up CPEs: responsiveness runs end only on
+        # reassignment; interior durations should be ~3 days.
+        timelines, end = simulate(ChangePolicy.periodic(3 * DAY))
+        estimated = estimate_sessions(
+            timelines,
+            end,
+            config=ProbingConfig(loss_rate=0.0),
+            mean_up_hours=1e9,
+            mean_down_hours=0.0,
+        )
+        assert estimated
+        # Most runs are close to the true 72h period (boundary runs shorter).
+        interior = [d for d in estimated if d >= 24.0]
+        assert interior
+        median = sorted(interior)[len(interior) // 2]
+        assert 60.0 <= median <= 78.0
+
+    def test_downtime_and_loss_underestimate(self):
+        timelines, end = simulate(ChangePolicy.exponential(30 * DAY), seed=2)
+        truth = true_assignment_durations(timelines)
+        clean = estimate_sessions(
+            timelines, end, config=ProbingConfig(loss_rate=0.0, tolerance_rounds=2),
+            mean_up_hours=1e9, mean_down_hours=0.0, seed=3,
+        )
+        noisy = estimate_sessions(
+            timelines, end, config=ProbingConfig(loss_rate=0.05, tolerance_rounds=0),
+            mean_up_hours=200.0, mean_down_hours=10.0, seed=3,
+        )
+        assert truth and clean and noisy
+        clean_mean = sum(clean) / len(clean)
+        noisy_mean = sum(noisy) / len(noisy)
+        # The noisy scanner reports far shorter sessions than the clean one,
+        # and both sit at or below the ground truth.
+        assert noisy_mean < 0.5 * clean_mean
+        assert underestimation_factor(noisy, truth) > 2.0
+
+    def test_tolerance_repairs_single_losses(self):
+        timelines, end = simulate(ChangePolicy.static(), subscribers=10, seed=4)
+        fragile = estimate_sessions(
+            timelines, end, config=ProbingConfig(loss_rate=0.05, tolerance_rounds=0),
+            mean_up_hours=1e9, mean_down_hours=0.0, seed=5,
+        )
+        tolerant = estimate_sessions(
+            timelines, end, config=ProbingConfig(loss_rate=0.05, tolerance_rounds=3),
+            mean_up_hours=1e9, mean_down_hours=0.0, seed=5,
+        )
+        assert sum(tolerant) / len(tolerant) > 3 * (sum(fragile) / len(fragile))
+
+    def test_underestimation_factor_validation(self):
+        with pytest.raises(ValueError):
+            underestimation_factor([], [1.0])
+        with pytest.raises(ValueError):
+            underestimation_factor([1.0], [])
+        assert underestimation_factor([10.0], [20.0]) == 2.0

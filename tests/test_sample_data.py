@@ -1,0 +1,83 @@
+"""Guard tests for the bundled sample datasets in data/."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.associations import association_durations, v4_degree_counts
+from repro.core.changes import sandwiched_durations
+from repro.io.records import read_association_csv, read_echo_runs
+
+DATA_DIR = Path(__file__).parent.parent / "data"
+
+
+@pytest.fixture(scope="module")
+def echo_runs():
+    path = DATA_DIR / "sample_atlas" / "echo_runs.jsonl"
+    if not path.exists():
+        pytest.skip("sample data not generated")
+    with path.open() as stream:
+        return list(read_echo_runs(stream))
+
+
+@pytest.fixture(scope="module")
+def associations():
+    path = DATA_DIR / "sample_associations.csv"
+    if not path.exists():
+        pytest.skip("sample data not generated")
+    with path.open() as stream:
+        return read_association_csv(stream)
+
+
+class TestSampleAtlas:
+    def test_loads_and_is_well_formed(self, echo_runs):
+        assert len(echo_runs) > 1000
+        probes = {run.probe_id for run in echo_runs}
+        assert len(probes) > 50
+        for run in echo_runs[:500]:
+            assert run.first <= run.last
+            assert 1 <= run.observed <= run.span
+
+    def test_supports_duration_analysis(self, echo_runs):
+        from collections import defaultdict
+
+        by_probe = defaultdict(list)
+        for run in echo_runs:
+            if run.family == 4:
+                by_probe[run.probe_id].append(run)
+        durations = []
+        for runs in by_probe.values():
+            durations.extend(sandwiched_durations(runs))
+        assert len(durations) > 100
+
+
+class TestSampleAssociations:
+    def test_loads_and_is_well_formed(self, associations):
+        assert len(associations) > 10000
+        for day, v4_key, v6_key in associations[:500]:
+            assert 0 <= day < 60
+            assert v4_key & 0xFF == 0
+            assert v6_key & ((1 << 64) - 1) == 0
+
+    def test_supports_association_analysis(self, associations):
+        durations = association_durations(associations)
+        assert durations
+        unique, hits = v4_degree_counts(associations)
+        assert unique and hits
+
+
+class TestBitForBitReproducibility:
+    def test_bundled_cdn_sample_regenerates_identically(self, tmp_path, associations):
+        """data/README.md promises bit-for-bit regeneration; hold it to that."""
+        from repro.cli import main
+
+        output = tmp_path / "regen.csv"
+        code = main([
+            "simulate-cdn", "--days", "60", "--seed", "2020",
+            "--fixed-subscribers", "150", "--mobile-devices", "100",
+            "--featured-subscribers", "40", "--output", str(output),
+        ])
+        assert code == 0
+        regenerated = output.read_text()
+        bundled = (DATA_DIR / "sample_associations.csv").read_text()
+        assert regenerated == bundled

@@ -1,0 +1,112 @@
+"""Tests for the Kaplan-Meier survival estimator (core.survival)."""
+
+import math
+import random
+
+import pytest
+
+from repro.atlas.echo import EchoRun
+from repro.core.survival import (
+    SurvivalObservation,
+    kaplan_meier,
+    observations_from_runs,
+)
+from repro.ip.addr import IPv4Address
+
+
+def obs(hours, event=True):
+    return SurvivalObservation(hours=hours, event=event)
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        curve = kaplan_meier([obs(1), obs(2), obs(3), obs(4)])
+        assert curve.at(0.5) == 1.0
+        assert curve.at(1) == pytest.approx(0.75)
+        assert curve.at(2) == pytest.approx(0.5)
+        assert curve.at(3) == pytest.approx(0.25)
+        assert curve.at(4) == pytest.approx(0.0)
+
+    def test_textbook_censored_example(self):
+        # Events at 6 (3x), 7, 10; censored at 6, 9, 10, 11, ... (classic
+        # small example): verify the product-limit arithmetic directly.
+        observations = [obs(6), obs(6), obs(6), obs(6, event=False),
+                        obs(7), obs(9, event=False), obs(10), obs(10, event=False)]
+        curve = kaplan_meier(observations)
+        # At t=6: n=8, d=3 -> S=5/8.
+        assert curve.at(6) == pytest.approx(5 / 8)
+        # At t=7: n=4 (8-3-1 censored at 6), d=1 -> S=5/8 * 3/4.
+        assert curve.at(7) == pytest.approx(5 / 8 * 3 / 4)
+        # At t=10: n=2, d=1 -> multiply by 1/2.
+        assert curve.at(10) == pytest.approx(5 / 8 * 3 / 4 * 1 / 2)
+
+    def test_median(self):
+        curve = kaplan_meier([obs(x) for x in (1, 2, 3, 4)])
+        assert curve.median() == 2
+        all_censored = kaplan_meier([obs(5, event=False)] * 3)
+        assert math.isnan(all_censored.median())
+
+    def test_mean_of_constant(self):
+        curve = kaplan_meier([obs(24)] * 10)
+        assert curve.mean() == pytest.approx(24.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([])
+        with pytest.raises(ValueError):
+            SurvivalObservation(hours=0, event=True)
+
+    def test_censoring_corrects_downward_bias(self):
+        # True exponential durations with *staggered* right-censoring
+        # (each probe has its own observation window): the naive median
+        # of observed spans underestimates the true median; KM recovers it.
+        rng = random.Random(0)
+        true_mean = 100.0
+        true_median = true_mean * math.log(2)  # ~69.3
+        observations = []
+        spans = []
+        for _ in range(4000):
+            duration = rng.expovariate(1 / true_mean)
+            window = rng.uniform(30.0, 250.0)
+            if duration > window:
+                observations.append(obs(window, event=False))
+                spans.append(window)
+            else:
+                observations.append(obs(duration))
+                spans.append(duration)
+        spans.sort()
+        naive_median = spans[len(spans) // 2]
+        km_median = kaplan_meier(observations).median()
+        assert naive_median < 0.85 * true_median
+        assert km_median == pytest.approx(true_median, rel=0.12)
+        assert km_median > naive_median
+
+    def test_survival_monotone_nonincreasing(self):
+        rng = random.Random(1)
+        observations = [
+            obs(rng.uniform(1, 100), event=rng.random() < 0.7) for _ in range(500)
+        ]
+        curve = kaplan_meier(observations)
+        assert list(curve.survival) == sorted(curve.survival, reverse=True)
+        assert all(0.0 <= s <= 1.0 for s in curve.survival)
+
+
+def run(value, first, last):
+    return EchoRun(1, 4, IPv4Address(value), first, last, last - first + 1)
+
+
+class TestObservationsFromRuns:
+    def test_interior_runs_are_events(self):
+        runs = [run(1, 0, 9), run(2, 10, 19), run(3, 20, 29), run(4, 30, 99)]
+        observations = observations_from_runs(runs, window_end=100)
+        assert len(observations) == 3  # first run dropped
+        assert [o.event for o in observations] == [True, True, False]
+        assert observations[-1].hours == 70
+
+    def test_last_run_exact_when_window_extends_past_it(self):
+        runs = [run(1, 0, 9), run(2, 10, 19)]
+        observations = observations_from_runs(runs, window_end=500)
+        assert observations == [SurvivalObservation(hours=10.0, event=True)]
+
+    def test_single_run_yields_nothing(self):
+        assert observations_from_runs([run(1, 0, 99)], window_end=100) == []

@@ -1,0 +1,200 @@
+"""Tests for target generation baselines and anonymization auditing."""
+
+import random
+
+import pytest
+
+from repro.core.anonymize import (
+    adaptive_truncation_plen,
+    anonymity_sets,
+    audit_networks,
+    audit_truncation,
+)
+from repro.core.targetgen import (
+    DenseRegionGenerator,
+    NibblePatternGenerator,
+    StructureInformedGenerator,
+    evaluate_generator,
+)
+from repro.ip.prefix import IPv6Prefix
+
+
+def make_world(num_pools=2, delegations_per_pool=40, delegation_plen=56, seed=3):
+    """Ground truth: zero-/64s of random delegations within /44 pools."""
+    rng = random.Random(seed)
+    allocation = IPv6Prefix.parse("2a00:100::/32")
+    pools = [allocation.nth_subprefix(44, i * 100) for i in range(num_pools)]
+    active = []
+    for pool in pools:
+        capacity = pool.num_subprefixes(delegation_plen)
+        for index in rng.sample(range(capacity), delegations_per_pool):
+            active.append(pool.nth_subprefix(delegation_plen, index).nth_subprefix(64, 0))
+    return pools, active
+
+
+class TestNibblePatternGenerator:
+    def test_learns_fixed_prefix(self):
+        _pools, active = make_world()
+        generator = NibblePatternGenerator(active, seed=1)
+        candidates = generator.generate(200)
+        assert candidates
+        # All candidates share the fixed leading nibbles of the seeds.
+        for candidate in candidates:
+            assert str(candidate).startswith("2a00:1")
+            assert candidate.plen == 64
+
+    def test_candidates_distinct(self):
+        _pools, active = make_world()
+        generator = NibblePatternGenerator(active, seed=2)
+        candidates = generator.generate(100)
+        assert len(set(candidates)) == len(candidates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NibblePatternGenerator([])
+        with pytest.raises(ValueError):
+            NibblePatternGenerator([IPv6Prefix.parse("2a00::/56")])
+        generator = NibblePatternGenerator([IPv6Prefix.parse("2a00::/64")])
+        with pytest.raises(ValueError):
+            generator.generate(0)
+
+
+class TestDenseRegionGenerator:
+    def test_regions_ranked_by_density(self):
+        dense = [IPv6Prefix(int(IPv6Prefix.parse("2a00:1:1::/48").network) | (i << 64), 64)
+                 for i in range(20)]
+        sparse = [IPv6Prefix.parse("2a00:2:2:1::/64")]
+        generator = DenseRegionGenerator(dense + sparse, region_plen=48)
+        assert generator.num_regions == 2
+        candidates = generator.generate(30)
+        in_dense = sum(1 for c in candidates if str(c).startswith("2a00:1:1"))
+        assert in_dense > len(candidates) / 2
+
+    def test_enumerates_low_addresses_first(self):
+        seeds = [IPv6Prefix.parse("2a00:1:1:5::/64")]
+        generator = DenseRegionGenerator(seeds, region_plen=56)
+        candidates = generator.generate(4)
+        assert candidates[0] == IPv6Prefix.parse("2a00:1:1::/64")
+
+    def test_budget_respected(self):
+        _pools, active = make_world()
+        generator = DenseRegionGenerator(active, region_plen=48)
+        assert len(generator.generate(17)) <= 17
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenseRegionGenerator([])
+        with pytest.raises(ValueError):
+            DenseRegionGenerator([IPv6Prefix.parse("2a00::/64")], region_plen=70)
+
+
+class TestStructureInformedGenerator:
+    def test_exhaustive_budget_covers_all_actives(self):
+        pools, active = make_world()
+        generator = StructureInformedGenerator(pools, delegation_plen=56, seed=0)
+        capacity = sum(pool.num_subprefixes(56) for pool in pools)
+        candidates = generator.generate(capacity)
+        score = evaluate_generator(candidates, active)
+        assert score.coverage == 1.0
+
+    def test_all_candidates_are_zero_64s(self):
+        pools, _active = make_world()
+        generator = StructureInformedGenerator(pools, delegation_plen=56, seed=0)
+        for candidate in generator.generate(50):
+            assert (int(candidate.network) >> 64) & 0xFF == 0  # zero /64 of its /56
+
+    def test_beats_baselines_at_equal_budget(self):
+        pools, active = make_world(delegations_per_pool=60)
+        budget = 2000
+        informed = evaluate_generator(
+            StructureInformedGenerator(pools, 56, seed=1).generate(budget), active
+        )
+        pattern = evaluate_generator(
+            NibblePatternGenerator(active, seed=1).generate(budget), active
+        )
+        dense = evaluate_generator(
+            DenseRegionGenerator(active, region_plen=48).generate(budget), active
+        )
+        assert informed.coverage > pattern.coverage
+        assert informed.coverage > dense.coverage
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructureInformedGenerator([], 56)
+        with pytest.raises(ValueError):
+            StructureInformedGenerator([IPv6Prefix.parse("2a00::/60")], 56)
+        with pytest.raises(ValueError):
+            StructureInformedGenerator([IPv6Prefix.parse("2a00::/40")], 66)
+
+
+class TestEvaluateGenerator:
+    def test_scores(self):
+        active = [IPv6Prefix.parse("2a00::/64"), IPv6Prefix.parse("2a00:0:0:1::/64")]
+        candidates = [IPv6Prefix.parse("2a00::/64"), IPv6Prefix.parse("2a00:0:0:9::/64")]
+        score = evaluate_generator(candidates, active)
+        assert score.hits == 1
+        assert score.hit_rate == 0.5
+        assert score.coverage == 0.5
+
+    def test_empty(self):
+        score = evaluate_generator([], [])
+        assert score.hit_rate == 0.0 and score.coverage == 0.0
+
+
+def subscriber_map(delegation_plen):
+    """Five subscribers with zero-filled delegations inside one /40."""
+    pool = IPv6Prefix.parse("2a00:200::/40")
+    return {
+        f"sub{i}": [pool.nth_subprefix(delegation_plen, i * 50 + 3).nth_subprefix(64, 0)]
+        for i in range(5)
+    }
+
+
+class TestAnonymization:
+    def test_anonymity_sets(self):
+        sets = anonymity_sets(subscriber_map(56), truncation_plen=40)
+        assert len(sets) == 1
+        (aggregate, subscribers), = sets.items()
+        assert aggregate == IPv6Prefix.parse("2a00:200::/40")
+        assert len(subscribers) == 5
+
+    def test_truncation_at_delegation_is_singleton(self):
+        audit = audit_truncation(subscriber_map(48), truncation_plen=48)
+        assert audit.singleton_fraction == 1.0
+        assert not audit.is_k_anonymous(2)
+
+    def test_truncation_coarser_than_delegation_aggregates(self):
+        audit = audit_truncation(subscriber_map(56), truncation_plen=40)
+        assert audit.singleton_fraction == 0.0
+        assert audit.is_k_anonymous(5)
+        assert audit.median_set_size == 5
+
+    def test_empty_audit(self):
+        audit = audit_truncation({}, truncation_plen=48)
+        assert audit.aggregates == 0
+        assert not audit.is_k_anonymous(1)
+
+    def test_adaptive_plen(self):
+        assert adaptive_truncation_plen(56, k=256) == 48
+        assert adaptive_truncation_plen(56, k=1) == 56
+        assert adaptive_truncation_plen(48, k=256) == 40
+        assert adaptive_truncation_plen(4, k=1 << 30) == 0
+        with pytest.raises(ValueError):
+            adaptive_truncation_plen(70, 2)
+        with pytest.raises(ValueError):
+            adaptive_truncation_plen(56, 0)
+
+    def test_audit_networks_fixed_vs_adaptive(self):
+        per_network = {
+            "ISP-56": (56, subscriber_map(56)),
+            "ISP-48": (48, subscriber_map(48)),
+        }
+        records = audit_networks(per_network, fixed_truncation=48, k=16)
+        by_name = {record["network"]: record for record in records}
+        # Fixed /48 truncation: safe for the /56 delegator, fatal for the
+        # /48 delegator (every aggregate is one subscriber).
+        assert by_name["ISP-56"]["fixed_singleton_fraction"] == 0.0
+        assert by_name["ISP-48"]["fixed_singleton_fraction"] == 1.0
+        # Adaptive truncation guarantees the k target by construction.
+        assert by_name["ISP-48"]["adaptive_plen"] == 44
+        assert by_name["ISP-48"]["potential_anonymity"] >= 16

@@ -1,0 +1,203 @@
+"""End-to-end tests: scenario builders feeding the figure/table assembly.
+
+These are the integration tests that check the *shapes* the paper
+reports actually emerge from the simulated datasets.
+"""
+
+import pytest
+
+from repro.bgp.registry import AccessKind
+from repro.core.associations import association_durations, box_stats
+from repro.core.delegation import inferred_plen_distribution, per_probe_prefixes_from_runs
+from repro.core.periodicity import detect_periods
+from repro.core.report import (
+    as_durations,
+    figure1_for_as,
+    figure5_for_as,
+    probe_v4_changes,
+    probe_v6_changes,
+    render_table,
+    table1_row,
+    table2_row,
+)
+from repro.core.timefraction import CANONICAL_LABELS
+from repro.workloads import build_atlas_scenario, build_cdn_scenario
+
+
+@pytest.fixture(scope="module")
+def atlas():
+    return build_atlas_scenario(probes_per_as=12, years=1.5, seed=42)
+
+
+@pytest.fixture(scope="module")
+def cdn():
+    return build_cdn_scenario(
+        days=120,
+        seed=42,
+        fixed_subscribers_per_registry=420,
+        mobile_devices_per_registry=150,
+        featured_subscribers=60,
+    )
+
+
+class TestAtlasScenario:
+    def test_structure(self, atlas):
+        assert len(atlas.isps) == 11
+        assert atlas.report.input_probes == 12 * 11
+        assert atlas.probes
+        assert atlas.report.kept_probes == len(atlas.probes)
+
+    def test_sanitization_dropped_something(self, atlas):
+        report = atlas.report
+        assert report.dropped_multihomed + report.dropped_atypical_nat + report.dropped_bad_tag > 0
+
+    def test_dtag_v4_is_periodic_24h(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("DTAG"))
+        durations = as_durations(probes)
+        modes = detect_periods(durations.v4_non_dual_stack)
+        assert modes and modes[0].period_hours == 24.0
+
+    def test_orange_nds_weekly_mode(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("Orange"))
+        durations = as_durations(probes)
+        modes = detect_periods(durations.v4_non_dual_stack, tolerance=2.0)
+        assert any(mode.period_hours == 7 * 24.0 for mode in modes)
+
+    def test_v6_durations_longer_than_v4(self, atlas):
+        # Headline finding: IPv6 assignments outlast IPv4 in most ASes.
+        import statistics
+
+        wins = 0
+        comparisons = 0
+        for name in ("Comcast", "Orange", "LGI", "BT", "Sky UK"):
+            probes = atlas.probes_in(atlas.asn_of(name))
+            durations = as_durations(probes)
+            v4 = durations.v4_non_dual_stack + durations.v4_dual_stack
+            if not v4 or not durations.v6:
+                continue
+            comparisons += 1
+            if statistics.mean(durations.v6) > statistics.mean(v4):
+                wins += 1
+        assert comparisons >= 3
+        assert wins >= comparisons - 1
+
+    def test_dual_stack_v4_durations_longer(self, atlas):
+        import statistics
+
+        probes = atlas.probes_in(atlas.asn_of("Orange"))
+        durations = as_durations(probes)
+        if durations.v4_dual_stack and durations.v4_non_dual_stack:
+            assert statistics.mean(durations.v4_dual_stack) > statistics.mean(
+                durations.v4_non_dual_stack
+            )
+
+    def test_figure1_series_shape(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("DTAG"))
+        series = figure1_for_as("DTAG", probes)
+        assert set(series) == {"v4_nds", "v4_ds", "v6"}
+        nds = series["v4_nds"]
+        assert len(nds.grid_values) == len(CANONICAL_LABELS)
+        # DTAG NDS: nearly all mass at <= 1 day.
+        day_index = CANONICAL_LABELS.index("1d")
+        assert nds.grid_values[day_index] > 0.8
+
+    def test_table1_row(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("DTAG"))
+        row = table1_row("DTAG", 3320, "DE", probes)
+        assert row.all_probes == len(probes)
+        assert row.all_v4_changes > 0
+        assert row.ds_probes <= row.all_probes
+        assert 0 <= row.ds_v4_share_pct <= 100
+
+    def test_table2_v6_rarely_crosses_bgp(self, atlas):
+        for name in ("DTAG", "Comcast", "Orange"):
+            probes = atlas.probes_in(atlas.asn_of(name))
+            rates = table2_row(probes, atlas.table)
+            if rates.v6_changes >= 10:
+                assert rates.v6_diff_bgp_pct < 15.0
+            if rates.v4_changes >= 10:
+                assert rates.diff_slash24_pct > rates.v4_diff_bgp_pct
+
+    def test_figure5_cpl_clusters_within_pool(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("DTAG"))
+        histogram = figure5_for_as(probes)
+        if histogram.total_changes < 20:
+            pytest.skip("not enough v6 changes in this small scenario")
+        # DTAG pools are /40s: the bulk of changes share >= 40 bits.
+        in_pool = sum(count for cpl, count in histogram.changes_by_cpl.items() if cpl >= 40)
+        assert in_pool / histogram.total_changes > 0.8
+
+    def test_figure6_dtag_spikes_at_56_and_64(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("DTAG"))
+        per_probe = per_probe_prefixes_from_runs(probes)
+        distribution = inferred_plen_distribution(per_probe)
+        if not distribution:
+            pytest.skip("no eligible probes")
+        assert distribution.get(56, 0) > 0  # zero-filling CPEs
+        # Scrambling CPEs show up at /64 (or close to it).
+        assert sum(pct for plen, pct in distribution.items() if plen >= 60) > 0
+
+    def test_figure6_netcologne_48(self, atlas):
+        probes = atlas.probes_in(atlas.asn_of("Netcologne"))
+        per_probe = per_probe_prefixes_from_runs(probes)
+        distribution = inferred_plen_distribution(per_probe)
+        if distribution:
+            assert max(distribution.items(), key=lambda item: item[1])[0] == 48
+
+    def test_deterministic(self):
+        a = build_atlas_scenario(probes_per_as=3, years=0.5, seed=7)
+        b = build_atlas_scenario(probes_per_as=3, years=0.5, seed=7)
+        assert [(p.probe_id, len(p.v4_runs), len(p.v6_runs)) for p in a.probes] == [
+            (p.probe_id, len(p.v4_runs), len(p.v6_runs)) for p in b.probes
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_atlas_scenario(probes_per_as=0)
+        with pytest.raises(ValueError):
+            build_atlas_scenario(years=0)
+
+
+class TestCdnScenario:
+    def test_mobile_vs_fixed_durations(self, cdn):
+        mobile = association_durations(cdn.dataset.triples_by_kind(AccessKind.MOBILE))
+        fixed = association_durations(cdn.dataset.triples_by_kind(AccessKind.FIXED))
+        assert box_stats(mobile).median <= 2
+        assert box_stats(fixed).median >= 10
+        # Paper: fixed associations last ~60x longer at median; we accept > 5x.
+        assert box_stats(fixed).median / box_stats(mobile).median > 5
+
+    def test_mobile_majority_of_unique_64s(self, cdn):
+        mobile_keys = {t[2] for t in cdn.dataset.triples_by_kind(AccessKind.MOBILE)}
+        fixed_keys = {t[2] for t in cdn.dataset.triples_by_kind(AccessKind.FIXED)}
+        assert len(mobile_keys) > len(fixed_keys)
+
+    def test_featured_isps_present(self, cdn):
+        assert set(cdn.featured_asns) >= {"DTAG", "Comcast", "Orange", "BT"}
+        for asn in cdn.featured_asns.values():
+            assert cdn.dataset.triples_for(asn)
+
+    def test_no_mismatched_associations_survive(self, cdn):
+        classifier = cdn.dataset.classifier
+        for asn, triples in cdn.dataset.triples_by_asn.items():
+            for triple in triples[:50]:
+                assert classifier.same_asn(triple[1], triple[2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cdn_scenario(days=0)
+
+
+class TestRenderTable:
+    def test_renders_fixed_width(self):
+        text = render_table(
+            ["AS", "Probes"], [["DTAG", 589], ["BT", 170]], title="Table 1"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "AS" in lines[1] and "Probes" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
