@@ -1,0 +1,197 @@
+"""Serial-vs-parallel scenario-build baseline: time, verify, record.
+
+Runs a downscaled Atlas + CDN scenario build serially and with a worker
+pool, verifies the parallel results are bit-identical to the serial
+ones, exercises a cache round-trip in a throwaway directory, and
+records everything in the repo-root ``BENCH_baseline.json`` — the
+repository's perf trajectory artifact.
+
+On a multi-core machine the script *asserts* the parallel speedup
+(default ``--min-speedup 2.0`` with 4 workers); on a single-core
+box the speedup is recorded but not enforced, since no amount of
+process fan-out can beat the hardware.
+
+Usage::
+
+    PYTHONPATH=src python -m scripts.bench_baseline           # full baseline
+    PYTHONPATH=src python -m scripts.bench_baseline --check   # CI smoke mode
+
+``--check`` shrinks the scales to finish in a few seconds and skips the
+speedup assertion while still enforcing determinism and the cache
+round-trip — the properties CI can check on any hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if "repro" not in sys.modules:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.perf.cache import CACHE_DIR_ENV  # noqa: E402
+from repro.perf.timing import write_baseline  # noqa: E402
+from repro.perf.verify import (  # noqa: E402
+    assert_atlas_scenarios_equal,
+    assert_cdn_scenarios_equal,
+)
+from repro.workloads import build_atlas_scenario, build_cdn_scenario  # noqa: E402
+
+#: Downscaled-but-representative scales (seconds-scale serial builds).
+FULL_SCALE = {
+    "atlas": {"probes_per_as": 20, "years": 2.0},
+    "cdn": {
+        "days": 60,
+        "fixed_subscribers_per_registry": 300,
+        "mobile_devices_per_registry": 200,
+        "featured_subscribers": 100,
+    },
+}
+#: CI smoke scales (sub-second serial builds).
+CHECK_SCALE = {
+    "atlas": {"probes_per_as": 4, "years": 0.3},
+    "cdn": {
+        "days": 12,
+        "fixed_subscribers_per_registry": 24,
+        "mobile_devices_per_registry": 30,
+        "featured_subscribers": 24,
+    },
+}
+
+
+def _timed(builder, **kwargs):
+    start = time.perf_counter()
+    scenario = builder(**kwargs)
+    return scenario, time.perf_counter() - start
+
+
+def run_baseline(args: argparse.Namespace) -> dict:
+    scale = CHECK_SCALE if args.check else FULL_SCALE
+    failures = []
+
+    serial_atlas, atlas_serial_s = _timed(
+        build_atlas_scenario, seed=args.seed, workers=1, cache=False, **scale["atlas"]
+    )
+    parallel_atlas, atlas_parallel_s = _timed(
+        build_atlas_scenario,
+        seed=args.seed,
+        workers=args.workers,
+        cache=False,
+        **scale["atlas"],
+    )
+    assert_atlas_scenarios_equal(serial_atlas, parallel_atlas)
+    print(f"atlas: serial {atlas_serial_s:.2f}s, {args.workers} workers "
+          f"{atlas_parallel_s:.2f}s — results identical")
+
+    serial_cdn, cdn_serial_s = _timed(
+        build_cdn_scenario, seed=args.seed, workers=1, cache=False, **scale["cdn"]
+    )
+    parallel_cdn, cdn_parallel_s = _timed(
+        build_cdn_scenario,
+        seed=args.seed,
+        workers=args.workers,
+        cache=False,
+        **scale["cdn"],
+    )
+    assert_cdn_scenarios_equal(serial_cdn, parallel_cdn)
+    print(f"cdn:   serial {cdn_serial_s:.2f}s, {args.workers} workers "
+          f"{cdn_parallel_s:.2f}s — results identical")
+
+    # Cache round-trip in a throwaway directory: second build must be a
+    # pure load that compares equal to the generated scenario.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ[CACHE_DIR_ENV] = tmp
+        cold, cache_cold_s = _timed(
+            build_atlas_scenario, seed=args.seed, workers=1, cache=True, **scale["atlas"]
+        )
+        warm, cache_warm_s = _timed(
+            build_atlas_scenario, seed=args.seed, workers=1, cache=True, **scale["atlas"]
+        )
+        os.environ.pop(CACHE_DIR_ENV, None)
+    assert_atlas_scenarios_equal(cold, warm)
+    if not cache_warm_s < cache_cold_s:
+        failures.append(
+            f"cache hit ({cache_warm_s:.2f}s) not faster than cold build "
+            f"({cache_cold_s:.2f}s)"
+        )
+    print(f"cache: cold {cache_cold_s:.2f}s, warm hit {cache_warm_s:.3f}s "
+          f"({cache_cold_s / max(cache_warm_s, 1e-9):.0f}x)")
+
+    total_serial = atlas_serial_s + cdn_serial_s
+    total_parallel = atlas_parallel_s + cdn_parallel_s
+    speedup = total_serial / max(total_parallel, 1e-9)
+    cores = os.cpu_count() or 1
+    speedup_enforced = not args.check and cores >= 2 and args.workers >= 2
+    print(f"build speedup with {args.workers} workers on {cores} core(s): "
+          f"{speedup:.2f}x" + ("" if speedup_enforced else " (not enforced)"))
+    if speedup_enforced and speedup < args.min_speedup:
+        failures.append(
+            f"parallel speedup {speedup:.2f}x below required {args.min_speedup:.2f}x"
+        )
+
+    payload = {
+        "mode": "check" if args.check else "full",
+        "workers": args.workers,
+        "cpu_count": cores,
+        "seed": args.seed,
+        "build": {
+            "atlas": {
+                "serial_seconds": round(atlas_serial_s, 4),
+                "parallel_seconds": round(atlas_parallel_s, 4),
+                **scale["atlas"],
+            },
+            "cdn": {
+                "serial_seconds": round(cdn_serial_s, 4),
+                "parallel_seconds": round(cdn_parallel_s, 4),
+                **scale["cdn"],
+            },
+        },
+        "cache": {
+            "cold_seconds": round(cache_cold_s, 4),
+            "warm_seconds": round(cache_warm_s, 4),
+        },
+        "speedup": round(speedup, 4),
+        "speedup_enforced": speedup_enforced,
+        "deterministic": True,
+    }
+    write_baseline("bench_baseline", payload, path=args.output)
+    print(f"baseline written to {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
+    return payload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Time serial-vs-parallel scenario builds and record the baseline."
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke mode: tiny scales, no speedup assertion")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="parallel worker count to benchmark (default: 4)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required serial/parallel speedup on multi-core "
+                        "hosts (default: 2.0)")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--output", type=Path,
+                        default=_REPO_ROOT / "BENCH_baseline.json",
+                        help="baseline artifact path (default: repo root)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    run_baseline(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

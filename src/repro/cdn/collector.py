@@ -82,15 +82,20 @@ def collect(
     table: RoutingTable,
     registry: Registry,
     filter_asn_mismatch: bool = True,
+    classifier: Optional[PrefixClassifier] = None,
 ) -> CdnDataset:
     """Gather triples from populations and apply the ASN-mismatch filter.
 
     Each population must expose ``triples() -> Iterable[Triple]``.
     With ``filter_asn_mismatch=False`` the raw stream is grouped by the
     *v6* side's origin AS instead — the ablation configuration showing
-    the spurious associations the filter exists to remove.
+    the spurious associations the filter exists to remove.  A
+    pre-built ``classifier`` may be injected (the parallel collection
+    path in :mod:`repro.perf.parallel` classifies per-population batches
+    in worker processes, then attaches a parent-side classifier).
     """
-    classifier = PrefixClassifier(table, registry)
+    if classifier is None:
+        classifier = PrefixClassifier(table, registry)
     dataset = CdnDataset(classifier=classifier)
     grouped: Dict[int, List[Triple]] = defaultdict(list)
     for population in populations:

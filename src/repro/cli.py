@@ -35,12 +35,32 @@ def _add_atlas_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--years", type=float, default=2.0,
                         help="simulated measurement years (default: 2)")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    _add_perf_args(parser)
+
+
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for scenario generation "
+                        "(default: $REPRO_WORKERS or serial); the result is "
+                        "identical for any worker count")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk scenario cache even when "
+                        "REPRO_CACHE enables it")
+
+
+def _cache_flag(args: argparse.Namespace):
+    """False when --no-cache was given, else None (environment default)."""
+    return False if args.no_cache else None
 
 
 def cmd_simulate_atlas(args: argparse.Namespace) -> int:
     """Generate an Atlas-style dataset and write runs + summary."""
     scenario = build_atlas_scenario(
-        probes_per_as=args.probes_per_as, years=args.years, seed=args.seed
+        probes_per_as=args.probes_per_as,
+        years=args.years,
+        seed=args.seed,
+        workers=args.workers,
+        cache=_cache_flag(args),
     )
     output = Path(args.output)
     output.mkdir(parents=True, exist_ok=True)
@@ -74,6 +94,8 @@ def cmd_simulate_cdn(args: argparse.Namespace) -> int:
         fixed_subscribers_per_registry=args.fixed_subscribers,
         mobile_devices_per_registry=args.mobile_devices,
         featured_subscribers=args.featured_subscribers,
+        workers=args.workers,
+        cache=_cache_flag(args),
     )
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
@@ -89,7 +111,11 @@ def cmd_simulate_cdn(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """Build a scenario and print Table 1 / Table 2 summaries."""
     scenario = build_atlas_scenario(
-        probes_per_as=args.probes_per_as, years=args.years, seed=args.seed
+        probes_per_as=args.probes_per_as,
+        years=args.years,
+        seed=args.seed,
+        workers=args.workers,
+        cache=_cache_flag(args),
     )
     table1_rows = []
     table2_rows = []
@@ -212,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mobile devices per registry")
     cdn.add_argument("--featured-subscribers", type=int, default=120)
     cdn.add_argument("--output", required=True, help="output CSV path")
+    _add_perf_args(cdn)
     cdn.set_defaults(func=cmd_simulate_cdn)
 
     report = commands.add_parser("report", help="print Table 1 / Table 2 summaries")

@@ -44,6 +44,11 @@ class IPAddress:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__: the immutable __setattr__ defeats the
+        # default slot-restoring unpickling path.
+        return (type(self), (self.value,))
+
     @property
     def family(self) -> int:
         """Address family as the conventional IP version number (4 or 6)."""

@@ -38,6 +38,11 @@ class IPPrefix:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__: the immutable __setattr__ defeats the
+        # default slot-restoring unpickling path.
+        return (type(self), (int(self.network), self.plen))
+
     @classmethod
     def _mask(cls, plen: int) -> int:
         bits = cls.ADDRESS_CLASS.BITS

@@ -34,8 +34,9 @@ from repro.ip.addr import IPv4Address
 from repro.ip.prefix import IPv6Prefix
 from repro.netsim.cpe import Cpe
 from repro.netsim.events import EventQueue
-from repro.netsim.isp import Isp
+from repro.netsim.isp import Isp, IspConfig
 from repro.netsim.policy import ChangePolicy
+from repro.netsim.pool import V4AddressPlan, V6PrefixPlan
 
 Value = Union[IPv4Address, IPv6Prefix]
 
@@ -348,4 +349,100 @@ class IspSimulation:
         return {sub_id: state.timeline for sub_id, state in self._subs.items()}
 
 
-__all__ = ["AssignmentInterval", "IspSimulation", "SubscriberTimeline"]
+# ---------------------------------------------------------------------------
+# Picklable work units
+# ---------------------------------------------------------------------------
+#
+# An :class:`IspSimulation` only ever touches the ISP's config and its two
+# address plans — never the shared registry or routing table.  A
+# :class:`SimulationJob` captures exactly that state, so one ISP's
+# simulation can be shipped to a worker process and its results (the
+# timelines plus the mutated plans) grafted back onto the original
+# :class:`~repro.netsim.isp.Isp`, leaving the parent bit-identical to a
+# serial run.
+
+
+class _PlanView:
+    """Duck-typed stand-in for :class:`Isp` inside worker processes."""
+
+    __slots__ = ("config", "v4_plan", "v6_plan")
+
+    def __init__(
+        self,
+        config: IspConfig,
+        v4_plan: V4AddressPlan,
+        v6_plan: Optional[V6PrefixPlan],
+    ) -> None:
+        self.config = config
+        self.v4_plan = v4_plan
+        self.v6_plan = v6_plan
+
+    @property
+    def asn(self) -> int:
+        return self.config.asn
+
+
+@dataclass
+class SimulationJob:
+    """One ISP's simulation, detached from all shared build state."""
+
+    config: IspConfig
+    v4_plan: V4AddressPlan
+    v6_plan: Optional[V6PrefixPlan]
+    num_subscribers: int
+    end_hour: float
+    seed: int
+
+    @classmethod
+    def from_isp(
+        cls, isp: Isp, num_subscribers: int, end_hour: float, seed: int
+    ) -> "SimulationJob":
+        return cls(
+            config=isp.config,
+            v4_plan=isp.v4_plan,
+            v6_plan=isp.v6_plan,
+            num_subscribers=num_subscribers,
+            end_hour=end_hour,
+            seed=seed,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Timelines plus the post-simulation plan state of one job."""
+
+    asn: int
+    timelines: Dict[int, SubscriberTimeline]
+    v4_plan: V4AddressPlan
+    v6_plan: Optional[V6PrefixPlan]
+
+    def graft_onto(self, isp: Isp) -> None:
+        """Install the post-run plan state on ``isp`` (parent process)."""
+        if isp.asn != self.asn:
+            raise ValueError(f"result for AS{self.asn} grafted onto AS{isp.asn}")
+        isp.v4_plan = self.v4_plan
+        isp.v6_plan = self.v6_plan
+
+
+def run_simulation_job(job: SimulationJob) -> SimulationResult:
+    """Execute one :class:`SimulationJob` (used as the worker entry point)."""
+    view = _PlanView(job.config, job.v4_plan, job.v6_plan)
+    timelines = IspSimulation(
+        view, job.num_subscribers, job.end_hour, seed=job.seed
+    ).run()
+    return SimulationResult(
+        asn=job.config.asn,
+        timelines=timelines,
+        v4_plan=view.v4_plan,
+        v6_plan=view.v6_plan,
+    )
+
+
+__all__ = [
+    "AssignmentInterval",
+    "IspSimulation",
+    "SimulationJob",
+    "SimulationResult",
+    "SubscriberTimeline",
+    "run_simulation_job",
+]

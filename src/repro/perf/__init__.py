@@ -1,0 +1,44 @@
+"""The performance engine: parallel fan-out, scenario cache, stage timing.
+
+See ``docs/architecture.md`` ("Performance engine") for the determinism
+contract and the ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` environment
+knobs.
+"""
+
+from repro.perf.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    ScenarioCache,
+    code_fingerprint,
+    get_scenario_cache,
+    resolve_cache_flag,
+)
+from repro.perf.parallel import (
+    WORKERS_ENV,
+    collect_associations,
+    resolve_workers,
+    run_isp_simulations,
+)
+from repro.perf.timing import (
+    DEFAULT_BASELINE_PATH,
+    StageTimer,
+    read_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "DEFAULT_BASELINE_PATH",
+    "ScenarioCache",
+    "StageTimer",
+    "WORKERS_ENV",
+    "code_fingerprint",
+    "collect_associations",
+    "get_scenario_cache",
+    "read_baseline",
+    "resolve_cache_flag",
+    "resolve_workers",
+    "run_isp_simulations",
+    "write_baseline",
+]

@@ -1,0 +1,189 @@
+"""Process-pool fan-out for the independent stages of scenario builds.
+
+The scenario builders in :mod:`repro.workloads` spend almost all of
+their time in two embarrassingly parallel stages:
+
+* the per-ISP :class:`~repro.netsim.sim.IspSimulation` runs (each ISP's
+  event queue only touches that ISP's address plans and a private RNG
+  seeded from ``(seed, asn)``), and
+* the per-population CDN association collection (each population draws
+  from its own RNG and only mutates its own ISP's plans).
+
+Both stages fan out here.  The determinism contract: a ``workers=N``
+build is **bit-identical** to the serial build for the same seed.  That
+holds because
+
+1. shared state (registry, routing table) is only mutated during ISP
+   *construction*, which stays serial and in the original order;
+2. each work unit is seeded independently of scheduling order, and
+   results are merged back in submission order;
+3. worker-side mutations of an ISP's address plans are shipped back and
+   grafted onto the parent's objects, so post-build plan state matches
+   the serial run exactly.
+
+Anything unpicklable (e.g. an exotic user-supplied config) falls back
+to the serial path — the fallback is a behaviour no-op by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.registry import Registry
+from repro.bgp.table import RoutingTable
+from repro.cdn.classify import PrefixClassifier
+from repro.cdn.collector import CdnDataset, collect, merge_datasets
+from repro.netsim.isp import Isp
+from repro.netsim.sim import (
+    IspSimulation,
+    SimulationJob,
+    SubscriberTimeline,
+    run_simulation_job,
+)
+
+#: Environment override for the default worker count ("auto" = one per core).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``$REPRO_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if not raw:
+            return 1
+        if raw in ("auto", "max"):
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${WORKERS_ENV} must be an integer, 'auto' or 'max', got {raw!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits imports); fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _all_picklable(items: Sequence) -> bool:
+    try:
+        for item in items:
+            # Round-trip: classes with custom immutability/__setattr__ can
+            # dump fine yet explode on load inside a worker.
+            pickle.loads(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Per-ISP simulation fan-out
+# ---------------------------------------------------------------------------
+
+
+def run_isp_simulations(
+    jobs: Sequence[Tuple[Isp, int]],
+    end_hour: float,
+    seed: int,
+    workers: int = 1,
+) -> List[Dict[int, SubscriberTimeline]]:
+    """Run ``IspSimulation(isp, count, end_hour, seed)`` for every job.
+
+    Returns the timeline dicts in job order.  With ``workers > 1`` the
+    simulations run in a process pool and each worker's post-run address
+    plans are grafted back onto the parent's :class:`Isp` objects, so
+    the outcome is bit-identical to the serial path.
+    """
+    effective = min(int(workers), len(jobs)) if jobs else 1
+    if effective > 1:
+        sim_jobs = [
+            SimulationJob.from_isp(isp, count, end_hour, seed) for isp, count in jobs
+        ]
+        if _all_picklable(sim_jobs):
+            with ProcessPoolExecutor(
+                max_workers=effective, mp_context=_mp_context()
+            ) as pool:
+                results = list(pool.map(run_simulation_job, sim_jobs))
+            for (isp, _count), result in zip(jobs, results):
+                result.graft_onto(isp)
+            return [result.timelines for result in results]
+    return [
+        IspSimulation(isp, count, end_hour, seed=seed).run() for isp, count in jobs
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Per-population CDN collection fan-out
+# ---------------------------------------------------------------------------
+
+#: Worker-process state installed by :func:`_collect_init` (one pickle of the
+#: routing table/registry per worker instead of one per population).
+_COLLECT_STATE: dict = {}
+
+
+def _collect_init(table: RoutingTable, registry: Registry, filter_asn_mismatch: bool) -> None:
+    _COLLECT_STATE["table"] = table
+    _COLLECT_STATE["registry"] = registry
+    _COLLECT_STATE["filter"] = filter_asn_mismatch
+
+
+def _collect_one(population) -> CdnDataset:
+    dataset = collect(
+        [population],
+        _COLLECT_STATE["table"],
+        _COLLECT_STATE["registry"],
+        filter_asn_mismatch=_COLLECT_STATE["filter"],
+    )
+    # The classifier only holds lookup caches over worker-side copies of
+    # the table/registry; drop it rather than ship it back.
+    dataset.classifier = None
+    return dataset
+
+
+def collect_associations(
+    populations: Sequence,
+    table: RoutingTable,
+    registry: Registry,
+    filter_asn_mismatch: bool = True,
+    workers: int = 1,
+) -> CdnDataset:
+    """Parallel-aware :func:`repro.cdn.collector.collect`.
+
+    Each population's triples are generated and classified in a worker,
+    then the per-population datasets are merged in population order —
+    yielding the exact per-AS triple lists of the serial path (serial
+    collection appends population by population).
+    """
+    effective = min(int(workers), len(populations)) if populations else 1
+    if effective > 1 and _all_picklable([table, registry, *populations]):
+        with ProcessPoolExecutor(
+            max_workers=effective,
+            mp_context=_mp_context(),
+            initializer=_collect_init,
+            initargs=(table, registry, filter_asn_mismatch),
+        ) as pool:
+            batches = list(pool.map(_collect_one, populations))
+        merged = merge_datasets(batches)
+        merged.classifier = PrefixClassifier(table, registry)
+        return merged
+    return collect(
+        populations, table, registry, filter_asn_mismatch=filter_asn_mismatch
+    )
+
+
+__all__ = [
+    "WORKERS_ENV",
+    "collect_associations",
+    "resolve_workers",
+    "run_isp_simulations",
+]

@@ -1,0 +1,92 @@
+"""Lightweight stage timers and the ``BENCH_baseline.json`` artifact.
+
+:class:`StageTimer` accumulates named wall-clock stages (a stage used
+twice accumulates).  :func:`write_baseline` merges a named section into
+the repo-root ``BENCH_baseline.json``, the repository's perf trajectory
+artifact: the benchmark session records scenario *build* and per-test
+*analysis* timings there, and ``scripts/bench_baseline.py`` records the
+serial-vs-parallel build baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+#: Repo-root perf artifact (src/repro/perf/timing.py -> three levels up).
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_baseline.json"
+
+
+class StageTimer:
+    """Accumulate wall-clock seconds per named stage, in first-use order."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (re-entry accumulates)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to stage ``name``."""
+        if seconds < 0:
+            raise ValueError("stage duration must be non-negative")
+        self._stages[name] = self._stages.get(name, 0.0) + float(seconds)
+
+    def __getitem__(self, name: str) -> float:
+        return self._stages[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    @property
+    def total(self) -> float:
+        return sum(self._stages.values())
+
+    def as_dict(self, digits: int = 4) -> Dict[str, float]:
+        """Stage -> seconds mapping, rounded for stable artifacts."""
+        return {name: round(seconds, digits) for name, seconds in self._stages.items()}
+
+
+def read_baseline(path: Optional[os.PathLike] = None) -> dict:
+    """The current ``BENCH_baseline.json`` contents ({} when absent/corrupt)."""
+    target = Path(path or DEFAULT_BASELINE_PATH)
+    try:
+        data = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def write_baseline(section: str, payload: dict, path: Optional[os.PathLike] = None) -> dict:
+    """Merge ``payload`` under ``section`` into the baseline artifact.
+
+    Other sections are preserved, so the benchmark harness and the
+    bench-baseline script can each own their part of the file.  Returns
+    the full merged document.
+    """
+    target = Path(path or DEFAULT_BASELINE_PATH)
+    data = read_baseline(target)
+    data[section] = payload
+    data["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    temp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+    temp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(temp, target)
+    return data
+
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "StageTimer",
+    "read_baseline",
+    "write_baseline",
+]

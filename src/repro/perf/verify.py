@@ -1,0 +1,101 @@
+"""Field-for-field scenario comparison — the determinism contract's teeth.
+
+``workers=N`` builds must be bit-identical to serial builds, and a cache
+round-trip must return an equal scenario.  These helpers compare every
+observable field of the two scenario types (ground-truth timelines,
+probe data, association datasets, plan state) and report *which* field
+diverged, which is far more actionable than a bare ``assert a == b``.
+
+Deliberately not compared: object identities, RNG internals, and the
+CDN classifier's lookup caches (a warm cache is an optimization, not an
+observable).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads import AtlasScenario, CdnScenario
+
+
+def atlas_scenario_diffs(a: AtlasScenario, b: AtlasScenario) -> List[str]:
+    """Human-readable differences between two Atlas scenarios ([] if equal)."""
+    diffs: List[str] = []
+    if a.end_hour != b.end_hour:
+        diffs.append(f"end_hour: {a.end_hour} != {b.end_hour}")
+    if sorted(a.isps) != sorted(b.isps):
+        diffs.append(f"isps: {sorted(a.isps)} != {sorted(b.isps)}")
+        return diffs
+    for name, isp_a in a.isps.items():
+        isp_b = b.isps[name]
+        if isp_a.config != isp_b.config:
+            diffs.append(f"isps[{name}].config differs")
+        if isp_a.v4_plan.in_use_count != isp_b.v4_plan.in_use_count:
+            diffs.append(
+                f"isps[{name}].v4_plan.in_use_count: "
+                f"{isp_a.v4_plan.in_use_count} != {isp_b.v4_plan.in_use_count}"
+            )
+        count_a = isp_a.v6_plan.in_use_count if isp_a.v6_plan is not None else None
+        count_b = isp_b.v6_plan.in_use_count if isp_b.v6_plan is not None else None
+        if count_a != count_b:
+            diffs.append(f"isps[{name}].v6_plan.in_use_count: {count_a} != {count_b}")
+    if a.timelines != b.timelines:
+        diffs.append("timelines differ")
+    if a.raw_probes != b.raw_probes:
+        diffs.append("raw_probes differ")
+    if a.probes != b.probes:
+        diffs.append("probes differ")
+    if a.report != b.report:
+        diffs.append(f"report: {a.report} != {b.report}")
+    return diffs
+
+
+def cdn_scenario_diffs(a: CdnScenario, b: CdnScenario) -> List[str]:
+    """Human-readable differences between two CDN scenarios ([] if equal)."""
+    diffs: List[str] = []
+    for field in ("days", "featured_asns", "fixed_asns", "mobile_asns"):
+        if getattr(a, field) != getattr(b, field):
+            diffs.append(f"{field}: {getattr(a, field)} != {getattr(b, field)}")
+    dataset_a, dataset_b = a.dataset, b.dataset
+    if dataset_a.total_collected != dataset_b.total_collected:
+        diffs.append(
+            f"dataset.total_collected: "
+            f"{dataset_a.total_collected} != {dataset_b.total_collected}"
+        )
+    if dataset_a.discarded_asn_mismatch != dataset_b.discarded_asn_mismatch:
+        diffs.append(
+            f"dataset.discarded_asn_mismatch: "
+            f"{dataset_a.discarded_asn_mismatch} != {dataset_b.discarded_asn_mismatch}"
+        )
+    if sorted(dataset_a.triples_by_asn) != sorted(dataset_b.triples_by_asn):
+        diffs.append(
+            f"dataset ASNs: {sorted(dataset_a.triples_by_asn)} != "
+            f"{sorted(dataset_b.triples_by_asn)}"
+        )
+        return diffs
+    for asn, triples_a in dataset_a.triples_by_asn.items():
+        if triples_a != dataset_b.triples_by_asn[asn]:
+            diffs.append(f"dataset.triples_by_asn[{asn}] differs")
+    return diffs
+
+
+def assert_atlas_scenarios_equal(a: AtlasScenario, b: AtlasScenario) -> None:
+    """Raise AssertionError naming every diverging Atlas scenario field."""
+    diffs = atlas_scenario_diffs(a, b)
+    if diffs:
+        raise AssertionError("Atlas scenarios differ: " + "; ".join(diffs))
+
+
+def assert_cdn_scenarios_equal(a: CdnScenario, b: CdnScenario) -> None:
+    """Raise AssertionError naming every diverging CDN scenario field."""
+    diffs = cdn_scenario_diffs(a, b)
+    if diffs:
+        raise AssertionError("CDN scenarios differ: " + "; ".join(diffs))
+
+
+__all__ = [
+    "assert_atlas_scenarios_equal",
+    "assert_cdn_scenarios_equal",
+    "atlas_scenario_diffs",
+    "cdn_scenario_diffs",
+]

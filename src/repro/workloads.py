@@ -10,7 +10,15 @@ Two entry points:
   ISPs per registry, mobile operators, the featured ISPs) and collect a
   RUM association dataset for the Section 4/5.3 analyses.
 
-Both are deterministic in their ``seed``.
+Both are deterministic in their ``seed``, *independent of the*
+``workers=`` *knob*: the per-ISP simulations and per-population CDN
+collection fan out across a process pool (``repro.perf.parallel``)
+with per-unit seed derivation, and a ``workers=N`` build is
+bit-identical to the serial one.  With ``cache=True`` (or
+``REPRO_CACHE=1``) finished scenarios are stored in a content-addressed
+on-disk cache (``repro.perf.cache``) keyed by the build parameters and
+a fingerprint of the package sources, so warm sessions skip generation
+entirely.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from repro.cdn.clients import (
     MobilePopulation,
     cdn_fixed_config,
 )
-from repro.cdn.collector import CdnDataset, collect
+from repro.cdn.collector import CdnDataset
 from repro.netsim.cpe import CpeBehavior
 from repro.netsim.isp import Isp, IspConfig, V4AddressingConfig, V6AddressingConfig
 from repro.netsim.policy import ChangePolicy
@@ -38,7 +46,13 @@ from repro.netsim.profiles import (
     default_profiles,
     mobile_profile,
 )
-from repro.netsim.sim import IspSimulation, SubscriberTimeline
+from repro.netsim.sim import SubscriberTimeline
+from repro.perf.cache import get_scenario_cache, resolve_cache_flag
+from repro.perf.parallel import (
+    collect_associations,
+    resolve_workers,
+    run_isp_simulations,
+)
 
 DAY = 24.0
 MONTH = 30 * DAY
@@ -76,29 +90,65 @@ def build_atlas_scenario(
     profiles: Optional[Sequence[IspConfig]] = None,
     anomaly_fraction: float = 0.15,
     bad_tag_fraction: float = 0.05,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
 ) -> AtlasScenario:
-    """Simulate ISPs, deploy probes, sanitize — the Section 3/5 input."""
+    """Simulate ISPs, deploy probes, sanitize — the Section 3/5 input.
+
+    ``workers`` fans the per-ISP simulations out over a process pool
+    (``None`` = ``$REPRO_WORKERS``, default serial) without changing the
+    result.  ``cache`` consults the content-addressed scenario cache
+    (``None`` = ``$REPRO_CACHE``, default off).
+    """
     if probes_per_as < 1:
         raise ValueError("probes_per_as must be >= 1")
     if years <= 0:
         raise ValueError("years must be positive")
     profiles = list(profiles) if profiles is not None else default_profiles()
+    worker_count = resolve_workers(workers)
+
+    scenario_cache = cache_key = None
+    if resolve_cache_flag(cache):
+        scenario_cache = get_scenario_cache()
+        cache_key = scenario_cache.key(
+            "atlas",
+            {
+                "probes_per_as": probes_per_as,
+                "years": years,
+                "seed": seed,
+                "profiles": profiles,
+                "anomaly_fraction": anomaly_fraction,
+                "bad_tag_fraction": bad_tag_fraction,
+            },
+        )
+        cached = scenario_cache.get("atlas", cache_key)
+        if cached is not None:
+            return cached
+
     end_hour = int(years * 365 * DAY)
 
     registry = Registry()
     table = RoutingTable()
-    isps: Dict[str, Isp] = {}
-    timelines: Dict[int, Dict[int, SubscriberTimeline]] = {}
     rng = random.Random(seed)
 
+    # ISP construction mutates the shared registry/routing table and must
+    # stay serial and ordered; the simulations are independent per ISP
+    # (each only touches its own plans with a private (seed, asn) RNG)
+    # and fan out across workers.
+    isps: Dict[str, Isp] = {
+        config.name: Isp(config, registry, table) for config in profiles
+    }
     # Anomalous probes need a secondary network to flap to / move to.
     num_subscribers = probes_per_as + 2  # spares for secondary attachments
-    for config in profiles:
-        isp = Isp(config, registry, table)
-        isps[config.name] = isp
-        timelines[config.asn] = IspSimulation(
-            isp, num_subscribers, end_hour, seed=seed
-        ).run()
+    timeline_list = run_isp_simulations(
+        [(isps[config.name], num_subscribers) for config in profiles],
+        end_hour=end_hour,
+        seed=seed,
+        workers=worker_count,
+    )
+    timelines: Dict[int, Dict[int, SubscriberTimeline]] = {
+        config.asn: result for config, result in zip(profiles, timeline_list)
+    }
 
     platform = AtlasPlatform(
         {isp.asn: (isp, timelines[isp.asn]) for isp in isps.values()},
@@ -136,7 +186,7 @@ def build_atlas_scenario(
 
     raw_probes = [platform.probe_data(spec) for spec in specs]
     probes, report = sanitize(raw_probes, table)
-    return AtlasScenario(
+    scenario = AtlasScenario(
         registry=registry,
         table=table,
         isps=isps,
@@ -147,6 +197,9 @@ def build_atlas_scenario(
         report=report,
         end_hour=end_hour,
     )
+    if scenario_cache is not None and cache_key is not None:
+        scenario_cache.put("atlas", cache_key, scenario)
+    return scenario
 
 
 # ---------------------------------------------------------------------------
@@ -244,10 +297,40 @@ def build_cdn_scenario(
     featured_subscribers: int = 400,
     cross_network_noise: float = 0.0,
     filter_asn_mismatch: bool = True,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
 ) -> CdnScenario:
-    """Build the world-wide CDN association dataset (Section 4 input)."""
+    """Build the world-wide CDN association dataset (Section 4 input).
+
+    ``workers`` fans the per-ISP simulations and the per-population
+    collection out over a process pool (``None`` = ``$REPRO_WORKERS``,
+    default serial) without changing the result.  ``cache`` consults the
+    content-addressed scenario cache (``None`` = ``$REPRO_CACHE``).
+    """
     if days <= 0:
         raise ValueError("days must be positive")
+    worker_count = resolve_workers(workers)
+
+    scenario_cache = cache_key = None
+    if resolve_cache_flag(cache):
+        scenario_cache = get_scenario_cache()
+        cache_key = scenario_cache.key(
+            "cdn",
+            {
+                "days": days,
+                "seed": seed,
+                "fixed_subscribers_per_registry": fixed_subscribers_per_registry,
+                "mobile_devices_per_registry": mobile_devices_per_registry,
+                "include_featured_isps": include_featured_isps,
+                "featured_subscribers": featured_subscribers,
+                "cross_network_noise": cross_network_noise,
+                "filter_asn_mismatch": filter_asn_mismatch,
+            },
+        )
+        cached = scenario_cache.get("cdn", cache_key)
+        if cached is not None:
+            return cached
+
     registry = Registry()
     table = RoutingTable()
     end_hour = days * DAY
@@ -256,8 +339,12 @@ def build_cdn_scenario(
     mobile_asns: List[int] = []
     featured_asns: Dict[str, int] = {}
 
-    # Pass 1: fixed-line populations (registry generics + featured ISPs).
+    # Pass 1: fixed-line ISPs (registry generics + featured ISPs).  As in
+    # the Atlas builder, construction stays serial (shared registry/table,
+    # ordered allocations) while the per-ISP simulations fan out.
     base_asn = 64600
+    fixed_isps: List[Isp] = []
+    fixed_counts: List[int] = []
     for rir_index, rir in enumerate(RIR):
         configs = _registry_fixed_configs(rir, base_asn + 10 * rir_index)
         shares = _FIXED_DELEGATION_SHARES[rir]
@@ -266,8 +353,8 @@ def build_cdn_scenario(
             scaled = cdn_fixed_config(config, count)
             isp = Isp(scaled, registry, table)
             fixed_asns.append(isp.asn)
-            timelines = IspSimulation(isp, count, end_hour, seed=seed).run()
-            populations.append(FixedPopulation(isp, timelines, days, seed=seed))
+            fixed_isps.append(isp)
+            fixed_counts.append(count)
 
     if include_featured_isps:
         # Featured ISP populations are scaled relative to each other by the
@@ -291,8 +378,17 @@ def build_cdn_scenario(
             isp = Isp(scaled, registry, table)
             featured_asns[config.name] = isp.asn
             fixed_asns.append(isp.asn)
-            timelines = IspSimulation(isp, count, end_hour, seed=seed).run()
-            populations.append(FixedPopulation(isp, timelines, days, seed=seed))
+            fixed_isps.append(isp)
+            fixed_counts.append(count)
+
+    fixed_timelines = run_isp_simulations(
+        list(zip(fixed_isps, fixed_counts)),
+        end_hour=end_hour,
+        seed=seed,
+        workers=worker_count,
+    )
+    for isp, timelines in zip(fixed_isps, fixed_timelines):
+        populations.append(FixedPopulation(isp, timelines, days, seed=seed))
 
     # Foreign v4 space for cellular/WiFi switchers: one block per fixed ISP.
     foreign_blocks = [
@@ -345,8 +441,14 @@ def build_cdn_scenario(
                 )
             )
 
-    dataset = collect(populations, table, registry, filter_asn_mismatch=filter_asn_mismatch)
-    return CdnScenario(
+    dataset = collect_associations(
+        populations,
+        table,
+        registry,
+        filter_asn_mismatch=filter_asn_mismatch,
+        workers=worker_count,
+    )
+    scenario = CdnScenario(
         registry=registry,
         table=table,
         dataset=dataset,
@@ -355,6 +457,9 @@ def build_cdn_scenario(
         fixed_asns=fixed_asns,
         mobile_asns=mobile_asns,
     )
+    if scenario_cache is not None and cache_key is not None:
+        scenario_cache.put("cdn", cache_key, scenario)
+    return scenario
 
 
 __all__ = [

@@ -1,0 +1,319 @@
+"""Tests for the performance engine: parallel determinism, cache, timing."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.perf.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    ScenarioCache,
+    code_fingerprint,
+    get_scenario_cache,
+    resolve_cache_flag,
+)
+from repro.perf.parallel import (
+    WORKERS_ENV,
+    collect_associations,
+    resolve_workers,
+    run_isp_simulations,
+)
+from repro.perf.timing import StageTimer, read_baseline, write_baseline
+from repro.perf.verify import (
+    assert_atlas_scenarios_equal,
+    assert_cdn_scenarios_equal,
+    atlas_scenario_diffs,
+)
+from repro.workloads import build_atlas_scenario, build_cdn_scenario
+
+#: Small enough for a sub-second serial build, big enough to exercise
+#: every pipeline stage (sanitization, both population kinds, merging).
+ATLAS_SCALE = dict(probes_per_as=4, years=0.3)
+CDN_SCALE = dict(
+    days=12,
+    fixed_subscribers_per_registry=24,
+    mobile_devices_per_registry=30,
+    featured_subscribers=24,
+)
+
+
+# ---------------------------------------------------------------------------
+# Parallel determinism
+# ---------------------------------------------------------------------------
+
+
+def test_atlas_parallel_matches_serial():
+    serial = build_atlas_scenario(seed=11, workers=1, cache=False, **ATLAS_SCALE)
+    parallel = build_atlas_scenario(seed=11, workers=2, cache=False, **ATLAS_SCALE)
+    assert_atlas_scenarios_equal(serial, parallel)
+
+
+def test_cdn_parallel_matches_serial():
+    serial = build_cdn_scenario(seed=11, workers=1, cache=False, **CDN_SCALE)
+    parallel = build_cdn_scenario(seed=11, workers=2, cache=False, **CDN_SCALE)
+    assert_cdn_scenarios_equal(serial, parallel)
+
+
+def test_different_seeds_detected_by_verifier():
+    a = build_atlas_scenario(seed=1, workers=1, cache=False, **ATLAS_SCALE)
+    b = build_atlas_scenario(seed=2, workers=1, cache=False, **ATLAS_SCALE)
+    assert atlas_scenario_diffs(a, b)
+
+
+def test_run_isp_simulations_grafts_plans_back():
+    """Post-build plan state (worker-side mutations) must reach the parent."""
+    serial = build_atlas_scenario(seed=5, workers=1, cache=False, **ATLAS_SCALE)
+    parallel = build_atlas_scenario(seed=5, workers=3, cache=False, **ATLAS_SCALE)
+    for name, isp in serial.isps.items():
+        other = parallel.isps[name]
+        assert isp.v4_plan.in_use_count == other.v4_plan.in_use_count
+        if isp.v6_plan is not None:
+            assert isp.v6_plan.in_use_count == other.v6_plan.in_use_count
+
+
+def test_unpicklable_jobs_fall_back_to_serial():
+    class Unpicklable:
+        def __reduce__(self):
+            raise TypeError("nope")
+
+    sentinel = Unpicklable()
+
+    class FakeIsp:
+        config = sentinel
+        v4_plan = None
+        v6_plan = None
+        asn = 1
+
+    captured = []
+
+    class FakeSim:
+        def __init__(self, isp, count, end_hour, seed):
+            captured.append((isp, count, end_hour, seed))
+
+        def run(self):
+            return {"serial": True}
+
+    import repro.perf.parallel as parallel_mod
+
+    original = parallel_mod.IspSimulation
+    parallel_mod.IspSimulation = FakeSim
+    try:
+        results = run_isp_simulations([(FakeIsp(), 3)], 24.0, seed=9, workers=4)
+    finally:
+        parallel_mod.IspSimulation = original
+    assert results == [{"serial": True}]
+    assert captured and captured[0][1:] == (3, 24.0, 9)
+
+
+def test_resolve_workers(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert resolve_workers() == 1
+    assert resolve_workers(3) == 3
+    monkeypatch.setenv(WORKERS_ENV, "5")
+    assert resolve_workers() == 5
+    assert resolve_workers(2) == 2  # explicit beats the environment
+    monkeypatch.setenv(WORKERS_ENV, "auto")
+    assert resolve_workers() == max(1, os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_collect_associations_serial_and_parallel_agree():
+    scenario = build_cdn_scenario(seed=3, workers=1, cache=False, **CDN_SCALE)
+    # Rebuild in parallel; collect_associations is exercised through the
+    # builder, so compare the resulting datasets triple-for-triple.
+    redo = build_cdn_scenario(seed=3, workers=2, cache=False, **CDN_SCALE)
+    assert scenario.dataset.triples_by_asn == redo.dataset.triples_by_asn
+    assert scenario.dataset.total_collected == redo.dataset.total_collected
+    assert redo.dataset.classifier is not None  # reattached post-merge
+
+
+def test_collect_associations_empty_populations_serial_path():
+    from repro.bgp.registry import Registry
+    from repro.bgp.table import RoutingTable
+
+    registry = Registry()
+    table = RoutingTable()
+    dataset = collect_associations([], table, registry, workers=4)
+    assert dataset.total_collected == 0
+
+
+# ---------------------------------------------------------------------------
+# Scenario cache
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+def test_cache_round_trip(cache_dir):
+    cold = build_atlas_scenario(seed=21, workers=1, cache=True, **ATLAS_SCALE)
+    cache = get_scenario_cache()
+    assert cache.directory == cache_dir
+    assert cache.stats.puts >= 1
+    hits_before = cache.stats.hits
+    warm = build_atlas_scenario(seed=21, workers=1, cache=True, **ATLAS_SCALE)
+    assert cache.stats.hits == hits_before + 1
+    assert_atlas_scenarios_equal(cold, warm)
+
+
+def test_cache_cdn_round_trip(cache_dir):
+    cold = build_cdn_scenario(seed=21, workers=1, cache=True, **CDN_SCALE)
+    warm = build_cdn_scenario(seed=21, workers=1, cache=True, **CDN_SCALE)
+    assert_cdn_scenarios_equal(cold, warm)
+
+
+def test_cache_changed_params_miss(cache_dir):
+    build_atlas_scenario(seed=21, workers=1, cache=True, **ATLAS_SCALE)
+    cache = get_scenario_cache()
+    misses_before = cache.stats.misses
+    build_atlas_scenario(seed=22, workers=1, cache=True, **ATLAS_SCALE)
+    assert cache.stats.misses == misses_before + 1
+
+
+def test_cache_workers_not_in_key(cache_dir):
+    """workers= never changes the output, so it must share a cache entry."""
+    build_atlas_scenario(seed=21, workers=1, cache=True, **ATLAS_SCALE)
+    cache = get_scenario_cache()
+    hits_before = cache.stats.hits
+    warm = build_atlas_scenario(seed=21, workers=2, cache=True, **ATLAS_SCALE)
+    assert cache.stats.hits == hits_before + 1
+    assert warm is not None
+
+
+def test_cache_code_fingerprint_invalidates(cache_dir, monkeypatch):
+    build_atlas_scenario(seed=21, workers=1, cache=True, **ATLAS_SCALE)
+    import repro.perf.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "code_fingerprint", lambda: "different-code")
+    cache = get_scenario_cache()
+    misses_before = cache.stats.misses
+    build_atlas_scenario(seed=21, workers=1, cache=True, **ATLAS_SCALE)
+    assert cache.stats.misses == misses_before + 1
+
+
+def test_cache_corrupt_entry_is_miss_and_removed(tmp_path):
+    cache = ScenarioCache(tmp_path)
+    key = cache.key("thing", {"x": 1})
+    assert cache.put("thing", key, {"payload": [1, 2, 3]})
+    assert cache.get("thing", key) == {"payload": [1, 2, 3]}
+    # Corrupt the entry on disk: next get must miss and remove it.
+    entry = next(tmp_path.glob("thing-*.pkl"))
+    entry.write_bytes(b"not a pickle")
+    assert cache.get("thing", key) is None
+    assert cache.stats.errors == 1
+    assert not entry.exists()
+
+
+def test_cache_key_mismatch_guard(tmp_path):
+    cache = ScenarioCache(tmp_path)
+    key = cache.key("thing", {"x": 1})
+    path = cache._path_for("thing", key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"key": "some-other-key", "scenario": 42}))
+    assert cache.get("thing", key) is None
+    assert not path.exists()
+
+
+def test_cache_clear(tmp_path):
+    cache = ScenarioCache(tmp_path)
+    for x in range(3):
+        cache.put("thing", cache.key("thing", {"x": x}), x)
+    assert cache.clear() == 3
+    assert cache.get("thing", cache.key("thing", {"x": 0})) is None
+
+
+def test_cache_key_is_param_order_independent(tmp_path):
+    cache = ScenarioCache(tmp_path)
+    assert cache.key("b", {"x": 1, "y": 2}) == cache.key("b", {"y": 2, "x": 1})
+    assert cache.key("b", {"x": 1}) != cache.key("b", {"x": 2})
+    assert cache.key("b", {"x": 1}) != cache.key("c", {"x": 1})
+
+
+def test_resolve_cache_flag(monkeypatch):
+    monkeypatch.delenv(CACHE_ENV, raising=False)
+    assert resolve_cache_flag() is False
+    assert resolve_cache_flag(True) is True
+    assert resolve_cache_flag(False) is False
+    monkeypatch.setenv(CACHE_ENV, "1")
+    assert resolve_cache_flag() is True
+    assert resolve_cache_flag(False) is False  # explicit beats the environment
+    monkeypatch.setenv(CACHE_ENV, "off")
+    assert resolve_cache_flag() is False
+
+
+def test_code_fingerprint_stable():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+# ---------------------------------------------------------------------------
+# Stage timing and the baseline artifact
+# ---------------------------------------------------------------------------
+
+
+def test_stage_timer_accumulates():
+    timer = StageTimer()
+    timer.record("build", 1.25)
+    timer.record("build", 0.75)
+    timer.record("analyze", 0.5)
+    assert timer["build"] == 2.0
+    assert "analyze" in timer and "missing" not in timer
+    assert timer.total == 2.5
+    assert timer.as_dict() == {"build": 2.0, "analyze": 0.5}
+    with pytest.raises(ValueError):
+        timer.record("build", -1.0)
+
+
+def test_stage_timer_context_manager():
+    timer = StageTimer()
+    with timer.stage("work"):
+        pass
+    assert timer["work"] >= 0.0
+
+
+def test_write_baseline_merges_sections(tmp_path):
+    path = tmp_path / "BENCH_baseline.json"
+    write_baseline("alpha", {"a": 1}, path=path)
+    doc = write_baseline("beta", {"b": 2}, path=path)
+    assert doc["alpha"] == {"a": 1}
+    assert doc["beta"] == {"b": 2}
+    assert "updated" in doc
+    on_disk = json.loads(path.read_text())
+    assert on_disk["alpha"] == {"a": 1} and on_disk["beta"] == {"b": 2}
+
+
+def test_read_baseline_tolerates_garbage(tmp_path):
+    path = tmp_path / "BENCH_baseline.json"
+    assert read_baseline(path) == {}
+    path.write_text("{corrupt")
+    assert read_baseline(path) == {}
+    path.write_text("[1, 2]")  # valid JSON, wrong shape
+    assert read_baseline(path) == {}
+
+
+# ---------------------------------------------------------------------------
+# Pickling of the IP value types (what makes the fan-out possible)
+# ---------------------------------------------------------------------------
+
+
+def test_ip_types_pickle_round_trip():
+    from repro.ip.addr import IPv4Address, IPv6Address
+    from repro.ip.prefix import IPv4Prefix, IPv6Prefix
+
+    for value in (
+        IPv4Address(0xC0A80101),
+        IPv6Address(0x20010DB8 << 96),
+        IPv4Prefix.parse("192.0.2.0/24"),
+        IPv6Prefix.parse("2001:db8::/32"),
+    ):
+        clone = pickle.loads(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        assert clone == value
+        assert type(clone) is type(value)
