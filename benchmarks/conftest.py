@@ -13,6 +13,11 @@ cache, so a warm session skips generation entirely.  Build wall-clock
 and per-benchmark analysis durations are recorded into the repo-root
 ``BENCH_baseline.json`` perf artifact at session end.
 
+The analyses themselves run through the engine selected by
+``$REPRO_ANALYSIS_ENGINE`` (columnar NumPy by default; see
+``repro.core.analysis_np``), and setting ``REPRO_PROFILE=1`` dumps
+per-stage cProfile artifacts under ``benchmarks/results/``.
+
 Every benchmark writes its rendered artifact to
 ``benchmarks/results/<name>.txt`` so the reproduced tables/figures are
 inspectable after the run regardless of pytest's output capturing.
@@ -26,8 +31,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.report import resolve_engine
 from repro.perf.cache import get_scenario_cache
 from repro.perf.parallel import resolve_workers
+from repro.perf.profiling import maybe_profile
 from repro.perf.timing import StageTimer, write_baseline
 from repro.workloads import build_atlas_scenario, build_cdn_scenario
 
@@ -61,9 +68,10 @@ _ANALYSIS: dict = {}
 def _timed_build(stage: str, builder, **kwargs):
     cache = get_scenario_cache()
     hits_before = cache.stats.hits
-    start = time.perf_counter()
-    scenario = builder(workers=BENCH_WORKERS, cache=BENCH_CACHE, **kwargs)
-    _BUILD_TIMER.record(stage, time.perf_counter() - start)
+    with maybe_profile(stage):
+        start = time.perf_counter()
+        scenario = builder(workers=BENCH_WORKERS, cache=BENCH_CACHE, **kwargs)
+        _BUILD_TIMER.record(stage, time.perf_counter() - start)
     _BUILD_META[stage] = {
         "workers": BENCH_WORKERS,
         "cache": (
@@ -127,7 +135,10 @@ def pytest_sessionfinish(session, exitstatus):
         stage: {"seconds": seconds, **_BUILD_META.get(stage, {})}
         for stage, seconds in _BUILD_TIMER.as_dict().items()
     }
-    write_baseline("benchmark_session", {"build": build, "analysis": _ANALYSIS})
+    write_baseline(
+        "benchmark_session",
+        {"build": build, "analysis": _ANALYSIS, "analysis_engine": resolve_engine()},
+    )
 
 
 #: The six ASes Figures 1, 2 and 5 feature.

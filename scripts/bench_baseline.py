@@ -1,15 +1,20 @@
-"""Serial-vs-parallel scenario-build baseline: time, verify, record.
+"""Scenario-build and analysis baseline: time, verify, record.
 
 Runs a downscaled Atlas + CDN scenario build serially and with a worker
 pool, verifies the parallel results are bit-identical to the serial
-ones, exercises a cache round-trip in a throwaway directory, and
-records everything in the repo-root ``BENCH_baseline.json`` — the
-repository's perf trajectory artifact.
+ones, exercises a cache round-trip in a throwaway directory, then times
+the full Section 3/5 analysis stack (Table 1, Figure 1, Figure 5,
+Table 2) under both analysis engines (``py`` reference vs columnar
+``np``), asserts the two produce bit-identical artifacts, and records
+everything in the repo-root ``BENCH_baseline.json`` — the repository's
+perf trajectory artifact.
 
-On a multi-core machine the script *asserts* the parallel speedup
+On a multi-core machine the script *asserts* the parallel build speedup
 (default ``--min-speedup 2.0`` with 4 workers); on a single-core
 box the speedup is recorded but not enforced, since no amount of
-process fan-out can beat the hardware.
+process fan-out can beat the hardware.  The analysis speedup (default
+``--min-analysis-speedup 3.0`` on Table 1) *is* enforced in full mode
+regardless of core count — vectorization does not need extra cores.
 
 Usage::
 
@@ -17,8 +22,10 @@ Usage::
     PYTHONPATH=src python -m scripts.bench_baseline --check   # CI smoke mode
 
 ``--check`` shrinks the scales to finish in a few seconds and skips the
-speedup assertion while still enforcing determinism and the cache
-round-trip — the properties CI can check on any hardware.
+speedup assertions while still enforcing determinism, engine parity and
+the cache round-trip — the properties CI can check on any hardware.
+Set ``REPRO_PROFILE=1`` to drop per-stage cProfile artifacts under
+``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -34,7 +41,9 @@ _REPO_ROOT = Path(__file__).resolve().parents[1]
 if "repro" not in sys.modules:
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from repro.core.report import resolve_engine  # noqa: E402
 from repro.perf.cache import CACHE_DIR_ENV  # noqa: E402
+from repro.perf.profiling import maybe_profile  # noqa: E402
 from repro.perf.timing import write_baseline  # noqa: E402
 from repro.perf.verify import (  # noqa: E402
     assert_atlas_scenarios_equal,
@@ -68,6 +77,51 @@ def _timed(builder, **kwargs):
     start = time.perf_counter()
     scenario = builder(**kwargs)
     return scenario, time.perf_counter() - start
+
+
+#: Analysis stages timed per engine: (key, one-AS callable factory).
+ANALYSIS_STAGES = ("table1", "figure1", "figure5", "table2")
+
+
+def _run_analysis(scenario, engine: str):
+    """Time the four Section 3/5 analysis stages under one engine.
+
+    Returns ``(results, timings)`` where both are keyed by stage; the
+    results are plain comparable values so py-vs-np parity is a ``==``.
+    """
+    from repro.core.report import (
+        figure1_for_as,
+        figure5_for_as,
+        table1_row,
+        table2_row,
+    )
+
+    items = list(scenario.isps.items())
+    probes = {name: scenario.probes_in(isp.asn) for name, isp in items}
+    stages = {
+        "table1": lambda: [
+            table1_row(name, isp.asn, isp.config.country, probes[name], engine=engine)
+            for name, isp in items
+        ],
+        "figure1": lambda: {
+            name: figure1_for_as(name, probes[name], engine=engine) for name, _ in items
+        },
+        "figure5": lambda: {
+            name: figure5_for_as(probes[name], engine=engine) for name, _ in items
+        },
+        "table2": lambda: {
+            name: table2_row(probes[name], scenario.table, engine=engine)
+            for name, _ in items
+        },
+    }
+    results = {}
+    timings = {}
+    for key in ANALYSIS_STAGES:
+        with maybe_profile(f"analysis_{key}_{engine}"):
+            start = time.perf_counter()
+            results[key] = stages[key]()
+            timings[key] = time.perf_counter() - start
+    return results, timings
 
 
 def run_baseline(args: argparse.Namespace) -> dict:
@@ -122,6 +176,39 @@ def run_baseline(args: argparse.Namespace) -> dict:
     print(f"cache: cold {cache_cold_s:.2f}s, warm hit {cache_warm_s:.3f}s "
           f"({cache_cold_s / max(cache_warm_s, 1e-9):.0f}x)")
 
+    # Analysis stages over the serial Atlas scenario: the pure-Python
+    # reference vs the columnar engine, with a hard parity check.
+    engine_available = resolve_engine("np") == "np"
+    py_results, py_timings = _run_analysis(serial_atlas, "py")
+    if engine_available:
+        np_results, np_timings = _run_analysis(serial_atlas, "np")
+        if np_results != py_results:
+            failures.append("analysis engine parity violated: np != py artifacts")
+        analysis_stages = {}
+        for key in ANALYSIS_STAGES:
+            stage_speedup = py_timings[key] / max(np_timings[key], 1e-9)
+            analysis_stages[key] = {
+                "py_seconds": round(py_timings[key], 4),
+                "np_seconds": round(np_timings[key], 4),
+                "speedup": round(stage_speedup, 4),
+            }
+            print(f"analysis {key:8s} py {py_timings[key]:.3f}s "
+                  f"np {np_timings[key]:.3f}s ({stage_speedup:.1f}x) — "
+                  f"artifacts identical")
+        analysis_enforced = not args.check
+        table1_speedup = analysis_stages["table1"]["speedup"]
+        if analysis_enforced and table1_speedup < args.min_analysis_speedup:
+            failures.append(
+                f"Table 1 analysis speedup {table1_speedup:.2f}x below "
+                f"required {args.min_analysis_speedup:.2f}x"
+            )
+    else:  # pragma: no cover - numpy is a baked-in dependency
+        analysis_stages = {
+            key: {"py_seconds": round(py_timings[key], 4)} for key in ANALYSIS_STAGES
+        }
+        analysis_enforced = False
+        print("analysis: numpy unavailable, columnar engine not benchmarked")
+
     total_serial = atlas_serial_s + cdn_serial_s
     total_parallel = atlas_parallel_s + cdn_parallel_s
     speedup = total_serial / max(total_parallel, 1e-9)
@@ -155,6 +242,12 @@ def run_baseline(args: argparse.Namespace) -> dict:
             "cold_seconds": round(cache_cold_s, 4),
             "warm_seconds": round(cache_warm_s, 4),
         },
+        "analysis": {
+            "default_engine": resolve_engine(None),
+            "stages": analysis_stages,
+            "parity": engine_available,
+            "table1_speedup_enforced": analysis_enforced,
+        },
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
         "deterministic": True,
@@ -180,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required serial/parallel speedup on multi-core "
                         "hosts (default: 2.0)")
+    parser.add_argument("--min-analysis-speedup", type=float, default=3.0,
+                        help="required py/np speedup on the Table 1 analysis "
+                        "stage in full mode (default: 3.0)")
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--output", type=Path,
                         default=_REPO_ROOT / "BENCH_baseline.json",

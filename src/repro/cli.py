@@ -48,6 +48,13 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
                         "REPRO_CACHE enables it")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=("np", "py"), default=None,
+                        help="analysis kernels: columnar numpy ('np') or the "
+                        "pure-Python reference ('py'); both are bit-identical "
+                        "(default: $REPRO_ANALYSIS_ENGINE, else np)")
+
+
 def _cache_flag(args: argparse.Namespace):
     """False when --no-cache was given, else None (environment default)."""
     return False if args.no_cache else None
@@ -121,12 +128,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     table2_rows = []
     for name, isp in scenario.isps.items():
         probes = scenario.probes_in(isp.asn)
-        row = table1_row(name, isp.asn, isp.config.country, probes)
+        row = table1_row(name, isp.asn, isp.config.country, probes, engine=args.engine)
         table1_rows.append(
             [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
              f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
         )
-        rates = table2_row(probes, scenario.table)
+        rates = table2_row(probes, scenario.table, engine=args.engine)
         table2_rows.append(
             [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
              f"{rates.v6_diff_bgp_pct:.0f}%"]
@@ -151,27 +158,41 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     from repro.core.changes import sandwiched_durations, v6_runs_to_prefix_runs
     from repro.core.periodicity import detect_periods
-    from repro.core.timefraction import (
-        CANONICAL_LABELS,
-        cumulative_total_time_fraction,
-        evaluate_cdf,
-        total_duration_years,
-    )
+    from repro.core.report import figure1_series, resolve_engine
+    from repro.core.timefraction import CANONICAL_LABELS
     from repro.io.records import read_echo_runs
 
+    engine = resolve_engine(args.engine)
     by_probe: dict = defaultdict(lambda: {4: [], 6: []})
     with Path(args.input).open() as stream:
         for run in read_echo_runs(stream):
             by_probe[run.probe_id][run.family].append(run)
 
     durations = {4: [], 6: []}
-    for families in by_probe.values():
-        for duration in sandwiched_durations(families[4]):
-            durations[4].append(float(duration.hours))
-        if families[6]:
-            prefix_runs = v6_runs_to_prefix_runs(families[6])
-            for duration in sandwiched_durations(prefix_runs):
-                durations[6].append(float(duration.hours))
+    if engine == "np":
+        try:
+            from repro.core import analysis_np as anp
+
+            families = list(by_probe.values())
+            v4_cols = anp.columns_from_runs([fam[4] for fam in families])
+            durations[4] = anp.duration_table(v4_cols).hours().astype(float).tolist()
+            v6_cols = anp.columns_from_runs([fam[6] for fam in families if fam[6]])
+            durations[6] = (
+                anp.duration_table(anp.rekey_v6_runs(v6_cols))
+                .hours()
+                .astype(float)
+                .tolist()
+            )
+        except (TypeError, ValueError, OverflowError):
+            engine = "py"
+    if engine == "py":
+        for families in by_probe.values():
+            for duration in sandwiched_durations(families[4]):
+                durations[4].append(float(duration.hours))
+            if families[6]:
+                prefix_runs = v6_runs_to_prefix_runs(families[6])
+                for duration in sandwiched_durations(prefix_runs):
+                    durations[6].append(float(duration.hours))
 
     print(f"probes: {len(by_probe)}")
     for family, label in ((4, "IPv4"), (6, "IPv6 /64")):
@@ -179,18 +200,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if not sample:
             print(f"{label}: no exact durations")
             continue
-        xs, ys = cumulative_total_time_fraction(sample)
-        grid = evaluate_cdf(xs, ys)
+        series = figure1_series(label, sample, engine=engine)
         summary = "  ".join(
             f"{grid_label}:{value:.2f}"
-            for grid_label, value in zip(CANONICAL_LABELS, grid)
+            for grid_label, value in zip(CANONICAL_LABELS, series.grid_values)
             if grid_label in ("1d", "1w", "1m", "6m")
         )
         print(
-            f"{label}: n={len(sample)} total={total_duration_years(sample):.1f}y "
+            f"{label}: n={len(sample)} total={series.total_years:.1f}y "
             f"cumulative-TTF {summary}"
         )
-        modes = detect_periods(sample)
+        if engine == "np":
+            from repro.core.analysis_np import detect_periods_np
+
+            modes = detect_periods_np(sample)
+        else:
+            modes = detect_periods(sample)
         if modes:
             print(f"{label}: periodic renumbering detected: "
                   + ", ".join(str(mode) for mode in modes))
@@ -243,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser("report", help="print Table 1 / Table 2 summaries")
     _add_atlas_args(report)
+    _add_engine_arg(report)
     report.set_defaults(func=cmd_report)
 
     convert = commands.add_parser(
@@ -256,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="analyze an echo-runs JSONL file (durations, periodicity)"
     )
     analyze.add_argument("--input", required=True)
+    _add_engine_arg(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     return parser

@@ -1,0 +1,630 @@
+"""NumPy-vectorized Section 3/5 analysis kernels (the columnar engine).
+
+The pure-Python modules :mod:`repro.core.changes`,
+:mod:`repro.core.timefraction`, :mod:`repro.core.periodicity`,
+:mod:`repro.core.dualstack` and :mod:`repro.core.spatial` are the
+reference implementations; the kernels here compute the same artifacts
+over a *columnar* representation of per-probe echo runs and are
+**bit-identical** to the references on the pipeline's data (hourly,
+integer-valued durations — see the note below).  The test suite and the
+``repro.perf.verify`` parity harness assert exact agreement on random
+inputs; :mod:`repro.core.report` dispatches to this module behind its
+``engine="np"|"py"`` knob.
+
+Representation
+--------------
+
+:func:`columns_from_runs` packs the run series of *many* probes into a
+single :class:`RunColumns`: CSR-style ``offsets`` (one slice per probe)
+over flat ``first``/``last``/``observed``/``max_gap`` arrays, with run
+values stored as ``(value_hi, value_lo)`` uint64 pairs so 128-bit IPv6
+addresses fit without arbitrary-precision integers.  All kernels then
+operate on whole probe populations at once: probe boundaries are masks
+derived from ``offsets``, never Python loops.
+
+Exactness note
+--------------
+
+The reference implementations accumulate floats sequentially
+(``sum(...)``) while NumPy uses pairwise summation.  Both are exact —
+hence bit-identical — as long as the summed values are integral-valued
+floats below 2**53, which hour-granularity durations always are.  The
+parity tests pin this contract down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.atlas.echo import EchoRun
+from repro.bgp.table import RoutingTable
+from repro.core.periodicity import CANONICAL_PERIODS, PeriodicMode
+from repro.core.spatial import CplHistogram, CrossingRates
+from repro.core.timefraction import CANONICAL_GRID, YEAR
+from repro.ip.addr import IPAddress, IPv4Address, IPv6Address
+from repro.ip.prefix import IPPrefix, IPv6Prefix
+
+_M64 = (1 << 64) - 1
+
+
+# ---------------------------------------------------------------------------
+# Columnar run representation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunColumns:
+    """CSR-packed run series of a probe population (one slice per probe).
+
+    ``offsets`` has ``n_probes + 1`` entries; probe ``p``'s runs live at
+    flat indices ``offsets[p]:offsets[p + 1]``, in time order.  Values
+    are 128-bit integers split into ``(value_hi, value_lo)`` uint64
+    pairs (IPv4 addresses occupy the low 32 bits of ``value_lo``).
+    """
+
+    offsets: np.ndarray  # int64, (n_probes + 1,)
+    value_hi: np.ndarray  # uint64, (n_runs,)
+    value_lo: np.ndarray  # uint64, (n_runs,)
+    first: np.ndarray  # int64, (n_runs,)
+    last: np.ndarray  # int64, (n_runs,)
+    observed: np.ndarray  # int64, (n_runs,)
+    max_gap: np.ndarray  # int64, (n_runs,)
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.first)
+
+    def run_counts(self) -> np.ndarray:
+        """Runs per probe (int64, one entry per probe)."""
+        return np.diff(self.offsets)
+
+    def probe_of_run(self) -> np.ndarray:
+        """Probe index of every flat run (int64, one entry per run)."""
+        return np.repeat(np.arange(self.n_probes, dtype=np.int64), self.run_counts())
+
+
+@dataclass
+class ChangeColumns:
+    """Columnar :class:`~repro.core.changes.ChangeEvent` table."""
+
+    probe_index: np.ndarray  # int64: index into the probe population
+    hour: np.ndarray  # int64: first hour of the new value
+    old_hi: np.ndarray  # uint64
+    old_lo: np.ndarray  # uint64
+    new_hi: np.ndarray  # uint64
+    new_lo: np.ndarray  # uint64
+    boundary_gap: np.ndarray  # int64
+
+    @property
+    def n_changes(self) -> int:
+        return len(self.hour)
+
+
+@dataclass
+class DurationColumns:
+    """Columnar :class:`~repro.core.changes.Duration` table (exact spans)."""
+
+    probe_index: np.ndarray  # int64
+    start: np.ndarray  # int64
+    end: np.ndarray  # int64 (inclusive)
+
+    @property
+    def n_durations(self) -> int:
+        return len(self.start)
+
+    def hours(self) -> np.ndarray:
+        """Span of each duration in hours (int64)."""
+        return self.end - self.start + 1
+
+
+def columns_from_runs(
+    runs_by_probe: Iterable[Sequence[EchoRun]],
+    value_type: Optional[Type[IPAddress]] = None,
+) -> RunColumns:
+    """Pack per-probe run series into a :class:`RunColumns`.
+
+    ``value_type`` optionally enforces the run value class (mirroring
+    :func:`repro.core.changes.v6_runs_to_prefix_runs`'s type check);
+    prefix-valued runs are packed by their network address.
+    """
+    probes: List[Sequence[EchoRun]] = [
+        runs if isinstance(runs, Sequence) else list(runs) for runs in runs_by_probe
+    ]
+    counts = np.fromiter((len(runs) for runs in probes), dtype=np.int64, count=len(probes))
+    offsets = np.zeros(len(probes) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+
+    values: List[int] = []
+    for runs in probes:
+        for run in runs:
+            value = run.value
+            if value_type is not None and not isinstance(value, value_type):
+                raise TypeError(
+                    f"expected {value_type.__name__} runs, got {type(value).__name__}"
+                )
+            values.append(int(value.network) if isinstance(value, IPPrefix) else int(value))
+
+    flat = (run for runs in probes for run in runs)
+    first = np.empty(total, dtype=np.int64)
+    last = np.empty(total, dtype=np.int64)
+    observed = np.empty(total, dtype=np.int64)
+    max_gap = np.empty(total, dtype=np.int64)
+    for index, run in enumerate(flat):
+        first[index] = run.first
+        last[index] = run.last
+        observed[index] = run.observed
+        max_gap[index] = run.max_gap
+
+    value_hi = np.fromiter((v >> 64 for v in values), dtype=np.uint64, count=total)
+    value_lo = np.fromiter((v & _M64 for v in values), dtype=np.uint64, count=total)
+    return RunColumns(
+        offsets=offsets,
+        value_hi=value_hi,
+        value_lo=value_lo,
+        first=first,
+        last=last,
+        observed=observed,
+        max_gap=max_gap,
+    )
+
+
+def _first_run_mask(cols: RunColumns) -> np.ndarray:
+    """True at the first run of each (non-empty) probe slice."""
+    mask = np.zeros(cols.n_runs, dtype=bool)
+    counts = cols.run_counts()
+    mask[cols.offsets[:-1][counts > 0]] = True
+    return mask
+
+
+def _last_run_mask(cols: RunColumns) -> np.ndarray:
+    """True at the last run of each (non-empty) probe slice."""
+    mask = np.zeros(cols.n_runs, dtype=bool)
+    counts = cols.run_counts()
+    mask[cols.offsets[1:][counts > 0] - 1] = True
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Change detection (changes.py semantics)
+# ---------------------------------------------------------------------------
+
+
+def change_counts(cols: RunColumns) -> np.ndarray:
+    """Changes per probe: ``max(0, runs - 1)`` (``changes_from_runs`` length)."""
+    return np.maximum(cols.run_counts() - 1, 0)
+
+
+def change_table(cols: RunColumns) -> ChangeColumns:
+    """All changes of all probes, in probe-major time order.
+
+    Row ``k`` matches the ``k``-th event of concatenating
+    :func:`repro.core.changes.changes_from_runs` over the probes in
+    population order.
+    """
+    current = np.flatnonzero(~_first_run_mask(cols))
+    previous = current - 1
+    probe_of = cols.probe_of_run()
+    return ChangeColumns(
+        probe_index=probe_of[current],
+        hour=cols.first[current],
+        old_hi=cols.value_hi[previous],
+        old_lo=cols.value_lo[previous],
+        new_hi=cols.value_hi[current],
+        new_lo=cols.value_lo[current],
+        boundary_gap=cols.first[current] - cols.last[previous] - 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# IPv6 prefix rekeying and adjacent-equal merging
+# ---------------------------------------------------------------------------
+
+
+def _prefix_masks(plen: int, bits: int = 128) -> Tuple[np.uint64, np.uint64]:
+    """(hi, lo) uint64 masks keeping the top ``plen`` of ``bits`` bits."""
+    if not 0 <= plen <= bits:
+        raise ValueError(f"prefix length {plen} out of range for /{bits} family")
+    full = (((1 << plen) - 1) << (bits - plen)) if plen else 0
+    return np.uint64(full >> 64), np.uint64(full & _M64)
+
+
+def rekey_v6_runs(cols: RunColumns, plen: int = 64) -> RunColumns:
+    """Columnar :func:`repro.core.changes.v6_runs_to_prefix_runs`.
+
+    Masks every value to its /``plen`` network and merges adjacent
+    equal-valued runs per probe, with
+    :func:`repro.atlas.echo.merge_adjacent_equal`'s exact bookkeeping
+    (summed ``observed``, ``max_gap`` absorbing the joining gaps).
+    """
+    mask_hi, mask_lo = _prefix_masks(plen)
+    hi = cols.value_hi & mask_hi
+    lo = cols.value_lo & mask_lo
+    n = cols.n_runs
+    if n == 0:
+        return RunColumns(
+            offsets=cols.offsets.copy(),
+            value_hi=hi,
+            value_lo=lo,
+            first=cols.first.copy(),
+            last=cols.last.copy(),
+            observed=cols.observed.copy(),
+            max_gap=cols.max_gap.copy(),
+        )
+
+    probe_of = cols.probe_of_run()
+    same_as_previous = np.zeros(n, dtype=bool)
+    same_as_previous[1:] = (
+        (hi[1:] == hi[:-1]) & (lo[1:] == lo[:-1]) & (probe_of[1:] == probe_of[:-1])
+    )
+    group_starts = np.flatnonzero(~same_as_previous)
+    group_ends = np.append(group_starts[1:], n) - 1
+
+    # Per-run max-gap candidate: the run's own internal gap, plus — when
+    # the run merges into the previous one — the unobserved gap between
+    # them (merge_adjacent_equal's max(pending.max_gap, run.max_gap, gap)).
+    join_gap = np.zeros(n, dtype=np.int64)
+    join_gap[1:] = cols.first[1:] - cols.last[:-1] - 1
+    candidate = np.where(
+        same_as_previous, np.maximum(cols.max_gap, join_gap), cols.max_gap
+    )
+
+    merged = RunColumns(
+        offsets=np.searchsorted(group_starts, cols.offsets, side="left").astype(np.int64),
+        value_hi=hi[group_starts],
+        value_lo=lo[group_starts],
+        first=cols.first[group_starts],
+        last=cols.last[group_ends],
+        observed=np.add.reduceat(cols.observed, group_starts),
+        max_gap=np.maximum.reduceat(candidate, group_starts),
+    )
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Sandwiched exact durations (changes.py semantics)
+# ---------------------------------------------------------------------------
+
+
+def duration_table(
+    cols: RunColumns,
+    max_boundary_gap: int = 0,
+    max_internal_gap: Optional[int] = None,
+) -> DurationColumns:
+    """Columnar :func:`repro.core.changes.sandwiched_durations`.
+
+    Returns the exact durations of all probes in probe-major run order —
+    the concatenation order of the per-probe reference output.
+    """
+    n = cols.n_runs
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return DurationColumns(probe_index=empty, start=empty.copy(), end=empty.copy())
+    sandwiched = ~_first_run_mask(cols) & ~_last_run_mask(cols)
+    gap_before = np.zeros(n, dtype=np.int64)
+    gap_before[1:] = cols.first[1:] - cols.last[:-1] - 1
+    gap_after = np.zeros(n, dtype=np.int64)
+    gap_after[:-1] = cols.first[1:] - cols.last[:-1] - 1
+    exact = sandwiched & (gap_before <= max_boundary_gap) & (gap_after <= max_boundary_gap)
+    if max_internal_gap is not None:
+        exact &= cols.max_gap <= max_internal_gap
+    index = np.flatnonzero(exact)
+    return DurationColumns(
+        probe_index=cols.probe_of_run()[index],
+        start=cols.first[index],
+        end=cols.last[index],
+    )
+
+
+def observation_flags(
+    cols: RunColumns,
+    max_boundary_gap: int = 0,
+    max_internal_gap: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-run ``(sandwiched, exact)`` flags — columnar
+    :func:`repro.core.changes.observations_from_runs`."""
+    n = cols.n_runs
+    if n == 0:
+        empty = np.empty(0, dtype=bool)
+        return empty, empty.copy()
+    sandwiched = ~_first_run_mask(cols) & ~_last_run_mask(cols)
+    gap_before = np.zeros(n, dtype=np.int64)
+    gap_before[1:] = cols.first[1:] - cols.last[:-1] - 1
+    gap_after = np.zeros(n, dtype=np.int64)
+    gap_after[:-1] = cols.first[1:] - cols.last[:-1] - 1
+    exact = sandwiched & (gap_before <= max_boundary_gap) & (gap_after <= max_boundary_gap)
+    if max_internal_gap is not None:
+        exact &= cols.max_gap <= max_internal_gap
+    return sandwiched, exact
+
+
+# ---------------------------------------------------------------------------
+# Dual-stack coverage (dualstack.py semantics)
+# ---------------------------------------------------------------------------
+
+
+def dual_stack_mask(
+    v6_cols: RunColumns,
+    durations: DurationColumns,
+    min_coverage: float = 0.9,
+) -> np.ndarray:
+    """Which durations are dual-stack — columnar
+    :func:`repro.core.dualstack.split_durations_by_stack`.
+
+    A duration is dual-stack when the probe has IPv6 runs and their
+    observed hours cover at least ``min_coverage`` of the duration's
+    span.  ``durations.probe_index`` must index into ``v6_cols``'s probe
+    population.
+    """
+    n_durations = durations.n_durations
+    if n_durations == 0:
+        return np.empty(0, dtype=bool)
+    has_v6 = (v6_cols.run_counts() > 0)[durations.probe_index]
+    if v6_cols.n_runs == 0:
+        return np.zeros(n_durations, dtype=bool)
+
+    # Per-probe interval coverage via one global prefix-sum: encode
+    # (probe, hour) pairs as strictly increasing integer keys so a
+    # single searchsorted answers "covered hours up to x" for every
+    # duration endpoint at once.  Earlier probes' intervals land fully
+    # in both endpoint queries of a later probe and cancel in the
+    # difference.
+    first6 = v6_cols.first
+    last6 = v6_cols.last
+    probe6 = v6_cols.probe_of_run()
+    big = int(max(last6.max(), durations.end.max())) + 3
+    last_keys = probe6 * big + (last6 + 1)
+    first_keys = probe6 * big + (first6 + 1)
+    cumulative = np.zeros(v6_cols.n_runs + 1, dtype=np.int64)
+    np.cumsum(last6 - first6 + 1, out=cumulative[1:])
+
+    def covered_up_to(x: np.ndarray) -> np.ndarray:
+        query = durations.probe_index * big + (x + 1)
+        position = np.searchsorted(last_keys, query, side="right")
+        clipped = np.minimum(position, v6_cols.n_runs - 1)
+        partial_mask = (position < v6_cols.n_runs) & (first_keys[clipped] <= query)
+        partial = np.where(partial_mask, x - first6[clipped] + 1, 0)
+        return cumulative[position] + partial
+
+    covered = covered_up_to(durations.end) - covered_up_to(durations.start - 1)
+    span = durations.end - durations.start + 1
+    fraction = np.minimum(1.0, covered / span)
+    return has_v6 & (fraction >= min_coverage)
+
+
+# ---------------------------------------------------------------------------
+# Total time fraction (timefraction.py semantics, Eq. 1)
+# ---------------------------------------------------------------------------
+
+
+def total_time_fraction_columns(
+    durations: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Columnar :func:`repro.core.timefraction.total_time_fraction`.
+
+    Returns ``(values, fractions)`` sorted by duration — the reference's
+    dict items in iteration order.
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    if len(durations) == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy()
+    if np.any(durations <= 0):
+        raise ValueError("durations must be positive")
+    values, counts = np.unique(durations, return_counts=True)
+    total = durations.sum()
+    return values, counts * values / total
+
+
+def cumulative_ttf_columns(durations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Columnar :func:`repro.core.timefraction.cumulative_total_time_fraction`."""
+    values, fractions = total_time_fraction_columns(durations)
+    cumulative = np.cumsum(fractions)
+    if len(cumulative):
+        cumulative[-1] = 1.0
+    return values, cumulative
+
+
+def evaluate_cdf_columns(
+    xs: np.ndarray, ys: np.ndarray, grid: Sequence[float] = CANONICAL_GRID
+) -> np.ndarray:
+    """Columnar :func:`repro.core.timefraction.evaluate_cdf`."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    positions = np.searchsorted(xs, np.asarray(grid, dtype=np.float64), side="right")
+    padded = np.concatenate((np.zeros(1), ys))
+    return padded[positions]
+
+
+def total_duration_years_np(durations: np.ndarray) -> float:
+    """Columnar :func:`repro.core.timefraction.total_duration_years`."""
+    return float(np.asarray(durations, dtype=np.float64).sum() / YEAR)
+
+
+# ---------------------------------------------------------------------------
+# Periodic-mode detection (periodicity.py semantics)
+# ---------------------------------------------------------------------------
+
+
+def detect_periods_np(
+    durations: np.ndarray,
+    candidate_periods: Sequence[float] = CANONICAL_PERIODS,
+    tolerance: float = 1.0,
+    min_mass: float = 0.15,
+) -> List[PeriodicMode]:
+    """Columnar :func:`repro.core.periodicity.detect_periods`."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    durations = np.asarray(durations, dtype=np.float64)
+    if len(durations) == 0:
+        return []
+    total = durations.sum()
+    modes = []
+    for period in candidate_periods:
+        in_mode = np.abs(durations - period) <= tolerance
+        count = int(np.count_nonzero(in_mode))
+        if not count:
+            continue
+        mass = float(durations[in_mode].sum() / total)
+        if mass >= min_mass:
+            modes.append(PeriodicMode(period_hours=period, mass=mass, count=count))
+    modes.sort(key=lambda mode: -mode.mass)
+    return modes
+
+
+def probe_exhibits_period_np(
+    durations: np.ndarray,
+    period: float,
+    tolerance: float = 1.0,
+    min_mass: float = 0.5,
+    min_count: int = 3,
+) -> bool:
+    """Columnar :func:`repro.core.periodicity.probe_exhibits_period`."""
+    durations = np.asarray(durations, dtype=np.float64)
+    if len(durations) == 0:
+        return False
+    in_mode = np.abs(durations - period) <= tolerance
+    if int(np.count_nonzero(in_mode)) < min_count:
+        return False
+    return bool(durations[in_mode].sum() / durations.sum() >= min_mass)
+
+
+# ---------------------------------------------------------------------------
+# CPL histograms and boundary crossings (spatial.py semantics)
+# ---------------------------------------------------------------------------
+
+
+def _bit_length_u64(x: np.ndarray) -> np.ndarray:
+    """Exact per-element ``int.bit_length`` for uint64 arrays."""
+    x = x.copy()
+    length = np.zeros(x.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = x >= np.uint64(1 << shift)
+        length[mask] += shift
+        x[mask] >>= np.uint64(shift)
+    length[x > 0] += 1
+    return length
+
+
+def cpl_of_changes(changes: ChangeColumns, plen: int = 64) -> np.ndarray:
+    """CPL of each change between /``plen`` prefixes — vectorized
+    :func:`repro.core.spatial.cpl_of_change`."""
+    xor_hi = changes.old_hi ^ changes.new_hi
+    xor_lo = changes.old_lo ^ changes.new_lo
+    cpl128 = np.where(
+        xor_hi != 0, 64 - _bit_length_u64(xor_hi), 128 - _bit_length_u64(xor_lo)
+    )
+    return np.minimum(cpl128, plen)
+
+
+def cpl_histogram_np(prefix_cols: RunColumns, plen: int = 64) -> CplHistogram:
+    """Columnar :func:`repro.core.spatial.cpl_histogram` over merged
+    /``plen`` prefix runs (see :func:`rekey_v6_runs`)."""
+    changes = change_table(prefix_cols)
+    if changes.n_changes == 0:
+        return CplHistogram(changes_by_cpl={}, probes_by_cpl={})
+    cpls = cpl_of_changes(changes, plen)
+    values, counts = np.unique(cpls, return_counts=True)
+    changes_by_cpl = {int(v): int(c) for v, c in zip(values, counts)}
+    pair_keys = changes.probe_index * np.int64(129) + cpls
+    probe_cpls = np.unique(pair_keys) % 129
+    probe_values, probe_counts = np.unique(probe_cpls, return_counts=True)
+    probes_by_cpl = {int(v): int(c) for v, c in zip(probe_values, probe_counts)}
+    return CplHistogram(changes_by_cpl=changes_by_cpl, probes_by_cpl=probes_by_cpl)
+
+
+def _route_ids_v4(values: np.ndarray, table: RoutingTable) -> Dict[int, int]:
+    """Routed-prefix id per unique packed IPv4 value (-1 = unrouted)."""
+    ids: Dict[int, int] = {}
+    route_ids: Dict[object, int] = {}
+    for value in values:
+        route = table.routed_prefix(IPv4Address(int(value)))
+        ids[int(value)] = -1 if route is None else route_ids.setdefault(route, len(route_ids))
+    return ids
+
+
+def crossing_rates_np(
+    v4_changes: ChangeColumns,
+    v6_changes: ChangeColumns,
+    table: RoutingTable,
+    v6_plen: int = 64,
+) -> CrossingRates:
+    """Columnar :func:`repro.core.spatial.crossing_rates`.
+
+    The /24 test is pure bit arithmetic; BGP lookups go through the
+    routing trie once per *unique* value instead of once per change.
+    """
+    v4_total = int(v4_changes.n_changes)
+    if v4_total:
+        v4_diff24 = int(np.count_nonzero((v4_changes.old_lo ^ v4_changes.new_lo) >> np.uint64(8)))
+        unique_v4 = np.unique(np.concatenate((v4_changes.old_lo, v4_changes.new_lo)))
+        route_of = _route_ids_v4(unique_v4, table)
+        old_ids = np.fromiter(
+            (route_of[int(v)] for v in v4_changes.old_lo), dtype=np.int64, count=v4_total
+        )
+        new_ids = np.fromiter(
+            (route_of[int(v)] for v in v4_changes.new_lo), dtype=np.int64, count=v4_total
+        )
+        v4_diffbgp = int(np.count_nonzero((old_ids == -1) | (old_ids != new_ids)))
+    else:
+        v4_diff24 = v4_diffbgp = 0
+
+    v6_total = int(v6_changes.n_changes)
+    if v6_total:
+        stacked = np.empty(2 * v6_total, dtype=[("hi", np.uint64), ("lo", np.uint64)])
+        stacked["hi"] = np.concatenate((v6_changes.old_hi, v6_changes.new_hi))
+        stacked["lo"] = np.concatenate((v6_changes.old_lo, v6_changes.new_lo))
+        unique_v6, inverse = np.unique(stacked, return_inverse=True)
+        route_ids: Dict[object, int] = {}
+        unique_ids = np.empty(len(unique_v6), dtype=np.int64)
+        for index, record in enumerate(unique_v6):
+            prefix = IPv6Prefix((int(record["hi"]) << 64) | int(record["lo"]), v6_plen)
+            route = table.routed_prefix_of_prefix(prefix)
+            unique_ids[index] = (
+                -1 if route is None else route_ids.setdefault(route, len(route_ids))
+            )
+        ids = unique_ids[inverse]
+        old_ids6, new_ids6 = ids[:v6_total], ids[v6_total:]
+        v6_diffbgp = int(np.count_nonzero((old_ids6 == -1) | (old_ids6 != new_ids6)))
+    else:
+        v6_diffbgp = 0
+
+    return CrossingRates(
+        v4_changes=v4_total,
+        v4_diff_slash24=v4_diff24,
+        v4_diff_bgp=v4_diffbgp,
+        v6_changes=v6_total,
+        v6_diff_bgp=v6_diffbgp,
+    )
+
+
+__all__ = [
+    "ChangeColumns",
+    "DurationColumns",
+    "RunColumns",
+    "change_counts",
+    "change_table",
+    "columns_from_runs",
+    "cpl_histogram_np",
+    "cpl_of_changes",
+    "crossing_rates_np",
+    "cumulative_ttf_columns",
+    "detect_periods_np",
+    "dual_stack_mask",
+    "duration_table",
+    "evaluate_cdf_columns",
+    "observation_flags",
+    "probe_exhibits_period_np",
+    "rekey_v6_runs",
+    "total_duration_years_np",
+    "total_time_fraction_columns",
+]

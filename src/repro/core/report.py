@@ -4,10 +4,19 @@ This module is the bridge between the low-level analyses and the
 benchmark harness: each ``figureN_*`` / ``tableN`` function computes the
 data behind one of the paper's artifacts, and ``render_table`` produces
 the ASCII form the benchmarks print.
+
+Every analysis entry point takes an ``engine="np"|"py"`` knob choosing
+between the pure-Python reference kernels and the columnar NumPy engine
+(:mod:`repro.core.analysis_np`).  The default (``engine=None``) reads
+``$REPRO_ANALYSIS_ENGINE`` and otherwise picks ``"np"`` whenever NumPy
+is importable; the two engines produce bit-identical artifacts (the
+parity tests enforce this), and the NumPy path falls back to the
+reference automatically on inputs it cannot pack columnar.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +37,33 @@ from repro.core.timefraction import (
     evaluate_cdf,
     total_duration_years,
 )
+
+try:
+    from repro.core import analysis_np as _anp
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    _anp = None
+
+#: Environment override for the default analysis engine ("np" or "py").
+ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
+
+#: Errors on which the NumPy path silently falls back to the reference
+#: (unpackable value types, out-of-range integers); genuine input errors
+#: re-raise identically from the reference path.
+_FALLBACK_ERRORS = (TypeError, ValueError, OverflowError)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Effective analysis engine: explicit value, else the environment,
+    else ``"np"`` when NumPy is available."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or None
+    if engine is None:
+        return "np" if _anp is not None else "py"
+    if engine not in ("np", "py"):
+        raise ValueError(f"engine must be 'np' or 'py', got {engine!r}")
+    if engine == "np" and _anp is None:
+        return "py"
+    return engine
 
 
 # -- per-probe plumbing -------------------------------------------------------
@@ -62,8 +98,15 @@ class AsDurations:
     v6: List[float] = field(default_factory=list)
 
 
-def as_durations(probes: Sequence[SanitizedProbe]) -> AsDurations:
+def as_durations(
+    probes: Sequence[SanitizedProbe], engine: Optional[str] = None
+) -> AsDurations:
     """Collect and stack-split exact durations for one AS's probes."""
+    if resolve_engine(engine) == "np":
+        try:
+            return _as_durations_np(probes)
+        except _FALLBACK_ERRORS:
+            pass
     result = AsDurations()
     for probe in probes:
         v4_durations = probe_v4_durations(probe)
@@ -72,6 +115,29 @@ def as_durations(probes: Sequence[SanitizedProbe]) -> AsDurations:
         result.v4_non_dual_stack.extend(float(d.hours) for d in non_dual)
         result.v6.extend(float(d.hours) for d in probe_v6_durations(probe))
     return result
+
+
+def _as_durations_np(probes: Sequence[SanitizedProbe], plen: int = 64) -> AsDurations:
+    """Columnar :func:`as_durations`: one kernel pass per population.
+
+    Probe-major run order of the columnar tables reproduces the
+    reference's per-probe ``extend`` ordering exactly.
+    """
+    from repro.ip.addr import IPv6Address
+
+    v4_cols = _anp.columns_from_runs([probe.v4_runs for probe in probes])
+    v4_durations = _anp.duration_table(v4_cols)
+    v6_cols = _anp.columns_from_runs(
+        [probe.v6_runs for probe in probes], value_type=IPv6Address
+    )
+    dual = _anp.dual_stack_mask(v6_cols, v4_durations)
+    v4_hours = v4_durations.hours().astype(float)
+    v6_hours = _anp.duration_table(_anp.rekey_v6_runs(v6_cols, plen)).hours()
+    return AsDurations(
+        v4_non_dual_stack=v4_hours[~dual].tolist(),
+        v4_dual_stack=v4_hours[dual].tolist(),
+        v6=v6_hours.astype(float).tolist(),
+    )
 
 
 # -- Table 1 ------------------------------------------------------------------
@@ -100,8 +166,14 @@ def table1_row(
     asn: int,
     country: str,
     probes: Sequence[SanitizedProbe],
+    engine: Optional[str] = None,
 ) -> Table1Row:
     """Aggregate one AS's probes into its Table 1 row."""
+    if resolve_engine(engine) == "np":
+        try:
+            return _table1_row_np(name, asn, country, probes)
+        except _FALLBACK_ERRORS:
+            pass
     all_v4 = ds_v4 = ds_v6 = ds_probes = 0
     for probe in probes:
         v4_changes = len(probe_v4_changes(probe))
@@ -122,6 +194,41 @@ def table1_row(
     )
 
 
+def _table1_row_np(
+    name: str,
+    asn: int,
+    country: str,
+    probes: Sequence[SanitizedProbe],
+    plen: int = 64,
+) -> Table1Row:
+    """Columnar :func:`table1_row`: change counts from run counts."""
+    import numpy as np
+
+    from repro.ip.addr import IPv6Address
+
+    v4_counts = _anp.change_counts(
+        _anp.columns_from_runs([probe.v4_runs for probe in probes])
+    )
+    dual = np.fromiter(
+        (probe.dual_stack for probe in probes), dtype=bool, count=len(probes)
+    )
+    ds_probes = [probe for probe in probes if probe.dual_stack]
+    v6_cols = _anp.columns_from_runs(
+        [probe.v6_runs for probe in ds_probes], value_type=IPv6Address
+    )
+    ds_v6 = int(_anp.change_counts(_anp.rekey_v6_runs(v6_cols, plen)).sum())
+    return Table1Row(
+        name=name,
+        asn=asn,
+        country=country,
+        all_probes=len(probes),
+        all_v4_changes=int(v4_counts.sum()),
+        ds_probes=int(np.count_nonzero(dual)),
+        ds_v4_changes=int(v4_counts[dual].sum()),
+        ds_v6_changes=ds_v6,
+    )
+
+
 # -- Figure 1 ------------------------------------------------------------------
 
 
@@ -138,8 +245,15 @@ class Figure1Series:
         return self.grid_values[index]
 
 
-def figure1_series(label: str, durations: Sequence[float]) -> Figure1Series:
+def figure1_series(
+    label: str, durations: Sequence[float], engine: Optional[str] = None
+) -> Figure1Series:
     """One cumulative-TTF curve sampled on the canonical grid."""
+    if resolve_engine(engine) == "np":
+        try:
+            return _figure1_series_np(label, durations)
+        except _FALLBACK_ERRORS:
+            pass
     xs, ys = cumulative_total_time_fraction(durations)
     return Figure1Series(
         label=label,
@@ -148,21 +262,48 @@ def figure1_series(label: str, durations: Sequence[float]) -> Figure1Series:
     )
 
 
-def figure1_for_as(name: str, probes: Sequence[SanitizedProbe]) -> Dict[str, Figure1Series]:
+def _figure1_series_np(label: str, durations: Sequence[float]) -> Figure1Series:
+    """Columnar :func:`figure1_series` (Eq. 1 + CDF + grid sampling)."""
+    xs, ys = _anp.cumulative_ttf_columns(durations)
+    return Figure1Series(
+        label=label,
+        total_years=_anp.total_duration_years_np(durations),
+        grid_values=tuple(
+            float(v) for v in _anp.evaluate_cdf_columns(xs, ys, CANONICAL_GRID)
+        ),
+    )
+
+
+def figure1_for_as(
+    name: str, probes: Sequence[SanitizedProbe], engine: Optional[str] = None
+) -> Dict[str, Figure1Series]:
     """The three Figure 1 curves (v4 NDS, v4 DS, v6) for one AS."""
-    durations = as_durations(probes)
+    durations = as_durations(probes, engine=engine)
     return {
-        "v4_nds": figure1_series(f"{name} IPv4 non-dual-stack", durations.v4_non_dual_stack),
-        "v4_ds": figure1_series(f"{name} IPv4 dual-stack", durations.v4_dual_stack),
-        "v6": figure1_series(f"{name} IPv6", durations.v6),
+        "v4_nds": figure1_series(
+            f"{name} IPv4 non-dual-stack", durations.v4_non_dual_stack, engine=engine
+        ),
+        "v4_ds": figure1_series(
+            f"{name} IPv4 dual-stack", durations.v4_dual_stack, engine=engine
+        ),
+        "v6": figure1_series(f"{name} IPv6", durations.v6, engine=engine),
     }
 
 
 # -- Table 2 and Figure 5 -----------------------------------------------------
 
 
-def table2_row(probes: Sequence[SanitizedProbe], table: RoutingTable) -> CrossingRates:
+def table2_row(
+    probes: Sequence[SanitizedProbe],
+    table: RoutingTable,
+    engine: Optional[str] = None,
+) -> CrossingRates:
     """Aggregate one AS's probes into its Table 2 crossing rates."""
+    if resolve_engine(engine) == "np":
+        try:
+            return _table2_row_np(probes, table)
+        except _FALLBACK_ERRORS:
+            pass
     v4_changes: List[ChangeEvent] = []
     v6_changes: List[ChangeEvent] = []
     for probe in probes:
@@ -171,10 +312,47 @@ def table2_row(probes: Sequence[SanitizedProbe], table: RoutingTable) -> Crossin
     return crossing_rates(v4_changes, v6_changes, table)
 
 
-def figure5_for_as(probes: Sequence[SanitizedProbe]) -> CplHistogram:
+def _table2_row_np(
+    probes: Sequence[SanitizedProbe], table: RoutingTable, plen: int = 64
+) -> CrossingRates:
+    """Columnar :func:`table2_row`: bit-level /24 tests, deduped BGP lookups."""
+    from repro.ip.addr import IPv4Address, IPv6Address
+
+    v4_cols = _anp.columns_from_runs(
+        [probe.v4_runs for probe in probes], value_type=IPv4Address
+    )
+    v6_cols = _anp.columns_from_runs(
+        [probe.v6_runs for probe in probes], value_type=IPv6Address
+    )
+    return _anp.crossing_rates_np(
+        _anp.change_table(v4_cols),
+        _anp.change_table(_anp.rekey_v6_runs(v6_cols, plen)),
+        table,
+        v6_plen=plen,
+    )
+
+
+def figure5_for_as(
+    probes: Sequence[SanitizedProbe], engine: Optional[str] = None
+) -> CplHistogram:
     """The Figure 5 CPL histogram for one AS's probes."""
+    if resolve_engine(engine) == "np":
+        try:
+            return _figure5_for_as_np(probes)
+        except _FALLBACK_ERRORS:
+            pass
     by_probe = {probe.probe_id: probe_v6_changes(probe) for probe in probes}
     return cpl_histogram(by_probe)
+
+
+def _figure5_for_as_np(probes: Sequence[SanitizedProbe], plen: int = 64) -> CplHistogram:
+    """Columnar :func:`figure5_for_as` (vectorized CPL-of-change)."""
+    from repro.ip.addr import IPv6Address
+
+    v6_cols = _anp.columns_from_runs(
+        [probe.v6_runs for probe in probes], value_type=IPv6Address
+    )
+    return _anp.cpl_histogram_np(_anp.rekey_v6_runs(v6_cols, plen), plen)
 
 
 # -- rendering ----------------------------------------------------------------
@@ -252,9 +430,11 @@ def render_cdf(
 
 __all__ = [
     "AsDurations",
+    "ENGINE_ENV",
     "Figure1Series",
     "Table1Row",
     "as_durations",
+    "resolve_engine",
     "figure1_for_as",
     "figure1_series",
     "figure5_for_as",

@@ -16,9 +16,11 @@ from repro.perf.cache import (
 from repro.perf.parallel import (
     WORKERS_ENV,
     collect_associations,
+    effective_workers,
     resolve_workers,
     run_isp_simulations,
 )
+from repro.perf.profiling import PROFILE_DIR_ENV, PROFILE_ENV, maybe_profile
 from repro.perf.timing import (
     DEFAULT_BASELINE_PATH,
     StageTimer,
@@ -30,12 +32,16 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_ENV",
     "DEFAULT_BASELINE_PATH",
+    "PROFILE_DIR_ENV",
+    "PROFILE_ENV",
     "ScenarioCache",
     "StageTimer",
     "WORKERS_ENV",
     "code_fingerprint",
     "collect_associations",
+    "effective_workers",
     "get_scenario_cache",
+    "maybe_profile",
     "read_baseline",
     "resolve_cache_flag",
     "resolve_workers",

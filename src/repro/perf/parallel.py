@@ -69,6 +69,20 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+def effective_workers(workers: int, units: int) -> int:
+    """Workers actually worth spawning for ``units`` work items.
+
+    Clamps the requested count to the number of units *and* to
+    ``os.cpu_count()``: with a single core (or a single unit) the pool
+    only adds pickling overhead — the shipped baseline measured parallel
+    builds at 0.48x serial on a 1-core host — so the fan-out sites treat
+    an effective count of 1 as "take the serial path".
+    """
+    if units < 1:
+        return 1
+    return max(1, min(int(workers), units, os.cpu_count() or 1))
+
+
 def _mp_context():
     """Prefer fork (cheap, inherits imports); fall back to the default."""
     methods = multiprocessing.get_all_start_methods()
@@ -104,7 +118,7 @@ def run_isp_simulations(
     plans are grafted back onto the parent's :class:`Isp` objects, so
     the outcome is bit-identical to the serial path.
     """
-    effective = min(int(workers), len(jobs)) if jobs else 1
+    effective = effective_workers(workers, len(jobs))
     if effective > 1:
         sim_jobs = [
             SimulationJob.from_isp(isp, count, end_hour, seed) for isp, count in jobs
@@ -164,7 +178,7 @@ def collect_associations(
     yielding the exact per-AS triple lists of the serial path (serial
     collection appends population by population).
     """
-    effective = min(int(workers), len(populations)) if populations else 1
+    effective = effective_workers(workers, len(populations))
     if effective > 1 and _all_picklable([table, registry, *populations]):
         with ProcessPoolExecutor(
             max_workers=effective,
@@ -184,6 +198,7 @@ def collect_associations(
 __all__ = [
     "WORKERS_ENV",
     "collect_associations",
+    "effective_workers",
     "resolve_workers",
     "run_isp_simulations",
 ]

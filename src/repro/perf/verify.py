@@ -9,11 +9,16 @@ diverged, which is far more actionable than a bare ``assert a == b``.
 Deliberately not compared: object identities, RNG internals, and the
 CDN classifier's lookup caches (a warm cache is an optimization, not an
 observable).
+
+The same contract applies to the analysis engines:
+:func:`analysis_engine_diffs` compares every report-layer artifact
+(Table 1/2, Figures 1/5, duration populations) computed by the columnar
+NumPy engine against the pure-Python reference, field by field.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.workloads import AtlasScenario, CdnScenario
 
@@ -79,6 +84,48 @@ def cdn_scenario_diffs(a: CdnScenario, b: CdnScenario) -> List[str]:
     return diffs
 
 
+def analysis_engine_diffs(probes: Sequence, table=None) -> List[str]:
+    """Artifact-by-artifact py-vs-np engine differences ([] if equal).
+
+    Runs every report-layer entry point over ``probes`` under both
+    engines and names each artifact that diverges.  ``table`` (a
+    :class:`~repro.bgp.table.RoutingTable`) additionally enables the
+    Table 2 comparison.
+    """
+    from repro.core import report
+
+    artifacts = [
+        (
+            "table1_row",
+            lambda engine: report.table1_row("AS", 0, "XX", probes, engine=engine),
+        ),
+        ("as_durations", lambda engine: report.as_durations(probes, engine=engine)),
+        (
+            "figure1_for_as",
+            lambda engine: report.figure1_for_as("AS", probes, engine=engine),
+        ),
+        ("figure5_for_as", lambda engine: report.figure5_for_as(probes, engine=engine)),
+    ]
+    if table is not None:
+        artifacts.append(
+            ("table2_row", lambda engine: report.table2_row(probes, table, engine=engine))
+        )
+    diffs: List[str] = []
+    for label, compute in artifacts:
+        reference = compute("py")
+        columnar = compute("np")
+        if reference != columnar:
+            diffs.append(f"{label}: np engine diverges from py reference")
+    return diffs
+
+
+def assert_analysis_engines_equal(probes: Sequence, table=None) -> None:
+    """Raise AssertionError naming every py-vs-np diverging artifact."""
+    diffs = analysis_engine_diffs(probes, table)
+    if diffs:
+        raise AssertionError("analysis engines differ: " + "; ".join(diffs))
+
+
 def assert_atlas_scenarios_equal(a: AtlasScenario, b: AtlasScenario) -> None:
     """Raise AssertionError naming every diverging Atlas scenario field."""
     diffs = atlas_scenario_diffs(a, b)
@@ -94,6 +141,8 @@ def assert_cdn_scenarios_equal(a: CdnScenario, b: CdnScenario) -> None:
 
 
 __all__ = [
+    "analysis_engine_diffs",
+    "assert_analysis_engines_equal",
     "assert_atlas_scenarios_equal",
     "assert_cdn_scenarios_equal",
     "atlas_scenario_diffs",

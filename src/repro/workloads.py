@@ -1,6 +1,6 @@
 """One-call scenario builders used by examples, tests and benchmarks.
 
-Two entry points:
+Three entry points:
 
 * :func:`build_atlas_scenario` — simulate the paper's featured ISPs,
   deploy RIPE Atlas probes on them (including a configurable share of
@@ -9,6 +9,10 @@ Two entry points:
 * :func:`build_cdn_scenario` — build a world-wide CDN population (fixed
   ISPs per registry, mobile operators, the featured ISPs) and collect a
   RUM association dataset for the Section 4/5.3 analyses.
+* :func:`analyze_atlas_scenario` — run the full Section 3/5 analysis
+  stack (Table 1/2, Figures 1/5) over a built Atlas scenario, through
+  either the pure-Python reference kernels or the columnar NumPy engine
+  (``engine="py"|"np"``, see :mod:`repro.core.analysis_np`).
 
 Both are deterministic in their ``seed``, *independent of the*
 ``workers=`` *knob*: the per-ISP simulations and per-population CDN
@@ -81,6 +85,53 @@ class AtlasScenario:
     def asn_of(self, name: str) -> int:
         """ASN of the ISP named ``name``."""
         return self.isps[name].asn
+
+
+@dataclass
+class AtlasAnalysis:
+    """Every Section 3/5 artifact of one Atlas scenario, by AS name."""
+
+    engine: str
+    table1: "Dict[str, object]"  # name -> Table1Row
+    table2: "Dict[str, object]"  # name -> CrossingRates
+    figure1: "Dict[str, Dict[str, object]]"  # name -> curve key -> Figure1Series
+    figure5: "Dict[str, Dict[int, Dict[int, int]]]"  # name -> CplHistogram
+
+
+def analyze_atlas_scenario(
+    scenario: AtlasScenario, engine: Optional[str] = None
+) -> AtlasAnalysis:
+    """Compute Table 1/2 and Figures 1/5 for every featured AS.
+
+    ``engine`` picks the analysis kernels: ``"py"`` is the pure-Python
+    reference, ``"np"`` the columnar engine (``None`` reads
+    ``$REPRO_ANALYSIS_ENGINE``, defaulting to ``"np"`` when NumPy is
+    available).  Both engines yield bit-identical artifacts.
+    """
+    from repro.core.report import (
+        figure1_for_as,
+        figure5_for_as,
+        resolve_engine,
+        table1_row,
+        table2_row,
+    )
+
+    resolved = resolve_engine(engine)
+    table1 = {}
+    table2 = {}
+    figure1 = {}
+    figure5 = {}
+    for name, isp in scenario.isps.items():
+        probes = scenario.probes_in(isp.asn)
+        table1[name] = table1_row(
+            name, isp.asn, isp.config.country, probes, engine=resolved
+        )
+        table2[name] = table2_row(probes, scenario.table, engine=resolved)
+        figure1[name] = figure1_for_as(name, probes, engine=resolved)
+        figure5[name] = figure5_for_as(probes, engine=resolved)
+    return AtlasAnalysis(
+        engine=resolved, table1=table1, table2=table2, figure1=figure1, figure5=figure5
+    )
 
 
 def build_atlas_scenario(
@@ -463,8 +514,10 @@ def build_cdn_scenario(
 
 
 __all__ = [
+    "AtlasAnalysis",
     "AtlasScenario",
     "CdnScenario",
+    "analyze_atlas_scenario",
     "build_atlas_scenario",
     "build_cdn_scenario",
 ]

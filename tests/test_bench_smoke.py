@@ -1,0 +1,65 @@
+"""Tier-1 perf smoke: the bench-baseline script's --check mode.
+
+Running ``scripts/bench_baseline.py --check`` from the test suite means
+a perf-engine regression (parallel determinism, cache round-trip,
+analysis-engine parity) fails fast in CI instead of surfacing only when
+someone refreshes ``BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from scripts.bench_baseline import main as bench_main
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    from repro.perf.cache import CACHE_DIR_ENV
+
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    return tmp_path
+
+
+def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
+    output = tmp_path / "BENCH_smoke.json"
+    assert bench_main(["--check", "--workers", "2", "--output", str(output)]) == 0
+    doc = json.loads(output.read_text())
+    payload = doc["bench_baseline"]
+    assert payload["mode"] == "check"
+    assert payload["deterministic"] is True
+    analysis = payload["analysis"]
+    assert analysis["parity"] is True
+    assert analysis["default_engine"] in ("np", "py")
+    for stage in ("table1", "figure1", "figure5", "table2"):
+        assert analysis["stages"][stage]["py_seconds"] >= 0.0
+    out = capsys.readouterr().out
+    assert "results identical" in out
+    assert "artifacts identical" in out
+
+
+def test_profile_hook_writes_artifacts(tmp_path, monkeypatch):
+    from repro.perf.profiling import (
+        PROFILE_DIR_ENV,
+        PROFILE_ENV,
+        maybe_profile,
+        profiling_enabled,
+    )
+
+    monkeypatch.delenv(PROFILE_ENV, raising=False)
+    assert not profiling_enabled()
+    with maybe_profile("noop") as profile:
+        assert profile is None  # disabled: pure pass-through
+
+    monkeypatch.setenv(PROFILE_ENV, "1")
+    monkeypatch.setenv(PROFILE_DIR_ENV, str(tmp_path / "profiles"))
+    assert profiling_enabled()
+    with maybe_profile("smoke stage") as profile:
+        assert profile is not None
+        sum(range(1000))
+    stats = tmp_path / "profiles" / "profile_smoke_stage.pstats"
+    text = tmp_path / "profiles" / "profile_smoke_stage.txt"
+    assert stats.exists()
+    assert "cumulative" in text.read_text()

@@ -19,6 +19,7 @@ from repro.perf.cache import (
 from repro.perf.parallel import (
     WORKERS_ENV,
     collect_associations,
+    effective_workers,
     resolve_workers,
     run_isp_simulations,
 )
@@ -120,6 +121,60 @@ def test_resolve_workers(monkeypatch):
     assert resolve_workers() == max(1, os.cpu_count() or 1)
     with pytest.raises(ValueError):
         resolve_workers(0)
+
+
+def test_effective_workers_clamps_to_cores(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert effective_workers(4, 10) == 4  # request honoured
+    assert effective_workers(16, 3) == 3  # never more workers than units
+    assert effective_workers(4, 0) == 1  # nothing to do
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert effective_workers(4, 10) == 2  # clamped to the hardware
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert effective_workers(4, 10) == 1  # single core: serial path
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert effective_workers(4, 10) == 1  # unknown core count: stay serial
+
+
+def test_single_core_simulations_take_serial_path(monkeypatch):
+    """Regression: a 1-core host must never pay process-pool overhead
+    (the shipped baseline measured parallel at 0.48x serial there)."""
+    import repro.perf.parallel as parallel_mod
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+    class BoomPool:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("process pool must not start on one core")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", BoomPool)
+
+    class FakeSim:
+        def __init__(self, isp, count, end_hour, seed):
+            pass
+
+        def run(self):
+            return {"serial": True}
+
+    monkeypatch.setattr(parallel_mod, "IspSimulation", FakeSim)
+    results = run_isp_simulations([(object(), 2)], 24.0, seed=1, workers=4)
+    assert results == [{"serial": True}]
+
+
+def test_single_core_collection_takes_serial_path(monkeypatch):
+    import repro.perf.parallel as parallel_mod
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+    class BoomPool:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("process pool must not start on one core")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", BoomPool)
+    sentinel = object()
+    monkeypatch.setattr(parallel_mod, "collect", lambda *a, **k: sentinel)
+    result = collect_associations([object()], None, None, workers=4)
+    assert result is sentinel
 
 
 def test_collect_associations_serial_and_parallel_agree():
