@@ -19,8 +19,9 @@ from repro.core.timefraction import CANONICAL_LABELS
 def compute_figure1(scenario):
     panels = {}
     for name in FEATURED_SIX:
-        probes = scenario.probes_in(scenario.asn_of(name))
-        durations = as_durations(probes)
+        asn = scenario.asn_of(name)
+        probes = scenario.probes_in(asn)
+        durations = as_durations(probes, columns=scenario.analysis_columns(asn))
         panels[name] = {
             "v4_nds": figure1_series(name, durations.v4_non_dual_stack),
             "v4_ds": figure1_series(name, durations.v4_dual_stack),

@@ -13,7 +13,7 @@ Paper shape:
 """
 
 from repro.bgp.registry import RIR, AccessKind
-from repro.core.associations import association_durations, box_stats
+from repro.core.associations import association_box_stats
 from repro.core.report import render_table
 
 
@@ -21,12 +21,13 @@ def compute_figure3(scenario):
     dataset = scenario.dataset
     results = {}
     for kind, kind_label in ((AccessKind.FIXED, "fixed"), (AccessKind.MOBILE, "mobile")):
-        all_durations = association_durations(dataset.triples_by_kind(kind))
-        results[("ALL", kind_label)] = box_stats(all_durations)
+        results[("ALL", kind_label)] = association_box_stats(
+            dataset.triples_by_kind(kind)
+        )
         for rir in RIR:
-            durations = association_durations(dataset.triples_by_rir(rir, kind))
-            if durations:
-                results[(rir.value, kind_label)] = box_stats(durations)
+            triples = dataset.triples_by_rir(rir, kind)
+            if triples:
+                results[(rir.value, kind_label)] = association_box_stats(triples)
     return results
 
 

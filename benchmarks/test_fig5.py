@@ -15,7 +15,10 @@ from repro.core.report import figure5_for_as, render_table
 
 def compute_figure5(scenario):
     return {
-        name: figure5_for_as(scenario.probes_in(scenario.asn_of(name)))
+        name: figure5_for_as(
+            scenario.probes_in(scenario.asn_of(name)),
+            columns=scenario.analysis_columns(scenario.asn_of(name)),
+        )
         for name in FEATURED_SIX
     }
 

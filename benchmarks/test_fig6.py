@@ -7,7 +7,7 @@ second spike at /64 caused by prefix-scrambling CPEs that defeat the
 zero-bit method.
 """
 
-from repro.core.delegation import inferred_plen_distribution, per_probe_prefixes_from_runs
+from repro.core.delegation import inferred_plen_distribution_for_probes
 from repro.core.report import render_table
 
 FIG6_ISPS = (
@@ -19,9 +19,11 @@ FIG6_ISPS = (
 def compute_figure6(scenario):
     results = {}
     for name in FIG6_ISPS:
-        probes = scenario.probes_in(scenario.asn_of(name))
-        per_probe = per_probe_prefixes_from_runs(probes)
-        results[name] = inferred_plen_distribution(per_probe)
+        asn = scenario.asn_of(name)
+        probes = scenario.probes_in(asn)
+        results[name] = inferred_plen_distribution_for_probes(
+            probes, columns=scenario.analysis_columns(asn)
+        )
     return results
 
 

@@ -6,13 +6,14 @@ recommended residential delegation) and a second accumulation at /64
 (scrambling or /64-delegating deployments).
 """
 
-from repro.core.delegation import inferred_plen_distribution, per_probe_prefixes_from_runs
+from repro.core.delegation import inferred_plen_distribution_for_probes
 from repro.core.report import render_table
 
 
 def compute_figure9(scenario):
-    per_probe = per_probe_prefixes_from_runs(scenario.probes)
-    return inferred_plen_distribution(per_probe)
+    return inferred_plen_distribution_for_probes(
+        scenario.probes, columns=scenario.analysis_columns()
+    )
 
 
 def test_figure9(benchmark, atlas_scenario, artifact_writer):

@@ -6,31 +6,18 @@ probes; IPv6 24-hour renumbering in German ASes (DTAG, Versatel,
 Netcologne); no periodicity in lease-renewing ISPs (Comcast).
 """
 
-from collections import defaultdict
+import pytest
 
-from repro.core.dualstack import split_durations_by_stack
-from repro.core.periodicity import consistent_periodic_networks
-from repro.core.report import probe_v4_durations, probe_v6_durations, render_table
+from repro.core.report import render_table
+from repro.workloads import periodicity_for_scenario
 
 
 def compute_periodicity(scenario):
-    v4_nds = defaultdict(dict)
-    v6 = defaultdict(dict)
-    for name, isp in scenario.isps.items():
-        for probe in scenario.probes_in(isp.asn):
-            durations = probe_v4_durations(probe)
-            _dual, non_dual = split_durations_by_stack(durations, probe.v6_runs)
-            if non_dual:
-                v4_nds[name][probe.probe_id] = [float(d.hours) for d in non_dual]
-            v6_durations = probe_v6_durations(probe)
-            if v6_durations:
-                v6[name][probe.probe_id] = [float(d.hours) for d in v6_durations]
     # min_probes=2 keeps the detection meaningful at reduced benchmark
-    # scales where an AS may only carry a couple of NDS probes.
-    return (
-        consistent_periodic_networks(dict(v4_nds), min_probes=2),
-        consistent_periodic_networks(dict(v6), min_probes=2),
-    )
+    # scales where an AS may only carry a couple of NDS probes.  The
+    # detection runs through the $REPRO_ANALYSIS_ENGINE knob and reuses
+    # the scenario's memoized column packs on the NumPy path.
+    return periodicity_for_scenario(scenario, min_probes=2)
 
 
 def test_periodicity(benchmark, atlas_scenario, artifact_writer):
@@ -71,6 +58,7 @@ def test_periodicity(benchmark, atlas_scenario, artifact_writer):
     assert "Comcast" not in v6_periods
 
 
+@pytest.mark.slow
 def test_periodic_network_count_at_scale(benchmark, artifact_writer):
     """§3.2: "consistent periodic renumbering on 35 networks".
 

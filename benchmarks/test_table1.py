@@ -15,7 +15,12 @@ def compute_table1(scenario):
     rows = []
     for name, isp in scenario.isps.items():
         probes = scenario.probes_in(isp.asn)
-        rows.append(table1_row(name, isp.asn, isp.config.country, probes))
+        rows.append(
+            table1_row(
+                name, isp.asn, isp.config.country, probes,
+                columns=scenario.analysis_columns(isp.asn),
+            )
+        )
     return rows
 
 

@@ -11,7 +11,11 @@ from repro.core.report import render_table, table2_row
 
 def compute_table2(scenario):
     return {
-        name: table2_row(scenario.probes_in(isp.asn), scenario.table)
+        name: table2_row(
+            scenario.probes_in(isp.asn),
+            scenario.table,
+            columns=scenario.analysis_columns(isp.asn),
+        )
         for name, isp in scenario.isps.items()
     }
 

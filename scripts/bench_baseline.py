@@ -4,10 +4,12 @@ Runs a downscaled Atlas + CDN scenario build serially and with a worker
 pool, verifies the parallel results are bit-identical to the serial
 ones, exercises a cache round-trip in a throwaway directory, then times
 the full Section 3/5 analysis stack (Table 1, Figure 1, Figure 5,
-Table 2) under both analysis engines (``py`` reference vs columnar
-``np``), asserts the two produce bit-identical artifacts, and records
-everything in the repo-root ``BENCH_baseline.json`` — the repository's
-perf trajectory artifact.
+Table 2, periodicity detection) under both analysis engines (``py``
+reference vs columnar ``np``), asserts the two produce bit-identical
+artifacts, and records everything in the repo-root
+``BENCH_baseline.json`` — the repository's perf trajectory artifact.
+Each run is additionally appended to ``BENCH_history.jsonl`` next to
+the baseline, so the perf trend across runs stays inspectable.
 
 On a multi-core machine the script *asserts* the parallel build speedup
 (default ``--min-speedup 2.0`` with 4 workers); on a single-core
@@ -44,12 +46,16 @@ if "repro" not in sys.modules:
 from repro.core.report import resolve_engine  # noqa: E402
 from repro.perf.cache import CACHE_DIR_ENV  # noqa: E402
 from repro.perf.profiling import maybe_profile  # noqa: E402
-from repro.perf.timing import write_baseline  # noqa: E402
+from repro.perf.timing import append_history, write_baseline  # noqa: E402
 from repro.perf.verify import (  # noqa: E402
     assert_atlas_scenarios_equal,
     assert_cdn_scenarios_equal,
 )
-from repro.workloads import build_atlas_scenario, build_cdn_scenario  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    build_atlas_scenario,
+    build_cdn_scenario,
+    periodicity_for_scenario,
+)
 
 #: Downscaled-but-representative scales (seconds-scale serial builds).
 FULL_SCALE = {
@@ -79,12 +85,14 @@ def _timed(builder, **kwargs):
     return scenario, time.perf_counter() - start
 
 
-#: Analysis stages timed per engine: (key, one-AS callable factory).
-ANALYSIS_STAGES = ("table1", "figure1", "figure5", "table2")
+#: Analysis stages timed per engine, in execution order.  The first
+#: stage pays for the one-time per-AS column packing on the np engine;
+#: the rest reuse the scenario-memoized packs.
+ANALYSIS_STAGES = ("table1", "figure1", "figure5", "table2", "periodicity")
 
 
 def _run_analysis(scenario, engine: str):
-    """Time the four Section 3/5 analysis stages under one engine.
+    """Time the Section 3/5 analysis stages under one engine.
 
     Returns ``(results, timings)`` where both are keyed by stage; the
     results are plain comparable values so py-vs-np parity is a ``==``.
@@ -98,21 +106,34 @@ def _run_analysis(scenario, engine: str):
 
     items = list(scenario.isps.items())
     probes = {name: scenario.probes_in(isp.asn) for name, isp in items}
+    columns = {
+        name: scenario.analysis_columns(isp.asn, engine=engine) for name, isp in items
+    }
     stages = {
         "table1": lambda: [
-            table1_row(name, isp.asn, isp.config.country, probes[name], engine=engine)
+            table1_row(
+                name, isp.asn, isp.config.country, probes[name],
+                engine=engine, columns=columns[name],
+            )
             for name, isp in items
         ],
         "figure1": lambda: {
-            name: figure1_for_as(name, probes[name], engine=engine) for name, _ in items
-        },
-        "figure5": lambda: {
-            name: figure5_for_as(probes[name], engine=engine) for name, _ in items
-        },
-        "table2": lambda: {
-            name: table2_row(probes[name], scenario.table, engine=engine)
+            name: figure1_for_as(name, probes[name], engine=engine, columns=columns[name])
             for name, _ in items
         },
+        "figure5": lambda: {
+            name: figure5_for_as(probes[name], engine=engine, columns=columns[name])
+            for name, _ in items
+        },
+        "table2": lambda: {
+            name: table2_row(
+                probes[name], scenario.table, engine=engine, columns=columns[name]
+            )
+            for name, _ in items
+        },
+        "periodicity": lambda: periodicity_for_scenario(
+            scenario, min_probes=2, engine=engine
+        ),
     }
     results = {}
     timings = {}
@@ -196,12 +217,18 @@ def run_baseline(args: argparse.Namespace) -> dict:
                   f"np {np_timings[key]:.3f}s ({stage_speedup:.1f}x) — "
                   f"artifacts identical")
         analysis_enforced = not args.check
-        table1_speedup = analysis_stages["table1"]["speedup"]
-        if analysis_enforced and table1_speedup < args.min_analysis_speedup:
-            failures.append(
-                f"Table 1 analysis speedup {table1_speedup:.2f}x below "
-                f"required {args.min_analysis_speedup:.2f}x"
-            )
+        if analysis_enforced:
+            for stage, required in (
+                ("table1", args.min_analysis_speedup),
+                ("table2", args.min_table2_speedup),
+                ("periodicity", args.min_periodicity_speedup),
+            ):
+                stage_speedup = analysis_stages[stage]["speedup"]
+                if stage_speedup < required:
+                    failures.append(
+                        f"{stage} analysis speedup {stage_speedup:.2f}x below "
+                        f"required {required:.2f}x"
+                    )
     else:  # pragma: no cover - numpy is a baked-in dependency
         analysis_stages = {
             key: {"py_seconds": round(py_timings[key], 4)} for key in ANALYSIS_STAGES
@@ -247,6 +274,8 @@ def run_baseline(args: argparse.Namespace) -> dict:
             "stages": analysis_stages,
             "parity": engine_available,
             "table1_speedup_enforced": analysis_enforced,
+            "table2_speedup_enforced": analysis_enforced,
+            "periodicity_speedup_enforced": analysis_enforced,
         },
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
@@ -254,6 +283,12 @@ def run_baseline(args: argparse.Namespace) -> dict:
     }
     write_baseline("bench_baseline", payload, path=args.output)
     print(f"baseline written to {args.output}")
+    history_path = append_history(
+        "bench_baseline",
+        {**payload, "ok": not failures},
+        path=Path(args.output).with_name("BENCH_history.jsonl"),
+    )
+    print(f"run appended to {history_path}")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
@@ -276,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-analysis-speedup", type=float, default=3.0,
                         help="required py/np speedup on the Table 1 analysis "
                         "stage in full mode (default: 3.0)")
+    parser.add_argument("--min-table2-speedup", type=float, default=5.0,
+                        help="required py/np speedup on the Table 2 analysis "
+                        "stage in full mode (default: 5.0)")
+    parser.add_argument("--min-periodicity-speedup", type=float, default=20.0,
+                        help="required py/np speedup on the periodicity "
+                        "detection stage in full mode (default: 20.0)")
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--output", type=Path,
                         default=_REPO_ROOT / "BENCH_baseline.json",

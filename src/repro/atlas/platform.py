@@ -37,10 +37,18 @@ from repro.atlas.echo import (
     merge_adjacent_equal,
 )
 from repro.atlas.probe import Probe
+from repro.core.engine import FALLBACK_ERRORS, resolve_engine
 from repro.ip.addr import IPAddress, IPv4Address, IPv6Address
 from repro.netsim.cpe import eui64_iid
 from repro.netsim.isp import Isp
 from repro.netsim.sim import SubscriberTimeline
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    np = None
+
+_M64 = (1 << 64) - 1
 
 ANOMALIES = ("none", "test_prefix", "public_v4_src", "v6_src_mismatch", "multihomed", "as_move")
 
@@ -116,6 +124,14 @@ class AtlasPlatform:
         self._networks = networks
         self.end_hour = int(end_hour)
         self._seed = seed
+        # Per-(asn, subscriber, family) packed timeline intervals for the
+        # columnar collection path; derived data, dropped on pickling.
+        self._packed_intervals: Dict[Tuple[int, int, int], "_PackedIntervals"] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state["_packed_intervals"] = {}
+        return state
 
     # -- deployment helpers ------------------------------------------------
 
@@ -232,8 +248,24 @@ class AtlasPlatform:
 
     # -- outputs -----------------------------------------------------------------
 
-    def probe_data(self, spec: ProbeSpec) -> ProbeData:
-        """Run-length-encoded echo data plus probe metadata."""
+    def probe_data(self, spec: ProbeSpec, engine: Optional[str] = None) -> ProbeData:
+        """Run-length-encoded echo data plus probe metadata.
+
+        Dispatched through the analysis-engine knob: the ``"np"`` engine
+        clips packed timeline-interval arrays with searchsorted slices
+        and run-length-encodes them with vectorized window intersection
+        — bit-identical runs, identical RNG draw order — instead of the
+        per-interval Python loops of the reference path.
+        """
+        if np is not None and resolve_engine(engine) == "np":
+            try:
+                return self._probe_data_np(spec)
+            except FALLBACK_ERRORS:
+                pass
+        return self._probe_data_py(spec)
+
+    def _probe_data_py(self, spec: ProbeSpec) -> ProbeData:
+        """Pure-Python reference collection path."""
         rng = self._rng_for(spec)
         windows = self.observation_windows(spec)
         rng_segments = random.Random(rng.getrandbits(32))
@@ -258,6 +290,173 @@ class AtlasPlatform:
             v4_src_public=spec.anomaly == "public_v4_src",
             v6_src_mismatch=spec.anomaly == "v6_src_mismatch",
         )
+
+    def _probe_data_np(self, spec: ProbeSpec) -> ProbeData:
+        """Columnar collection path (same RNG stream as the reference)."""
+        rng = self._rng_for(spec)
+        windows = self.observation_windows(spec)
+        rng_segments = random.Random(rng.getrandbits(32))
+        timeline = self._timeline(spec.asn, spec.subscriber_id)
+        dual_stack = timeline.dual_stack
+
+        v4_runs = _runs_from_arrays(
+            spec.probe_id, 4, self._run_arrays_for(spec, 4, rng_segments, windows)
+        )
+        v6_runs: List[EchoRun] = []
+        if dual_stack:
+            v6_runs = _runs_from_arrays(
+                spec.probe_id, 6, self._run_arrays_for(spec, 6, rng_segments, windows)
+            )
+
+        probe = Probe(
+            probe_id=spec.probe_id, asn=spec.asn, tags=spec.tags, dual_stack=dual_stack
+        )
+        return ProbeData(
+            probe=probe,
+            spec=spec,
+            v4_runs=v4_runs,
+            v6_runs=v6_runs,
+            v4_src_public=spec.anomaly == "public_v4_src",
+            v6_src_mismatch=spec.anomaly == "v6_src_mismatch",
+        )
+
+    def run_columns(self, specs: Sequence[ProbeSpec], family: int):
+        """CSR run columns of many probes, packed straight from timelines.
+
+        Returns a :class:`repro.core.analysis_np.RunColumns` over
+        ``specs`` (one slice per spec, in order) without materializing
+        per-hour :class:`EchoRecord` streams or per-run
+        :class:`EchoRun` objects — the collection-side columnar fast
+        path.  Dual-stack gating matches :meth:`probe_data`: a spec on a
+        v4-only subscriber line contributes an empty IPv6 slice.
+        """
+        if np is None:
+            raise RuntimeError("run_columns requires numpy")
+        from repro.core.analysis_np import RunColumns
+
+        per_probe: List[Tuple[np.ndarray, ...]] = []
+        for spec in specs:
+            rng = self._rng_for(spec)
+            windows = self.observation_windows(spec)
+            rng_segments = random.Random(rng.getrandbits(32))
+            if family == 6 and not self._timeline(spec.asn, spec.subscriber_id).dual_stack:
+                per_probe.append(_EMPTY_RUN_ARRAYS)
+                continue
+            per_probe.append(self._run_arrays_for(spec, family, rng_segments, windows))
+
+        counts = np.fromiter(
+            (len(arrays[0]) for arrays in per_probe), dtype=np.int64, count=len(per_probe)
+        )
+        offsets = np.zeros(len(per_probe) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+
+        def cat(index: int, dtype) -> np.ndarray:
+            if not per_probe:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate([arrays[index] for arrays in per_probe]).astype(dtype)
+
+        return RunColumns(
+            offsets=offsets,
+            first=cat(0, np.int64),
+            last=cat(1, np.int64),
+            observed=cat(2, np.int64),
+            max_gap=cat(3, np.int64),
+            value_hi=cat(4, np.uint64),
+            value_lo=cat(5, np.uint64),
+        )
+
+    # -- columnar collection internals ------------------------------------
+
+    def _packed_for(self, asn: int, subscriber_id: int, family: int) -> "_PackedIntervals":
+        key = (asn, subscriber_id, family)
+        packed = self._packed_intervals.get(key)
+        if packed is None:
+            timeline = self._timeline(asn, subscriber_id)
+            intervals = timeline.v4 if family == 4 else timeline.v6_lan
+            packed = _pack_intervals(intervals, family)
+            self._packed_intervals[key] = packed
+        return packed
+
+    def _clip_arrays_for(
+        self,
+        attachment: Tuple[int, int],
+        family: int,
+        clip_start: int,
+        clip_end: int,
+        spec: ProbeSpec,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`_clip_timeline`: (starts, ends, hi, lo)."""
+        asn, subscriber_id = attachment
+        packed = self._packed_for(asn, subscriber_id, family)
+        low = int(np.searchsorted(packed.cend, clip_start, side="right"))
+        high = int(np.searchsorted(packed.cstart, clip_end, side="left"))
+        starts = np.maximum(packed.cstart[low:high], clip_start)
+        ends = np.minimum(packed.cend[low:high], clip_end)
+        keep = ends > starts
+        value_hi = packed.value_hi[low:high][keep]
+        value_lo = packed.value_lo[low:high][keep]
+        if family == 6:
+            iid = eui64_iid((spec.probe_id * 0x10001 + asn) & ((1 << 48) - 1))
+            value_lo = value_lo | np.uint64(iid)
+        return starts[keep], ends[keep], value_hi, value_lo
+
+    def _segment_arrays_for(
+        self, spec: ProbeSpec, family: int, rng: random.Random
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`_segments_for`, same event-RNG stream."""
+        if family == 6 and spec.iid_mode == "privacy":
+            # Privacy-IID rotation is inherently per-segment; reuse the
+            # reference segmentation and pack its output.
+            return _pack_segments(self._segments_for(spec, family, rng))
+        join, leave = spec.join_hour, self._leave(spec)
+        event_rng = random.Random((self._seed << 20) ^ (spec.probe_id * 0x9E3779B1) ^ 0xA5)
+        if spec.anomaly == "multihomed":
+            attachments = [(spec.asn, spec.subscriber_id), spec.secondary]
+            parts = []
+            now = join
+            active = 0
+            while now < leave:
+                flap = max(1, int(event_rng.expovariate(1.0 / 36.0)))
+                window_end = min(now + flap, leave)
+                parts.append(
+                    self._clip_arrays_for(attachments[active], family, now, window_end, spec)
+                )
+                active = 1 - active
+                now = window_end
+            return tuple(np.concatenate(column) for column in zip(*parts))
+        if spec.anomaly == "as_move":
+            switch = join + max(1, int((leave - join) * (0.3 + 0.4 * event_rng.random())))
+            first = self._clip_arrays_for((spec.asn, spec.subscriber_id), family, join, switch, spec)
+            second = self._clip_arrays_for(spec.secondary, family, switch, leave, spec)
+            return tuple(np.concatenate(column) for column in zip(first, second))
+        starts, ends, value_hi, value_lo = self._clip_arrays_for(
+            (spec.asn, spec.subscriber_id), family, join, leave, spec
+        )
+        if spec.anomaly == "test_prefix" and family == 4:
+            test_until = min(join + 24 * (3 + rng.randrange(5)), leave)
+            keep = ends > test_until
+            starts = np.maximum(starts[keep], test_until)
+            ends = ends[keep]
+            value_hi = value_hi[keep]
+            value_lo = value_lo[keep]
+            starts = np.concatenate((np.array([join], dtype=np.int64), starts))
+            ends = np.concatenate((np.array([test_until], dtype=np.int64), ends))
+            value_hi = np.concatenate((np.zeros(1, dtype=np.uint64), value_hi))
+            value_lo = np.concatenate(
+                (np.array([int(TEST_ADDRESS)], dtype=np.uint64), value_lo)
+            )
+        return starts, ends, value_hi, value_lo
+
+    def _run_arrays_for(
+        self,
+        spec: ProbeSpec,
+        family: int,
+        rng: random.Random,
+        windows: Sequence[Window],
+    ) -> Tuple[np.ndarray, ...]:
+        """Merged run arrays (first, last, observed, max_gap, hi, lo)."""
+        segments = self._segment_arrays_for(spec, family, rng)
+        return _merge_equal_run_arrays(*_segments_to_run_arrays(*segments, windows))
 
     def hourly_records(self, spec: ProbeSpec) -> Iterator[EchoRecord]:
         """Full-fidelity hourly echo records (both families, hour-major)."""
@@ -358,6 +557,166 @@ def _intersect(start: int, end: int, windows: Sequence[Window]) -> List[Window]:
             break
         result.append((max(start, window_start), min(end, window_end)))
     return result
+
+
+# -- columnar collection helpers ----------------------------------------------
+
+
+@dataclass
+class _PackedIntervals:
+    """One subscriber timeline's intervals, hour-ceiled and packed."""
+
+    cstart: np.ndarray  # int64, ceil(interval.start)
+    cend: np.ndarray  # int64, ceil(interval.end)
+    value_hi: np.ndarray  # uint64
+    value_lo: np.ndarray  # uint64 (v6: network low bits, IID OR'd in later)
+
+
+def _pack_intervals(intervals: Sequence, family: int) -> _PackedIntervals:
+    """Pack assignment intervals for searchsorted clipping.
+
+    Raises ``ValueError`` on out-of-order intervals (the reference path
+    has no ordering requirement, so the caller falls back to it).
+    """
+    count = len(intervals)
+    cstart = np.fromiter((_ceil(i.start) for i in intervals), dtype=np.int64, count=count)
+    cend = np.fromiter((_ceil(i.end) for i in intervals), dtype=np.int64, count=count)
+    if np.any(cstart[1:] < cstart[:-1]) or np.any(cend[1:] < cend[:-1]):
+        raise ValueError("timeline intervals are not time-ordered")
+    if family == 4:
+        values = [int(interval.value) for interval in intervals]
+    else:
+        values = [int(interval.value.network) for interval in intervals]
+    return _PackedIntervals(
+        cstart=cstart,
+        cend=cend,
+        value_hi=np.fromiter((v >> 64 for v in values), dtype=np.uint64, count=count),
+        value_lo=np.fromiter((v & _M64 for v in values), dtype=np.uint64, count=count),
+    )
+
+
+def _pack_segments(
+    segments: Sequence[Segment],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pack reference (start, end, value) segments into column arrays."""
+    count = len(segments)
+    starts = np.fromiter((s for s, _, _ in segments), dtype=np.int64, count=count)
+    ends = np.fromiter((e for _, e, _ in segments), dtype=np.int64, count=count)
+    values = [int(value) for _, _, value in segments]
+    value_hi = np.fromiter((v >> 64 for v in values), dtype=np.uint64, count=count)
+    value_lo = np.fromiter((v & _M64 for v in values), dtype=np.uint64, count=count)
+    return starts, ends, value_hi, value_lo
+
+
+_EMPTY_RUN_ARRAYS: Tuple[np.ndarray, ...] = () if np is None else (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.uint64),
+    np.empty(0, dtype=np.uint64),
+)
+
+
+def _segments_to_run_arrays(
+    seg_starts: np.ndarray,
+    seg_ends: np.ndarray,
+    value_hi: np.ndarray,
+    value_lo: np.ndarray,
+    windows: Sequence[Window],
+) -> Tuple[np.ndarray, ...]:
+    """Vectorized :func:`_segments_to_runs` minus the final merge.
+
+    For each segment, two searchsorteds find the first/last overlapping
+    observation window; ``observed`` is a prefix-sum difference with the
+    two outer windows' clipped edges subtracted, and ``max_gap`` is the
+    maximum inter-window gap fully inside the segment's window range
+    (clipping never changes interior gaps).
+    """
+    if len(seg_starts) == 0 or not windows:
+        return _EMPTY_RUN_ARRAYS
+    window_count = len(windows)
+    wstart = np.fromiter((w[0] for w in windows), dtype=np.int64, count=window_count)
+    wend = np.fromiter((w[1] for w in windows), dtype=np.int64, count=window_count)
+    cumlen = np.zeros(window_count + 1, dtype=np.int64)
+    np.cumsum(wend - wstart, out=cumlen[1:])
+
+    first_window = np.searchsorted(wend, seg_starts, side="right")
+    last_window = np.searchsorted(wstart, seg_ends, side="left") - 1
+    keep = last_window >= first_window
+    starts = seg_starts[keep]
+    ends = seg_ends[keep]
+    a = first_window[keep]
+    b = last_window[keep]
+
+    first = np.maximum(starts, wstart[a])
+    last = np.minimum(ends, wend[b]) - 1
+    observed = (
+        cumlen[b + 1]
+        - cumlen[a]
+        - np.maximum(0, starts - wstart[a])
+        - np.maximum(0, wend[b] - ends)
+    )
+    max_gap = np.zeros(len(starts), dtype=np.int64)
+    gaps = wstart[1:] - wend[:-1]
+    for index in range(window_count - 1):
+        inside = (a <= index) & (index < b)
+        np.maximum(max_gap, np.where(inside, gaps[index], 0), out=max_gap)
+    return first, last, observed, max_gap, value_hi[keep], value_lo[keep]
+
+
+def _merge_equal_run_arrays(
+    first: np.ndarray,
+    last: np.ndarray,
+    observed: np.ndarray,
+    max_gap: np.ndarray,
+    value_hi: np.ndarray,
+    value_lo: np.ndarray,
+) -> Tuple[np.ndarray, ...]:
+    """Vectorized :func:`repro.atlas.echo.merge_adjacent_equal` for one
+    probe's run arrays (summed ``observed``, gap-absorbing ``max_gap``)."""
+    count = len(first)
+    if count == 0:
+        return _EMPTY_RUN_ARRAYS
+    same_as_previous = np.zeros(count, dtype=bool)
+    same_as_previous[1:] = (value_hi[1:] == value_hi[:-1]) & (value_lo[1:] == value_lo[:-1])
+    group_starts = np.flatnonzero(~same_as_previous)
+    group_ends = np.append(group_starts[1:], count) - 1
+    join_gap = np.zeros(count, dtype=np.int64)
+    join_gap[1:] = first[1:] - last[:-1] - 1
+    candidate = np.where(same_as_previous, np.maximum(max_gap, join_gap), max_gap)
+    return (
+        first[group_starts],
+        last[group_ends],
+        np.add.reduceat(observed, group_starts),
+        np.maximum.reduceat(candidate, group_starts),
+        value_hi[group_starts],
+        value_lo[group_starts],
+    )
+
+
+def _runs_from_arrays(
+    probe_id: int, family: int, arrays: Tuple[np.ndarray, ...]
+) -> List[EchoRun]:
+    """Materialize merged run arrays as the reference's EchoRun list."""
+    first, last, observed, max_gap, value_hi, value_lo = arrays
+    value_of = (
+        (lambda hi, lo: IPv4Address(int(lo)))
+        if family == 4
+        else (lambda hi, lo: IPv6Address((int(hi) << 64) | int(lo)))
+    )
+    return [
+        EchoRun(
+            probe_id=probe_id,
+            family=family,
+            value=value_of(hi, lo),
+            first=int(f),
+            last=int(l),
+            observed=int(o),
+            max_gap=int(g),
+        )
+        for f, l, o, g, hi, lo in zip(first, last, observed, max_gap, value_hi, value_lo)
+    ]
 
 
 def _segments_to_runs(

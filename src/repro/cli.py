@@ -26,7 +26,11 @@ from typing import Optional, Sequence
 from repro.atlas.convert import convert_results
 from repro.core.report import render_table, table1_row, table2_row
 from repro.io.records import write_association_csv, write_echo_records, write_echo_runs
-from repro.workloads import build_atlas_scenario, build_cdn_scenario
+from repro.workloads import (
+    build_atlas_scenario,
+    build_cdn_scenario,
+    periodicity_for_scenario,
+)
 
 
 def _add_atlas_args(parser: argparse.ArgumentParser) -> None:
@@ -116,7 +120,7 @@ def cmd_simulate_cdn(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Build a scenario and print Table 1 / Table 2 summaries."""
+    """Build a scenario and print Table 1 / Table 2 / periodicity summaries."""
     scenario = build_atlas_scenario(
         probes_per_as=args.probes_per_as,
         years=args.years,
@@ -128,12 +132,16 @@ def cmd_report(args: argparse.Namespace) -> int:
     table2_rows = []
     for name, isp in scenario.isps.items():
         probes = scenario.probes_in(isp.asn)
-        row = table1_row(name, isp.asn, isp.config.country, probes, engine=args.engine)
+        columns = scenario.analysis_columns(isp.asn, engine=args.engine)
+        row = table1_row(
+            name, isp.asn, isp.config.country, probes,
+            engine=args.engine, columns=columns,
+        )
         table1_rows.append(
             [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
              f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
         )
-        rates = table2_row(probes, scenario.table, engine=args.engine)
+        rates = table2_row(probes, scenario.table, engine=args.engine, columns=columns)
         table2_rows.append(
             [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
              f"{rates.v6_diff_bgp_pct:.0f}%"]
@@ -149,6 +157,23 @@ def cmd_report(args: argparse.Namespace) -> int:
         table2_rows,
         title="Table 2: boundary crossings",
     ))
+    v4_periods, v6_periods = periodicity_for_scenario(scenario, engine=args.engine)
+    period_rows = [
+        [name,
+         f"{v4_periods[name]:.0f}h" if name in v4_periods else "-",
+         f"{v6_periods[name]:.0f}h" if name in v6_periods else "-"]
+        for name in scenario.isps
+        if name in v4_periods or name in v6_periods
+    ]
+    print()
+    if period_rows:
+        print(render_table(
+            ["AS", "v4 NDS period", "v6 period"],
+            period_rows,
+            title="Periodic renumbering (Section 3.2)",
+        ))
+    else:
+        print("Periodic renumbering: none detected")
     return 0
 
 

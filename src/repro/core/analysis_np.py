@@ -45,7 +45,7 @@ from repro.core.periodicity import CANONICAL_PERIODS, PeriodicMode
 from repro.core.spatial import CplHistogram, CrossingRates
 from repro.core.timefraction import CANONICAL_GRID, YEAR
 from repro.ip.addr import IPAddress, IPv4Address, IPv6Address
-from repro.ip.prefix import IPPrefix, IPv6Prefix
+from repro.ip.prefix import IPPrefix
 
 _M64 = (1 << 64) - 1
 
@@ -350,6 +350,25 @@ def observation_flags(
 # ---------------------------------------------------------------------------
 
 
+def split_durations_by_stack_np(
+    v6_cols: RunColumns,
+    durations: DurationColumns,
+    min_coverage: float = 0.9,
+) -> Tuple[DurationColumns, DurationColumns]:
+    """Columnar :func:`repro.core.dualstack.split_durations_by_stack`
+    over a whole population: ``(dual, non_dual)`` duration tables."""
+    mask = dual_stack_mask(v6_cols, durations, min_coverage)
+
+    def take(selector: np.ndarray) -> DurationColumns:
+        return DurationColumns(
+            probe_index=durations.probe_index[selector],
+            start=durations.start[selector],
+            end=durations.end[selector],
+        )
+
+    return take(mask), take(~mask)
+
+
 def dual_stack_mask(
     v6_cols: RunColumns,
     durations: DurationColumns,
@@ -498,6 +517,122 @@ def probe_exhibits_period_np(
     return bool(durations[in_mode].sum() / durations.sum() >= min_mass)
 
 
+def probe_period_flags(
+    durations: np.ndarray,
+    probe_index: np.ndarray,
+    n_probes: int,
+    candidate_periods: Sequence[float] = CANONICAL_PERIODS,
+    tolerance: float = 1.0,
+    min_mass: float = 0.5,
+    min_count: int = 3,
+) -> np.ndarray:
+    """Per-probe :func:`repro.core.periodicity.probe_exhibits_period`
+    over a whole population at once.
+
+    ``durations[k]`` belongs to probe ``probe_index[k]``; the result is a
+    ``(n_probes, len(candidate_periods))`` bool matrix whose ``[p, j]``
+    entry says probe ``p`` exhibits ``candidate_periods[j]``.  The mass
+    ratio is the reference's exact float expression (integral-valued
+    duration sums are exact under any summation order).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    durations = np.asarray(durations, dtype=np.float64)
+    probe_index = np.asarray(probe_index, dtype=np.int64)
+    flags = np.zeros((n_probes, len(candidate_periods)), dtype=bool)
+    if len(durations) == 0:
+        return flags
+    totals = np.bincount(probe_index, weights=durations, minlength=n_probes)
+    for j, period in enumerate(candidate_periods):
+        in_mode = np.abs(durations - period) <= tolerance
+        counts = np.bincount(probe_index[in_mode], minlength=n_probes)
+        masses = np.bincount(
+            probe_index[in_mode], weights=durations[in_mode], minlength=n_probes
+        )
+        ratio = np.divide(
+            masses, totals, out=np.zeros(n_probes, dtype=np.float64), where=totals > 0
+        )
+        flags[:, j] = (counts >= min_count) & (ratio >= min_mass)
+    return flags
+
+
+def consistent_network_period(
+    durations: np.ndarray,
+    probe_index: np.ndarray,
+    n_probes: int,
+    candidate_periods: Sequence[float] = CANONICAL_PERIODS,
+    tolerance: float = 1.0,
+    min_probes: int = 3,
+) -> Optional[float]:
+    """One network of :func:`repro.core.periodicity.consistent_periodic_networks`:
+    the first candidate period exhibited by at least ``min_probes``
+    probes (``None`` when no candidate qualifies)."""
+    flags = probe_period_flags(
+        durations, probe_index, n_probes, candidate_periods, tolerance
+    )
+    exhibiting = flags.sum(axis=0)
+    for j, period in enumerate(candidate_periods):
+        if int(exhibiting[j]) >= min_probes:
+            return float(period)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Subscriber-delegation inference (delegation.py semantics)
+# ---------------------------------------------------------------------------
+
+
+def _trailing_zeros_u64(x: np.ndarray) -> np.ndarray:
+    """Per-element trailing-zero count for uint64 arrays (64 where 0)."""
+    lowest_bit = x & (~x + np.uint64(1))
+    zeros = _bit_length_u64(lowest_bit) - 1
+    zeros[x == 0] = 64
+    return zeros
+
+
+def inferred_plen_counts_np(
+    prefix_cols: RunColumns, plen: int = 64, min_distinct: int = 2
+) -> Tuple[int, Dict[int, int]]:
+    """Columnar core of :func:`repro.core.delegation.inferred_plen_distribution`.
+
+    ``prefix_cols`` holds /``plen`` prefix runs (see
+    :func:`rekey_v6_runs`); probes with at least ``min_distinct``
+    distinct prefixes are eligible, and each contributes the inferred
+    delegation length ``plen - min(trailing zero bits)`` over its
+    prefixes.  Returns ``(eligible_probes, {inferred_plen: probes})``.
+    """
+    if not 0 < plen <= 64:
+        raise ValueError(f"prefix length {plen} not supported by the columnar kernel")
+    if prefix_cols.n_runs == 0:
+        return 0, {}
+    probe_of = prefix_cols.probe_of_run()
+    counts = prefix_cols.run_counts()
+    nonempty = np.flatnonzero(counts > 0)
+
+    # trailing_zero_bits of a /plen prefix: zeros of the top plen bits,
+    # capped at plen for the all-zero network (IPPrefix's semantics).
+    shifted = prefix_cols.value_hi >> np.uint64(64 - plen)
+    zero_bits = np.minimum(_trailing_zeros_u64(shifted), plen)
+    min_zero_bits = np.minimum.reduceat(
+        zero_bits, prefix_cols.offsets[:-1][nonempty].astype(np.intp)
+    )
+
+    order = np.lexsort((prefix_cols.value_lo, prefix_cols.value_hi, probe_of))
+    hi = prefix_cols.value_hi[order]
+    lo = prefix_cols.value_lo[order]
+    probe = probe_of[order]
+    new_value = np.ones(prefix_cols.n_runs, dtype=bool)
+    new_value[1:] = (hi[1:] != hi[:-1]) | (lo[1:] != lo[:-1]) | (probe[1:] != probe[:-1])
+    distinct = np.bincount(probe[new_value], minlength=prefix_cols.n_probes)[nonempty]
+
+    eligible = distinct >= min_distinct
+    inferred = plen - min_zero_bits[eligible]
+    values, value_counts = np.unique(inferred, return_counts=True)
+    return int(np.count_nonzero(eligible)), {
+        int(v): int(c) for v, c in zip(values, value_counts)
+    }
+
+
 # ---------------------------------------------------------------------------
 # CPL histograms and boundary crossings (spatial.py semantics)
 # ---------------------------------------------------------------------------
@@ -542,14 +677,80 @@ def cpl_histogram_np(prefix_cols: RunColumns, plen: int = 64) -> CplHistogram:
     return CplHistogram(changes_by_cpl=changes_by_cpl, probes_by_cpl=probes_by_cpl)
 
 
-def _route_ids_v4(values: np.ndarray, table: RoutingTable) -> Dict[int, int]:
-    """Routed-prefix id per unique packed IPv4 value (-1 = unrouted)."""
-    ids: Dict[int, int] = {}
-    route_ids: Dict[object, int] = {}
-    for value in values:
-        route = table.routed_prefix(IPv4Address(int(value)))
-        ids[int(value)] = -1 if route is None else route_ids.setdefault(route, len(route_ids))
-    return ids
+@dataclass
+class _RouteIntervalIndex:
+    """Longest-prefix matching as a flat sorted-interval lookup.
+
+    ``ids[k]`` is the route id (or -1) of every address in
+    ``[bounds[k], bounds[k + 1])``; ``bounds[0]`` is 0 so every address
+    lands in exactly one interval.  Because routed prefixes nest or are
+    disjoint (never partially overlap), a single left-to-right sweep
+    with a containment stack flattens the trie exactly.
+    """
+
+    bounds: np.ndarray  # uint64, strictly increasing, bounds[0] == 0
+    ids: np.ndarray  # int64, -1 = unrouted
+
+    def lookup(self, addresses: np.ndarray) -> np.ndarray:
+        """Route id of each address (-1 = unrouted)."""
+        return self.ids[np.searchsorted(self.bounds, addresses, side="right") - 1]
+
+
+def _interval_index(prefixes: Sequence[Tuple[int, int]], bits: int) -> _RouteIntervalIndex:
+    """Flatten ``(network, plen)`` prefixes into a :class:`_RouteIntervalIndex`
+    over a ``bits``-wide address space.  Route ids are list positions."""
+    bounds: List[int] = [0]
+    ids: List[int] = [-1]
+    limit = 1 << bits
+
+    def emit(position: int, route_id: int) -> None:
+        if position >= limit:
+            return
+        if bounds[-1] == position:
+            ids[-1] = route_id  # inner prefix (or parent resumption) wins
+        else:
+            bounds.append(position)
+            ids.append(route_id)
+
+    stack: List[Tuple[int, int]] = []  # (end_exclusive, route_id), outermost first
+    for route_id in sorted(
+        range(len(prefixes)), key=lambda i: (prefixes[i][0], prefixes[i][1])
+    ):
+        network, plen = prefixes[route_id]
+        start = network
+        while stack and stack[-1][0] <= start:
+            finished_end, _ = stack.pop()
+            emit(finished_end, stack[-1][1] if stack else -1)
+        emit(start, route_id)
+        stack.append((start + (1 << (bits - plen)), route_id))
+    while stack:
+        finished_end, _ = stack.pop()
+        emit(finished_end, stack[-1][1] if stack else -1)
+    return _RouteIntervalIndex(
+        bounds=np.array(bounds, dtype=np.uint64), ids=np.array(ids, dtype=np.int64)
+    )
+
+
+def _route_interval_index(
+    table: RoutingTable, family: int, max_plen: Optional[int] = None
+) -> _RouteIntervalIndex:
+    """Interval index over one family of ``table``'s routes.
+
+    For IPv6 the index lives in the top-64-bit space (queries are
+    ``value_hi`` columns), so callers must cap ``max_plen`` at 64.
+    """
+    prefixes: List[Tuple[int, int]] = []
+    for route in table.routes():
+        prefix = route.prefix
+        if prefix.family != family:
+            continue
+        if max_plen is not None and prefix.plen > max_plen:
+            continue
+        network = int(prefix.network)
+        if family == 6:
+            network >>= 64
+        prefixes.append((network, prefix.plen))
+    return _interval_index(prefixes, 32 if family == 4 else 64)
 
 
 def crossing_rates_np(
@@ -560,40 +761,29 @@ def crossing_rates_np(
 ) -> CrossingRates:
     """Columnar :func:`repro.core.spatial.crossing_rates`.
 
-    The /24 test is pure bit arithmetic; BGP lookups go through the
-    routing trie once per *unique* value instead of once per change.
+    The /24 test is pure bit arithmetic; BGP longest-prefix matches go
+    through a flat sorted-interval index (:func:`_interval_index`)
+    instead of per-value trie walks.  IPv6 lookups run in the top-64-bit
+    space, which is exact because only routes with plen <= ``v6_plen``
+    (<= 64) can cover a /``v6_plen`` prefix.
     """
+    if v6_plen > 64:
+        raise ValueError("crossing_rates_np supports v6_plen <= 64 only")
     v4_total = int(v4_changes.n_changes)
     if v4_total:
         v4_diff24 = int(np.count_nonzero((v4_changes.old_lo ^ v4_changes.new_lo) >> np.uint64(8)))
-        unique_v4 = np.unique(np.concatenate((v4_changes.old_lo, v4_changes.new_lo)))
-        route_of = _route_ids_v4(unique_v4, table)
-        old_ids = np.fromiter(
-            (route_of[int(v)] for v in v4_changes.old_lo), dtype=np.int64, count=v4_total
-        )
-        new_ids = np.fromiter(
-            (route_of[int(v)] for v in v4_changes.new_lo), dtype=np.int64, count=v4_total
-        )
+        index4 = _route_interval_index(table, family=4)
+        old_ids = index4.lookup(v4_changes.old_lo)
+        new_ids = index4.lookup(v4_changes.new_lo)
         v4_diffbgp = int(np.count_nonzero((old_ids == -1) | (old_ids != new_ids)))
     else:
         v4_diff24 = v4_diffbgp = 0
 
     v6_total = int(v6_changes.n_changes)
     if v6_total:
-        stacked = np.empty(2 * v6_total, dtype=[("hi", np.uint64), ("lo", np.uint64)])
-        stacked["hi"] = np.concatenate((v6_changes.old_hi, v6_changes.new_hi))
-        stacked["lo"] = np.concatenate((v6_changes.old_lo, v6_changes.new_lo))
-        unique_v6, inverse = np.unique(stacked, return_inverse=True)
-        route_ids: Dict[object, int] = {}
-        unique_ids = np.empty(len(unique_v6), dtype=np.int64)
-        for index, record in enumerate(unique_v6):
-            prefix = IPv6Prefix((int(record["hi"]) << 64) | int(record["lo"]), v6_plen)
-            route = table.routed_prefix_of_prefix(prefix)
-            unique_ids[index] = (
-                -1 if route is None else route_ids.setdefault(route, len(route_ids))
-            )
-        ids = unique_ids[inverse]
-        old_ids6, new_ids6 = ids[:v6_total], ids[v6_total:]
+        index6 = _route_interval_index(table, family=6, max_plen=v6_plen)
+        old_ids6 = index6.lookup(v6_changes.old_hi)
+        new_ids6 = index6.lookup(v6_changes.new_hi)
         v6_diffbgp = int(np.count_nonzero((old_ids6 == -1) | (old_ids6 != new_ids6)))
     else:
         v6_diffbgp = 0
@@ -607,13 +797,112 @@ def crossing_rates_np(
     )
 
 
+# ---------------------------------------------------------------------------
+# Shared per-population pack (memoized by the scenario layer)
+# ---------------------------------------------------------------------------
+
+
+class ProbeColumns:
+    """Lazily packed, shareable columnar views of one probe population.
+
+    Packs a (sanitized) probe population's v4/v6 runs once and caches
+    every derived table — the /``plen``-rekeyed prefix runs, change and
+    duration tables, and the dual-stack mask — so each table/figure over
+    the same probes reuses a single pack instead of re-packing per
+    artifact.  Probes must expose ``v4_runs``/``v6_runs``/``dual_stack``
+    (:class:`repro.atlas.sanitize.SanitizedProbe` does).
+    """
+
+    def __init__(self, probes: Sequence, plen: int = 64) -> None:
+        self.probes: List = list(probes)
+        self.plen = plen
+        self._cache: Dict[object, object] = {}
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.probes)
+
+    def _get(self, key, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    def v4(self) -> RunColumns:
+        """IPv4 address runs, packed once (CSR over the population)."""
+        return self._get(
+            "v4",
+            lambda: columns_from_runs(
+                (p.v4_runs for p in self.probes), value_type=IPv4Address
+            ),
+        )
+
+    def v6(self) -> RunColumns:
+        """IPv6 address runs, packed once (CSR over the population)."""
+        return self._get(
+            "v6",
+            lambda: columns_from_runs(
+                (p.v6_runs for p in self.probes), value_type=IPv6Address
+            ),
+        )
+
+    def v6_prefix(self) -> RunColumns:
+        """IPv6 runs rekeyed to /``plen`` prefixes, adjacent equals merged."""
+        return self._get("v6_prefix", lambda: rekey_v6_runs(self.v6(), self.plen))
+
+    def v4_changes(self) -> ChangeColumns:
+        """IPv4 change events (see :func:`change_table`)."""
+        return self._get("v4_changes", lambda: change_table(self.v4()))
+
+    def v6_prefix_changes(self) -> ChangeColumns:
+        """IPv6 /``plen`` prefix change events."""
+        return self._get("v6_prefix_changes", lambda: change_table(self.v6_prefix()))
+
+    def v4_change_counts(self) -> np.ndarray:
+        """Per-probe IPv4 change counts (see :func:`change_counts`)."""
+        return self._get("v4_change_counts", lambda: change_counts(self.v4()))
+
+    def v6_prefix_change_counts(self) -> np.ndarray:
+        """Per-probe IPv6 /``plen`` prefix change counts."""
+        return self._get(
+            "v6_prefix_change_counts", lambda: change_counts(self.v6_prefix())
+        )
+
+    def v4_durations(self) -> DurationColumns:
+        """IPv4 exact sandwiched durations (see :func:`duration_table`)."""
+        return self._get("v4_durations", lambda: duration_table(self.v4()))
+
+    def v6_prefix_durations(self) -> DurationColumns:
+        """IPv6 /``plen`` prefix exact sandwiched durations."""
+        return self._get("v6_prefix_durations", lambda: duration_table(self.v6_prefix()))
+
+    def dual_mask(self, min_coverage: float = 0.9) -> np.ndarray:
+        """Dual-stack flag of each v4 duration (see :func:`dual_stack_mask`)."""
+        return self._get(
+            ("dual_mask", min_coverage),
+            lambda: dual_stack_mask(self.v6(), self.v4_durations(), min_coverage),
+        )
+
+    def dual_flags(self) -> np.ndarray:
+        """Per-probe ``dual_stack`` attribute as a bool column."""
+        return self._get(
+            "dual_flags",
+            lambda: np.fromiter(
+                (bool(p.dual_stack) for p in self.probes),
+                dtype=bool,
+                count=self.n_probes,
+            ),
+        )
+
+
 __all__ = [
     "ChangeColumns",
     "DurationColumns",
+    "ProbeColumns",
     "RunColumns",
     "change_counts",
     "change_table",
     "columns_from_runs",
+    "consistent_network_period",
     "cpl_histogram_np",
     "cpl_of_changes",
     "crossing_rates_np",
@@ -622,9 +911,12 @@ __all__ = [
     "dual_stack_mask",
     "duration_table",
     "evaluate_cdf_columns",
+    "inferred_plen_counts_np",
     "observation_flags",
     "probe_exhibits_period_np",
+    "probe_period_flags",
     "rekey_v6_runs",
+    "split_durations_by_stack_np",
     "total_duration_years_np",
     "total_time_fraction_columns",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 Triple = Tuple[int, int, int]  # (day, v4_/24_key, v6_/64_key)
 
@@ -114,6 +114,36 @@ def box_stats(values: Sequence[float]) -> BoxStats:
     )
 
 
+def association_box_stats(records: Iterable[Triple], engine: Optional[str] = None) -> BoxStats:
+    """Five-number summary of the association durations of ``records``.
+
+    The Figure 3 composition (:func:`association_durations` piped into
+    :func:`box_stats`), dispatched through the analysis-engine knob: the
+    ``"np"`` engine runs the columnar
+    :func:`repro.core.associations_np.association_durations_np` +
+    ``box_stats_np`` pair, bit-identical to the pure-Python reference.
+    """
+    from repro.core.engine import FALLBACK_ERRORS, resolve_engine
+
+    materialized = records if isinstance(records, Sequence) else list(records)
+    if resolve_engine(engine) == "np":
+        try:
+            from repro.core.associations_np import (
+                association_durations_np,
+                box_stats_np,
+                columns_from_triples,
+            )
+
+            return box_stats_np(
+                association_durations_np(*columns_from_triples(materialized))
+            )
+        except ImportError:  # pragma: no cover - numpy probe passed already
+            pass
+        except FALLBACK_ERRORS:
+            pass
+    return box_stats(association_durations(materialized))
+
+
 def v4_degree_counts(records: Iterable[Triple]) -> Tuple[Dict[int, int], Dict[int, int]]:
     """Per-/24: number of distinct /64s and total hits.
 
@@ -182,6 +212,7 @@ def weighted_peak(centers: Sequence[float], densities: Sequence[float]) -> float
 __all__ = [
     "BoxStats",
     "Triple",
+    "association_box_stats",
     "association_durations",
     "box_stats",
     "duration_cdf",

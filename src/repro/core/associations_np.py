@@ -15,11 +15,12 @@ bijection for /64s; :func:`columns_from_triples` performs the packing.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.associations import Triple
+from repro.core.associations import BoxStats, Triple
 
 
 def columns_from_triples(triples: Iterable[Triple]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -140,6 +141,42 @@ def duration_percentiles_np(
     return [float(value) for value in np.quantile(durations, fractions)]
 
 
+def box_stats_np(durations: np.ndarray) -> BoxStats:
+    """Bit-identical :func:`repro.core.associations.box_stats` over an array.
+
+    ``np.quantile`` interpolates as ``a + (b - a) * t``, which can differ
+    from the reference's ``a * (1 - w) + b * w`` in the last ulp, so the
+    percentiles are evaluated with the reference's exact expression over
+    one ``np.sort`` (each percentile is O(1) after the sort).
+    """
+    ordered = np.sort(np.asarray(durations))
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cannot take percentile of empty data")
+
+    def percentile(fraction: float) -> float:
+        if n == 1:
+            return float(ordered[0])
+        position = fraction * (n - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        low_value = float(ordered[low])
+        high_value = float(ordered[high])
+        if low == high or low_value == high_value:
+            return low_value
+        weight = position - low
+        return low_value * (1 - weight) + high_value * weight
+
+    return BoxStats(
+        p5=percentile(0.05),
+        q1=percentile(0.25),
+        median=percentile(0.50),
+        q3=percentile(0.75),
+        p95=percentile(0.95),
+        count=n,
+    )
+
+
 def unpack_v6_degree_keys(degree_counts: Dict[int, int]) -> Dict[int, int]:
     """Re-expand packed upper-64-bit /64 keys to full integer keys."""
     return {key << 64: count for key, count in degree_counts.items()}
@@ -147,6 +184,7 @@ def unpack_v6_degree_keys(degree_counts: Dict[int, int]) -> Dict[int, int]:
 
 __all__ = [
     "association_durations_np",
+    "box_stats_np",
     "columns_from_triples",
     "duration_percentiles_np",
     "unpack_v6_degree_keys",

@@ -1,0 +1,47 @@
+"""The analysis-engine knob shared by every columnar/pure-Python split.
+
+Both the report layer (:mod:`repro.core.report`) and the collection
+layer (:mod:`repro.atlas.platform`) offer two bit-identical
+implementations of their hot paths: a pure-Python reference and a
+columnar NumPy fast path.  This module owns the single knob selecting
+between them, so layers below the report can resolve the engine without
+importing it (the report layer imports the sanitization pipeline, which
+imports the platform — a cycle if the knob lived in ``report``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+try:
+    import numpy  # noqa: F401  (availability probe only)
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    _HAS_NUMPY = False
+
+#: Environment override for the default analysis engine ("np" or "py").
+ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
+
+#: Errors on which a NumPy fast path silently falls back to the
+#: reference (unpackable value types, out-of-range integers); genuine
+#: input errors re-raise identically from the reference path.
+FALLBACK_ERRORS = (TypeError, ValueError, OverflowError)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Effective analysis engine: explicit value, else the environment,
+    else ``"np"`` when NumPy is available."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or None
+    if engine is None:
+        return "np" if _HAS_NUMPY else "py"
+    if engine not in ("np", "py"):
+        raise ValueError(f"engine must be 'np' or 'py', got {engine!r}")
+    if engine == "np" and not _HAS_NUMPY:
+        return "py"
+    return engine
+
+
+__all__ = ["ENGINE_ENV", "FALLBACK_ERRORS", "resolve_engine"]

@@ -16,7 +16,6 @@ reference automatically on inputs it cannot pack columnar.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +29,9 @@ from repro.core.changes import (
     v6_runs_to_prefix_runs,
 )
 from repro.core.dualstack import split_durations_by_stack
+from repro.core.engine import ENGINE_ENV, resolve_engine
+from repro.core.engine import FALLBACK_ERRORS as _FALLBACK_ERRORS
+from repro.core.periodicity import CANONICAL_PERIODS, consistent_periodic_networks
 from repro.core.spatial import CplHistogram, CrossingRates, cpl_histogram, crossing_rates
 from repro.core.timefraction import (
     CANONICAL_GRID,
@@ -42,28 +44,6 @@ try:
     from repro.core import analysis_np as _anp
 except ImportError:  # pragma: no cover - numpy is a baked-in dependency
     _anp = None
-
-#: Environment override for the default analysis engine ("np" or "py").
-ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
-
-#: Errors on which the NumPy path silently falls back to the reference
-#: (unpackable value types, out-of-range integers); genuine input errors
-#: re-raise identically from the reference path.
-_FALLBACK_ERRORS = (TypeError, ValueError, OverflowError)
-
-
-def resolve_engine(engine: Optional[str] = None) -> str:
-    """Effective analysis engine: explicit value, else the environment,
-    else ``"np"`` when NumPy is available."""
-    if engine is None:
-        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or None
-    if engine is None:
-        return "np" if _anp is not None else "py"
-    if engine not in ("np", "py"):
-        raise ValueError(f"engine must be 'np' or 'py', got {engine!r}")
-    if engine == "np" and _anp is None:
-        return "py"
-    return engine
 
 
 # -- per-probe plumbing -------------------------------------------------------
@@ -99,12 +79,19 @@ class AsDurations:
 
 
 def as_durations(
-    probes: Sequence[SanitizedProbe], engine: Optional[str] = None
+    probes: Sequence[SanitizedProbe],
+    engine: Optional[str] = None,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> AsDurations:
-    """Collect and stack-split exact durations for one AS's probes."""
+    """Collect and stack-split exact durations for one AS's probes.
+
+    ``columns`` optionally supplies a pre-packed (memoized)
+    :class:`~repro.core.analysis_np.ProbeColumns` for these probes so
+    the NumPy path reuses one pack across artifacts.
+    """
     if resolve_engine(engine) == "np":
         try:
-            return _as_durations_np(probes)
+            return _as_durations_np(probes, columns=columns)
         except _FALLBACK_ERRORS:
             pass
     result = AsDurations()
@@ -117,22 +104,22 @@ def as_durations(
     return result
 
 
-def _as_durations_np(probes: Sequence[SanitizedProbe], plen: int = 64) -> AsDurations:
+def _as_durations_np(
+    probes: Sequence[SanitizedProbe],
+    plen: int = 64,
+    columns: Optional["_anp.ProbeColumns"] = None,
+) -> AsDurations:
     """Columnar :func:`as_durations`: one kernel pass per population.
 
     Probe-major run order of the columnar tables reproduces the
     reference's per-probe ``extend`` ordering exactly.
     """
-    from repro.ip.addr import IPv6Address
-
-    v4_cols = _anp.columns_from_runs([probe.v4_runs for probe in probes])
-    v4_durations = _anp.duration_table(v4_cols)
-    v6_cols = _anp.columns_from_runs(
-        [probe.v6_runs for probe in probes], value_type=IPv6Address
-    )
-    dual = _anp.dual_stack_mask(v6_cols, v4_durations)
+    if columns is None or columns.plen != plen:
+        columns = _anp.ProbeColumns(probes, plen=plen)
+    v4_durations = columns.v4_durations()
+    dual = columns.dual_mask()
     v4_hours = v4_durations.hours().astype(float)
-    v6_hours = _anp.duration_table(_anp.rekey_v6_runs(v6_cols, plen)).hours()
+    v6_hours = columns.v6_prefix_durations().hours()
     return AsDurations(
         v4_non_dual_stack=v4_hours[~dual].tolist(),
         v4_dual_stack=v4_hours[dual].tolist(),
@@ -167,11 +154,12 @@ def table1_row(
     country: str,
     probes: Sequence[SanitizedProbe],
     engine: Optional[str] = None,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> Table1Row:
     """Aggregate one AS's probes into its Table 1 row."""
     if resolve_engine(engine) == "np":
         try:
-            return _table1_row_np(name, asn, country, probes)
+            return _table1_row_np(name, asn, country, probes, columns=columns)
         except _FALLBACK_ERRORS:
             pass
     all_v4 = ds_v4 = ds_v6 = ds_probes = 0
@@ -200,23 +188,21 @@ def _table1_row_np(
     country: str,
     probes: Sequence[SanitizedProbe],
     plen: int = 64,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> Table1Row:
-    """Columnar :func:`table1_row`: change counts from run counts."""
+    """Columnar :func:`table1_row`: change counts from run counts.
+
+    Change counts are per-probe independent, so summing the shared
+    pack's v6 counts over the dual-stack flags equals the reference's
+    dual-stack-only aggregation.
+    """
     import numpy as np
 
-    from repro.ip.addr import IPv6Address
-
-    v4_counts = _anp.change_counts(
-        _anp.columns_from_runs([probe.v4_runs for probe in probes])
-    )
-    dual = np.fromiter(
-        (probe.dual_stack for probe in probes), dtype=bool, count=len(probes)
-    )
-    ds_probes = [probe for probe in probes if probe.dual_stack]
-    v6_cols = _anp.columns_from_runs(
-        [probe.v6_runs for probe in ds_probes], value_type=IPv6Address
-    )
-    ds_v6 = int(_anp.change_counts(_anp.rekey_v6_runs(v6_cols, plen)).sum())
+    if columns is None or columns.plen != plen:
+        columns = _anp.ProbeColumns(probes, plen=plen)
+    v4_counts = columns.v4_change_counts()
+    dual = columns.dual_flags()
+    ds_v6 = int(columns.v6_prefix_change_counts()[dual].sum())
     return Table1Row(
         name=name,
         asn=asn,
@@ -275,10 +261,13 @@ def _figure1_series_np(label: str, durations: Sequence[float]) -> Figure1Series:
 
 
 def figure1_for_as(
-    name: str, probes: Sequence[SanitizedProbe], engine: Optional[str] = None
+    name: str,
+    probes: Sequence[SanitizedProbe],
+    engine: Optional[str] = None,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> Dict[str, Figure1Series]:
     """The three Figure 1 curves (v4 NDS, v4 DS, v6) for one AS."""
-    durations = as_durations(probes, engine=engine)
+    durations = as_durations(probes, engine=engine, columns=columns)
     return {
         "v4_nds": figure1_series(
             f"{name} IPv4 non-dual-stack", durations.v4_non_dual_stack, engine=engine
@@ -297,11 +286,12 @@ def table2_row(
     probes: Sequence[SanitizedProbe],
     table: RoutingTable,
     engine: Optional[str] = None,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> CrossingRates:
     """Aggregate one AS's probes into its Table 2 crossing rates."""
     if resolve_engine(engine) == "np":
         try:
-            return _table2_row_np(probes, table)
+            return _table2_row_np(probes, table, columns=columns)
         except _FALLBACK_ERRORS:
             pass
     v4_changes: List[ChangeEvent] = []
@@ -313,46 +303,151 @@ def table2_row(
 
 
 def _table2_row_np(
-    probes: Sequence[SanitizedProbe], table: RoutingTable, plen: int = 64
+    probes: Sequence[SanitizedProbe],
+    table: RoutingTable,
+    plen: int = 64,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> CrossingRates:
-    """Columnar :func:`table2_row`: bit-level /24 tests, deduped BGP lookups."""
-    from repro.ip.addr import IPv4Address, IPv6Address
-
-    v4_cols = _anp.columns_from_runs(
-        [probe.v4_runs for probe in probes], value_type=IPv4Address
-    )
-    v6_cols = _anp.columns_from_runs(
-        [probe.v6_runs for probe in probes], value_type=IPv6Address
-    )
+    """Columnar :func:`table2_row`: bit-level /24 tests, interval-index
+    BGP longest-prefix matching."""
+    if columns is None or columns.plen != plen:
+        columns = _anp.ProbeColumns(probes, plen=plen)
     return _anp.crossing_rates_np(
-        _anp.change_table(v4_cols),
-        _anp.change_table(_anp.rekey_v6_runs(v6_cols, plen)),
+        columns.v4_changes(),
+        columns.v6_prefix_changes(),
         table,
         v6_plen=plen,
     )
 
 
 def figure5_for_as(
-    probes: Sequence[SanitizedProbe], engine: Optional[str] = None
+    probes: Sequence[SanitizedProbe],
+    engine: Optional[str] = None,
+    columns: Optional["_anp.ProbeColumns"] = None,
 ) -> CplHistogram:
     """The Figure 5 CPL histogram for one AS's probes."""
     if resolve_engine(engine) == "np":
         try:
-            return _figure5_for_as_np(probes)
+            return _figure5_for_as_np(probes, columns=columns)
         except _FALLBACK_ERRORS:
             pass
     by_probe = {probe.probe_id: probe_v6_changes(probe) for probe in probes}
     return cpl_histogram(by_probe)
 
 
-def _figure5_for_as_np(probes: Sequence[SanitizedProbe], plen: int = 64) -> CplHistogram:
+def _figure5_for_as_np(
+    probes: Sequence[SanitizedProbe],
+    plen: int = 64,
+    columns: Optional["_anp.ProbeColumns"] = None,
+) -> CplHistogram:
     """Columnar :func:`figure5_for_as` (vectorized CPL-of-change)."""
-    from repro.ip.addr import IPv6Address
+    if columns is None or columns.plen != plen:
+        columns = _anp.ProbeColumns(probes, plen=plen)
+    return _anp.cpl_histogram_np(columns.v6_prefix(), plen)
 
-    v6_cols = _anp.columns_from_runs(
-        [probe.v6_runs for probe in probes], value_type=IPv6Address
+
+# -- Section 3.2 periodicity ---------------------------------------------------
+
+
+def periodic_networks(
+    probes_by_network: Dict[str, Sequence[SanitizedProbe]],
+    candidate_periods: Sequence[float] = CANONICAL_PERIODS,
+    tolerance: float = 1.0,
+    min_probes: int = 3,
+    engine: Optional[str] = None,
+    columns_by_network: Optional[Dict[str, "_anp.ProbeColumns"]] = None,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Consistent periodic renumbering per network (Section 3.2 text).
+
+    Returns ``(v4_nds_periods, v6_periods)``: for each network, the
+    first candidate period exhibited by at least ``min_probes`` probes —
+    over IPv4 non-dual-stack exact durations and IPv6 /64 prefix
+    durations respectively; networks with no consistent period are
+    absent.  The NumPy engine replaces the reference's per-probe
+    duration extraction and O(periods x probes x durations) mode
+    counting with per-network bincount reductions over the (optionally
+    memoized) :class:`~repro.core.analysis_np.ProbeColumns` packs.
+    """
+    if resolve_engine(engine) == "np":
+        try:
+            return _periodic_networks_np(
+                probes_by_network,
+                candidate_periods,
+                tolerance,
+                min_probes,
+                columns_by_network,
+            )
+        except _FALLBACK_ERRORS:
+            pass
+    v4_nds: Dict[str, Dict[str, List[float]]] = {}
+    v6: Dict[str, Dict[str, List[float]]] = {}
+    for name, probes in probes_by_network.items():
+        v4_map: Dict[str, List[float]] = {}
+        v6_map: Dict[str, List[float]] = {}
+        for probe in probes:
+            durations = probe_v4_durations(probe)
+            _dual, non_dual = split_durations_by_stack(durations, probe.v6_runs)
+            if non_dual:
+                v4_map[probe.probe_id] = [float(d.hours) for d in non_dual]
+            v6_durations = probe_v6_durations(probe)
+            if v6_durations:
+                v6_map[probe.probe_id] = [float(d.hours) for d in v6_durations]
+        v4_nds[name] = v4_map
+        v6[name] = v6_map
+    return (
+        consistent_periodic_networks(
+            v4_nds,
+            candidate_periods=candidate_periods,
+            tolerance=tolerance,
+            min_probes=min_probes,
+        ),
+        consistent_periodic_networks(
+            v6,
+            candidate_periods=candidate_periods,
+            tolerance=tolerance,
+            min_probes=min_probes,
+        ),
     )
-    return _anp.cpl_histogram_np(_anp.rekey_v6_runs(v6_cols, plen), plen)
+
+
+def _periodic_networks_np(
+    probes_by_network: Dict[str, Sequence[SanitizedProbe]],
+    candidate_periods: Sequence[float],
+    tolerance: float,
+    min_probes: int,
+    columns_by_network: Optional[Dict[str, "_anp.ProbeColumns"]] = None,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Columnar :func:`periodic_networks`, one pack per network."""
+    v4_periods: Dict[str, float] = {}
+    v6_periods: Dict[str, float] = {}
+    for name, probes in probes_by_network.items():
+        columns = (columns_by_network or {}).get(name)
+        if columns is None or columns.plen != 64:
+            columns = _anp.ProbeColumns(probes)
+        v4_durations = columns.v4_durations()
+        non_dual = ~columns.dual_mask()
+        period = _anp.consistent_network_period(
+            v4_durations.hours().astype(float)[non_dual],
+            v4_durations.probe_index[non_dual],
+            columns.n_probes,
+            candidate_periods,
+            tolerance,
+            min_probes,
+        )
+        if period is not None:
+            v4_periods[name] = period
+        v6_durations = columns.v6_prefix_durations()
+        period = _anp.consistent_network_period(
+            v6_durations.hours().astype(float),
+            v6_durations.probe_index,
+            columns.n_probes,
+            candidate_periods,
+            tolerance,
+            min_probes,
+        )
+        if period is not None:
+            v6_periods[name] = period
+    return v4_periods, v6_periods
 
 
 # -- rendering ----------------------------------------------------------------
@@ -438,6 +533,7 @@ __all__ = [
     "figure1_for_as",
     "figure1_series",
     "figure5_for_as",
+    "periodic_networks",
     "probe_v4_changes",
     "probe_v4_durations",
     "probe_v6_changes",

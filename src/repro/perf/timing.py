@@ -20,6 +20,9 @@ from typing import Dict, Iterator, Optional
 #: Repo-root perf artifact (src/repro/perf/timing.py -> three levels up).
 DEFAULT_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_baseline.json"
 
+#: Append-only run log kept next to the baseline artifact.
+DEFAULT_HISTORY_PATH = DEFAULT_BASELINE_PATH.with_name("BENCH_history.jsonl")
+
 
 class StageTimer:
     """Accumulate wall-clock seconds per named stage, in first-use order."""
@@ -84,9 +87,31 @@ def write_baseline(section: str, payload: dict, path: Optional[os.PathLike] = No
     return data
 
 
+def append_history(
+    section: str, payload: dict, path: Optional[os.PathLike] = None
+) -> Path:
+    """Append one run's payload as a JSON line to ``BENCH_history.jsonl``.
+
+    Where :func:`write_baseline` keeps only the latest run per section,
+    the history file accumulates every run, so perf trends over time
+    stay inspectable.  Returns the history file path.
+    """
+    target = Path(path or DEFAULT_HISTORY_PATH)
+    record = {
+        "section": section,
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **payload,
+    }
+    with target.open("a") as stream:
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
 __all__ = [
     "DEFAULT_BASELINE_PATH",
+    "DEFAULT_HISTORY_PATH",
     "StageTimer",
+    "append_history",
     "read_baseline",
     "write_baseline",
 ]

@@ -84,15 +84,18 @@ def cdn_scenario_diffs(a: CdnScenario, b: CdnScenario) -> List[str]:
     return diffs
 
 
-def analysis_engine_diffs(probes: Sequence, table=None) -> List[str]:
+def analysis_engine_diffs(probes: Sequence, table=None, triples=None) -> List[str]:
     """Artifact-by-artifact py-vs-np engine differences ([] if equal).
 
     Runs every report-layer entry point over ``probes`` under both
     engines and names each artifact that diverges.  ``table`` (a
     :class:`~repro.bgp.table.RoutingTable`) additionally enables the
-    Table 2 comparison.
+    Table 2 comparison; ``triples`` (CDN association triples) the
+    Figure 3 box-stats comparison.
     """
     from repro.core import report
+    from repro.core.associations import association_box_stats
+    from repro.core.delegation import inferred_plen_distribution_for_probes
 
     artifacts = [
         (
@@ -105,10 +108,26 @@ def analysis_engine_diffs(probes: Sequence, table=None) -> List[str]:
             lambda engine: report.figure1_for_as("AS", probes, engine=engine),
         ),
         ("figure5_for_as", lambda engine: report.figure5_for_as(probes, engine=engine)),
+        (
+            "periodic_networks",
+            lambda engine: report.periodic_networks({"AS": probes}, engine=engine),
+        ),
+        (
+            "inferred_plen_distribution",
+            lambda engine: inferred_plen_distribution_for_probes(probes, engine=engine),
+        ),
     ]
     if table is not None:
         artifacts.append(
             ("table2_row", lambda engine: report.table2_row(probes, table, engine=engine))
+        )
+    if triples is not None:
+        materialized = list(triples)
+        artifacts.append(
+            (
+                "association_box_stats",
+                lambda engine: association_box_stats(materialized, engine=engine),
+            )
         )
     diffs: List[str] = []
     for label, compute in artifacts:
@@ -119,9 +138,9 @@ def analysis_engine_diffs(probes: Sequence, table=None) -> List[str]:
     return diffs
 
 
-def assert_analysis_engines_equal(probes: Sequence, table=None) -> None:
+def assert_analysis_engines_equal(probes: Sequence, table=None, triples=None) -> None:
     """Raise AssertionError naming every py-vs-np diverging artifact."""
-    diffs = analysis_engine_diffs(probes, table)
+    diffs = analysis_engine_diffs(probes, table, triples)
     if diffs:
         raise AssertionError("analysis engines differ: " + "; ".join(diffs))
 

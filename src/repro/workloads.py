@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.atlas.platform import AtlasPlatform, ProbeData, ProbeSpec
 from repro.atlas.sanitize import SanitizationReport, SanitizedProbe, sanitize
@@ -77,6 +77,21 @@ class AtlasScenario:
     probes: List[SanitizedProbe]
     report: SanitizationReport
     end_hour: int
+    #: Memoized per-AS ``ProbeColumns`` packs (see :meth:`analysis_columns`).
+    #: Session-local only: excluded from comparison and pickling so cached
+    #: scenarios round-trip unchanged.
+    _columns_state: Dict[tuple, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_columns_state"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_columns_state", {})
 
     def probes_in(self, asn: int) -> List[SanitizedProbe]:
         """The sanitized probes attributed to ``asn``."""
@@ -85,6 +100,45 @@ class AtlasScenario:
     def asn_of(self, name: str) -> int:
         """ASN of the ISP named ``name``."""
         return self.isps[name].asn
+
+    def analysis_columns(
+        self, asn: Optional[int] = None, engine: Optional[str] = None
+    ):
+        """Memoized columnar pack of this scenario's sanitized probes.
+
+        Returns the shared :class:`repro.core.analysis_np.ProbeColumns`
+        for ``asn``'s probes (all probes when ``asn is None``) so every
+        table/figure computed from this scenario reuses one CSR pack.
+        Returns ``None`` for the pure-Python engine or when NumPy is
+        unavailable.  The cache key includes the resolved engine and the
+        identity/size of ``self.probes``, so flipping
+        ``$REPRO_ANALYSIS_ENGINE`` mid-session or re-sanitizing the
+        probe list can never serve stale columns.
+        """
+        from repro.core.engine import resolve_engine
+
+        resolved = resolve_engine(engine)
+        if resolved != "np":
+            return None
+        try:
+            from repro.core.analysis_np import ProbeColumns
+        except ImportError:
+            return None
+        key = (resolved, asn, id(self.probes), len(self.probes))
+        cached = self._columns_state.get(key)
+        # The cache entry pins the exact probe list it was packed from, so
+        # a replaced ``self.probes`` can never alias a stale pack even if
+        # the new list happens to reuse the old one's id.
+        if cached is not None and cached[0] is self.probes:
+            return cached[1]
+        probes = self.probes if asn is None else self.probes_in(asn)
+        columns = ProbeColumns(probes, plen=64)
+        self._columns_state[key] = (self.probes, columns)
+        return columns
+
+    def invalidate_analysis_columns(self) -> None:
+        """Drop every memoized column pack (e.g. after editing probes)."""
+        self._columns_state.clear()
 
 
 @dataclass
@@ -123,14 +177,53 @@ def analyze_atlas_scenario(
     figure5 = {}
     for name, isp in scenario.isps.items():
         probes = scenario.probes_in(isp.asn)
+        columns = scenario.analysis_columns(isp.asn, engine=resolved)
         table1[name] = table1_row(
-            name, isp.asn, isp.config.country, probes, engine=resolved
+            name, isp.asn, isp.config.country, probes, engine=resolved, columns=columns
         )
-        table2[name] = table2_row(probes, scenario.table, engine=resolved)
-        figure1[name] = figure1_for_as(name, probes, engine=resolved)
-        figure5[name] = figure5_for_as(probes, engine=resolved)
+        table2[name] = table2_row(
+            probes, scenario.table, engine=resolved, columns=columns
+        )
+        figure1[name] = figure1_for_as(name, probes, engine=resolved, columns=columns)
+        figure5[name] = figure5_for_as(probes, engine=resolved, columns=columns)
     return AtlasAnalysis(
         engine=resolved, table1=table1, table2=table2, figure1=figure1, figure5=figure5
+    )
+
+
+def periodicity_for_scenario(
+    scenario: AtlasScenario,
+    min_probes: int = 3,
+    tolerance: float = 1.0,
+    engine: Optional[str] = None,
+) -> "Tuple[Dict[str, float], Dict[str, float]]":
+    """Consistent periodic renumbering per featured ISP (Section 3.2).
+
+    Returns ``(v4_nds_periods, v6_periods)`` from
+    :func:`repro.core.report.periodic_networks`, dispatched through the
+    analysis-engine knob and reusing the scenario's memoized column
+    packs on the NumPy path.
+    """
+    from repro.core.report import periodic_networks, resolve_engine
+
+    resolved = resolve_engine(engine)
+    probes_by_network = {
+        name: scenario.probes_in(isp.asn) for name, isp in scenario.isps.items()
+    }
+    columns_by_network = None
+    if resolved == "np":
+        columns_by_network = {
+            name: scenario.analysis_columns(isp.asn, engine=resolved)
+            for name, isp in scenario.isps.items()
+        }
+        if any(columns is None for columns in columns_by_network.values()):
+            columns_by_network = None
+    return periodic_networks(
+        probes_by_network,
+        tolerance=tolerance,
+        min_probes=min_probes,
+        engine=resolved,
+        columns_by_network=columns_by_network,
     )
 
 
@@ -520,4 +613,5 @@ __all__ = [
     "analyze_atlas_scenario",
     "build_atlas_scenario",
     "build_cdn_scenario",
+    "periodicity_for_scenario",
 ]

@@ -373,4 +373,151 @@ def test_np_engine_falls_back_to_reference(monkeypatch):
 def test_report_layer_parity_harness(seed):
     from repro.perf.verify import assert_analysis_engines_equal
 
-    assert_analysis_engines_equal(_random_probes(seed), _routing_table())
+    rng = random.Random(seed + 4000)
+    triples = [
+        (rng.randrange(60), rng.randrange(8), rng.randrange(6) << 64)
+        for _ in range(rng.randrange(1, 120))
+    ]
+    assert_analysis_engines_equal(_random_probes(seed), _routing_table(), triples)
+
+
+# ---------------------------------------------------------------------------
+# Periodicity, dual-stack splitting, associations, delegation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_probe_period_flags_match_reference(seed):
+    import numpy as np
+
+    from repro.core.periodicity import CANONICAL_PERIODS
+
+    rng = random.Random(seed + 100)
+    per_probe = {}
+    for probe in range(rng.randrange(1, 12)):
+        period = rng.choice(CANONICAL_PERIODS)
+        durations = []
+        for _ in range(rng.randrange(0, 16)):
+            if rng.random() < 0.6:
+                durations.append(period + rng.choice([-1.0, -0.5, 0.0, 0.5, 1.0]))
+            else:
+                durations.append(float(rng.randrange(1, 500)))
+        per_probe[probe] = durations
+    flat = np.array(
+        [d for durations in per_probe.values() for d in durations], dtype=np.float64
+    )
+    index = np.array(
+        [p for p, durations in per_probe.items() for _ in durations], dtype=np.int64
+    )
+    flags = anp.probe_period_flags(flat, index, len(per_probe))
+    for position, period in enumerate(CANONICAL_PERIODS):
+        for probe, durations in per_probe.items():
+            assert flags[probe, position] == probe_exhibits_period(durations, period)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_consistent_network_period_matches_reference(seed):
+    import numpy as np
+
+    from repro.core.periodicity import consistent_periodic_networks
+
+    rng = random.Random(seed + 200)
+    per_probe = {}
+    for probe in range(rng.randrange(2, 10)):
+        mode = rng.choice([24.0, 36.0, 168.0, None])
+        durations = []
+        for _ in range(rng.randrange(0, 14)):
+            if mode is not None and rng.random() < 0.7:
+                durations.append(mode + rng.choice([-1.0, 0.0, 1.0]))
+            else:
+                durations.append(float(rng.randrange(1, 400)))
+        if durations:
+            per_probe[str(probe)] = durations
+    expected = consistent_periodic_networks({"AS": per_probe}, min_probes=2)
+    flat = np.array(
+        [d for durations in per_probe.values() for d in durations], dtype=np.float64
+    )
+    index = np.array(
+        [p for p, durations in enumerate(per_probe.values()) for _ in durations],
+        dtype=np.int64,
+    )
+    got = anp.consistent_network_period(flat, index, len(per_probe), min_probes=2)
+    assert got == expected.get("AS")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_split_durations_by_stack_np_matches_reference(seed):
+    from repro.core.changes import sandwiched_durations
+
+    probes = _random_probes(seed)
+    v4_cols = anp.columns_from_runs(
+        [probe.v4_runs for probe in probes], value_type=IPv4Address
+    )
+    v6_cols = anp.columns_from_runs(
+        [probe.v6_runs for probe in probes], value_type=IPv6Address
+    )
+    durations = anp.duration_table(v4_cols)
+    dual, non_dual = anp.split_durations_by_stack_np(v6_cols, durations)
+    expected_dual = []
+    expected_non_dual = []
+    for probe in probes:
+        ref_dual, ref_non_dual = split_durations_by_stack(
+            sandwiched_durations(probe.v4_runs), probe.v6_runs
+        )
+        expected_dual.extend(float(d.hours) for d in ref_dual)
+        expected_non_dual.extend(float(d.hours) for d in ref_non_dual)
+    assert dual.hours().astype(float).tolist() == expected_dual
+    assert non_dual.hours().astype(float).tolist() == expected_non_dual
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_box_stats_np_matches_reference(seed):
+    import numpy as np
+
+    from repro.core.associations import association_box_stats, box_stats
+    from repro.core.associations_np import box_stats_np
+
+    rng = random.Random(seed + 300)
+    values = [float(rng.randrange(1, 150)) for _ in range(rng.randrange(1, 200))]
+    assert box_stats_np(np.array(values)) == box_stats(values)
+    triples = [
+        (rng.randrange(90), rng.randrange(10), rng.randrange(8) << 64)
+        for _ in range(rng.randrange(1, 150))
+    ]
+    assert association_box_stats(triples, engine="np") == association_box_stats(
+        triples, engine="py"
+    )
+    with pytest.raises(ValueError):
+        box_stats_np(np.empty(0))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_inferred_plen_distribution_matches_reference(seed):
+    from repro.core.delegation import (
+        inferred_plen_distribution,
+        inferred_plen_distribution_for_probes,
+        per_probe_prefixes_from_runs,
+    )
+
+    probes = _random_probes(seed)
+    expected = inferred_plen_distribution(per_probe_prefixes_from_runs(probes, 64))
+    assert inferred_plen_distribution_for_probes(probes, engine="np") == expected
+    assert inferred_plen_distribution_for_probes(probes, engine="py") == expected
+    # Shared-pack path: a caller-supplied ProbeColumns yields the same.
+    columns = anp.ProbeColumns(probes)
+    assert (
+        inferred_plen_distribution_for_probes(probes, engine="np", columns=columns)
+        == expected
+    )
+
+
+def test_probe_columns_memoizes_packs():
+    probes = _random_probes(11)
+    columns = anp.ProbeColumns(probes)
+    assert columns.n_probes == len(probes)
+    assert columns.v4() is columns.v4()
+    assert columns.v6_prefix() is columns.v6_prefix()
+    assert columns.v4_changes() is columns.v4_changes()
+    assert columns.dual_mask() is columns.dual_mask()
+    # Distinct min_coverage values are distinct cache entries.
+    assert columns.dual_mask(0.5) is not columns.dual_mask(0.9)

@@ -33,8 +33,13 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     analysis = payload["analysis"]
     assert analysis["parity"] is True
     assert analysis["default_engine"] in ("np", "py")
-    for stage in ("table1", "figure1", "figure5", "table2"):
+    for stage in ("table1", "figure1", "figure5", "table2", "periodicity"):
         assert analysis["stages"][stage]["py_seconds"] >= 0.0
+    history = tmp_path / "BENCH_history.jsonl"
+    assert history.exists()
+    records = [json.loads(line) for line in history.read_text().splitlines()]
+    assert records and records[-1]["section"] == "bench_baseline"
+    assert records[-1]["ok"] is True
     out = capsys.readouterr().out
     assert "results identical" in out
     assert "artifacts identical" in out
