@@ -6,7 +6,10 @@ ones, exercises a cache round-trip in a throwaway directory, then times
 the full Section 3/5 analysis stack (Table 1, Figure 1, Figure 5,
 Table 2, periodicity detection) under both analysis engines (``py``
 reference vs columnar ``np``), asserts the two produce bit-identical
-artifacts, and records everything in the repo-root
+artifacts, replays the same scenario through the chunked streaming
+engine (asserting batch parity, recording throughput and sampled peak
+RSS, and checking the checkpointable state stays bounded as the stream
+grows), and records everything in the repo-root
 ``BENCH_baseline.json`` — the repository's perf trajectory artifact.
 Each run is additionally appended to ``BENCH_history.jsonl`` next to
 the baseline, so the perf trend across runs stays inspectable.
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import pickle
 import sys
 import tempfile
 import time
@@ -46,15 +50,22 @@ if "repro" not in sys.modules:
 from repro.core.report import resolve_engine  # noqa: E402
 from repro.perf.cache import CACHE_DIR_ENV  # noqa: E402
 from repro.perf.profiling import maybe_profile  # noqa: E402
-from repro.perf.timing import append_history, write_baseline  # noqa: E402
+from repro.perf.timing import (  # noqa: E402
+    RssSampler,
+    append_history,
+    current_rss_bytes,
+    write_baseline,
+)
 from repro.perf.verify import (  # noqa: E402
     assert_atlas_scenarios_equal,
     assert_cdn_scenarios_equal,
 )
 from repro.workloads import (  # noqa: E402
+    analyze_atlas_scenario,
     build_atlas_scenario,
     build_cdn_scenario,
     periodicity_for_scenario,
+    stream_analyze_atlas_scenario,
 )
 
 #: Downscaled-but-representative scales (seconds-scale serial builds).
@@ -236,6 +247,82 @@ def run_baseline(args: argparse.Namespace) -> dict:
         analysis_enforced = False
         print("analysis: numpy unavailable, columnar engine not benchmarked")
 
+    # Streaming replay over the serial Atlas scenario: the chunked
+    # incremental engine must reproduce the batch np artifacts
+    # bit-identically, and its checkpointable state must stay bounded by
+    # the probe population rather than grow with the stream length (the
+    # pickled state after all chunks vs after the first quarter).
+    streaming = None
+    if engine_available:
+        chunk_hours = 24 * 30
+        total_chunks = max(1, -(-serial_atlas.end_hour // chunk_hours))
+        quarter_chunks = max(1, total_chunks // 4)
+        state_bytes = {}
+
+        def _sample_state(engine_obj, chunk):
+            if chunk.index + 1 in (quarter_chunks, total_chunks):
+                state_bytes[chunk.index + 1] = len(
+                    pickle.dumps(
+                        engine_obj.state_dict(), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                )
+
+        with maybe_profile("analysis_streaming"), RssSampler() as sampler:
+            start = time.perf_counter()
+            stream_result = stream_analyze_atlas_scenario(
+                serial_atlas,
+                chunk_hours=chunk_hours,
+                min_probes=2,
+                on_chunk=_sample_state,
+            )
+            stream_s = time.perf_counter() - start
+        batch = analyze_atlas_scenario(serial_atlas, engine="np")
+        batch_periods = periodicity_for_scenario(serial_atlas, min_probes=2, engine="np")
+        stream_parity = (
+            stream_result.analysis == batch
+            and (stream_result.v4_periods, stream_result.v6_periods) == batch_periods
+        )
+        if not stream_parity:
+            failures.append("streaming replay parity violated: streamed != batch np")
+        runs_per_s = stream_result.stats.runs_seen / max(stream_s, 1e-9)
+        bytes_quarter = state_bytes.get(quarter_chunks)
+        bytes_end = state_bytes.get(total_chunks)
+        state_bounded = None
+        if bytes_quarter and bytes_end:
+            state_bounded = bytes_end <= 3 * bytes_quarter
+            if not args.check and not state_bounded:
+                failures.append(
+                    f"streaming state grew with the stream: {bytes_end} bytes "
+                    f"after {total_chunks} chunks vs {bytes_quarter} after "
+                    f"{quarter_chunks}"
+                )
+        rss_mib = (
+            f"{sampler.peak_bytes / 2**20:.0f} MiB"
+            if sampler.peak_bytes is not None
+            else "n/a"
+        )
+        print(
+            f"streaming: {stream_result.stats.runs_seen} runs in "
+            f"{stream_result.stats.chunks_folded} chunks of {chunk_hours}h, "
+            f"{stream_s:.3f}s ({runs_per_s:.0f} runs/s), peak RSS {rss_mib}, "
+            f"state {bytes_quarter}->{bytes_end} bytes — artifacts identical"
+        )
+        streaming = {
+            "chunk_hours": chunk_hours,
+            "chunks": stream_result.stats.chunks_folded,
+            "runs": stream_result.stats.runs_seen,
+            "seconds": round(stream_s, 4),
+            "runs_per_second": round(runs_per_s, 1),
+            "peak_rss_bytes": sampler.peak_bytes,
+            "state_bytes_quarter": bytes_quarter,
+            "state_bytes_end": bytes_end,
+            "state_bounded": state_bounded,
+            "state_bound_enforced": not args.check,
+            "parity": stream_parity,
+        }
+    else:  # pragma: no cover - numpy is a baked-in dependency
+        print("streaming: numpy unavailable, streaming engine not benchmarked")
+
     total_serial = atlas_serial_s + cdn_serial_s
     total_parallel = atlas_parallel_s + cdn_parallel_s
     speedup = total_serial / max(total_parallel, 1e-9)
@@ -277,8 +364,10 @@ def run_baseline(args: argparse.Namespace) -> dict:
             "table2_speedup_enforced": analysis_enforced,
             "periodicity_speedup_enforced": analysis_enforced,
         },
+        "streaming": streaming,
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
+        "peak_rss_bytes": current_rss_bytes(),
         "deterministic": True,
     }
     write_baseline("bench_baseline", payload, path=args.output)

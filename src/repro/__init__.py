@@ -24,6 +24,12 @@ address assignment practices in IPv4 and IPv6" (CoNEXT 2020).  It contains:
     CDN association/cardinality analysis, spatial metrics (common prefix
     length, BGP crossings, unique-prefix distributions), and delegated
     prefix inference.
+``repro.stream``
+    A chunked, checkpointable incremental analysis engine whose replay
+    is bit-identical to the batch report for any chunk size.
+``repro.perf``
+    The performance engine: parallel scenario fan-out, content-addressed
+    caching, stage timing/RSS sampling, and determinism verification.
 """
 
 from repro.ip.addr import IPv4Address, IPv6Address

@@ -14,6 +14,10 @@ Commands
 ``convert-atlas``
     Convert real RIPE Atlas HTTP measurement results (JSONL) into the
     pipeline's echo-record JSONL.
+``stream``
+    Run the chunked, checkpointable streaming analysis (bit-identical
+    to ``report``'s batch np artifacts) over a built scenario or an
+    exported run-stream file, optionally resuming from a checkpoint.
 """
 
 from __future__ import annotations
@@ -247,6 +251,132 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Stream a scenario (or exported run-stream file) chunk by chunk."""
+    from repro.stream import (
+        CheckpointStore,
+        JsonlRunSource,
+        ScenarioRunSource,
+        run_association_stream,
+        run_atlas_stream,
+        stream_triples_from_csv,
+        write_run_stream,
+    )
+
+    store = None
+    if args.checkpoint is not None or args.resume:
+        directory = None if args.checkpoint in (None, True) else args.checkpoint
+        store = CheckpointStore(directory)
+
+    if args.input:
+        source = JsonlRunSource(Path(args.input))
+        table = None
+    else:
+        scenario = build_atlas_scenario(
+            probes_per_as=args.probes_per_as,
+            years=args.years,
+            seed=args.seed,
+            workers=args.workers,
+            cache=_cache_flag(args),
+        )
+        if args.export:
+            export = Path(args.export)
+            export.parent.mkdir(parents=True, exist_ok=True)
+            with export.open("w") as stream:
+                write_run_stream(scenario, stream)
+            print(f"exported run stream to {export}")
+        source = ScenarioRunSource.from_scenario(scenario)
+        table = scenario.table
+
+    result = run_atlas_stream(
+        source,
+        args.chunk_hours,
+        table=table,
+        store=store,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+        stop_after_chunks=args.stop_after,
+        min_probes=args.min_probes,
+    )
+    if result is None:
+        print(
+            f"stopped after {args.stop_after} chunk(s); "
+            "state checkpointed, rerun with --resume to continue"
+        )
+        return 0
+
+    analysis = result.analysis
+    table1_rows = [
+        [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
+         f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
+        for row in analysis.table1.values()
+    ]
+    print(render_table(
+        ["AS", "ASN", "probes", "v4 changes", "DS probes", "DS v4 changes", "v6 changes"],
+        table1_rows,
+        title="Table 1: assignment changes per AS (streamed)",
+    ))
+    if analysis.table2:
+        table2_rows = [
+            [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
+             f"{rates.v6_diff_bgp_pct:.0f}%"]
+            for name, rates in analysis.table2.items()
+        ]
+        print()
+        print(render_table(
+            ["AS", "Diff /24", "Diff BGP (v4)", "Diff BGP (v6)"],
+            table2_rows,
+            title="Table 2: boundary crossings (streamed)",
+        ))
+    period_rows = [
+        [name,
+         f"{result.v4_periods[name]:.0f}h" if name in result.v4_periods else "-",
+         f"{result.v6_periods[name]:.0f}h" if name in result.v6_periods else "-"]
+        for name in sorted(set(result.v4_periods) | set(result.v6_periods))
+    ]
+    print()
+    if period_rows:
+        print(render_table(
+            ["AS", "v4 NDS period", "v6 period"],
+            period_rows,
+            title="Periodic renumbering (streamed)",
+        ))
+    else:
+        print("Periodic renumbering: none detected")
+
+    stats = result.stats
+    print()
+    resumed = (
+        f" (resumed from chunk {stats.resumed_from_chunk})"
+        if stats.resumed_from_chunk is not None
+        else ""
+    )
+    print(
+        f"streamed {stats.runs_seen} runs in {stats.chunks_folded} "
+        f"chunk(s) of {args.chunk_hours}h{resumed}; "
+        f"{stats.checkpoints_written} checkpoint(s) written"
+    )
+
+    if args.triples:
+        # The simulate-cdn CSV is grouped by ASN; the stream contract
+        # wants canonical (day, v4, v6) order, so sort on the way in.
+        triples = sorted(stream_triples_from_csv(Path(args.triples)))
+        assoc = run_association_stream(triples, args.chunk_days)
+        box = assoc.box
+        summary = (
+            f"median {box.median:.1f}d (q1 {box.q1:.1f}, q3 {box.q3:.1f})"
+            if box is not None
+            else "no complete associations"
+        )
+        print(
+            f"associations: {assoc.triples_seen} triples in "
+            f"{assoc.chunks_folded} chunk(s) of {args.chunk_days}d; "
+            f"durations {summary}; "
+            f"degree-1 /64 fraction {assoc.fraction_v6_degree_one:.2f}"
+        )
+    return 0
+
+
 def cmd_convert_atlas(args: argparse.Namespace) -> int:
     """Convert real RIPE Atlas results JSONL into echo records."""
     input_path = Path(args.input)
@@ -309,6 +439,40 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--input", required=True)
     _add_engine_arg(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    stream = commands.add_parser(
+        "stream",
+        help="chunked, checkpointable streaming analysis (batch-identical)",
+    )
+    _add_atlas_args(stream)
+    stream.add_argument("--input", default=None, metavar="PATH",
+                        help="stream an exported run-stream JSONL file instead "
+                        "of building a scenario (no Table 2: the file carries "
+                        "no routing table)")
+    stream.add_argument("--export", default=None, metavar="PATH",
+                        help="also write the scenario's run stream to PATH "
+                        "(readable later via --input)")
+    stream.add_argument("--chunk-hours", type=int, default=720,
+                        help="hours per chunk (default: 720); any value yields "
+                        "bit-identical artifacts")
+    stream.add_argument("--checkpoint", nargs="?", const=True, default=None,
+                        metavar="DIR",
+                        help="persist engine state every --checkpoint-every "
+                        "chunks (default DIR: <scenario cache>/checkpoints)")
+    stream.add_argument("--resume", action="store_true",
+                        help="resume from a matching persisted checkpoint")
+    stream.add_argument("--checkpoint-every", type=int, default=1,
+                        help="chunks between checkpoints (default: 1)")
+    stream.add_argument("--stop-after", type=int, default=None, metavar="N",
+                        help="abort after N chunks (persisting state first) — "
+                        "simulates a killed run")
+    stream.add_argument("--min-probes", type=int, default=3,
+                        help="probes required for a network periodicity call")
+    stream.add_argument("--triples", default=None, metavar="PATH",
+                        help="also stream a CDN association CSV")
+    stream.add_argument("--chunk-days", type=int, default=7,
+                        help="days per association chunk (default: 7)")
+    stream.set_defaults(func=cmd_stream)
 
     return parser
 

@@ -1,6 +1,8 @@
 """Serialization of measurement records (JSONL and CSV)."""
 
 from repro.io.records import (
+    parse_association_line,
+    parse_echo_run_line,
     read_association_csv,
     read_echo_records,
     read_echo_runs,
@@ -10,6 +12,8 @@ from repro.io.records import (
 )
 
 __all__ = [
+    "parse_association_line",
+    "parse_echo_run_line",
     "read_association_csv",
     "read_echo_records",
     "read_echo_runs",

@@ -9,7 +9,7 @@ archives) and let the benchmarks persist generated datasets.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator, List, TextIO
+from typing import Iterable, Iterator, TextIO
 
 from repro.atlas.echo import EchoRecord, EchoRun
 from repro.core.associations import Triple
@@ -89,25 +89,30 @@ def write_echo_runs(runs: Iterable[EchoRun], stream: TextIO) -> int:
     return count
 
 
+def parse_echo_run_line(line: str, lineno: int = 1) -> EchoRun:
+    """Parse a single JSONL echo-run line (one entry of :func:`write_echo_runs`)."""
+    try:
+        data = json.loads(line)
+        return EchoRun(
+            probe_id=int(data["prb_id"]),
+            family=int(data["af"]),
+            value=parse_address(data["value"]),
+            first=int(data["first"]),
+            last=int(data["last"]),
+            observed=int(data["observed"]),
+            max_gap=int(data.get("max_gap", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RecordFormatError(f"line {lineno}: {exc}") from exc
+
+
 def read_echo_runs(stream: TextIO) -> Iterator[EchoRun]:
     """Parse JSONL echo runs (inverse of :func:`write_echo_runs`)."""
     for lineno, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
             continue
-        try:
-            data = json.loads(line)
-            yield EchoRun(
-                probe_id=int(data["prb_id"]),
-                family=int(data["af"]),
-                value=parse_address(data["value"]),
-                first=int(data["first"]),
-                last=int(data["last"]),
-                observed=int(data["observed"]),
-                max_gap=int(data.get("max_gap", 0)),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise RecordFormatError(f"line {lineno}: {exc}") from exc
+        yield parse_echo_run_line(line, lineno)
 
 
 # -- association triples -----------------------------------------------------
@@ -125,28 +130,38 @@ def write_association_csv(triples: Iterable[Triple], stream: TextIO) -> int:
     return count
 
 
-def read_association_csv(stream: TextIO) -> List[Triple]:
-    """Parse the CSV produced by :func:`write_association_csv`."""
+def parse_association_line(line: str, lineno: int = 2) -> Triple:
+    """Parse a single CSV triple row (one entry of :func:`write_association_csv`)."""
+    fields = line.split(",")
+    if len(fields) != 3:
+        raise RecordFormatError(f"line {lineno}: expected 3 fields")
+    try:
+        return (int(fields[0]), int(fields[1], 16), int(fields[2], 16))
+    except ValueError as exc:
+        raise RecordFormatError(f"line {lineno}: {exc}") from exc
+
+
+def read_association_csv(stream: TextIO) -> Iterator[Triple]:
+    """Lazily parse the CSV produced by :func:`write_association_csv`.
+
+    Yields triples one at a time so arbitrarily long association feeds can be
+    consumed in bounded memory (the streaming layer chunks this iterator).
+    The header is validated when the first triple is requested.
+    """
     header = stream.readline().strip()
     if header != _CSV_HEADER:
         raise RecordFormatError(f"unexpected header {header!r}")
-    triples: List[Triple] = []
     for lineno, line in enumerate(stream, start=2):
         line = line.strip()
         if not line:
             continue
-        fields = line.split(",")
-        if len(fields) != 3:
-            raise RecordFormatError(f"line {lineno}: expected 3 fields")
-        try:
-            triples.append((int(fields[0]), int(fields[1], 16), int(fields[2], 16)))
-        except ValueError as exc:
-            raise RecordFormatError(f"line {lineno}: {exc}") from exc
-    return triples
+        yield parse_association_line(line, lineno)
 
 
 __all__ = [
     "RecordFormatError",
+    "parse_association_line",
+    "parse_echo_run_line",
     "read_association_csv",
     "read_echo_records",
     "read_echo_runs",

@@ -23,7 +23,9 @@ from repro.perf.parallel import (
 from repro.perf.profiling import PROFILE_DIR_ENV, PROFILE_ENV, maybe_profile
 from repro.perf.timing import (
     DEFAULT_BASELINE_PATH,
+    RssSampler,
     StageTimer,
+    current_rss_bytes,
     read_baseline,
     write_baseline,
 )
@@ -34,11 +36,13 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "PROFILE_DIR_ENV",
     "PROFILE_ENV",
+    "RssSampler",
     "ScenarioCache",
     "StageTimer",
     "WORKERS_ENV",
     "code_fingerprint",
     "collect_associations",
+    "current_rss_bytes",
     "effective_workers",
     "get_scenario_cache",
     "maybe_profile",

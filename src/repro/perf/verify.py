@@ -13,7 +13,10 @@ observable).
 The same contract applies to the analysis engines:
 :func:`analysis_engine_diffs` compares every report-layer artifact
 (Table 1/2, Figures 1/5, duration populations) computed by the columnar
-NumPy engine against the pure-Python reference, field by field.
+NumPy engine against the pure-Python reference, field by field — and
+:func:`streaming_replay_diffs` holds the streaming layer to it too:
+chunk-by-chunk replay (any chunk size, with or without a mid-stream
+checkpoint/restore) must be bit-identical to the batch np report.
 """
 
 from __future__ import annotations
@@ -145,6 +148,90 @@ def assert_analysis_engines_equal(probes: Sequence, table=None, triples=None) ->
         raise AssertionError("analysis engines differ: " + "; ".join(diffs))
 
 
+def _streaming_result_diffs(result, batch, periods, label: str) -> List[str]:
+    """Artifact-level streamed-vs-batch differences for one streaming pass."""
+    diffs: List[str] = []
+    if result is None:
+        return [f"{label}: streaming pass did not complete"]
+    analysis = result.analysis
+    for artifact in ("table1", "table2", "figure1", "figure5"):
+        if getattr(analysis, artifact) != getattr(batch, artifact):
+            diffs.append(f"{label}: {artifact} diverges from batch np report")
+    if (result.v4_periods, result.v6_periods) != periods:
+        diffs.append(f"{label}: periodicity diverges from batch np report")
+    return diffs
+
+
+def streaming_replay_diffs(
+    scenario: AtlasScenario,
+    chunk_hours: Sequence[int] = (256, 2048),
+    min_probes: int = 3,
+    checkpoint_dir=None,
+) -> List[str]:
+    """Streamed-vs-batch artifact differences ([] if bit-identical).
+
+    The replay-parity contract: streaming ``scenario`` chunk-by-chunk
+    (each size in ``chunk_hours``) must reproduce the batch
+    ``engine="np"`` artifacts bit-identically.  When ``checkpoint_dir``
+    is given, a kill/checkpoint/resume pass (stopped halfway, resumed
+    from its persisted state) is verified too.
+    """
+    from repro.workloads import (
+        analyze_atlas_scenario,
+        periodicity_for_scenario,
+        stream_analyze_atlas_scenario,
+    )
+
+    batch = analyze_atlas_scenario(scenario, engine="np")
+    periods = periodicity_for_scenario(scenario, min_probes=min_probes, engine="np")
+    diffs: List[str] = []
+    for hours in chunk_hours:
+        result = stream_analyze_atlas_scenario(
+            scenario, chunk_hours=hours, min_probes=min_probes
+        )
+        diffs.extend(
+            _streaming_result_diffs(result, batch, periods, f"chunk_hours={hours}")
+        )
+    if checkpoint_dir is not None and chunk_hours:
+        hours = chunk_hours[0]
+        total = max(1, -(-scenario.end_hour // hours))
+        killed = stream_analyze_atlas_scenario(
+            scenario,
+            chunk_hours=hours,
+            min_probes=min_probes,
+            checkpoint=checkpoint_dir,
+            stop_after_chunks=max(1, total // 2),
+        )
+        if killed is not None:
+            diffs.append("kill/resume: stopped pass unexpectedly completed")
+        resumed = stream_analyze_atlas_scenario(
+            scenario,
+            chunk_hours=hours,
+            min_probes=min_probes,
+            checkpoint=checkpoint_dir,
+            resume=True,
+        )
+        diffs.extend(_streaming_result_diffs(resumed, batch, periods, "kill/resume"))
+        if resumed is not None and resumed.stats.resumed_from_chunk is None:
+            diffs.append("kill/resume: resume did not load the persisted state")
+    return diffs
+
+
+def assert_streaming_replay_equal(
+    scenario: AtlasScenario,
+    chunk_hours: Sequence[int] = (256, 2048),
+    min_probes: int = 3,
+    checkpoint_dir=None,
+) -> None:
+    """Raise AssertionError naming every streamed-vs-batch divergence."""
+    diffs = streaming_replay_diffs(
+        scenario, chunk_hours=chunk_hours, min_probes=min_probes,
+        checkpoint_dir=checkpoint_dir,
+    )
+    if diffs:
+        raise AssertionError("streaming replay differs: " + "; ".join(diffs))
+
+
 def assert_atlas_scenarios_equal(a: AtlasScenario, b: AtlasScenario) -> None:
     """Raise AssertionError naming every diverging Atlas scenario field."""
     diffs = atlas_scenario_diffs(a, b)
@@ -164,6 +251,8 @@ __all__ = [
     "assert_analysis_engines_equal",
     "assert_atlas_scenarios_equal",
     "assert_cdn_scenarios_equal",
+    "assert_streaming_replay_equal",
     "atlas_scenario_diffs",
     "cdn_scenario_diffs",
+    "streaming_replay_diffs",
 ]

@@ -1,0 +1,71 @@
+"""Chunked, checkpointable, incremental analysis (the streaming layer).
+
+This subsystem processes echo runs/records and CDN association triples
+in bounded-size chunks, maintaining per-probe incremental state that
+folds each chunk through the existing ``analysis_np`` kernels.  A full
+streaming pass is **bit-identical** to the batch ``engine="np"`` report
+for any chunk size, with or without a mid-stream checkpoint/restore —
+see :func:`repro.perf.verify.streaming_replay_diffs`.
+
+Layout:
+
+* :mod:`repro.stream.chunks` — stream sources, the on-disk run-stream
+  format, the incremental run assembler, and triple chunking;
+* :mod:`repro.stream.engine` — the Atlas engine and its driver;
+* :mod:`repro.stream.associations` — the CDN association engine;
+* :mod:`repro.stream.checkpoint` — the content-addressed checkpoint
+  store (lives under the :mod:`repro.perf.cache` directory).
+"""
+
+from repro.stream.associations import (
+    AssociationStreamEngine,
+    AssociationStreamResult,
+    run_association_stream,
+)
+from repro.stream.checkpoint import CheckpointStore, default_checkpoint_dir
+from repro.stream.chunks import (
+    JsonlRunSource,
+    NetworkInfo,
+    ProbeInfo,
+    RunAssembler,
+    RunChunk,
+    ScenarioRunSource,
+    StreamManifest,
+    TripleChunk,
+    manifest_from_scenario,
+    record_chunks,
+    stream_triples_from_csv,
+    triple_chunks,
+    write_run_stream,
+)
+from repro.stream.engine import (
+    AtlasStreamEngine,
+    AtlasStreamResult,
+    StreamStats,
+    run_atlas_stream,
+)
+
+__all__ = [
+    "AssociationStreamEngine",
+    "AssociationStreamResult",
+    "AtlasStreamEngine",
+    "AtlasStreamResult",
+    "CheckpointStore",
+    "JsonlRunSource",
+    "NetworkInfo",
+    "ProbeInfo",
+    "RunAssembler",
+    "RunChunk",
+    "ScenarioRunSource",
+    "StreamManifest",
+    "StreamStats",
+    "TripleChunk",
+    "default_checkpoint_dir",
+    "manifest_from_scenario",
+    "record_chunks",
+    "run_association_stream",
+    "run_atlas_stream",
+    "stream_triples_from_csv",
+    "triple_chunks",
+    "write_run_stream",
+]

@@ -1,0 +1,120 @@
+"""Versioned on-disk checkpoints for streaming engine state.
+
+Checkpoints live alongside the scenario cache (a ``checkpoints/``
+subdirectory of the :mod:`repro.perf.cache` directory, so
+``$REPRO_CACHE_DIR`` relocates both) and are content-addressed the same
+way: the key hashes the checkpoint format version, the engine kind, the
+``repro`` code fingerprint, the *stream identity* (manifest digest +
+data extent), and the canonicalized engine parameters.  Any code or
+parameter change makes old checkpoints unaddressable instead of subtly
+wrong — a resumed run either continues the exact same computation or
+starts fresh.
+
+Payloads are pickles written atomically (temp file + ``os.replace``);
+corrupt, truncated, or mismatched entries load as ``None`` (a miss).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.perf.cache import CACHE_DIR_ENV, _DEFAULT_DIR, code_fingerprint
+
+#: Version of the checkpoint container format (not the engine payloads,
+#: which carry their own ``state_version``).
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def default_checkpoint_dir() -> Path:
+    """``<scenario cache dir>/checkpoints`` (honors ``$REPRO_CACHE_DIR``)."""
+    raw = os.environ.get(CACHE_DIR_ENV) or _DEFAULT_DIR
+    return Path(raw).expanduser() / "checkpoints"
+
+
+class CheckpointStore:
+    """Content-addressed pickle store for engine ``state_dict`` payloads."""
+
+    def __init__(self, directory=None) -> None:
+        self.directory = (
+            Path(directory).expanduser() if directory else default_checkpoint_dir()
+        )
+
+    def key(self, kind: str, stream_id: str, params: dict) -> str:
+        """Checkpoint address of one (engine kind, stream, parameters)."""
+        canonical = json.dumps(params, sort_keys=True, default=str)
+        material = "\n".join(
+            (
+                str(CHECKPOINT_FORMAT_VERSION),
+                kind,
+                code_fingerprint(),
+                stream_id,
+                canonical,
+            )
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """The on-disk path of the ``(kind, key)`` checkpoint."""
+        return self.directory / f"{kind}-{key}.pkl"
+
+    def save(self, kind: str, key: str, payload: dict) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(kind, key)
+        temp = path.with_name(path.name + f".tmp{os.getpid()}")
+        envelope = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        with temp.open("wb") as stream:
+            pickle.dump(envelope, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)
+        return path
+
+    def load(self, kind: str, key: str) -> Optional[dict]:
+        """The payload stored under ``key``, or ``None`` on any miss.
+
+        Corrupt pickles and version/key mismatches are deleted and
+        treated as misses — a half-written checkpoint from a killed run
+        must never poison a resume.
+        """
+        path = self.path_for(kind, key)
+        try:
+            with path.open("rb") as stream:
+                envelope = pickle.load(stream)
+            if (
+                envelope.get("format_version") != CHECKPOINT_FORMAT_VERSION
+                or envelope.get("kind") != kind
+                or envelope.get("key") != key
+            ):
+                raise ValueError("checkpoint envelope mismatch")
+            return envelope["payload"]
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, KeyError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def delete(self, kind: str, key: str) -> None:
+        """Remove the ``(kind, key)`` checkpoint (missing is fine)."""
+        try:
+            self.path_for(kind, key).unlink()
+        except FileNotFoundError:
+            pass
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "default_checkpoint_dir",
+]

@@ -1,0 +1,561 @@
+"""Chunked stream sources for the incremental analysis engine.
+
+The streaming layer consumes *run events* — completed echo runs ordered
+by their first observed hour — in bounded-size chunks.  Each chunk
+covers a half-open hour window ``[k*chunk_hours, (k+1)*chunk_hours)``
+and carries every run whose ``first`` falls inside it.  Because run
+firsts are strictly increasing within one (probe, family) track, the
+global ``(first, probe, family)`` order preserves every per-track run
+sequence, which is all the incremental state machines need.
+
+Sources:
+
+* :class:`ScenarioRunSource` — windows the sanitized runs of an
+  in-memory :class:`~repro.workloads.AtlasScenario`.
+* :class:`JsonlRunSource` — lazily re-scans a stream file written by
+  :func:`write_run_stream` (a JSON manifest line followed by standard
+  ``write_echo_runs`` lines keyed by probe *index*), so arbitrarily
+  long feeds are consumed in bounded memory.
+* :class:`RunAssembler` + :func:`record_chunks` — the live-collection
+  path: fold hour-ordered *hourly records* into runs incrementally,
+  reproducing :func:`repro.atlas.echo.runs_from_hourly` exactly while
+  exposing open-run extents so dual-stack classification can proceed
+  before a run closes.
+
+Association triples stream analogously through :func:`triple_chunks`
+(day windows over the lazy ``read_association_csv`` iterator).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple
+
+from repro.atlas.echo import EchoRecord, EchoRun
+from repro.core.associations import Triple
+from repro.io.records import (
+    RecordFormatError,
+    parse_echo_run_line,
+    read_association_csv,
+    write_echo_runs,
+)
+
+STREAM_FORMAT = "repro-stream"
+STREAM_FORMAT_VERSION = 1
+
+#: One run event: ``(first, probe_ref, family, value_int, last)``.
+#: ``probe_ref`` indexes the manifest's probe list; ``value_int`` is the
+#: full integer address (128-bit for IPv6).
+RunEvent = Tuple[int, int, int, int, int]
+
+
+# -- manifest -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetworkInfo:
+    """One featured network (Table 1 identity columns)."""
+
+    name: str
+    asn: int
+    country: str
+
+
+@dataclass(frozen=True)
+class ProbeInfo:
+    """One sanitized probe's stream identity.
+
+    ``probe_id`` is the sanitizer's (string) probe id; the stream itself
+    refers to probes by their *index* in the manifest list, which keeps
+    the run-line format identical to ``write_echo_runs``.
+    """
+
+    probe_id: str
+    asn: int
+    dual_stack: bool
+
+
+@dataclass(frozen=True)
+class StreamManifest:
+    """Header of a run stream: who is measured, and for how long."""
+
+    end_hour: int
+    networks: Tuple[NetworkInfo, ...]
+    probes: Tuple[ProbeInfo, ...]
+
+    def to_json(self) -> str:
+        """The manifest's canonical single-line JSON form."""
+        return json.dumps(
+            {
+                "format": STREAM_FORMAT,
+                "version": STREAM_FORMAT_VERSION,
+                "end_hour": self.end_hour,
+                "networks": [[n.name, n.asn, n.country] for n in self.networks],
+                "probes": [
+                    [p.probe_id, p.asn, 1 if p.dual_stack else 0] for p in self.probes
+                ],
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "StreamManifest":
+        """Parse a manifest line (raises ``RecordFormatError`` if invalid)."""
+        try:
+            data = json.loads(line)
+            if data.get("format") != STREAM_FORMAT:
+                raise ValueError(f"not a {STREAM_FORMAT} manifest")
+            if int(data.get("version", -1)) != STREAM_FORMAT_VERSION:
+                raise ValueError(f"unsupported stream version {data.get('version')!r}")
+            return cls(
+                end_hour=int(data["end_hour"]),
+                networks=tuple(
+                    NetworkInfo(str(name), int(asn), str(country))
+                    for name, asn, country in data["networks"]
+                ),
+                probes=tuple(
+                    ProbeInfo(str(pid), int(asn), bool(dual))
+                    for pid, asn, dual in data["probes"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordFormatError(f"bad stream manifest: {exc}") from exc
+
+    def digest(self) -> str:
+        """Stable content hash of the manifest (part of stream identity)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def manifest_from_scenario(scenario) -> StreamManifest:
+    """Build the stream manifest of an :class:`~repro.workloads.AtlasScenario`."""
+    return StreamManifest(
+        end_hour=scenario.end_hour,
+        networks=tuple(
+            NetworkInfo(name, isp.asn, isp.config.country)
+            for name, isp in scenario.isps.items()
+        ),
+        probes=tuple(
+            ProbeInfo(probe.probe_id, probe.asn, probe.dual_stack)
+            for probe in scenario.probes
+        ),
+    )
+
+
+# -- chunks -------------------------------------------------------------------
+
+
+@dataclass
+class RunChunk:
+    """One hour window's worth of run events.
+
+    ``open_v6``/``open_v4``/``frontier`` are only populated on the
+    live-record path: ``open_v6`` maps probe refs to the current extent
+    of a still-open IPv6 address run (it contributes dual-stack coverage
+    before the run closes), ``open_v4`` maps probe refs to the first
+    hour of a still-open IPv4 run (so coverage that run may later need
+    is retained), and ``frontier`` maps probe refs to the first hour at
+    which a *new* v6 observation could still appear (defaults to
+    ``end_hour`` when absent — correct for complete-run streams).
+    """
+
+    index: int
+    start_hour: int
+    end_hour: int
+    events: List[RunEvent]
+    open_v6: Optional[Dict[int, Tuple[int, int]]] = None
+    open_v4: Optional[Dict[int, int]] = None
+    frontier: Optional[Dict[int, int]] = None
+
+
+def _chunk_count(end_hour: int, chunk_hours: int) -> int:
+    if chunk_hours < 1:
+        raise ValueError("chunk_hours must be >= 1")
+    return max(1, -(-end_hour // chunk_hours))
+
+
+def _window_events(
+    events: Iterable[RunEvent],
+    chunk_hours: int,
+    start_chunk: int,
+    min_chunks: int,
+) -> Iterator[RunChunk]:
+    """Window first-hour-ordered events into consecutive chunks.
+
+    Events before the resume point (``start_chunk``) are skipped; empty
+    windows are emitted so the chunk index always equals
+    ``first // chunk_hours`` and a resumed scan lines up with the
+    original one.
+    """
+    index = start_chunk
+    lo = start_chunk * chunk_hours
+    buffer: List[RunEvent] = []
+    prev_first: Optional[int] = None
+    for event in events:
+        first = event[0]
+        if prev_first is not None and first < prev_first:
+            raise RecordFormatError(
+                f"run stream not sorted: first hour {first} after {prev_first}"
+            )
+        prev_first = first
+        if first < lo:
+            continue  # before the resume point
+        while first >= lo + chunk_hours:
+            yield RunChunk(index, lo, lo + chunk_hours, buffer)
+            buffer = []
+            index += 1
+            lo += chunk_hours
+        buffer.append(event)
+    if buffer or index < min_chunks:
+        yield RunChunk(index, lo, lo + chunk_hours, buffer)
+        index += 1
+        lo += chunk_hours
+    while index < min_chunks:
+        yield RunChunk(index, lo, lo + chunk_hours, [])
+        index += 1
+        lo += chunk_hours
+
+
+class ScenarioRunSource:
+    """Run events of an in-memory scenario, sorted once at construction."""
+
+    def __init__(self, manifest: StreamManifest, events: Sequence[RunEvent]) -> None:
+        self.manifest = manifest
+        self._events: List[RunEvent] = sorted(events)
+        digest = hashlib.sha256(manifest.to_json().encode("utf-8"))
+        for event in self._events:
+            digest.update(repr(event).encode("utf-8"))
+        self.stream_id = digest.hexdigest()
+
+    @classmethod
+    def from_scenario(cls, scenario) -> "ScenarioRunSource":
+        manifest = manifest_from_scenario(scenario)
+        events: List[RunEvent] = []
+        for ref, probe in enumerate(scenario.probes):
+            for run in probe.v4_runs:
+                events.append((run.first, ref, 4, int(run.value), run.last))
+            for run in probe.v6_runs:
+                events.append((run.first, ref, 6, int(run.value), run.last))
+        return cls(manifest, events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def chunks(self, chunk_hours: int, start_chunk: int = 0) -> Iterator[RunChunk]:
+        """Window the events into chunks, resuming at ``start_chunk``."""
+        min_chunks = _chunk_count(self.manifest.end_hour, chunk_hours)
+        return _window_events(self._events, chunk_hours, start_chunk, min_chunks)
+
+
+class JsonlRunSource:
+    """Run events lazily re-read from a :func:`write_run_stream` file.
+
+    Every :meth:`chunks` call re-scans the file from the top (skipping
+    already-consumed windows on resume), so memory stays bounded by the
+    largest single chunk regardless of stream length.  A truncated final
+    line — the signature of a killed writer — is tolerated and counted
+    in :attr:`truncated_lines`; malformed lines *followed by* well-formed
+    ones still raise.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        with self.path.open() as stream:
+            header = stream.readline()
+        self.manifest = StreamManifest.from_json(header)
+        size = self.path.stat().st_size
+        self.stream_id = hashlib.sha256(
+            f"jsonl\n{header.strip()}\n{size}".encode("utf-8")
+        ).hexdigest()
+        self.truncated_lines = 0
+
+    def _events(self) -> Iterator[RunEvent]:
+        with self.path.open() as stream:
+            stream.readline()  # manifest
+            pending_error: Optional[RecordFormatError] = None
+            for lineno, line in enumerate(stream, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                if pending_error is not None:
+                    raise pending_error
+                try:
+                    run = parse_echo_run_line(line, lineno)
+                except RecordFormatError as exc:
+                    pending_error = exc  # tolerated only as the final line
+                    continue
+                yield (run.first, run.probe_id, run.family, int(run.value), run.last)
+            if pending_error is not None:
+                self.truncated_lines += 1
+
+    def chunks(self, chunk_hours: int, start_chunk: int = 0) -> Iterator[RunChunk]:
+        """Re-scan the file and window it, resuming at ``start_chunk``."""
+        min_chunks = _chunk_count(self.manifest.end_hour, chunk_hours)
+        return _window_events(self._events(), chunk_hours, start_chunk, min_chunks)
+
+
+def write_run_stream(scenario, stream: TextIO) -> int:
+    """Serialize a scenario as a run stream: manifest line + sorted runs.
+
+    Run lines reuse the ``write_echo_runs`` JSONL schema with ``prb_id``
+    set to the probe's *index* in the manifest (sanitized probe ids are
+    strings and virtual probes can share raw ids, so the index is the
+    only stable integer key).  Returns the number of run lines written.
+    """
+    manifest = manifest_from_scenario(scenario)
+    stream.write(manifest.to_json() + "\n")
+    keyed = []
+    for ref, probe in enumerate(scenario.probes):
+        for run in probe.v4_runs:
+            keyed.append((run.first, ref, run.family, run))
+        for run in probe.v6_runs:
+            keyed.append((run.first, ref, run.family, run))
+    keyed.sort(key=lambda item: item[:3])
+    return write_echo_runs(
+        (replace(run, probe_id=ref) for _first, ref, _family, run in keyed), stream
+    )
+
+
+# -- live-record assembly ------------------------------------------------------
+
+
+class RunAssembler:
+    """Incremental :func:`repro.atlas.echo.runs_from_hourly` over a feed.
+
+    Feed hour-ordered hourly records (interleaved across probes and
+    families); completed runs come back as they close, and still-open
+    runs are visible through :meth:`open_v6_extents` /
+    :meth:`flush`.  The assembled run sequence per (probe, family) track
+    is identical to batch ``runs_from_hourly`` on that track's records.
+    """
+
+    def __init__(self) -> None:
+        self._open: Dict[Tuple[int, int], dict] = {}
+        self._hour = -1
+
+    @property
+    def processed_hour(self) -> int:
+        """The highest record hour folded so far (-1 before any)."""
+        return self._hour
+
+    def feed(self, records: Iterable[EchoRecord]) -> List[EchoRun]:
+        """Fold hour-ordered records; returns the runs that just closed."""
+        completed: List[EchoRun] = []
+        for record in records:
+            key = (record.probe_id, record.family)
+            state = self._open.get(key)
+            if state is not None and record.hour <= state["last"]:
+                raise ValueError(
+                    f"records out of order: hour {record.hour} after {state['last']}"
+                )
+            if state is not None and record.client_ip == state["value"]:
+                gap = record.hour - state["last"] - 1
+                if gap > state["max_gap"]:
+                    state["max_gap"] = gap
+                state["last"] = record.hour
+                state["observed"] += 1
+            else:
+                if state is not None:
+                    completed.append(self._close(state))
+                self._open[key] = {
+                    "probe_id": record.probe_id,
+                    "family": record.family,
+                    "value": record.client_ip,
+                    "first": record.hour,
+                    "last": record.hour,
+                    "observed": 1,
+                    "max_gap": 0,
+                }
+            if record.hour > self._hour:
+                self._hour = record.hour
+        return completed
+
+    def flush(self) -> List[EchoRun]:
+        """Close and return every still-open run (end of stream)."""
+        closed = [self._close(state) for _key, state in sorted(self._open.items())]
+        self._open.clear()
+        return closed
+
+    def open_v6_extents(self) -> Dict[int, Tuple[int, int]]:
+        """Current (first, last) extent of each open IPv6 address run."""
+        return {
+            probe: (state["first"], state["last"])
+            for (probe, family), state in self._open.items()
+            if family == 6
+        }
+
+    def open_v4_firsts(self) -> Dict[int, int]:
+        """First hour of each still-open IPv4 run."""
+        return {
+            probe: state["first"]
+            for (probe, family), state in self._open.items()
+            if family == 4
+        }
+
+    @staticmethod
+    def _close(state: dict) -> EchoRun:
+        return EchoRun(
+            probe_id=state["probe_id"],
+            family=state["family"],
+            value=state["value"],
+            first=state["first"],
+            last=state["last"],
+            observed=state["observed"],
+            max_gap=state["max_gap"],
+        )
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the open-run state (checkpointing)."""
+        return {
+            "hour": self._hour,
+            "open": {key: dict(state) for key, state in self._open.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (checkpoint resume)."""
+        self._hour = state["hour"]
+        self._open = {key: dict(value) for key, value in state["open"].items()}
+
+
+def record_chunks(
+    records: Iterable[EchoRecord],
+    chunk_hours: int,
+    assembler: Optional[RunAssembler] = None,
+    end_hour: Optional[int] = None,
+) -> Iterator[RunChunk]:
+    """Window an hour-ordered record feed into engine-ready chunks.
+
+    Each chunk carries the runs that *closed* during its hour window
+    plus the open-v6 extents and per-probe frontiers the engine needs to
+    classify dual-stack coverage before runs close.  The final chunk
+    flushes the assembler, so folding every chunk reproduces batch runs
+    exactly.
+    """
+    assembler = assembler if assembler is not None else RunAssembler()
+    min_chunks = _chunk_count(end_hour, chunk_hours) if end_hour else 1
+    index = 0
+    lo = 0
+    buffer: List[EchoRecord] = []
+    prev_hour: Optional[int] = None
+
+    def close_chunk(closing_runs: List[EchoRun], final: bool) -> RunChunk:
+        events = sorted(
+            (run.first, run.probe_id, run.family, int(run.value), run.last)
+            for run in closing_runs
+        )
+        extents = {} if final else assembler.open_v6_extents()
+        return RunChunk(
+            index,
+            lo,
+            lo + chunk_hours,
+            events,
+            open_v6=extents,
+            open_v4={} if final else assembler.open_v4_firsts(),
+            frontier={ref: extent[1] + 1 for ref, extent in extents.items()},
+        )
+
+    for record in records:
+        if prev_hour is not None and record.hour < prev_hour:
+            raise RecordFormatError(
+                f"record stream not sorted: hour {record.hour} after {prev_hour}"
+            )
+        prev_hour = record.hour
+        while record.hour >= lo + chunk_hours:
+            buffer.sort(key=lambda r: (r.hour, r.probe_id, r.family))
+            yield close_chunk(assembler.feed(buffer), final=False)
+            buffer = []
+            index += 1
+            lo += chunk_hours
+        buffer.append(record)
+    buffer.sort(key=lambda r: (r.hour, r.probe_id, r.family))
+    closed = assembler.feed(buffer)
+    while index < min_chunks - 1:
+        yield close_chunk(closed, final=False)
+        closed = []
+        index += 1
+        lo += chunk_hours
+    closed.extend(assembler.flush())
+    yield close_chunk(closed, final=True)
+
+
+# -- association triples -------------------------------------------------------
+
+
+@dataclass
+class TripleChunk:
+    """One day window's worth of association triples, canonically sorted."""
+
+    index: int
+    start_day: int
+    end_day: int
+    triples: List[Triple]
+
+
+def triple_chunks(
+    triples: Iterable[Triple],
+    chunk_days: int,
+    start_chunk: int = 0,
+    min_days: int = 0,
+) -> Iterator[TripleChunk]:
+    """Window a day-ordered triple feed into consecutive day chunks.
+
+    Days may arrive in any order *within* a window (each chunk is sorted
+    ``(day, v4, v6)`` before it is yielded — the batch scan order), but
+    a triple whose day precedes the current window raises.
+    """
+    if chunk_days < 1:
+        raise ValueError("chunk_days must be >= 1")
+    min_chunks = max(1, -(-min_days // chunk_days)) if min_days else 1
+    index = start_chunk
+    lo = start_chunk * chunk_days
+    buffer: List[Triple] = []
+    for triple in triples:
+        day = triple[0]
+        if day < lo and index == start_chunk:
+            continue  # before the resume point
+        if day < lo:
+            raise RecordFormatError(
+                f"association stream not day-ordered: day {day} in window >= {lo}"
+            )
+        while day >= lo + chunk_days:
+            buffer.sort()
+            yield TripleChunk(index, lo, lo + chunk_days, buffer)
+            buffer = []
+            index += 1
+            lo += chunk_days
+        buffer.append(triple)
+    if buffer or index < min_chunks:
+        buffer.sort()
+        yield TripleChunk(index, lo, lo + chunk_days, buffer)
+        index += 1
+        lo += chunk_days
+    while index < min_chunks:
+        yield TripleChunk(index, lo, lo + chunk_days, [])
+        index += 1
+        lo += chunk_days
+
+
+def stream_triples_from_csv(path) -> Iterator[Triple]:
+    """Lazily stream triples from a ``write_association_csv`` file."""
+    with Path(path).open() as stream:
+        yield from read_association_csv(stream)
+
+
+__all__ = [
+    "JsonlRunSource",
+    "NetworkInfo",
+    "ProbeInfo",
+    "RunAssembler",
+    "RunChunk",
+    "RunEvent",
+    "ScenarioRunSource",
+    "StreamManifest",
+    "TripleChunk",
+    "manifest_from_scenario",
+    "record_chunks",
+    "stream_triples_from_csv",
+    "triple_chunks",
+    "write_run_stream",
+]

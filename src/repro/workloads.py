@@ -606,6 +606,55 @@ def build_cdn_scenario(
     return scenario
 
 
+def stream_analyze_atlas_scenario(
+    scenario: AtlasScenario,
+    chunk_hours: int = 720,
+    checkpoint=None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    stop_after_chunks: Optional[int] = None,
+    min_probes: int = 3,
+    tolerance: float = 1.0,
+    on_chunk=None,
+):
+    """Streaming (chunked, checkpointable) ``analyze_atlas_scenario``.
+
+    Windows the scenario's sanitized runs into ``chunk_hours``-wide
+    chunks and folds them through the incremental
+    :class:`repro.stream.engine.AtlasStreamEngine`; the returned
+    :class:`~repro.stream.engine.AtlasStreamResult` carries artifacts
+    bit-identical to ``analyze_atlas_scenario(scenario, engine="np")``
+    plus the ``periodicity_for_scenario`` periods for the same
+    ``min_probes``/``tolerance``.
+
+    ``checkpoint`` enables on-disk state persistence: ``True`` uses the
+    default checkpoint directory (under the scenario cache dir), a path
+    uses that directory.  With ``resume=True`` a previously persisted
+    state for the same stream/parameters/code is loaded and only the
+    remaining chunks are folded.  ``stop_after_chunks`` aborts the pass
+    after that many folds (persisting first, when enabled) and returns
+    ``None`` — simulating a killed run.
+    """
+    from repro.stream import CheckpointStore, ScenarioRunSource, run_atlas_stream
+
+    store = None
+    if checkpoint:
+        store = CheckpointStore(None if checkpoint is True else checkpoint)
+    source = ScenarioRunSource.from_scenario(scenario)
+    return run_atlas_stream(
+        source,
+        chunk_hours,
+        table=scenario.table,
+        store=store,
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+        stop_after_chunks=stop_after_chunks,
+        min_probes=min_probes,
+        tolerance=tolerance,
+        on_chunk=on_chunk,
+    )
+
+
 __all__ = [
     "AtlasAnalysis",
     "AtlasScenario",
@@ -614,4 +663,5 @@ __all__ = [
     "build_atlas_scenario",
     "build_cdn_scenario",
     "periodicity_for_scenario",
+    "stream_analyze_atlas_scenario",
 ]

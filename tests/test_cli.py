@@ -37,7 +37,7 @@ class TestSimulateCdn:
         ])
         assert code == 0
         with output.open() as stream:
-            triples = read_association_csv(stream)
+            triples = list(read_association_csv(stream))
         assert triples
         assert all(0 <= day < 20 for day, _v4, _v6 in triples)
 
@@ -91,6 +91,41 @@ class TestAnalyze:
         assert "probes:" in out
         assert "IPv4:" in out
         assert "periodic renumbering detected" in out  # DTAG et al. at 24h
+
+
+class TestStream:
+    def test_scenario_mode_prints_tables_and_stats(self, capsys):
+        code = main([
+            "stream", "--probes-per-as", "3", "--years", "0.5", "--seed", "3",
+            "--chunk-hours", "300",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "streamed" in out and "chunk(s) of 300h" in out
+
+    def test_export_checkpoint_stop_and_resume(self, tmp_path, capsys):
+        export = tmp_path / "runs.jsonl"
+        ckpt = tmp_path / "ckpt"
+        base = [
+            "stream", "--probes-per-as", "2", "--years", "0.4", "--seed", "5",
+            "--chunk-hours", "250",
+        ]
+        code = main(base + ["--export", str(export)])
+        assert code == 0 and export.exists()
+        full = capsys.readouterr().out
+        file_args = ["stream", "--input", str(export), "--chunk-hours", "250"]
+        code = main(file_args + ["--checkpoint", str(ckpt), "--stop-after", "2"])
+        assert code == 0
+        assert "stopped after 2 chunk(s)" in capsys.readouterr().out
+        code = main(file_args + ["--checkpoint", str(ckpt), "--resume"])
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from chunk 2" in resumed
+        # File mode matches the scenario pass line-for-line on Table 1
+        # (no Table 2: the file carries no routing table).
+        table1 = full[full.index("Table 1"): full.index("Table 2")]
+        assert table1.replace("\n\n", "\n") in resumed.replace("\n\n", "\n")
 
 
 class TestParser:

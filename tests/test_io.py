@@ -1,4 +1,4 @@
-"""Tests for record serialization (repro.io.records)."""
+"""Tests for record serialization (repro.io.records) and stream windowing."""
 
 import io
 
@@ -7,6 +7,8 @@ import pytest
 from repro.atlas.echo import EchoRecord, EchoRun
 from repro.io.records import (
     RecordFormatError,
+    parse_association_line,
+    parse_echo_run_line,
     read_association_csv,
     read_echo_records,
     read_echo_runs,
@@ -15,6 +17,14 @@ from repro.io.records import (
     write_echo_runs,
 )
 from repro.ip.addr import IPv4Address, IPv6Address
+from repro.stream import (
+    JsonlRunSource,
+    NetworkInfo,
+    ProbeInfo,
+    ScenarioRunSource,
+    StreamManifest,
+    triple_chunks,
+)
 
 
 class TestEchoRecordsIO:
@@ -67,14 +77,102 @@ class TestAssociationCsv:
         buffer = io.StringIO()
         assert write_association_csv(triples, buffer) == 2
         buffer.seek(0)
-        assert read_association_csv(buffer) == triples
+        assert list(read_association_csv(buffer)) == triples
 
     def test_bad_header(self):
         with pytest.raises(RecordFormatError):
-            read_association_csv(io.StringIO("nope\n"))
+            list(read_association_csv(io.StringIO("nope\n")))
 
     def test_bad_fields(self):
         with pytest.raises(RecordFormatError):
-            read_association_csv(io.StringIO("day,v4_slash24,v6_slash64\n1,2\n"))
+            list(read_association_csv(io.StringIO("day,v4_slash24,v6_slash64\n1,2\n")))
         with pytest.raises(RecordFormatError):
-            read_association_csv(io.StringIO("day,v4_slash24,v6_slash64\nx,ff,ff\n"))
+            list(read_association_csv(io.StringIO("day,v4_slash24,v6_slash64\nx,ff,ff\n")))
+
+    def test_reader_is_lazy(self):
+        # The CSV reader is a generator: a bad header only raises once
+        # the caller starts consuming, and rows parse one at a time.
+        iterator = read_association_csv(io.StringIO("nope\n"))
+        with pytest.raises(RecordFormatError):
+            next(iterator)
+        stream = io.StringIO("day,v4_slash24,v6_slash64\n1,ff,ff00\n2,bad,row\n")
+        iterator = read_association_csv(stream)
+        assert next(iterator) == (1, 0xFF, 0xFF00)
+        with pytest.raises(RecordFormatError, match="line 3"):
+            next(iterator)
+
+    def test_parse_helpers(self):
+        assert parse_association_line("3,1f000000,2a0000000000000000000000\n") == (
+            3, 0x1F000000, 0x2A0000000000000000000000
+        )
+        run = parse_echo_run_line(
+            '{"prb_id":1,"af":4,"value":"1.2.3.4","first":0,"last":5,"observed":6}'
+        )
+        assert (run.first, run.last, run.observed) == (0, 5, 6)
+        with pytest.raises(RecordFormatError, match="line 9"):
+            parse_echo_run_line("{}", lineno=9)
+
+
+def _manifest(end_hour):
+    return StreamManifest(
+        end_hour=end_hour,
+        networks=(NetworkInfo("AS", 1, "XX"),),
+        probes=(ProbeInfo("p0", 1, True),),
+    )
+
+
+class TestRunChunkBoundaries:
+    def test_run_spanning_a_boundary_stays_in_its_first_chunk(self):
+        # A run is windowed by its *first* hour: one starting at hour 9
+        # and lasting into the next window still belongs to chunk 0.
+        events = [(9, 0, 4, 1, 25), (30, 0, 4, 2, 35)]
+        chunks = list(ScenarioRunSource(_manifest(40), events).chunks(10))
+        assert [chunk.index for chunk in chunks] == [0, 1, 2, 3]
+        assert chunks[0].events == [(9, 0, 4, 1, 25)]
+        assert chunks[1].events == []  # the spanning run is NOT re-emitted
+        assert chunks[3].events == [(30, 0, 4, 2, 35)]
+
+    def test_empty_windows_are_emitted(self):
+        # A long observation gap yields explicitly empty chunks, so a
+        # resumed scan always lines up index-for-index with the original.
+        events = [(0, 0, 4, 1, 0), (45, 0, 4, 2, 45)]
+        chunks = list(ScenarioRunSource(_manifest(50), events).chunks(10))
+        assert [len(chunk.events) for chunk in chunks] == [1, 0, 0, 0, 1]
+        assert [chunk.start_hour for chunk in chunks] == [0, 10, 20, 30, 40]
+
+    def test_unsorted_events_raise(self):
+        source = ScenarioRunSource(_manifest(10), [(0, 0, 4, 1, 0)])
+        source._events = [(5, 0, 4, 1, 5), (2, 0, 4, 2, 2)]  # corrupt the order
+        with pytest.raises(RecordFormatError, match="not sorted"):
+            list(source.chunks(10))
+
+    def test_truncated_final_run_line_tolerated(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        line = '{"prb_id":0,"af":4,"value":"1.2.3.4","first":0,"last":5,"observed":6}'
+        path.write_text(
+            _manifest(10).to_json() + "\n" + line + "\n" + line[: len(line) // 2]
+        )
+        source = JsonlRunSource(path)
+        chunks = list(source.chunks(10))
+        assert len(chunks[0].events) == 1
+        assert source.truncated_lines == 1
+
+
+class TestTripleChunkBoundaries:
+    def test_spell_split_across_chunks(self):
+        # One /64's association spell spans days 3..8; with 5-day chunks
+        # its reports land in two windows but stay day-ordered.
+        triples = [(day, 100, 1 << 64) for day in range(3, 9)]
+        chunks = list(triple_chunks(triples, 5))
+        assert [chunk.index for chunk in chunks] == [0, 1]
+        assert chunks[0].triples == triples[:2]
+        assert chunks[1].triples == triples[2:]
+
+    def test_empty_day_windows_emitted_up_to_min_days(self):
+        chunks = list(triple_chunks([(1, 100, 1 << 64)], 5, min_days=20))
+        assert [chunk.index for chunk in chunks] == [0, 1, 2, 3]
+        assert [len(chunk.triples) for chunk in chunks] == [1, 0, 0, 0]
+
+    def test_out_of_window_day_raises(self):
+        with pytest.raises(RecordFormatError, match="not day-ordered"):
+            list(triple_chunks([(9, 100, 1 << 64), (2, 100, 2 << 64)], 5))

@@ -26,7 +26,7 @@ def associations():
     if not path.exists():
         pytest.skip("sample data not generated")
     with path.open() as stream:
-        return read_association_csv(stream)
+        return list(read_association_csv(stream))
 
 
 class TestSampleAtlas:

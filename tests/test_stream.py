@@ -1,0 +1,291 @@
+"""Streaming-layer tests: replay parity, checkpoints, stream sources.
+
+The load-bearing property is *replay parity*: folding a scenario
+chunk-by-chunk through the incremental engine — any chunk size, with or
+without a mid-stream checkpoint/restore — must reproduce the batch
+``engine="np"`` artifacts bit-identically.
+"""
+
+import pickle
+
+import pytest
+
+from repro.atlas.echo import EchoRecord, runs_from_hourly
+from repro.core.associations import (
+    association_box_stats,
+    association_durations,
+    fraction_degree_one,
+    v4_degree_counts,
+    v6_degree_counts,
+)
+from repro.io.records import RecordFormatError
+from repro.perf.verify import streaming_replay_diffs
+from repro.stream import (
+    AtlasStreamEngine,
+    CheckpointStore,
+    JsonlRunSource,
+    RunAssembler,
+    ScenarioRunSource,
+    record_chunks,
+    run_association_stream,
+    run_atlas_stream,
+    write_run_stream,
+)
+from repro.workloads import (
+    analyze_atlas_scenario,
+    build_atlas_scenario,
+    periodicity_for_scenario,
+    stream_analyze_atlas_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_atlas_scenario(probes_per_as=3, years=0.4, seed=7, cache=False)
+
+
+@pytest.fixture(scope="module")
+def batch(scenario):
+    analysis = analyze_atlas_scenario(scenario, engine="np")
+    periods = periodicity_for_scenario(scenario, min_probes=2, engine="np")
+    return analysis, periods
+
+
+class TestReplayParity:
+    def test_multiple_chunk_sizes(self, scenario):
+        # A tiny non-divisor window, a mid-size one, and one giant chunk
+        # (the whole stream in a single fold) must all be bit-identical.
+        assert streaming_replay_diffs(
+            scenario, chunk_hours=(7, 500, 10**7), min_probes=2
+        ) == []
+
+    def test_kill_checkpoint_resume(self, scenario, tmp_path):
+        assert streaming_replay_diffs(
+            scenario, chunk_hours=(64,), min_probes=2, checkpoint_dir=tmp_path
+        ) == []
+
+    def test_state_roundtrips_through_pickle(self, scenario, batch, tmp_path):
+        # Checkpoint after *every* chunk, reloading the engine from the
+        # pickled state each time: the harshest restore schedule.
+        source = ScenarioRunSource.from_scenario(scenario)
+        store = CheckpointStore(tmp_path)
+        engine = AtlasStreamEngine(source.manifest, table=scenario.table, min_probes=2)
+        for chunk in source.chunks(250):
+            engine.fold_chunk(chunk)
+            state = pickle.loads(pickle.dumps(engine.state_dict()))
+            engine = AtlasStreamEngine(
+                source.manifest, table=scenario.table, min_probes=2
+            )
+            engine.load_state(state)
+        result = engine.finalize()
+        analysis, periods = batch
+        assert result.analysis == analysis
+        assert (result.v4_periods, result.v6_periods) == periods
+        assert store.load("atlas-stream", "missing") is None
+
+    def test_finalize_leaves_state_extendable(self, scenario, batch):
+        # Finalizing mid-stream must not corrupt the state: folding the
+        # remaining chunks afterwards still converges to the batch result.
+        source = ScenarioRunSource.from_scenario(scenario)
+        engine = AtlasStreamEngine(source.manifest, table=scenario.table, min_probes=2)
+        chunks = list(source.chunks(300))
+        mid = len(chunks) // 2
+        for chunk in chunks[:mid]:
+            engine.fold_chunk(chunk)
+        partial = engine.finalize()
+        assert partial.analysis.table1  # a real, renderable partial report
+        for chunk in chunks[mid:]:
+            engine.fold_chunk(chunk)
+        result = engine.finalize()
+        analysis, periods = batch
+        assert result.analysis == analysis
+        assert (result.v4_periods, result.v6_periods) == periods
+
+    def test_stats_reflect_the_pass(self, scenario):
+        result = stream_analyze_atlas_scenario(scenario, chunk_hours=500, min_probes=2)
+        expected_chunks = max(1, -(-scenario.end_hour // 500))
+        assert result.stats.chunks_folded == expected_chunks
+        assert result.stats.runs_seen == sum(
+            len(probe.v4_runs) + len(probe.v6_runs) for probe in scenario.probes
+        )
+        assert result.stats.resumed_from_chunk is None
+
+
+class TestJsonlRunSource:
+    def test_export_roundtrip_parity(self, scenario, batch, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with path.open("w") as stream:
+            written = write_run_stream(scenario, stream)
+        source = JsonlRunSource(path)
+        assert written == sum(
+            len(probe.v4_runs) + len(probe.v6_runs) for probe in scenario.probes
+        )
+        # No routing table travels with the file, so Table 2 is empty;
+        # every other artifact must match the batch report exactly.
+        result = run_atlas_stream(source, 600, min_probes=2)
+        analysis, periods = batch
+        assert result.analysis.table1 == analysis.table1
+        assert result.analysis.figure1 == analysis.figure1
+        assert result.analysis.figure5 == analysis.figure5
+        assert result.analysis.table2 == {}
+        assert (result.v4_periods, result.v6_periods) == periods
+
+    def test_truncated_final_line_tolerated(self, scenario, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with path.open("w") as stream:
+            write_run_stream(scenario, stream)
+        full = path.read_text()
+        path.write_text(full[:-20])  # killed writer: final line cut short
+        source = JsonlRunSource(path)
+        chunks = list(source.chunks(10**7))
+        assert source.truncated_lines == 1
+        complete_lines = full.strip().count("\n")  # runs, excluding manifest
+        assert len(chunks[0].events) == complete_lines - 1
+
+    def test_malformed_mid_stream_raises(self, scenario, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with path.open("w") as stream:
+            write_run_stream(scenario, stream)
+        lines = path.read_text().splitlines()
+        lines.insert(len(lines) // 2, "{broken json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecordFormatError):
+            for _ in JsonlRunSource(path).chunks(10**7):
+                pass
+
+
+class TestRecordsMode:
+    def test_assembler_matches_runs_from_hourly(self):
+        # One track with value changes and observation gaps, fed in
+        # arbitrary splits, must reassemble to the batch runs exactly.
+        hours_values = [(0, 10), (1, 10), (4, 10), (5, 20), (6, 20), (9, 10), (10, 10)]
+        records = [EchoRecord(3, hour, 4, value, value) for hour, value in hours_values]
+        expected = runs_from_hourly(records)
+        for split in (1, 2, 3, len(records)):
+            assembler = RunAssembler()
+            assembled = []
+            for i in range(0, len(records), split):
+                assembled.extend(assembler.feed(records[i : i + split]))
+            assembled.extend(assembler.flush())
+            assert assembled == expected
+
+    def test_assembler_rejects_out_of_order(self):
+        assembler = RunAssembler()
+        assembler.feed([EchoRecord(1, 5, 4, 9, 9)])
+        with pytest.raises(ValueError):
+            assembler.feed([EchoRecord(1, 5, 4, 9, 9)])
+
+    def test_live_record_parity(self, scenario, batch):
+        # Expand every sanitized run back into full-observation hourly
+        # records and stream those: the assembled runs carry the same
+        # (value, first, last) extents, so artifacts must match batch.
+        records = []
+        for ref, probe in enumerate(scenario.probes):
+            for run in probe.v4_runs + probe.v6_runs:
+                for hour in range(run.first, run.last + 1):
+                    records.append(EchoRecord(ref, hour, run.family, run.value, run.value))
+        records.sort(key=lambda r: (r.hour, r.probe_id, r.family))
+        source = ScenarioRunSource.from_scenario(scenario)
+        engine = AtlasStreamEngine(source.manifest, table=scenario.table, min_probes=2)
+        for chunk in record_chunks(records, 333, end_hour=scenario.end_hour):
+            engine.fold_chunk(chunk)
+        result = engine.finalize()
+        analysis, periods = batch
+        assert result.analysis == analysis
+        assert (result.v4_periods, result.v6_periods) == periods
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = store.key("atlas-stream", "stream", {"chunk_hours": 8})
+        store.save("atlas-stream", key, {"state_version": 1, "x": [1, 2]})
+        assert store.load("atlas-stream", key) == {"state_version": 1, "x": [1, 2]}
+        store.delete("atlas-stream", key)
+        assert store.load("atlas-stream", key) is None
+
+    def test_corrupt_checkpoint_is_a_miss_and_removed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = store.key("atlas-stream", "stream", {})
+        path = store.path_for("atlas-stream", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        assert store.load("atlas-stream", key) is None
+        assert not path.exists()
+
+    def test_kind_mismatch_is_a_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = store.key("atlas-stream", "stream", {})
+        store.save("atlas-stream", key, {"ok": True})
+        # Same key filed under another kind's name must not load.
+        other = store.path_for("association-stream", key)
+        store.path_for("atlas-stream", key).rename(other)
+        assert store.load("association-stream", key) is None
+
+    def test_key_changes_with_params(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        base = store.key("atlas-stream", "stream", {"chunk_hours": 8})
+        assert store.key("atlas-stream", "stream", {"chunk_hours": 9}) != base
+        assert store.key("atlas-stream", "other", {"chunk_hours": 8}) != base
+
+
+def _synthetic_triples():
+    """Day-ordered association spells with boundary-crossing runs.
+
+    The /64 keys occupy the address's top 64 bits, as real collected
+    triples do (the columnar batch path packs them by that shift).
+    """
+    triples = []
+    for day in range(0, 40):
+        v4 = 100 if day < 17 else 200  # one /64 switching /24 mid-stream
+        triples.append((day, v4, 1 << 64))
+        if day % 3 == 0:
+            triples.append((day, 300, 2 << 64))  # sparse but stable association
+        if 10 <= day < 12:
+            triples.append((day, 100, 3 << 64))  # short-lived /64
+    triples.sort()
+    return triples
+
+
+class TestAssociationStream:
+    @pytest.mark.parametrize("chunk_days", [1, 3, 7, 1000])
+    def test_parity_with_batch(self, chunk_days):
+        triples = _synthetic_triples()
+        result = run_association_stream(triples, chunk_days)
+        expected = sorted(association_durations(triples))
+        streamed = sorted(
+            value for value, count in result.durations.items() for _ in range(count)
+        )
+        assert streamed == expected
+        assert result.box == association_box_stats(triples)
+        unique_by_v4, hits_by_v4 = v4_degree_counts(triples)
+        assert result.v4_unique == unique_by_v4
+        assert result.v4_hits == hits_by_v4
+        assert result.v6_degrees == v6_degree_counts(triples)
+        assert result.fraction_v6_degree_one == fraction_degree_one(
+            v6_degree_counts(triples)
+        )
+
+    def test_checkpoint_resume(self, tmp_path):
+        triples = _synthetic_triples()
+        store = CheckpointStore(tmp_path)
+        killed = run_association_stream(
+            triples, 5, stream_id="synthetic", store=store, stop_after_chunks=3
+        )
+        assert killed is None
+        resumed = run_association_stream(
+            triples, 5, stream_id="synthetic", store=store, resume=True
+        )
+        full = run_association_stream(triples, 5)
+        assert resumed.durations == full.durations
+        assert resumed.box == full.box
+        assert resumed.v6_degrees == full.v6_degrees
+
+
+@pytest.mark.stream
+def test_replay_parity_at_scale(tmp_path):
+    """A full-year scenario, two chunk sizes, plus kill/resume."""
+    scenario = build_atlas_scenario(probes_per_as=5, years=1.0, seed=3, cache=False)
+    assert streaming_replay_diffs(
+        scenario, chunk_hours=(101, 2048), checkpoint_dir=tmp_path
+    ) == []
