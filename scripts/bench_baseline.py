@@ -48,6 +48,7 @@ if "repro" not in sys.modules:
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.core.report import resolve_engine  # noqa: E402
+from repro.obs import TELEMETRY_ENV, export_trace, telemetry  # noqa: E402
 from repro.perf.cache import CACHE_DIR_ENV  # noqa: E402
 from repro.perf.profiling import maybe_profile  # noqa: E402
 from repro.perf.timing import (  # noqa: E402
@@ -247,6 +248,47 @@ def run_baseline(args: argparse.Namespace) -> dict:
         analysis_enforced = False
         print("analysis: numpy unavailable, columnar engine not benchmarked")
 
+    # Telemetry invariance: the same build + analysis with spans and
+    # metrics recording must produce bit-identical artifacts, and the
+    # instrumentation must stay near-free even when enabled.
+    reference_engine = resolve_engine(None)
+    reference_results = np_results if engine_available else py_results
+    untraced_s = atlas_serial_s + sum(
+        (np_timings if engine_available else py_timings).values()
+    )
+    with maybe_profile("telemetry_invariance"):
+        start = time.perf_counter()
+        with telemetry(True, reset=True):
+            traced_atlas, _ = _timed(
+                build_atlas_scenario,
+                seed=args.seed,
+                workers=1,
+                cache=False,
+                **scale["atlas"],
+            )
+            traced_results, _ = _run_analysis(traced_atlas, reference_engine)
+            if os.environ.get(TELEMETRY_ENV, "").strip():
+                trace_path = export_trace("bench_baseline")
+                print(f"telemetry trace written to {trace_path}")
+        telemetry_s = time.perf_counter() - start
+    assert_atlas_scenarios_equal(serial_atlas, traced_atlas)
+    telemetry_parity = traced_results == reference_results
+    if not telemetry_parity:
+        failures.append(
+            "telemetry parity violated: artifacts change with telemetry enabled"
+        )
+    telemetry_ratio = telemetry_s / max(untraced_s, 1e-9)
+    print(
+        f"telemetry: build+analysis {telemetry_s:.3f}s with spans+metrics on "
+        f"(off: {untraced_s:.3f}s, {telemetry_ratio:.2f}x) — artifacts identical"
+    )
+    telemetry_stats = {
+        "enabled_seconds": round(telemetry_s, 4),
+        "disabled_seconds": round(untraced_s, 4),
+        "ratio": round(telemetry_ratio, 4),
+        "parity": telemetry_parity,
+    }
+
     # Streaming replay over the serial Atlas scenario: the chunked
     # incremental engine must reproduce the batch np artifacts
     # bit-identically, and its checkpointable state must stay bounded by
@@ -364,6 +406,7 @@ def run_baseline(args: argparse.Namespace) -> dict:
             "table2_speedup_enforced": analysis_enforced,
             "periodicity_speedup_enforced": analysis_enforced,
         },
+        "telemetry": telemetry_stats,
         "streaming": streaming,
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo health check: lint (when available) + tests + benchmark smoke.
+#
+#   ./scripts/check.sh
+#
+# Runs, in order:
+#   1. ruff check src/ tests/ scripts/   (skipped when ruff is not installed)
+#   2. python -m pytest -x -q            (the tier-1 suite)
+#   3. python -m scripts.bench_baseline --check
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff check (module) =="
+    python -m ruff check src tests scripts
+else
+    echo "== ruff not installed, lint skipped ==" >&2
+fi
+
+echo "== pytest =="
+python -m pytest -x -q
+
+echo "== bench_baseline --check =="
+python -m scripts.bench_baseline --check
+
+echo "== all checks passed =="

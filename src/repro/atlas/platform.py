@@ -42,11 +42,14 @@ from repro.ip.addr import IPAddress, IPv4Address, IPv6Address
 from repro.netsim.cpe import eui64_iid
 from repro.netsim.isp import Isp
 from repro.netsim.sim import SubscriberTimeline
+from repro.obs import get_logger, metric_inc, telemetry_enabled
 
 try:
     import numpy as np
 except ImportError:  # pragma: no cover - numpy is a baked-in dependency
     np = None
+
+_log = get_logger("atlas.platform")
 
 _M64 = (1 << 64) - 1
 
@@ -259,10 +262,25 @@ class AtlasPlatform:
         """
         if np is not None and resolve_engine(engine) == "np":
             try:
-                return self._probe_data_np(spec)
-            except FALLBACK_ERRORS:
-                pass
-        return self._probe_data_py(spec)
+                return self._record_collection(spec, self._probe_data_np(spec))
+            except FALLBACK_ERRORS as exc:
+                metric_inc("collection.engine_fallbacks", stage="probe_data")
+                _log.debug(
+                    "np probe_data fell back to python",
+                    extra={"probe": spec.probe_id, "error": type(exc).__name__},
+                )
+        return self._record_collection(spec, self._probe_data_py(spec))
+
+    def _record_collection(self, spec: ProbeSpec, data: ProbeData) -> ProbeData:
+        """Tally per-probe collection telemetry (no-op when disabled)."""
+        if telemetry_enabled():
+            metric_inc("collection.probes_collected")
+            metric_inc(
+                "collection.records_generated", len(data.v4_runs) + len(data.v6_runs)
+            )
+            if spec.anomaly != "none":
+                metric_inc("collection.anomalies", kind=spec.anomaly)
+        return data
 
     def _probe_data_py(self, spec: ProbeSpec) -> ProbeData:
         """Pure-Python reference collection path."""

@@ -30,6 +30,9 @@ from typing import List, Optional, Sequence, Tuple
 from repro.atlas.echo import TEST_ADDRESS, EchoRun
 from repro.atlas.platform import ProbeData
 from repro.bgp.table import RoutingTable
+from repro.obs import get_logger, metric_inc, span, telemetry_enabled
+
+_log = get_logger("atlas.sanitize")
 
 #: Minimum observed span (hours) for a probe to be usable (one month).
 MIN_SPAN_HOURS = 30 * 24
@@ -153,7 +156,53 @@ def sanitize(
     reversion_threshold: int = REVERSION_THRESHOLD,
 ) -> Tuple[List[SanitizedProbe], SanitizationReport]:
     """Run the full Appendix A.1 pipeline; see the module docstring."""
-    report = SanitizationReport(input_probes=len(probes))
+    with span("collection/sanitize", probes=len(probes)):
+        report = SanitizationReport(input_probes=len(probes))
+        survivors = _sanitize(probes, table, min_span_hours, reversion_threshold, report)
+    report.kept_probes = len(survivors)
+    if telemetry_enabled():
+        metric_inc("sanitize.probes_input", report.input_probes)
+        metric_inc("sanitize.probes_kept", report.kept_probes)
+        metric_inc("sanitize.virtual_probes", report.virtual_probes_created)
+        for reason in ("bad_tag", "atypical_nat", "multihomed", "short"):
+            dropped = getattr(report, f"dropped_{reason}")
+            if dropped:
+                metric_inc("sanitize.probes_dropped", dropped, reason=reason)
+        if report.test_address_runs_removed:
+            metric_inc(
+                "sanitize.runs_removed",
+                report.test_address_runs_removed,
+                reason="test_address",
+            )
+        if report.unrouted_runs_removed:
+            metric_inc(
+                "sanitize.runs_removed", report.unrouted_runs_removed, reason="unrouted"
+            )
+    _log.info(
+        "probes sanitized",
+        extra={
+            "input": report.input_probes,
+            "kept": report.kept_probes,
+            "virtual": report.virtual_probes_created,
+            "bad_tag": report.dropped_bad_tag,
+            "atypical_nat": report.dropped_atypical_nat,
+            "multihomed": report.dropped_multihomed,
+            "short": report.dropped_short,
+            "runs_removed": report.test_address_runs_removed
+            + report.unrouted_runs_removed,
+        },
+    )
+    return survivors, report
+
+
+def _sanitize(
+    probes: Sequence[ProbeData],
+    table: RoutingTable,
+    min_span_hours: int,
+    reversion_threshold: int,
+    report: SanitizationReport,
+) -> List[SanitizedProbe]:
+    """The per-probe filter cascade (counts accumulate on ``report``)."""
     survivors: List[SanitizedProbe] = []
 
     for data in probes:
@@ -203,8 +252,7 @@ def sanitize(
                 )
             )
 
-    report.kept_probes = len(survivors)
-    return survivors, report
+    return survivors
 
 
 def _cut_into_virtual_probes(

@@ -30,11 +30,32 @@ from typing import Optional, Sequence
 from repro.atlas.convert import convert_results
 from repro.core.report import render_table, table1_row, table2_row
 from repro.io.records import write_association_csv, write_echo_records, write_echo_runs
+from repro.obs import configure_logging, dump_telemetry, enable_telemetry, span
+from repro.perf.cache import iter_cache_stats
 from repro.workloads import (
     build_atlas_scenario,
     build_cdn_scenario,
     periodicity_for_scenario,
 )
+
+
+def _common_parser() -> argparse.ArgumentParser:
+    """Options shared by every subcommand (logging + telemetry).
+
+    Attached via ``parents=`` on each subparser — subparsers overwrite
+    previously parsed defaults, so putting these on the main parser
+    would silently reset them.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v: info, -vv: debug); "
+                        "default level comes from $REPRO_LOG")
+    common.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (errors only)")
+    common.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="enable tracing spans + metrics and dump them "
+                        "as JSON to PATH on exit")
+    return common
 
 
 def _add_atlas_args(parser: argparse.ArgumentParser) -> None:
@@ -134,50 +155,57 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
     table1_rows = []
     table2_rows = []
-    for name, isp in scenario.isps.items():
-        probes = scenario.probes_in(isp.asn)
-        columns = scenario.analysis_columns(isp.asn, engine=args.engine)
-        row = table1_row(
-            name, isp.asn, isp.config.country, probes,
-            engine=args.engine, columns=columns,
-        )
-        table1_rows.append(
-            [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
-             f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
-        )
-        rates = table2_row(probes, scenario.table, engine=args.engine, columns=columns)
-        table2_rows.append(
-            [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
-             f"{rates.v6_diff_bgp_pct:.0f}%"]
-        )
-    print(render_table(
-        ["AS", "ASN", "probes", "v4 changes", "DS probes", "DS v4 changes", "v6 changes"],
-        table1_rows,
-        title="Table 1: assignment changes per AS",
-    ))
-    print()
-    print(render_table(
-        ["AS", "Diff /24", "Diff BGP (v4)", "Diff BGP (v6)"],
-        table2_rows,
-        title="Table 2: boundary crossings",
-    ))
+    with span("analysis/report", networks=len(scenario.isps)):
+        for name, isp in scenario.isps.items():
+            probes = scenario.probes_in(isp.asn)
+            columns = scenario.analysis_columns(isp.asn, engine=args.engine)
+            with span("analysis/table1", network=name):
+                row = table1_row(
+                    name, isp.asn, isp.config.country, probes,
+                    engine=args.engine, columns=columns,
+                )
+            table1_rows.append(
+                [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
+                 f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
+            )
+            with span("analysis/table2", network=name):
+                rates = table2_row(
+                    probes, scenario.table, engine=args.engine, columns=columns
+                )
+            table2_rows.append(
+                [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
+                 f"{rates.v6_diff_bgp_pct:.0f}%"]
+            )
     v4_periods, v6_periods = periodicity_for_scenario(scenario, engine=args.engine)
-    period_rows = [
-        [name,
-         f"{v4_periods[name]:.0f}h" if name in v4_periods else "-",
-         f"{v6_periods[name]:.0f}h" if name in v6_periods else "-"]
-        for name in scenario.isps
-        if name in v4_periods or name in v6_periods
-    ]
-    print()
-    if period_rows:
+    with span("report/render"):
         print(render_table(
-            ["AS", "v4 NDS period", "v6 period"],
-            period_rows,
-            title="Periodic renumbering (Section 3.2)",
+            ["AS", "ASN", "probes", "v4 changes", "DS probes", "DS v4 changes",
+             "v6 changes"],
+            table1_rows,
+            title="Table 1: assignment changes per AS",
         ))
-    else:
-        print("Periodic renumbering: none detected")
+        print()
+        print(render_table(
+            ["AS", "Diff /24", "Diff BGP (v4)", "Diff BGP (v6)"],
+            table2_rows,
+            title="Table 2: boundary crossings",
+        ))
+        period_rows = [
+            [name,
+             f"{v4_periods[name]:.0f}h" if name in v4_periods else "-",
+             f"{v6_periods[name]:.0f}h" if name in v6_periods else "-"]
+            for name in scenario.isps
+            if name in v4_periods or name in v6_periods
+        ]
+        print()
+        if period_rows:
+            print(render_table(
+                ["AS", "v4 NDS period", "v6 period"],
+                period_rows,
+                title="Periodic renumbering (Section 3.2)",
+            ))
+        else:
+            print("Periodic renumbering: none detected")
     return 0
 
 
@@ -403,13 +431,18 @@ def build_parser() -> argparse.ArgumentParser:
         "IP address-assignment dynamics.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    common = _common_parser()
 
-    atlas = commands.add_parser("simulate-atlas", help="generate an Atlas-style dataset")
+    atlas = commands.add_parser(
+        "simulate-atlas", help="generate an Atlas-style dataset", parents=[common]
+    )
     _add_atlas_args(atlas)
     atlas.add_argument("--output", required=True, help="output directory")
     atlas.set_defaults(func=cmd_simulate_atlas)
 
-    cdn = commands.add_parser("simulate-cdn", help="generate a CDN association dataset")
+    cdn = commands.add_parser(
+        "simulate-cdn", help="generate a CDN association dataset", parents=[common]
+    )
     cdn.add_argument("--days", type=int, default=150)
     cdn.add_argument("--seed", type=int, default=0)
     cdn.add_argument("--fixed-subscribers", type=int, default=600,
@@ -421,20 +454,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_args(cdn)
     cdn.set_defaults(func=cmd_simulate_cdn)
 
-    report = commands.add_parser("report", help="print Table 1 / Table 2 summaries")
+    report = commands.add_parser(
+        "report", help="print Table 1 / Table 2 summaries", parents=[common]
+    )
     _add_atlas_args(report)
     _add_engine_arg(report)
     report.set_defaults(func=cmd_report)
 
     convert = commands.add_parser(
-        "convert-atlas", help="convert real RIPE Atlas results JSONL to echo records"
+        "convert-atlas",
+        help="convert real RIPE Atlas results JSONL to echo records",
+        parents=[common],
     )
     convert.add_argument("--input", required=True)
     convert.add_argument("--output", required=True)
     convert.set_defaults(func=cmd_convert_atlas)
 
     analyze = commands.add_parser(
-        "analyze", help="analyze an echo-runs JSONL file (durations, periodicity)"
+        "analyze",
+        help="analyze an echo-runs JSONL file (durations, periodicity)",
+        parents=[common],
     )
     analyze.add_argument("--input", required=True)
     _add_engine_arg(analyze)
@@ -443,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream = commands.add_parser(
         "stream",
         help="chunked, checkpointable streaming analysis (batch-identical)",
+        parents=[common],
     )
     _add_atlas_args(stream)
     stream.add_argument("--input", default=None, metavar="PATH",
@@ -477,11 +517,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_cache_stats(telemetry_extra: dict) -> None:
+    """Surface scenario-cache hit/miss counts accumulated this process.
+
+    Printed only when some cache instance saw activity, so runs without
+    ``REPRO_CACHE`` keep their exact historical stdout.
+    """
+    caches = {}
+    for directory, stats in iter_cache_stats():
+        if stats.hits or stats.misses or stats.puts or stats.errors:
+            caches[str(directory)] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "puts": stats.puts,
+                "errors": stats.errors,
+            }
+    if not caches:
+        return
+    telemetry_extra["caches"] = caches
+    for directory, stats in caches.items():
+        print(
+            f"scenario cache [{directory}]: {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['puts']} put(s)"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(verbosity=args.verbose - args.quiet)
+    if args.telemetry:
+        enable_telemetry(reset=True)
+    with span(f"cli/{args.command}"):
+        code = args.func(args)
+    telemetry_extra: dict = {}
+    _print_cache_stats(telemetry_extra)
+    if args.telemetry:
+        path = dump_telemetry(args.telemetry, extra=telemetry_extra)
+        print(f"telemetry written to {path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,11 +39,23 @@ from repro.core.timefraction import (
     evaluate_cdf,
     total_duration_years,
 )
+from repro.obs import get_logger, metric_inc
 
 try:
     from repro.core import analysis_np as _anp
 except ImportError:  # pragma: no cover - numpy is a baked-in dependency
     _anp = None
+
+_log = get_logger("core.report")
+
+
+def _note_fallback(artifact: str, exc: BaseException) -> None:
+    """Record one np-engine fallback to the reference path."""
+    metric_inc("analysis.fallbacks", artifact=artifact)
+    _log.debug(
+        "np engine fell back to python",
+        extra={"artifact": artifact, "error": type(exc).__name__},
+    )
 
 
 # -- per-probe plumbing -------------------------------------------------------
@@ -92,8 +104,8 @@ def as_durations(
     if resolve_engine(engine) == "np":
         try:
             return _as_durations_np(probes, columns=columns)
-        except _FALLBACK_ERRORS:
-            pass
+        except _FALLBACK_ERRORS as exc:
+            _note_fallback("as_durations", exc)
     result = AsDurations()
     for probe in probes:
         v4_durations = probe_v4_durations(probe)
@@ -160,8 +172,8 @@ def table1_row(
     if resolve_engine(engine) == "np":
         try:
             return _table1_row_np(name, asn, country, probes, columns=columns)
-        except _FALLBACK_ERRORS:
-            pass
+        except _FALLBACK_ERRORS as exc:
+            _note_fallback("table1", exc)
     all_v4 = ds_v4 = ds_v6 = ds_probes = 0
     for probe in probes:
         v4_changes = len(probe_v4_changes(probe))
@@ -238,8 +250,8 @@ def figure1_series(
     if resolve_engine(engine) == "np":
         try:
             return _figure1_series_np(label, durations)
-        except _FALLBACK_ERRORS:
-            pass
+        except _FALLBACK_ERRORS as exc:
+            _note_fallback("figure1", exc)
     xs, ys = cumulative_total_time_fraction(durations)
     return Figure1Series(
         label=label,
@@ -292,8 +304,8 @@ def table2_row(
     if resolve_engine(engine) == "np":
         try:
             return _table2_row_np(probes, table, columns=columns)
-        except _FALLBACK_ERRORS:
-            pass
+        except _FALLBACK_ERRORS as exc:
+            _note_fallback("table2", exc)
     v4_changes: List[ChangeEvent] = []
     v6_changes: List[ChangeEvent] = []
     for probe in probes:
@@ -329,8 +341,8 @@ def figure5_for_as(
     if resolve_engine(engine) == "np":
         try:
             return _figure5_for_as_np(probes, columns=columns)
-        except _FALLBACK_ERRORS:
-            pass
+        except _FALLBACK_ERRORS as exc:
+            _note_fallback("figure5", exc)
     by_probe = {probe.probe_id: probe_v6_changes(probe) for probe in probes}
     return cpl_histogram(by_probe)
 
@@ -377,8 +389,8 @@ def periodic_networks(
                 min_probes,
                 columns_by_network,
             )
-        except _FALLBACK_ERRORS:
-            pass
+        except _FALLBACK_ERRORS as exc:
+            _note_fallback("periodicity", exc)
     v4_nds: Dict[str, Dict[str, List[float]]] = {}
     v6: Dict[str, Dict[str, List[float]]] = {}
     for name, probes in probes_by_network.items():

@@ -1,0 +1,138 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every subsystem logs through :func:`get_logger` (``get_logger("cache")``
+-> the stdlib logger ``repro.cache``), so one call to
+:func:`configure_logging` controls the whole pipeline.  The formatter is
+key=value structured: anything passed via ``extra={...}`` is appended as
+``key=value`` pairs after the message, e.g.::
+
+    2026-08-06T12:00:00 INFO repro.atlas.sanitize probes sanitized kept=61 dropped=14
+
+Level selection, most specific wins:
+
+1. an explicit ``verbosity`` argument (the CLI's ``-v``/``-q`` count:
+   0 -> WARNING, 1 -> INFO, >=2 -> DEBUG, negative -> ERROR);
+2. ``$REPRO_LOG`` — a level name (``debug``, ``info``, ...) or number;
+3. the default, WARNING.
+
+The handler attaches to the ``repro`` root logger with
+``propagate=False`` left untouched, so embedding applications that
+already configure stdlib logging are unaffected unless they opt in.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Environment override for the default log level (name or number).
+LOG_ENV = "REPRO_LOG"
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: logging.LogRecord attributes that are plumbing, not user data.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro.<name>`` logger (the ``repro`` root for ``""``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts LEVEL logger message key=value ...`` (extras appended)."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render ``record`` with any ``extra={...}`` fields as key=value."""
+        message = record.getMessage()
+        pairs = [
+            f"{key}={_scalar(value)}"
+            for key, value in sorted(record.__dict__.items())
+            if key not in _RESERVED
+        ]
+        head = (
+            f"{self.formatTime(record)} {record.levelname} {record.name} {message}"
+        )
+        line = head + (" " + " ".join(pairs) if pairs else "")
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def _scalar(value) -> str:
+    text = str(value)
+    if " " in text or "=" in text:
+        return repr(text)
+    return text
+
+
+def level_from_env(default: int = logging.WARNING) -> int:
+    """The level ``$REPRO_LOG`` asks for (``default`` when unset/bad)."""
+    raw = os.environ.get(LOG_ENV, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    resolved = logging.getLevelName(raw.upper())
+    return resolved if isinstance(resolved, int) else default
+
+
+def level_from_verbosity(verbosity: int) -> int:
+    """CLI ``-v``/``-q`` count -> logging level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: Optional[int] = None,
+    stream=None,
+    level: Optional[int] = None,
+) -> logging.Logger:
+    """Attach one key=value handler to the ``repro`` hierarchy.
+
+    Safe to call repeatedly (the CLI calls it per invocation): the
+    previously installed handler is replaced, not stacked.  Returns the
+    configured root logger.
+    """
+    root = get_logger()
+    if level is None:
+        level = (
+            level_from_verbosity(verbosity)
+            if verbosity is not None and verbosity != 0
+            else level_from_env()
+        )
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    handler.set_name("repro-obs")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+__all__ = [
+    "LOG_ENV",
+    "KeyValueFormatter",
+    "configure_logging",
+    "get_logger",
+    "level_from_env",
+    "level_from_verbosity",
+]

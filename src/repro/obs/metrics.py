@@ -1,0 +1,208 @@
+"""Process-global metrics: labeled counters, gauges and histograms.
+
+The registry is a plain dict machine with no background threads and no
+third-party dependencies.  Instruments are addressed by a dotted name
+plus optional labels (``registry.inc("cache.hits")``,
+``registry.inc("sanitize.probes_dropped", reason="bad_tag")``); every
+labeled increment also feeds the instrument's unlabeled total, so
+dashboards can read ``sanitize.probes_dropped`` without enumerating
+label sets.
+
+Snapshots are plain JSON-ready dicts, and two snapshots can be
+subtracted (:func:`subtract_snapshots`) or merged back into a registry
+(:meth:`MetricsRegistry.merge`) — the mechanism
+:mod:`repro.perf.parallel` uses to ship worker-process metrics back to
+the parent across the process-pool boundary.
+
+Instrument semantics:
+
+* **counter** — monotonically increasing float/int sum;
+* **gauge** — last-written value (merge keeps the incoming value);
+* **histogram** — count/sum/min/max plus base-2 exponent buckets
+  (bucket ``k`` holds observations in ``[2**k, 2**(k+1))``), enough to
+  see a latency distribution without storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+LabelKey = Tuple[str, ...]
+
+
+def _label_key(labels: Dict[str, object]) -> str:
+    """Stable ``k=v,k2=v2`` encoding of one label set ("" when empty)."""
+    if not labels:
+        return ""
+    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+
+
+def _bucket(value: float) -> int:
+    """Base-2 exponent bucket of a non-negative observation."""
+    if value <= 0:
+        return -1074  # subnormal floor: everything <= 0 shares one bucket
+    return math.frexp(value)[1] - 1
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms addressed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[str, float]] = {}
+        self._gauges: Dict[str, Dict[str, float]] = {}
+        self._histograms: Dict[str, Dict[str, dict]] = {}
+
+    # -- instruments ----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` to counter ``name`` (and its labeled series)."""
+        series = self._counters.setdefault(name, {"": 0})
+        series[""] = series.get("", 0) + value
+        if labels:
+            key = _label_key(labels)
+            series[key] = series.get(key, 0) + value
+
+    def register(self, name: str) -> None:
+        """Ensure counter ``name`` exists (at zero) in every snapshot."""
+        self._counters.setdefault(name, {"": 0})
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        series = self._gauges.setdefault(name, {})
+        series[_label_key(labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record ``value`` into histogram ``name``."""
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        data = series.get(key)
+        if data is None:
+            data = series[key] = {
+                "count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {},
+            }
+        data["count"] += 1
+        data["sum"] += value
+        data["min"] = value if data["min"] is None else min(data["min"], value)
+        data["max"] = value if data["max"] is None else max(data["max"], value)
+        bucket = _bucket(value)
+        data["buckets"][bucket] = data["buckets"].get(bucket, 0) + 1
+
+    # -- reads ----------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counters.get(name, {}).get(_label_key(labels), 0)
+
+    def gauge(self, name: str, **labels) -> Optional[float]:
+        """Current value of gauge ``name`` (None when never set)."""
+        return self._gauges.get(name, {}).get(_label_key(labels))
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of every instrument's current state."""
+        return {
+            "counters": {
+                name: dict(series) for name, series in self._counters.items()
+            },
+            "gauges": {name: dict(series) for name, series in self._gauges.items()},
+            "histograms": {
+                name: {
+                    key: {**data, "buckets": dict(data["buckets"])}
+                    for key, data in series.items()
+                }
+                for name, series in self._histograms.items()
+            },
+        }
+
+    # -- cross-process plumbing -----------------------------------------------
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram tallies add; gauges take the incoming
+        value (the child observed it later).  ``None`` merges nothing,
+        so call sites can pass worker deltas through unconditionally.
+        """
+        if not snapshot:
+            return
+        for name, series in snapshot.get("counters", {}).items():
+            target = self._counters.setdefault(name, {"": 0})
+            for key, value in series.items():
+                target[key] = target.get(key, 0) + value
+        for name, series in snapshot.get("gauges", {}).items():
+            target = self._gauges.setdefault(name, {})
+            target.update(series)
+        for name, series in snapshot.get("histograms", {}).items():
+            target = self._histograms.setdefault(name, {})
+            for key, data in series.items():
+                mine = target.get(key)
+                if mine is None:
+                    target[key] = {**data, "buckets": dict(data["buckets"])}
+                    continue
+                mine["count"] += data["count"]
+                mine["sum"] += data["sum"]
+                for edge in ("min", "max"):
+                    theirs = data[edge]
+                    if theirs is not None:
+                        pick = min if edge == "min" else max
+                        mine[edge] = (
+                            theirs if mine[edge] is None else pick(mine[edge], theirs)
+                        )
+                for bucket, count in data["buckets"].items():
+                    mine["buckets"][bucket] = mine["buckets"].get(bucket, 0) + count
+
+    def reset(self) -> None:
+        """Drop every instrument (used when (re-)enabling telemetry)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def subtract_snapshots(after: dict, before: dict) -> dict:
+    """The metric activity between two snapshots of one registry.
+
+    Counter and histogram tallies subtract (series absent from
+    ``before`` pass through); gauges keep the ``after`` value.  This is
+    how a forked worker — whose registry starts as a copy of the
+    parent's — reports only *its own* work back across the pool.
+    """
+    delta: dict = {"counters": {}, "gauges": dict(after.get("gauges", {})), "histograms": {}}
+    for name, series in after.get("counters", {}).items():
+        base = before.get("counters", {}).get(name, {})
+        out = {
+            key: value - base.get(key, 0)
+            for key, value in series.items()
+            if value - base.get(key, 0)
+        }
+        if out:
+            delta["counters"][name] = out
+    for name, series in after.get("histograms", {}).items():
+        base = before.get("histograms", {}).get(name, {})
+        out = {}
+        for key, data in series.items():
+            prior = base.get(key)
+            if prior is None:
+                out[key] = {**data, "buckets": dict(data["buckets"])}
+                continue
+            count = data["count"] - prior["count"]
+            if not count:
+                continue
+            out[key] = {
+                "count": count,
+                "sum": data["sum"] - prior["sum"],
+                # Extremes are not invertible from two snapshots; the
+                # after-side bounds still bound the delta's observations.
+                "min": data["min"],
+                "max": data["max"],
+                "buckets": {
+                    bucket: tally - prior["buckets"].get(bucket, 0)
+                    for bucket, tally in data["buckets"].items()
+                    if tally - prior["buckets"].get(bucket, 0)
+                },
+            }
+        if out:
+            delta["histograms"][name] = out
+    return delta
+
+
+__all__ = ["MetricsRegistry", "subtract_snapshots"]

@@ -1,0 +1,194 @@
+"""Hierarchical tracing spans: wall time, nesting, attributes.
+
+A :class:`Tracer` keeps a stack of open spans (per thread) and a list of
+finished root spans.  ``tracer.span("analysis/table1", network="DTAG")``
+is a context manager: entering pushes a child of the innermost open
+span, exiting records its wall-clock duration.  Exceptions propagate
+untouched but mark the span with ``error=<type>``.
+
+Finished trees are exportable three ways:
+
+* :meth:`Tracer.as_dicts` — nested JSON-ready dicts (the
+  ``--telemetry`` dump's ``spans`` section);
+* :meth:`Tracer.export_jsonl` — one JSON object per span, depth-first,
+  with ``path``/``depth`` columns (the ``benchmarks/results/trace_*``
+  artifact format, see ``docs/data-formats.md``);
+* :meth:`Tracer.render_tree` — an indented plain-text tree for
+  terminals.
+
+Timing uses ``time.perf_counter`` only; spans never touch the RNG, so
+tracing any pipeline stage cannot perturb a seeded simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "start", "end", "_t0")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.children: List[Span] = []
+        self.start: Optional[float] = None  # seconds since tracer epoch
+        self.end: Optional[float] = None
+        self._t0: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds this span was open (0.0 while still open)."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> dict:
+        """Nested JSON-ready form of this span and its children."""
+        node = {
+            "name": self.name,
+            "start": round(self.start, 6) if self.start is not None else None,
+            "duration": round(self.duration, 6),
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        return node
+
+
+class _ActiveSpan:
+    """Context manager binding one :class:`Span` to a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees; one instance per telemetry state."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """A context manager opening ``name`` under the current span."""
+        return _ActiveSpan(self, Span(name, attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span._t0 = time.perf_counter()
+        span.start = span._t0 - self.epoch
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.perf_counter() - self.epoch
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            # A span opened with nothing on the stack is a root; child
+            # spans already live in their parent's ``children``.
+            self.roots.append(span)
+
+    def reset(self) -> None:
+        """Drop finished trees and restart the epoch (open spans survive)."""
+        self.roots.clear()
+        self.epoch = time.perf_counter()
+
+    # -- exports --------------------------------------------------------------
+
+    def as_dicts(self) -> List[dict]:
+        """Finished root spans as nested JSON-ready dicts."""
+        return [root.as_dict() for root in self.roots]
+
+    def walk(self) -> Iterator[tuple]:
+        """Yield ``(span, depth, path)`` depth-first over finished trees."""
+
+        def _walk(span: Span, depth: int, prefix: str):
+            path = f"{prefix}/{span.name}" if prefix else span.name
+            yield span, depth, path
+            for child in span.children:
+                yield from _walk(child, depth + 1, path)
+
+        for root in self.roots:
+            yield from _walk(root, 0, "")
+
+    def export_jsonl(self, path) -> Path:
+        """Write one JSON line per finished span (depth-first) to ``path``."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w") as stream:
+            for span, depth, span_path in self.walk():
+                record = {
+                    "name": span.name,
+                    "path": span_path,
+                    "depth": depth,
+                    "start": round(span.start, 6) if span.start is not None else None,
+                    "duration": round(span.duration, 6),
+                }
+                if span.attrs:
+                    record["attrs"] = {
+                        key: _jsonable(value) for key, value in span.attrs.items()
+                    }
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+        return target
+
+    def render_tree(self) -> str:
+        """Indented plain-text rendering of every finished span tree."""
+        lines = []
+        for span, depth, _path in self.walk():
+            attrs = (
+                " [" + ", ".join(f"{k}={v}" for k, v in span.attrs.items()) + "]"
+                if span.attrs
+                else ""
+            )
+            lines.append(f"{'  ' * depth}{span.name}  {span.duration * 1e3:.2f}ms{attrs}")
+        return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+__all__ = ["Span", "Tracer"]

@@ -29,6 +29,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.obs import get_logger, metric_inc
+
+_log = get_logger("perf.cache")
+
 #: Environment override for the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment default for whether builders use the cache (``cache=None``).
@@ -124,14 +128,23 @@ class ScenarioCache:
             scenario = payload["scenario"]
         except FileNotFoundError:
             self.stats.misses += 1
+            metric_inc("cache.misses", builder=builder, reason="absent")
+            _log.debug("cache miss", extra={"builder": builder, "key": key[:12]})
             return None
         except Exception:
             # Corrupt/incompatible entry: safe to drop, rebuild will re-put.
             self.stats.misses += 1
             self.stats.errors += 1
             path.unlink(missing_ok=True)
+            metric_inc("cache.misses", builder=builder, reason="corrupt")
+            _log.warning(
+                "corrupt cache entry dropped",
+                extra={"builder": builder, "key": key[:12]},
+            )
             return None
         self.stats.hits += 1
+        metric_inc("cache.hits", builder=builder)
+        _log.info("cache hit", extra={"builder": builder, "key": key[:12]})
         return scenario
 
     def put(self, builder: str, key: str, scenario) -> bool:
@@ -150,8 +163,15 @@ class ScenarioCache:
         except Exception:
             self.stats.errors += 1
             temp.unlink(missing_ok=True)
+            metric_inc("cache.put_errors", builder=builder)
+            _log.warning(
+                "cache put failed (unpicklable scenario?)",
+                extra={"builder": builder, "key": key[:12]},
+            )
             return False
         self.stats.puts += 1
+        metric_inc("cache.puts", builder=builder)
+        _log.info("cache put", extra={"builder": builder, "key": key[:12]})
         return True
 
     def clear(self) -> int:
@@ -176,6 +196,16 @@ def get_scenario_cache(directory: Optional[os.PathLike] = None) -> ScenarioCache
     return _instances.setdefault(cache.directory, cache)
 
 
+def iter_cache_stats():
+    """Yield ``(directory, CacheStats)`` for every live singleton cache.
+
+    The CLI and the ``--telemetry`` dump use this to surface hit/miss
+    counts that the builders accumulate internally.
+    """
+    for directory, cache in _instances.items():
+        yield directory, cache.stats
+
+
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_ENV",
@@ -183,5 +213,6 @@ __all__ = [
     "ScenarioCache",
     "code_fingerprint",
     "get_scenario_cache",
+    "iter_cache_stats",
     "resolve_cache_flag",
 ]

@@ -44,6 +44,16 @@ from repro.netsim.sim import (
     SubscriberTimeline,
     run_simulation_job,
 )
+from repro.obs import (
+    enable_telemetry,
+    get_logger,
+    get_registry,
+    metric_inc,
+    subtract_snapshots,
+    telemetry_enabled,
+)
+
+_log = get_logger("perf.parallel")
 
 #: Environment override for the default worker count ("auto" = one per core).
 WORKERS_ENV = "REPRO_WORKERS"
@@ -101,6 +111,53 @@ def _all_picklable(items: Sequence) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Worker-side telemetry plumbing
+# ---------------------------------------------------------------------------
+
+
+def _worker_telemetry_init(enabled: bool) -> None:
+    """Pool initializer: mirror the parent's telemetry switch.
+
+    Under ``fork`` the child inherits the flag anyway; under ``spawn``
+    this is what turns the child's registry on.
+    """
+    if enabled:
+        enable_telemetry()
+
+
+def _with_worker_metrics(task, unit, *, kind: str):
+    """Run ``task(unit)`` and capture the child's metric delta.
+
+    Returns ``(result, delta_or_None)``.  The delta is the difference
+    between the child registry before and after the task (a forked
+    child starts with a *copy* of the parent's counts), so merging it
+    in the parent never double-counts.  Each task also tallies
+    ``pool.tasks{kind=,worker=}`` — the worker-utilization signal.
+    """
+    if not telemetry_enabled():
+        return task(unit), None
+    registry = get_registry()
+    before = registry.snapshot()
+    metric_inc("pool.tasks", kind=kind, worker=os.getpid())
+    result = task(unit)
+    return result, subtract_snapshots(registry.snapshot(), before)
+
+
+def _run_sim_job_with_metrics(job):
+    return _with_worker_metrics(run_simulation_job, job, kind="isp_sim")
+
+
+def _merge_worker_results(outcomes):
+    """Split ``(result, delta)`` pairs, folding deltas into the parent."""
+    registry = get_registry()
+    results = []
+    for result, delta in outcomes:
+        registry.merge(delta)
+        results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
 # Per-ISP simulation fan-out
 # ---------------------------------------------------------------------------
 
@@ -124,13 +181,23 @@ def run_isp_simulations(
             SimulationJob.from_isp(isp, count, end_hour, seed) for isp, count in jobs
         ]
         if _all_picklable(sim_jobs):
+            _log.debug(
+                "fanning out ISP simulations",
+                extra={"jobs": len(sim_jobs), "workers": effective},
+            )
             with ProcessPoolExecutor(
-                max_workers=effective, mp_context=_mp_context()
+                max_workers=effective,
+                mp_context=_mp_context(),
+                initializer=_worker_telemetry_init,
+                initargs=(telemetry_enabled(),),
             ) as pool:
-                results = list(pool.map(run_simulation_job, sim_jobs))
+                results = _merge_worker_results(
+                    pool.map(_run_sim_job_with_metrics, sim_jobs)
+                )
             for (isp, _count), result in zip(jobs, results):
                 result.graft_onto(isp)
             return [result.timelines for result in results]
+        _log.debug("simulation jobs not picklable, using the serial path")
     return [
         IspSimulation(isp, count, end_hour, seed=seed).run() for isp, count in jobs
     ]
@@ -145,13 +212,19 @@ def run_isp_simulations(
 _COLLECT_STATE: dict = {}
 
 
-def _collect_init(table: RoutingTable, registry: Registry, filter_asn_mismatch: bool) -> None:
+def _collect_init(
+    table: RoutingTable,
+    registry: Registry,
+    filter_asn_mismatch: bool,
+    telemetry: bool = False,
+) -> None:
     _COLLECT_STATE["table"] = table
     _COLLECT_STATE["registry"] = registry
     _COLLECT_STATE["filter"] = filter_asn_mismatch
+    _worker_telemetry_init(telemetry)
 
 
-def _collect_one(population) -> CdnDataset:
+def _collect_one_dataset(population) -> CdnDataset:
     dataset = collect(
         [population],
         _COLLECT_STATE["table"],
@@ -162,6 +235,10 @@ def _collect_one(population) -> CdnDataset:
     # the table/registry; drop it rather than ship it back.
     dataset.classifier = None
     return dataset
+
+
+def _collect_one(population):
+    return _with_worker_metrics(_collect_one_dataset, population, kind="cdn_collect")
 
 
 def collect_associations(
@@ -180,13 +257,17 @@ def collect_associations(
     """
     effective = effective_workers(workers, len(populations))
     if effective > 1 and _all_picklable([table, registry, *populations]):
+        _log.debug(
+            "fanning out CDN collection",
+            extra={"populations": len(populations), "workers": effective},
+        )
         with ProcessPoolExecutor(
             max_workers=effective,
             mp_context=_mp_context(),
             initializer=_collect_init,
-            initargs=(table, registry, filter_asn_mismatch),
+            initargs=(table, registry, filter_asn_mismatch, telemetry_enabled()),
         ) as pool:
-            batches = list(pool.map(_collect_one, populations))
+            batches = _merge_worker_results(pool.map(_collect_one, populations))
         merged = merge_datasets(batches)
         merged.classifier = PrefixClassifier(table, registry)
         return merged

@@ -51,8 +51,11 @@ def profile_dir() -> Path:
 
 
 def _repo_root() -> Path:
-    # profiling.py lives at src/repro/perf/; the repo root is three up.
-    return Path(__file__).resolve().parents[3]
+    # Checkout root in a repo, CWD for an installed package — never a
+    # site-packages ancestor (see repro.perf.timing.repo_root).
+    from repro.perf.timing import repo_root
+
+    return repo_root()
 
 
 def _slug(stage: str) -> str:

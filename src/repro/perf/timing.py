@@ -18,8 +18,24 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
-#: Repo-root perf artifact (src/repro/perf/timing.py -> three levels up).
-DEFAULT_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_baseline.json"
+def repo_root() -> Path:
+    """The repository checkout root, or the CWD outside a checkout.
+
+    ``src/repro/perf/timing.py`` is three levels below the repo root in
+    a checkout, but when the package is installed (site-packages) that
+    ancestor is a Python prefix that artifacts must never be written
+    into — so the ancestor only counts when it actually looks like this
+    repository (has a ``pyproject.toml``); otherwise artifacts land in
+    the current working directory.
+    """
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "pyproject.toml").is_file():
+        return candidate
+    return Path.cwd()
+
+
+#: Repo-root perf artifact (CWD when installed outside a checkout).
+DEFAULT_BASELINE_PATH = repo_root() / "BENCH_baseline.json"
 
 #: Append-only run log kept next to the baseline artifact.
 DEFAULT_HISTORY_PATH = DEFAULT_BASELINE_PATH.with_name("BENCH_history.jsonl")
@@ -183,5 +199,6 @@ __all__ = [
     "append_history",
     "current_rss_bytes",
     "read_baseline",
+    "repo_root",
     "write_baseline",
 ]

@@ -232,6 +232,52 @@ def assert_streaming_replay_equal(
         raise AssertionError("streaming replay differs: " + "; ".join(diffs))
 
 
+def telemetry_invariance_diffs(
+    probes_per_as: int = 6, years: float = 1.1, seed: int = 0
+) -> List[str]:
+    """Telemetry-on-vs-off artifact differences ([] if bit-identical).
+
+    The zero-perturbation contract: enabling spans + metrics must not
+    touch RNG draw order or any artifact byte.  Builds and analyzes the
+    same small scenario with telemetry off and on and compares scenario
+    fields and every report artifact.
+    """
+    from repro.obs import telemetry
+    from repro.workloads import (
+        analyze_atlas_scenario,
+        build_atlas_scenario,
+        periodicity_for_scenario,
+    )
+
+    params = dict(probes_per_as=probes_per_as, years=years, seed=seed, cache=False)
+    with telemetry(False):
+        plain = build_atlas_scenario(**params)
+        plain_analysis = analyze_atlas_scenario(plain)
+        plain_periods = periodicity_for_scenario(plain)
+    with telemetry(True, reset=True):
+        traced = build_atlas_scenario(**params)
+        traced_analysis = analyze_atlas_scenario(traced)
+        traced_periods = periodicity_for_scenario(traced)
+    diffs = [
+        f"telemetry: {diff}" for diff in atlas_scenario_diffs(plain, traced)
+    ]
+    for artifact in ("table1", "table2", "figure1", "figure5"):
+        if getattr(plain_analysis, artifact) != getattr(traced_analysis, artifact):
+            diffs.append(f"telemetry: {artifact} diverges with telemetry enabled")
+    if plain_periods != traced_periods:
+        diffs.append("telemetry: periodicity diverges with telemetry enabled")
+    return diffs
+
+
+def assert_telemetry_invariant(
+    probes_per_as: int = 6, years: float = 1.1, seed: int = 0
+) -> None:
+    """Raise AssertionError naming every telemetry-induced divergence."""
+    diffs = telemetry_invariance_diffs(probes_per_as, years, seed)
+    if diffs:
+        raise AssertionError("telemetry perturbs results: " + "; ".join(diffs))
+
+
 def assert_atlas_scenarios_equal(a: AtlasScenario, b: AtlasScenario) -> None:
     """Raise AssertionError naming every diverging Atlas scenario field."""
     diffs = atlas_scenario_diffs(a, b)
@@ -252,7 +298,9 @@ __all__ = [
     "assert_atlas_scenarios_equal",
     "assert_cdn_scenarios_equal",
     "assert_streaming_replay_equal",
+    "assert_telemetry_invariant",
     "atlas_scenario_diffs",
     "cdn_scenario_diffs",
     "streaming_replay_diffs",
+    "telemetry_invariance_diffs",
 ]

@@ -23,7 +23,10 @@ import pickle
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import get_logger, metric_inc
 from repro.perf.cache import CACHE_DIR_ENV, _DEFAULT_DIR, code_fingerprint
+
+_log = get_logger("stream.checkpoint")
 
 #: Version of the checkpoint container format (not the engine payloads,
 #: which carry their own ``state_version``).
@@ -76,6 +79,8 @@ class CheckpointStore:
         with temp.open("wb") as stream:
             pickle.dump(envelope, stream, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp, path)
+        metric_inc("checkpoint.saves", kind=kind)
+        _log.debug("checkpoint saved", extra={"kind": kind, "key": key[:12]})
         return path
 
     def load(self, kind: str, key: str) -> Optional[dict]:
@@ -95,14 +100,22 @@ class CheckpointStore:
                 or envelope.get("key") != key
             ):
                 raise ValueError("checkpoint envelope mismatch")
+            metric_inc("checkpoint.hits", kind=kind)
+            _log.info("checkpoint hit", extra={"kind": kind, "key": key[:12]})
             return envelope["payload"]
         except FileNotFoundError:
+            metric_inc("checkpoint.misses", kind=kind, reason="absent")
+            _log.debug("checkpoint miss", extra={"kind": kind, "key": key[:12]})
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, KeyError, ValueError):
             try:
                 path.unlink()
             except OSError:
                 pass
+            metric_inc("checkpoint.misses", kind=kind, reason="corrupt")
+            _log.warning(
+                "corrupt checkpoint dropped", extra={"kind": kind, "key": key[:12]}
+            )
             return None
 
     def delete(self, kind: str, key: str) -> None:

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.periodicity import CANONICAL_PERIODS
 from repro.core.report import Table1Row, figure1_series
 from repro.core.spatial import CplHistogram, CrossingRates
+from repro.obs import get_logger, metric_inc, span
 from repro.stream.chunks import RunChunk, StreamManifest
 
 try:
@@ -50,6 +51,8 @@ try:
 except ImportError:  # pragma: no cover - numpy is a baked-in dependency
     np = None
     _anp = None
+
+_log = get_logger("stream.engine")
 
 #: Version of the engine's checkpoint payload layout.
 STATE_VERSION = 1
@@ -611,35 +614,58 @@ def run_atlas_stream(
     key = None
     resumed_from = None
     checkpoints = 0
-    if store is not None:
-        params = dict(engine.config_params(), chunk_hours=chunk_hours)
-        key = store.key("atlas-stream", source.stream_id, params)
-        if resume:
-            state = store.load("atlas-stream", key)
-            if state is not None:
-                engine.load_state(state)
-                resumed_from = engine.next_chunk
-    folded = 0
-    for chunk in source.chunks(chunk_hours, start_chunk=engine.next_chunk):
-        engine.fold_chunk(chunk)
-        folded += 1
-        if on_chunk is not None:
-            on_chunk(engine, chunk)
-        at_checkpoint = (
-            store is not None and checkpoint_every and folded % checkpoint_every == 0
-        )
-        if at_checkpoint:
-            store.save("atlas-stream", key, engine.state_dict())
-            checkpoints += 1
-        if stop_after_chunks is not None and folded >= stop_after_chunks:
-            if store is not None and not at_checkpoint:
+    with span("analysis/stream", chunk_hours=chunk_hours) as stream_span:
+        if store is not None:
+            params = dict(engine.config_params(), chunk_hours=chunk_hours)
+            key = store.key("atlas-stream", source.stream_id, params)
+            if resume:
+                state = store.load("atlas-stream", key)
+                if state is not None:
+                    engine.load_state(state)
+                    resumed_from = engine.next_chunk
+                    metric_inc("stream.resumes")
+                    _log.info(
+                        "stream resumed from checkpoint",
+                        extra={"next_chunk": resumed_from, "key": key[:12]},
+                    )
+        folded = 0
+        for chunk in source.chunks(chunk_hours, start_chunk=engine.next_chunk):
+            engine.fold_chunk(chunk)
+            folded += 1
+            metric_inc("stream.chunks_processed")
+            if on_chunk is not None:
+                on_chunk(engine, chunk)
+            at_checkpoint = (
+                store is not None and checkpoint_every and folded % checkpoint_every == 0
+            )
+            if at_checkpoint:
                 store.save("atlas-stream", key, engine.state_dict())
                 checkpoints += 1
-            return None
-    result = engine.finalize()
-    if store is not None:
-        store.save("atlas-stream", key, engine.state_dict())
-        checkpoints += 1
+            if stop_after_chunks is not None and folded >= stop_after_chunks:
+                if store is not None and not at_checkpoint:
+                    store.save("atlas-stream", key, engine.state_dict())
+                    checkpoints += 1
+                stream_span.set(chunks=folded, stopped_early=True)
+                _log.info(
+                    "stream stopped early",
+                    extra={"chunks": folded, "checkpoints": checkpoints},
+                )
+                return None
+        result = engine.finalize()
+        if store is not None:
+            store.save("atlas-stream", key, engine.state_dict())
+            checkpoints += 1
+        metric_inc("stream.runs_seen", engine.runs_seen)
+        stream_span.set(chunks=folded, runs=engine.runs_seen)
+    _log.info(
+        "stream pass complete",
+        extra={
+            "chunks": folded,
+            "runs": engine.runs_seen,
+            "resumed_from": resumed_from,
+            "checkpoints": checkpoints,
+        },
+    )
     result.stats = StreamStats(
         chunks_folded=folded,
         runs_seen=engine.runs_seen,

@@ -51,12 +51,15 @@ from repro.netsim.profiles import (
     mobile_profile,
 )
 from repro.netsim.sim import SubscriberTimeline
+from repro.obs import get_logger, span
 from repro.perf.cache import get_scenario_cache, resolve_cache_flag
 from repro.perf.parallel import (
     collect_associations,
     resolve_workers,
     run_isp_simulations,
 )
+
+_log = get_logger("workloads")
 
 DAY = 24.0
 MONTH = 30 * DAY
@@ -171,21 +174,34 @@ def analyze_atlas_scenario(
     )
 
     resolved = resolve_engine(engine)
+    _log.info("analysis engine resolved", extra={"engine": resolved})
     table1 = {}
     table2 = {}
     figure1 = {}
     figure5 = {}
-    for name, isp in scenario.isps.items():
-        probes = scenario.probes_in(isp.asn)
-        columns = scenario.analysis_columns(isp.asn, engine=resolved)
-        table1[name] = table1_row(
-            name, isp.asn, isp.config.country, probes, engine=resolved, columns=columns
-        )
-        table2[name] = table2_row(
-            probes, scenario.table, engine=resolved, columns=columns
-        )
-        figure1[name] = figure1_for_as(name, probes, engine=resolved, columns=columns)
-        figure5[name] = figure5_for_as(probes, engine=resolved, columns=columns)
+    with span("analysis/report", engine=resolved, networks=len(scenario.isps)):
+        for name, isp in scenario.isps.items():
+            probes = scenario.probes_in(isp.asn)
+            columns = scenario.analysis_columns(isp.asn, engine=resolved)
+            with span("analysis/table1", network=name):
+                table1[name] = table1_row(
+                    name,
+                    isp.asn,
+                    isp.config.country,
+                    probes,
+                    engine=resolved,
+                    columns=columns,
+                )
+            with span("analysis/table2", network=name):
+                table2[name] = table2_row(
+                    probes, scenario.table, engine=resolved, columns=columns
+                )
+            with span("analysis/figure1", network=name):
+                figure1[name] = figure1_for_as(
+                    name, probes, engine=resolved, columns=columns
+                )
+            with span("analysis/figure5", network=name):
+                figure5[name] = figure5_for_as(probes, engine=resolved, columns=columns)
     return AtlasAnalysis(
         engine=resolved, table1=table1, table2=table2, figure1=figure1, figure5=figure5
     )
@@ -218,13 +234,14 @@ def periodicity_for_scenario(
         }
         if any(columns is None for columns in columns_by_network.values()):
             columns_by_network = None
-    return periodic_networks(
-        probes_by_network,
-        tolerance=tolerance,
-        min_probes=min_probes,
-        engine=resolved,
-        columns_by_network=columns_by_network,
-    )
+    with span("analysis/periodicity", engine=resolved, networks=len(probes_by_network)):
+        return periodic_networks(
+            probes_by_network,
+            tolerance=tolerance,
+            min_probes=min_probes,
+            engine=resolved,
+            columns_by_network=columns_by_network,
+        )
 
 
 def build_atlas_scenario(
@@ -251,99 +268,111 @@ def build_atlas_scenario(
     profiles = list(profiles) if profiles is not None else default_profiles()
     worker_count = resolve_workers(workers)
 
-    scenario_cache = cache_key = None
-    if resolve_cache_flag(cache):
-        scenario_cache = get_scenario_cache()
-        cache_key = scenario_cache.key(
-            "atlas",
-            {
-                "probes_per_as": probes_per_as,
-                "years": years,
-                "seed": seed,
-                "profiles": profiles,
-                "anomaly_fraction": anomaly_fraction,
-                "bad_tag_fraction": bad_tag_fraction,
-            },
-        )
-        cached = scenario_cache.get("atlas", cache_key)
-        if cached is not None:
-            return cached
-
-    end_hour = int(years * 365 * DAY)
-
-    registry = Registry()
-    table = RoutingTable()
-    rng = random.Random(seed)
-
-    # ISP construction mutates the shared registry/routing table and must
-    # stay serial and ordered; the simulations are independent per ISP
-    # (each only touches its own plans with a private (seed, asn) RNG)
-    # and fan out across workers.
-    isps: Dict[str, Isp] = {
-        config.name: Isp(config, registry, table) for config in profiles
-    }
-    # Anomalous probes need a secondary network to flap to / move to.
-    num_subscribers = probes_per_as + 2  # spares for secondary attachments
-    timeline_list = run_isp_simulations(
-        [(isps[config.name], num_subscribers) for config in profiles],
-        end_hour=end_hour,
-        seed=seed,
-        workers=worker_count,
-    )
-    timelines: Dict[int, Dict[int, SubscriberTimeline]] = {
-        config.asn: result for config, result in zip(profiles, timeline_list)
-    }
-
-    platform = AtlasPlatform(
-        {isp.asn: (isp, timelines[isp.asn]) for isp in isps.values()},
-        end_hour=end_hour,
-        seed=seed,
-    )
-
-    specs: List[ProbeSpec] = []
-    probe_id = 0
-    asns = [isp.asn for isp in isps.values()]
-    for config in profiles:
-        for subscriber_id in range(probes_per_as):
-            roll = rng.random()
-            anomaly = "none"
-            tags: tuple = ()
-            secondary = None
-            if roll < anomaly_fraction:
-                anomaly = ANOMALY_CYCLE[probe_id % len(ANOMALY_CYCLE)]
-                if anomaly in ("multihomed", "as_move"):
-                    other_asn = rng.choice([asn for asn in asns if asn != config.asn])
-                    secondary = (other_asn, probes_per_as)  # a spare subscriber line
-            elif roll < anomaly_fraction + bad_tag_fraction:
-                tags = ("datacentre",)
-            specs.append(
-                ProbeSpec(
-                    probe_id=probe_id,
-                    asn=config.asn,
-                    subscriber_id=subscriber_id,
-                    tags=tags,
-                    anomaly=anomaly,
-                    secondary=secondary,
-                )
+    with span(
+        "collection/atlas", probes_per_as=probes_per_as, seed=seed, workers=worker_count
+    ) as build_span:
+        scenario_cache = cache_key = None
+        if resolve_cache_flag(cache):
+            scenario_cache = get_scenario_cache()
+            cache_key = scenario_cache.key(
+                "atlas",
+                {
+                    "probes_per_as": probes_per_as,
+                    "years": years,
+                    "seed": seed,
+                    "profiles": profiles,
+                    "anomaly_fraction": anomaly_fraction,
+                    "bad_tag_fraction": bad_tag_fraction,
+                },
             )
-            probe_id += 1
+            cached = scenario_cache.get("atlas", cache_key)
+            if cached is not None:
+                build_span.set(cache="hit")
+                return cached
 
-    raw_probes = [platform.probe_data(spec) for spec in specs]
-    probes, report = sanitize(raw_probes, table)
-    scenario = AtlasScenario(
-        registry=registry,
-        table=table,
-        isps=isps,
-        timelines=timelines,
-        platform=platform,
-        raw_probes=raw_probes,
-        probes=probes,
-        report=report,
-        end_hour=end_hour,
-    )
-    if scenario_cache is not None and cache_key is not None:
-        scenario_cache.put("atlas", cache_key, scenario)
-    return scenario
+        end_hour = int(years * 365 * DAY)
+
+        registry = Registry()
+        table = RoutingTable()
+        rng = random.Random(seed)
+
+        # ISP construction mutates the shared registry/routing table and must
+        # stay serial and ordered; the simulations are independent per ISP
+        # (each only touches its own plans with a private (seed, asn) RNG)
+        # and fan out across workers.
+        isps: Dict[str, Isp] = {
+            config.name: Isp(config, registry, table) for config in profiles
+        }
+        # Anomalous probes need a secondary network to flap to / move to.
+        num_subscribers = probes_per_as + 2  # spares for secondary attachments
+        with span("collection/isp_simulations", isps=len(profiles)):
+            timeline_list = run_isp_simulations(
+                [(isps[config.name], num_subscribers) for config in profiles],
+                end_hour=end_hour,
+                seed=seed,
+                workers=worker_count,
+            )
+        timelines: Dict[int, Dict[int, SubscriberTimeline]] = {
+            config.asn: result for config, result in zip(profiles, timeline_list)
+        }
+
+        platform = AtlasPlatform(
+            {isp.asn: (isp, timelines[isp.asn]) for isp in isps.values()},
+            end_hour=end_hour,
+            seed=seed,
+        )
+
+        specs: List[ProbeSpec] = []
+        probe_id = 0
+        asns = [isp.asn for isp in isps.values()]
+        for config in profiles:
+            for subscriber_id in range(probes_per_as):
+                roll = rng.random()
+                anomaly = "none"
+                tags: tuple = ()
+                secondary = None
+                if roll < anomaly_fraction:
+                    anomaly = ANOMALY_CYCLE[probe_id % len(ANOMALY_CYCLE)]
+                    if anomaly in ("multihomed", "as_move"):
+                        other_asn = rng.choice(
+                            [asn for asn in asns if asn != config.asn]
+                        )
+                        secondary = (other_asn, probes_per_as)  # a spare line
+                elif roll < anomaly_fraction + bad_tag_fraction:
+                    tags = ("datacentre",)
+                specs.append(
+                    ProbeSpec(
+                        probe_id=probe_id,
+                        asn=config.asn,
+                        subscriber_id=subscriber_id,
+                        tags=tags,
+                        anomaly=anomaly,
+                        secondary=secondary,
+                    )
+                )
+                probe_id += 1
+
+        with span("collection/probes", specs=len(specs)):
+            raw_probes = [platform.probe_data(spec) for spec in specs]
+        probes, report = sanitize(raw_probes, table)
+        scenario = AtlasScenario(
+            registry=registry,
+            table=table,
+            isps=isps,
+            timelines=timelines,
+            platform=platform,
+            raw_probes=raw_probes,
+            probes=probes,
+            report=report,
+            end_hour=end_hour,
+        )
+        if scenario_cache is not None and cache_key is not None:
+            scenario_cache.put("atlas", cache_key, scenario)
+        _log.info(
+            "atlas scenario built",
+            extra={"probes": len(probes), "raw": len(raw_probes), "seed": seed},
+        )
+        return scenario
 
 
 # ---------------------------------------------------------------------------
@@ -525,12 +554,13 @@ def build_cdn_scenario(
             fixed_isps.append(isp)
             fixed_counts.append(count)
 
-    fixed_timelines = run_isp_simulations(
-        list(zip(fixed_isps, fixed_counts)),
-        end_hour=end_hour,
-        seed=seed,
-        workers=worker_count,
-    )
+    with span("collection/isp_simulations", isps=len(fixed_isps), scenario="cdn"):
+        fixed_timelines = run_isp_simulations(
+            list(zip(fixed_isps, fixed_counts)),
+            end_hour=end_hour,
+            seed=seed,
+            workers=worker_count,
+        )
     for isp, timelines in zip(fixed_isps, fixed_timelines):
         populations.append(FixedPopulation(isp, timelines, days, seed=seed))
 
@@ -585,13 +615,14 @@ def build_cdn_scenario(
                 )
             )
 
-    dataset = collect_associations(
-        populations,
-        table,
-        registry,
-        filter_asn_mismatch=filter_asn_mismatch,
-        workers=worker_count,
-    )
+    with span("collection/associations", populations=len(populations)):
+        dataset = collect_associations(
+            populations,
+            table,
+            registry,
+            filter_asn_mismatch=filter_asn_mismatch,
+            workers=worker_count,
+        )
     scenario = CdnScenario(
         registry=registry,
         table=table,

@@ -334,6 +334,87 @@ def test_stage_timer_context_manager():
     assert timer["work"] >= 0.0
 
 
+def test_stage_timer_duplicate_stage_names_accumulate():
+    timer = StageTimer()
+    with timer.stage("work"):
+        pass
+    with timer.stage("work"):  # re-entering the same name accumulates
+        pass
+    first_total = timer["work"]
+    timer.record("work", 1.0)
+    assert timer["work"] == first_total + 1.0
+    assert timer.as_dict().keys() == {"work"}
+
+
+def test_stage_timer_zero_duration_stage():
+    timer = StageTimer()
+    timer.record("instant", 0.0)
+    assert timer["instant"] == 0.0
+    assert "instant" in timer
+    assert timer.total == 0.0
+    assert timer.as_dict() == {"instant": 0.0}
+
+
+def test_current_rss_bytes_without_proc(monkeypatch):
+    """Without /proc the getrusage fallback still bounds the RSS."""
+    import builtins
+
+    from repro.perf import timing
+
+    real_open = builtins.open
+
+    def proc_denied(path, *args, **kwargs):
+        if isinstance(path, str) and path.startswith("/proc/"):
+            raise OSError("no /proc on this platform")
+        return real_open(path, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", proc_denied)
+    rss = timing.current_rss_bytes()
+    assert rss is None or rss > 0
+
+
+def test_rss_sampler_handles_unreadable_rss(monkeypatch):
+    from repro.perf import timing
+
+    monkeypatch.setattr(timing, "current_rss_bytes", lambda: None)
+    with timing.RssSampler(interval=0.001) as sampler:
+        pass
+    assert sampler.peak_bytes is None
+
+
+def test_rss_sampler_tracks_peak(monkeypatch):
+    from repro.perf import timing
+
+    samples = iter([100, 300, 200])
+    monkeypatch.setattr(
+        timing, "current_rss_bytes", lambda: next(samples, 150)
+    )
+    sampler = timing.RssSampler(interval=60.0)  # no thread samples fire
+    with sampler:
+        sampler.sample()
+        sampler.sample()
+    assert sampler.peak_bytes == 300
+
+
+def test_repo_root_in_checkout_and_installed(tmp_path, monkeypatch):
+    from repro.perf import timing
+    from repro.perf.profiling import _repo_root
+
+    checkout = timing.repo_root()
+    assert (checkout / "pyproject.toml").is_file()
+    assert _repo_root() == checkout
+
+    # Installed layout (site-packages has no pyproject.toml above it):
+    # artifacts must land in the CWD, never in a Python prefix.
+    fake = tmp_path / "site-packages" / "repro" / "perf" / "timing.py"
+    fake.parent.mkdir(parents=True)
+    fake.touch()
+    monkeypatch.setattr(timing, "__file__", str(fake))
+    monkeypatch.chdir(tmp_path)
+    assert timing.repo_root() == tmp_path
+    assert _repo_root() == tmp_path
+
+
 def test_write_baseline_merges_sections(tmp_path):
     path = tmp_path / "BENCH_baseline.json"
     write_baseline("alpha", {"a": 1}, path=path)
