@@ -9,7 +9,10 @@ reference vs columnar ``np``), asserts the two produce bit-identical
 artifacts, replays the same scenario through the chunked streaming
 engine (asserting batch parity, recording throughput and sampled peak
 RSS, and checking the checkpointable state stays bounded as the stream
-grows), and records everything in the repo-root
+grows), builds and analyzes a synthetic sharded memmap triple store
+out-of-core (gating build/analyze throughput and the analyzer's peak
+RSS against a fraction of what materializing the same tuples as Python
+triples would cost), and records everything in the repo-root
 ``BENCH_baseline.json`` — the repository's perf trajectory artifact.
 Each run is additionally appended to ``BENCH_history.jsonl`` next to
 the baseline, so the perf trend across runs stays inspectable.
@@ -78,6 +81,11 @@ FULL_SCALE = {
         "mobile_devices_per_registry": 200,
         "featured_subscribers": 100,
     },
+    # >=100M synthetic tuples: far beyond what the in-RAM path could
+    # hold as Python triples, the point of the out-of-core store.
+    "store": {"tuples": 100_000_000, "shards": 64,
+              "batch_rows": 1 << 20, "block_rows": 1 << 18,
+              "v4_pool": 200_000, "v6_pool": 2_000_000},
 }
 #: CI smoke scales (sub-second serial builds).
 CHECK_SCALE = {
@@ -88,6 +96,13 @@ CHECK_SCALE = {
         "mobile_devices_per_registry": 30,
         "featured_subscribers": 24,
     },
+    # ~1M tuples: the same machinery at a scale CI finishes in seconds.
+    # Key pools shrink with the row count so the rows-per-/64 density
+    # (and hence the degree-merge working set relative to the RSS gate)
+    # matches the full-scale regime instead of being nearly all-unique.
+    "store": {"tuples": 1_000_000, "shards": 16,
+              "batch_rows": 1 << 16, "block_rows": 1 << 13,
+              "v4_pool": 2_000, "v6_pool": 20_000},
 }
 
 
@@ -155,6 +170,65 @@ def _run_analysis(scenario, engine: str):
             results[key] = stages[key]()
             timings[key] = time.perf_counter() - start
     return results, timings
+
+
+def _materialized_triple_bytes(tuples: int) -> int:
+    """Estimated RAM to hold ``tuples`` rows as a list of Python triples.
+
+    Measures a representative ``(day, v4_key, v6_key)`` tuple with
+    ``sys.getsizeof`` (the /64 key is a 128-bit int, the dominant term)
+    plus one 8-byte list slot per row — the footprint the in-RAM path
+    pays before any kernel runs, and the yardstick the store's RSS gate
+    is expressed against.
+    """
+    sample = (119, 200_000 << 8, (0x20010DB8 << 96) | (1 << 64))
+    per_triple = sys.getsizeof(sample) + sum(sys.getsizeof(value) for value in sample)
+    return tuples * (per_triple + 8)
+
+
+def _store_parity(store, analysis) -> bool:
+    """Does the out-of-core analysis match a single in-RAM np pass?
+
+    Concatenates every shard into one columnar array and recomputes all
+    artifacts with the stock kernels — the reference the sharded
+    sort/merge path must reproduce bit-identically.  Deliberately run
+    *outside* the RSS-gated region: this is the memory the store path
+    exists to avoid.
+    """
+    import numpy as np
+
+    from repro.core.associations_np import (
+        association_durations_np,
+        box_stats_np,
+        degree_count_arrays,
+    )
+    from repro.core.delegation import trailing_zero_profile_np
+
+    days = np.concatenate(
+        [np.asarray(shard.days) for shard in store.iter_shards()]
+    ).astype(np.int64)
+    v4_keys = np.concatenate([np.asarray(shard.v4) for shard in store.iter_shards()])
+    v6_keys = np.concatenate([np.asarray(shard.v6) for shard in store.iter_shards()])
+    durations = association_durations_np(days, v4_keys, v6_keys)
+    values, counts = np.unique(durations, return_counts=True)
+    v4_ref = degree_count_arrays(v4_keys, v6_keys)
+    v6_ref_keys, v6_ref_unique, _hits = degree_count_arrays(v6_keys, v4_keys)
+    return (
+        analysis.duration_counts
+        == {int(d): int(c) for d, c in zip(values, counts)}
+        and analysis.box == box_stats_np(durations, empty_ok=True)
+        and all(np.array_equal(got, ref) for got, ref in zip(
+            (analysis.v4_keys, analysis.v4_unique, analysis.v4_hits), v4_ref
+        ))
+        and np.array_equal(analysis.v6_keys, v6_ref_keys)
+        and np.array_equal(analysis.v6_unique, v6_ref_unique)
+        and analysis.delegation == trailing_zero_profile_np(v6_ref_keys)
+    )
+
+
+#: Peak-RSS gate for the out-of-core analyzer, as a fraction of the
+#: estimated materialized-triples footprint (ISSUE acceptance: <=25%).
+STORE_RSS_GATE = 0.25
 
 
 def run_baseline(args: argparse.Namespace) -> dict:
@@ -365,6 +439,120 @@ def run_baseline(args: argparse.Namespace) -> dict:
     else:  # pragma: no cover - numpy is a baked-in dependency
         print("streaming: numpy unavailable, streaming engine not benchmarked")
 
+    # Out-of-core sharded triple store: build a synthetic store at a
+    # tuple volume the in-RAM path would have to materialize as Python
+    # triples, analyze it shard-by-shard under an RSS sampler, and gate
+    # the analyzer's peak RSS *delta* against a fraction of that
+    # materialized footprint.  The in-RAM parity pass runs after the
+    # gated region so its own allocations cannot pollute the gate.
+    store_stats = None
+    if engine_available:
+        from repro.store import (
+            analyze_store,
+            build_store_from_columns,
+            synthetic_triple_batches,
+        )
+
+        store_scale = dict(scale["store"])
+        if args.store_tuples is not None:
+            store_scale["tuples"] = args.store_tuples
+        store_tuples = store_scale["tuples"]
+        with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+            with maybe_profile("store_build"):
+                start = time.perf_counter()
+                store = build_store_from_columns(
+                    synthetic_triple_batches(
+                        store_tuples,
+                        batch_rows=store_scale["batch_rows"],
+                        seed=args.seed,
+                        v4_pool=store_scale["v4_pool"],
+                        v6_pool=store_scale["v6_pool"],
+                    ),
+                    Path(tmp) / "store",
+                    shards=store_scale["shards"],
+                    source={"kind": "synthetic", "seed": args.seed},
+                )
+                store_build_s = time.perf_counter() - start
+            build_rate = store_tuples / max(store_build_s, 1e-9)
+            print(
+                f"store: built {store_tuples} tuples into {store.shards} "
+                f"shard(s), {store.nbytes / 2**20:.0f} MiB on disk, "
+                f"{store_build_s:.2f}s ({build_rate:.0f} tuples/s)"
+            )
+
+            footprint = _materialized_triple_bytes(store_tuples)
+            rss_start = current_rss_bytes()
+            with maybe_profile("store_analyze"), RssSampler() as sampler:
+                start = time.perf_counter()
+                store_analysis = analyze_store(
+                    store,
+                    workers=args.workers,
+                    block_rows=store_scale["block_rows"],
+                )
+                store_analyze_s = time.perf_counter() - start
+            analyze_rate = store_tuples / max(store_analyze_s, 1e-9)
+            rss_delta = (
+                sampler.peak_bytes - rss_start
+                if sampler.peak_bytes is not None and rss_start is not None
+                else None
+            )
+            rss_fraction = rss_delta / footprint if rss_delta is not None else None
+            if rss_fraction is not None and rss_fraction > STORE_RSS_GATE:
+                failures.append(
+                    f"store analyze peak RSS delta {rss_delta / 2**20:.0f} MiB "
+                    f"exceeds {STORE_RSS_GATE:.0%} of the "
+                    f"{footprint / 2**20:.0f} MiB materialized-triples footprint"
+                )
+            if not args.check and analyze_rate < args.min_store_tuples_per_second:
+                failures.append(
+                    f"store analyze throughput {analyze_rate:.0f} tuples/s "
+                    f"below required {args.min_store_tuples_per_second:.0f}"
+                )
+            with maybe_profile("store_parity"):
+                store_parity = _store_parity(store, store_analysis)
+            if not store_parity:
+                failures.append(
+                    "store parity violated: out-of-core != in-RAM np artifacts"
+                )
+            rss_text = (
+                f"{rss_delta / 2**20:.0f} MiB ({rss_fraction:.1%} of "
+                f"{footprint / 2**20:.0f} MiB materialized, gate "
+                f"{STORE_RSS_GATE:.0%})"
+                if rss_fraction is not None
+                else "n/a"
+            )
+            print(
+                f"store: analyzed out-of-core in {store_analyze_s:.2f}s "
+                f"({analyze_rate:.0f} tuples/s), "
+                f"{store_analysis.duration_count} runs, peak RSS delta "
+                f"{rss_text} — artifacts identical"
+            )
+            store_stats = {
+                "tuples": store_tuples,
+                "shards": store.shards,
+                "batch_rows": store_scale["batch_rows"],
+                "block_rows": store_scale["block_rows"],
+                "store_bytes": store.nbytes,
+                "digest": store.digest(),
+                "build_seconds": round(store_build_s, 4),
+                "build_tuples_per_second": round(build_rate, 1),
+                "analyze_seconds": round(store_analyze_s, 4),
+                "analyze_tuples_per_second": round(analyze_rate, 1),
+                "throughput_enforced": not args.check,
+                "associations": store_analysis.duration_count,
+                "distinct_v4": len(store_analysis.v4_keys),
+                "distinct_v6": len(store_analysis.v6_keys),
+                "peak_rss_delta_bytes": rss_delta,
+                "materialized_triples_bytes": footprint,
+                "rss_fraction_of_materialized": (
+                    round(rss_fraction, 4) if rss_fraction is not None else None
+                ),
+                "rss_gate_fraction": STORE_RSS_GATE,
+                "parity": store_parity,
+            }
+    else:  # pragma: no cover - numpy is a baked-in dependency
+        print("store: numpy unavailable, out-of-core store not benchmarked")
+
     total_serial = atlas_serial_s + cdn_serial_s
     total_parallel = atlas_parallel_s + cdn_parallel_s
     speedup = total_serial / max(total_parallel, 1e-9)
@@ -408,6 +596,7 @@ def run_baseline(args: argparse.Namespace) -> dict:
         },
         "telemetry": telemetry_stats,
         "streaming": streaming,
+        "store": store_stats,
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
         "peak_rss_bytes": current_rss_bytes(),
@@ -449,6 +638,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-periodicity-speedup", type=float, default=20.0,
                         help="required py/np speedup on the periodicity "
                         "detection stage in full mode (default: 20.0)")
+    parser.add_argument("--store-tuples", type=int, default=None,
+                        help="override the out-of-core store tuple count "
+                        "(default: 100M full / 1M check)")
+    parser.add_argument("--min-store-tuples-per-second", type=float,
+                        default=100_000.0,
+                        help="required out-of-core analyze throughput in "
+                        "full mode (default: 100000)")
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--output", type=Path,
                         default=_REPO_ROOT / "BENCH_baseline.json",

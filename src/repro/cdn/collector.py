@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.bgp.registry import AccessKind, RIR, Registry
 from repro.bgp.table import RoutingTable
@@ -34,10 +34,18 @@ class CdnDataset:
 
     def all_triples(self) -> List[Triple]:
         """Every kept triple across all ASes (flattened copy)."""
-        merged: List[Triple] = []
+        return list(self.iter_triples())
+
+    def iter_triples(self) -> Iterator[Triple]:
+        """Lazily yield every kept triple, in per-AS insertion order.
+
+        Same sequence as :meth:`all_triples` without the flattened
+        copy — the right feed for streaming sinks (CSV writers, the
+        sharded triple store) where the dataset is already the largest
+        object in memory.
+        """
         for triples in self.triples_by_asn.values():
-            merged.extend(triples)
-        return merged
+            yield from triples
 
     def triples_for(self, asn: int) -> List[Triple]:
         """Kept triples whose origin AS is ``asn`` (empty when absent)."""

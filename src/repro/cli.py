@@ -18,6 +18,10 @@ Commands
     Run the chunked, checkpointable streaming analysis (bit-identical
     to ``report``'s batch np artifacts) over a built scenario or an
     exported run-stream file, optionally resuming from a checkpoint.
+``store build`` / ``store analyze``
+    Build a sharded memory-mapped triple store (from a CSV, a synthetic
+    feed, or a CDN simulation) and analyze it shard-by-shard out-of-core
+    — artifacts bit-identical to the in-RAM ``engine="np"`` path.
 """
 
 from __future__ import annotations
@@ -136,7 +140,7 @@ def cmd_simulate_cdn(args: argparse.Namespace) -> int:
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
     with output.open("w") as stream:
-        written = write_association_csv(scenario.dataset.all_triples(), stream)
+        written = write_association_csv(scenario.dataset.iter_triples(), stream)
     print(
         f"wrote {written} associations ({scenario.dataset.discarded_asn_mismatch}"
         f" discarded by the ASN filter) to {output}"
@@ -285,7 +289,6 @@ def cmd_stream(args: argparse.Namespace) -> int:
         CheckpointStore,
         JsonlRunSource,
         ScenarioRunSource,
-        run_association_stream,
         run_atlas_stream,
         stream_triples_from_csv,
         write_run_stream,
@@ -386,10 +389,23 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
 
     if args.triples:
-        # The simulate-cdn CSV is grouped by ASN; the stream contract
-        # wants canonical (day, v4, v6) order, so sort on the way in.
-        triples = sorted(stream_triples_from_csv(Path(args.triples)))
-        assoc = run_association_stream(triples, args.chunk_days)
+        import tempfile
+
+        from repro.store import build_store_from_triples
+        from repro.stream import run_association_stream_over_store
+
+        # The simulate-cdn CSV is grouped by ASN, not day-ordered.  The
+        # old path sorted the whole file in RAM to meet the stream
+        # contract; sharding into a scratch triple store instead keeps
+        # memory bounded (spill buffers + one day window) and the
+        # store-driven pass is artifact-identical to the sorted stream.
+        with tempfile.TemporaryDirectory(prefix="repro-stream-") as scratch:
+            triple_store = build_store_from_triples(
+                stream_triples_from_csv(Path(args.triples)),
+                Path(scratch) / "triples",
+                shards=8,
+            )
+            assoc = run_association_stream_over_store(triple_store, args.chunk_days)
         box = assoc.box
         summary = (
             f"median {box.median:.1f}d (q1 {box.q1:.1f}, q3 {box.q3:.1f})"
@@ -402,6 +418,101 @@ def cmd_stream(args: argparse.Namespace) -> int:
             f"durations {summary}; "
             f"degree-1 /64 fraction {assoc.fraction_v6_degree_one:.2f}"
         )
+    return 0
+
+
+def cmd_store_build(args: argparse.Namespace) -> int:
+    """Build a sharded memmap triple store from one of three sources."""
+    from repro.store import build_store_from_columns, build_store_from_triples
+    from repro.stream import stream_triples_from_csv
+
+    output = Path(args.output)
+    if output.exists():
+        print(f"error: {output} already exists", file=sys.stderr)
+        return 1
+    if args.triples:
+        store = build_store_from_triples(
+            stream_triples_from_csv(Path(args.triples)),
+            output,
+            shards=args.shards,
+            spill_rows=args.spill_rows,
+            source={"kind": "csv", "path": str(args.triples)},
+        )
+    elif args.synthetic:
+        from repro.store import synthetic_triple_batches
+
+        store = build_store_from_columns(
+            synthetic_triple_batches(
+                args.synthetic, seed=args.seed, days=args.days
+            ),
+            output,
+            shards=args.shards,
+            spill_rows=args.spill_rows,
+            source={"kind": "synthetic", "total": args.synthetic, "seed": args.seed},
+        )
+    else:
+        from repro.workloads import build_cdn_scenario, build_cdn_triple_store
+
+        scenario = build_cdn_scenario(
+            days=args.days,
+            seed=args.seed,
+            workers=args.workers,
+            cache=_cache_flag(args),
+        )
+        store = build_cdn_triple_store(scenario, output, shards=args.shards)
+    print(
+        f"built store at {store.directory}: {store.total_triples} triples in "
+        f"{store.shards} shard(s), days {store.day_min}..{store.day_max}"
+    )
+    return 0
+
+
+def cmd_store_analyze(args: argparse.Namespace) -> int:
+    """Analyze a triple store shard-by-shard out-of-core."""
+    from repro.store import StoreCorruptError, TripleStore
+    from repro.workloads import analyze_triple_store
+
+    try:
+        store = TripleStore.open(Path(args.store), verify=args.verify)
+    except StoreCorruptError as exc:
+        print(f"error: {exc} — rebuild with 'repro store build'", file=sys.stderr)
+        return 1
+    analysis = analyze_triple_store(store, workers=args.workers)
+    summary = analysis.summary()
+    box = summary["box"]
+    box_text = (
+        f"median {box['median']:.1f}d (q1 {box['q1']:.1f}, q3 {box['q3']:.1f}, "
+        f"p95 {box['p95']:.1f})"
+        if box
+        else "no complete associations"
+    )
+    delegation = summary["delegation"]
+    boundary_text = (
+        "  ".join(
+            f"/{plen}:{count}" for plen, count in delegation["by_boundary"].items()
+        )
+        or "none"
+    )
+    print(
+        f"store {store.directory}: {summary['total_triples']} triples, "
+        f"{summary['shards']} shard(s)"
+    )
+    print(f"associations: {summary['associations']} runs; durations {box_text}")
+    print(
+        f"degrees: {summary['distinct_v4']} /24s, {summary['distinct_v6']} /64s, "
+        f"degree-1 /64 fraction {summary['fraction_v6_degree_one']:.2f}"
+    )
+    print(
+        f"delegation (Fig 7): {delegation['inferable_pct']:.0f}% inferable — "
+        f"{boundary_text}"
+    )
+    if args.json:
+        import json as json_module
+
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json_module.dumps(summary, indent=1) + "\n")
+        print(f"summary written to {json_path}")
     return 0
 
 
@@ -513,6 +624,54 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--chunk-days", type=int, default=7,
                         help="days per association chunk (default: 7)")
     stream.set_defaults(func=cmd_stream)
+
+    store = commands.add_parser(
+        "store",
+        help="out-of-core sharded memmap triple store (build / analyze)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    store_build = store_commands.add_parser(
+        "build",
+        help="build a store from a CSV, a synthetic feed, or a CDN simulation",
+        parents=[common],
+    )
+    store_build.add_argument("--output", required=True, metavar="DIR",
+                             help="store directory to create (must not exist)")
+    store_build.add_argument("--triples", default=None, metavar="CSV",
+                             help="stream triples from a simulate-cdn CSV")
+    store_build.add_argument("--synthetic", type=int, default=None, metavar="N",
+                             help="generate N deterministic synthetic triples "
+                             "instead of reading a CSV")
+    store_build.add_argument("--shards", type=int, default=16,
+                             help="shard count; /24s are hash-sharded "
+                             "(default: 16)")
+    store_build.add_argument("--spill-rows", type=int, default=1 << 18,
+                             help="rows buffered per shard before spilling "
+                             "(default: 262144)")
+    store_build.add_argument("--days", type=int, default=150,
+                             help="day span for --synthetic or the CDN "
+                             "simulation (default: 150)")
+    store_build.add_argument("--seed", type=int, default=0)
+    _add_perf_args(store_build)
+    store_build.set_defaults(func=cmd_store_build)
+
+    store_analyze = store_commands.add_parser(
+        "analyze",
+        help="analyze a store shard-by-shard out-of-core",
+        parents=[common],
+    )
+    store_analyze.add_argument("--store", required=True, metavar="DIR",
+                               help="store directory built by 'store build'")
+    store_analyze.add_argument("--verify", action="store_true",
+                               help="re-hash every shard against the manifest "
+                               "checksums before analyzing")
+    store_analyze.add_argument("--json", default=None, metavar="PATH",
+                               help="also write the summary as JSON to PATH")
+    store_analyze.add_argument("--workers", type=int, default=None,
+                               help="worker processes for the per-shard pass "
+                               "(default: $REPRO_WORKERS or serial)")
+    store_analyze.set_defaults(func=cmd_store_analyze)
 
     return parser
 

@@ -16,7 +16,7 @@ bijection for /64s; :func:`columns_from_triples` performs the packing.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,9 +75,30 @@ def association_durations_np(
     return day_sorted[run_ends] - day_sorted[run_starts] + 1
 
 
-def _degree_counts_sorted(
+def degree_count_arrays(
     primary: np.ndarray, secondary: np.ndarray
-) -> Tuple[Dict[int, int], Dict[int, int]]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array form of the degree kernel: ``(keys, unique, hits)``.
+
+    ``keys`` are the sorted distinct ``primary`` values, ``unique[i]``
+    the number of distinct ``secondary`` partners of ``keys[i]`` and
+    ``hits[i]`` its total row count.  Safe on empty and single-row
+    populations (sparse shards), so out-of-core partials can call it
+    per shard without pre-checking; returns empty arrays for empty
+    input.
+    """
+    if len(primary) != len(secondary):
+        raise ValueError("column arrays must have equal length")
+    if len(primary) == 0:
+        empty_keys = np.empty(0, dtype=np.asarray(primary).dtype)
+        return empty_keys, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    keys, unique_counts, hit_counts = _degree_count_arrays_nonempty(primary, secondary)
+    return keys, unique_counts, hit_counts
+
+
+def _degree_count_arrays_nonempty(
+    primary: np.ndarray, secondary: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Distinct-partner and total-hit counts per ``primary`` key.
 
     One lexsort plus adjacent-difference passes: a new *pair* starts
@@ -105,7 +126,13 @@ def _degree_counts_sorted(
     unique_counts = np.bincount(
         group_of_pair[new_pair], minlength=len(keys)
     )
+    return keys, unique_counts, hit_counts
 
+
+def _degree_counts_sorted(
+    primary: np.ndarray, secondary: np.ndarray
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    keys, unique_counts, hit_counts = degree_count_arrays(primary, secondary)
     unique = dict(zip((int(k) for k in keys), (int(c) for c in unique_counts)))
     hits = dict(zip((int(k) for k in keys), (int(c) for c in hit_counts)))
     return unique, hits
@@ -141,17 +168,25 @@ def duration_percentiles_np(
     return [float(value) for value in np.quantile(durations, fractions)]
 
 
-def box_stats_np(durations: np.ndarray) -> BoxStats:
+def box_stats_np(
+    durations: np.ndarray, empty_ok: bool = False
+) -> Optional[BoxStats]:
     """Bit-identical :func:`repro.core.associations.box_stats` over an array.
 
     ``np.quantile`` interpolates as ``a + (b - a) * t``, which can differ
     from the reference's ``a * (1 - w) + b * w`` in the last ulp, so the
     percentiles are evaluated with the reference's exact expression over
     one ``np.sort`` (each percentile is O(1) after the sort).
+
+    Empty input raises like the reference unless ``empty_ok`` — the
+    escape hatch sparse out-of-core shards use to report "no box"
+    (``None``) instead of blowing up a whole partial.
     """
     ordered = np.sort(np.asarray(durations))
     n = len(ordered)
     if n == 0:
+        if empty_ok:
+            return None
         raise ValueError("cannot take percentile of empty data")
 
     def percentile(fraction: float) -> float:
@@ -177,6 +212,64 @@ def box_stats_np(durations: np.ndarray) -> BoxStats:
     )
 
 
+def box_stats_from_counts(
+    values: np.ndarray, counts: np.ndarray, empty_ok: bool = False
+) -> Optional[BoxStats]:
+    """Exact :func:`box_stats_np` over a value histogram.
+
+    Out-of-core runs never hold every duration at once — they accumulate
+    ``counts[i]`` occurrences of ``values[i]`` (days fit in a small
+    histogram).  The k-th order statistic of the expanded multiset is
+    recovered with a cumulative-sum ``searchsorted``, and each
+    percentile then uses the reference's exact
+    ``low * (1 - w) + high * w`` expression — bit-identical to sorting
+    the expanded array, without materializing it.
+    """
+    values = np.asarray(values)
+    counts = np.asarray(counts, dtype=np.int64)
+    if len(values) != len(counts):
+        raise ValueError("values and counts must have equal length")
+    keep = counts > 0
+    values = values[keep]
+    counts = counts[keep]
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    counts = counts[order]
+    cumulative = np.cumsum(counts)
+    n = int(cumulative[-1]) if len(cumulative) else 0
+    if n == 0:
+        if empty_ok:
+            return None
+        raise ValueError("cannot take percentile of empty data")
+
+    def order_stat(index: int) -> float:
+        # ordered[index] of the expanded multiset: first bucket whose
+        # cumulative count exceeds ``index``.
+        return float(values[np.searchsorted(cumulative, index, side="right")])
+
+    def percentile(fraction: float) -> float:
+        if n == 1:
+            return order_stat(0)
+        position = fraction * (n - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        low_value = order_stat(low)
+        high_value = order_stat(high)
+        if low == high or low_value == high_value:
+            return low_value
+        weight = position - low
+        return low_value * (1 - weight) + high_value * weight
+
+    return BoxStats(
+        p5=percentile(0.05),
+        q1=percentile(0.25),
+        median=percentile(0.50),
+        q3=percentile(0.75),
+        p95=percentile(0.95),
+        count=n,
+    )
+
+
 def unpack_v6_degree_keys(degree_counts: Dict[int, int]) -> Dict[int, int]:
     """Re-expand packed upper-64-bit /64 keys to full integer keys."""
     return {key << 64: count for key, count in degree_counts.items()}
@@ -184,8 +277,10 @@ def unpack_v6_degree_keys(degree_counts: Dict[int, int]) -> Dict[int, int]:
 
 __all__ = [
     "association_durations_np",
+    "box_stats_from_counts",
     "box_stats_np",
     "columns_from_triples",
+    "degree_count_arrays",
     "duration_percentiles_np",
     "unpack_v6_degree_keys",
     "v4_degree_counts_np",

@@ -131,6 +131,40 @@ def trailing_zero_profile(
     return TrailingZeroProfile(total=total, by_boundary=dict(sorted(counter.items())))
 
 
+def trailing_zero_profile_np(
+    v6_upper_keys, boundaries: Sequence[int] = FIG7_BOUNDARIES
+) -> TrailingZeroProfile:
+    """Vectorized :func:`trailing_zero_profile` over packed /64 keys.
+
+    ``v6_upper_keys`` holds each /64's upper 64 network bits as uint64
+    (the columnar packing the numpy kernels and the triple store use).
+    A /64's trailing-zero bits equal the trailing zeros of its upper-64
+    word (64 when zero), so the whole classification is one
+    trailing-zero pass plus a ``bincount`` — bit-identical to the
+    per-prefix reference loop.  Safe on empty populations.
+    """
+    import numpy as np
+
+    from repro.core.analysis_np import _trailing_zeros_u64
+
+    keys = np.asarray(v6_upper_keys, dtype=np.uint64)
+    total = len(keys)
+    if total == 0:
+        return TrailingZeroProfile(total=0, by_boundary={})
+    shortest = min(boundaries)
+    nibbles = _trailing_zeros_u64(keys) // 4
+    plens = 64 - 4 * nibbles
+    plens = plens[plens < 64]  # nothing inferable at /64
+    plens = np.maximum(plens, shortest)
+    counts = np.bincount(plens, minlength=65)
+    by_boundary = {
+        int(boundary): int(counts[boundary])
+        for boundary in sorted(boundaries)
+        if boundary < len(counts) and counts[boundary]
+    }
+    return TrailingZeroProfile(total=total, by_boundary=by_boundary)
+
+
 def per_probe_prefixes_from_runs(
     probes: Iterable, plen: int = 64
 ) -> Dict[str, List[IPv6Prefix]]:
@@ -202,4 +236,5 @@ __all__ = [
     "nibble_aligned_inferred_plen",
     "per_probe_prefixes_from_runs",
     "trailing_zero_profile",
+    "trailing_zero_profile_np",
 ]

@@ -276,10 +276,73 @@ def collect_associations(
     )
 
 
+# ---------------------------------------------------------------------------
+# Zero-copy triple-store shard fan-out
+# ---------------------------------------------------------------------------
+
+#: Worker-process store handle installed by :func:`_store_worker_init`.
+_STORE_STATE: dict = {}
+
+
+def _store_worker_init(directory: str, telemetry: bool) -> None:
+    """Pool initializer: each worker opens the store by *path*.
+
+    The worker memory-maps shard columns straight off disk, so the
+    parent never pickles an array into the pool — the only bytes that
+    cross the process boundary are the directory string here and the
+    (task, shard index) pair per work unit.
+    """
+    from repro.store.triples import TripleStore
+
+    _STORE_STATE["store"] = TripleStore.open(directory)
+    _worker_telemetry_init(telemetry)
+
+
+def _store_shard_task(unit):
+    task, index = unit
+    return _with_worker_metrics(
+        lambda shard_index: task(_STORE_STATE["store"], shard_index),
+        index,
+        kind="store_shard",
+    )
+
+
+def map_store_shards(task, store, workers: Optional[int] = None) -> List:
+    """Run ``task(store, shard_index)`` over every shard of a triple store.
+
+    ``task`` must be a module-level callable (or a ``functools.partial``
+    of one) so it pickles by reference.  The handoff is zero-copy in
+    both directions by convention: workers map shard columns from the
+    store path (installed once per worker by the pool initializer) and
+    should write any large intermediate arrays to scratch files for the
+    parent to memmap, returning only small metadata.  Results come back
+    in shard-index order, so the reduction is deterministic regardless
+    of scheduling.  With one core/shard/worker this degrades to the
+    serial loop.
+    """
+    effective = effective_workers(resolve_workers(workers), store.shards)
+    if effective > 1:
+        _log.debug(
+            "fanning out store shards",
+            extra={"shards": store.shards, "workers": effective},
+        )
+        with ProcessPoolExecutor(
+            max_workers=effective,
+            mp_context=_mp_context(),
+            initializer=_store_worker_init,
+            initargs=(str(store.directory), telemetry_enabled()),
+        ) as pool:
+            return _merge_worker_results(
+                pool.map(_store_shard_task, [(task, i) for i in range(store.shards)])
+            )
+    return [task(store, index) for index in range(store.shards)]
+
+
 __all__ = [
     "WORKERS_ENV",
     "collect_associations",
     "effective_workers",
+    "map_store_shards",
     "resolve_workers",
     "run_isp_simulations",
 ]

@@ -17,6 +17,9 @@ NumPy engine against the pure-Python reference, field by field — and
 :func:`streaming_replay_diffs` holds the streaming layer to it too:
 chunk-by-chunk replay (any chunk size, with or without a mid-stream
 checkpoint/restore) must be bit-identical to the batch np report.
+:func:`store_diffs` extends the contract to the out-of-core sharded
+memmap store: shard-by-shard analysis must match the in-RAM np path
+artifact for artifact, at every shard count.
 """
 
 from __future__ import annotations
@@ -232,6 +235,97 @@ def assert_streaming_replay_equal(
         raise AssertionError("streaming replay differs: " + "; ".join(diffs))
 
 
+def store_diffs(
+    triples: Sequence,
+    directory,
+    shards: Sequence[int] = (1, 4),
+    chunk_days: int = 7,
+) -> List[str]:
+    """Out-of-core-vs-in-RAM artifact differences ([] if bit-identical).
+
+    The store-parity contract: building a sharded memmap store from
+    ``triples`` and analyzing it shard-by-shard
+    (:func:`repro.store.analyze_store`) must reproduce every in-RAM
+    ``engine="np"`` Section-5 artifact — duration multiset and box
+    stats, both degree structures, degree-one fraction, the Figure-7
+    trailing-zero profile — and the store-driven streaming pass must
+    match the in-memory chunked stream.  Each shard count in ``shards``
+    is verified independently (1 exercises the degenerate single-shard
+    merge, >1 the k-way pivot merge).  ``directory`` holds the
+    temporary stores (one subdirectory per shard count).
+    """
+    from pathlib import Path
+
+    from repro.core.associations import fraction_degree_one
+    from repro.core.associations_np import (
+        association_durations_np,
+        box_stats_np,
+        columns_from_triples,
+        unpack_v6_degree_keys,
+        v4_degree_counts_np,
+        v6_degree_counts_np,
+    )
+    from repro.core.delegation import trailing_zero_profile
+    from repro.ip.prefix import IPv6Prefix
+    from repro.store import analyze_store, build_store_from_triples
+    from repro.stream.associations import (
+        run_association_stream,
+        run_association_stream_over_store,
+    )
+
+    materialized = list(triples)
+    days, v4_keys, v6_keys = columns_from_triples(materialized)
+    durations = association_durations_np(days, v4_keys, v6_keys)
+    from collections import Counter
+
+    ref_durations = Counter(int(d) for d in durations)
+    ref_box = box_stats_np(durations, empty_ok=True)
+    ref_v4_unique, ref_v4_hits = v4_degree_counts_np(v4_keys, v6_keys)
+    ref_v6 = unpack_v6_degree_keys(v6_degree_counts_np(v4_keys, v6_keys))
+    ref_fraction = fraction_degree_one(ref_v6)
+    ref_profile = trailing_zero_profile(
+        IPv6Prefix(key, 64) for key in sorted({t[2] for t in materialized})
+    )
+    ref_stream = run_association_stream(iter(materialized), chunk_days=chunk_days)
+
+    diffs: List[str] = []
+    for count in shards:
+        label = f"shards={count}"
+        store = build_store_from_triples(
+            iter(materialized), Path(directory) / f"store-{count}", shards=count
+        )
+        if sorted(store.iter_triples()) != sorted(materialized):
+            diffs.append(f"{label}: round-tripped triples diverge")
+            continue
+        analysis = analyze_store(store)
+        if analysis.duration_counts != dict(ref_durations):
+            diffs.append(f"{label}: duration multiset diverges from in-RAM np")
+        if analysis.box != ref_box:
+            diffs.append(f"{label}: box stats diverge from in-RAM np")
+        got_unique, got_hits = analysis.v4_degree_dicts()
+        if got_unique != ref_v4_unique or got_hits != ref_v4_hits:
+            diffs.append(f"{label}: v4 degree counts diverge from in-RAM np")
+        if analysis.v6_degree_dict() != ref_v6:
+            diffs.append(f"{label}: v6 degree counts diverge from in-RAM np")
+        if analysis.fraction_v6_degree_one != ref_fraction:
+            diffs.append(f"{label}: degree-one fraction diverges from in-RAM np")
+        if analysis.delegation != ref_profile:
+            diffs.append(f"{label}: trailing-zero profile diverges from reference")
+        streamed = run_association_stream_over_store(store, chunk_days=chunk_days)
+        if streamed != ref_stream:
+            diffs.append(f"{label}: store-driven stream diverges from chunked stream")
+    return diffs
+
+
+def assert_store_equal(
+    triples: Sequence, directory, shards: Sequence[int] = (1, 4), chunk_days: int = 7
+) -> None:
+    """Raise AssertionError naming every out-of-core divergence."""
+    diffs = store_diffs(triples, directory, shards=shards, chunk_days=chunk_days)
+    if diffs:
+        raise AssertionError("store analysis differs: " + "; ".join(diffs))
+
+
 def telemetry_invariance_diffs(
     probes_per_as: int = 6, years: float = 1.1, seed: int = 0
 ) -> List[str]:
@@ -297,10 +391,12 @@ __all__ = [
     "assert_analysis_engines_equal",
     "assert_atlas_scenarios_equal",
     "assert_cdn_scenarios_equal",
+    "assert_store_equal",
     "assert_streaming_replay_equal",
     "assert_telemetry_invariant",
     "atlas_scenario_diffs",
     "cdn_scenario_diffs",
+    "store_diffs",
     "streaming_replay_diffs",
     "telemetry_invariance_diffs",
 ]

@@ -1,0 +1,53 @@
+"""Out-of-core sharded memmap triple store (ROADMAP item 2).
+
+``repro.store`` persists (day, v4 /24, v6 /64) association triples as
+hash-sharded struct-of-arrays column files and re-derives the paper's
+Section-5 artifacts shard-by-shard, so billion-row populations are
+bounded by disk, not RAM.  See :mod:`repro.store.triples` for the
+on-disk format and :mod:`repro.store.kernels` for the out-of-core
+analysis (bit-identical to the in-RAM ``engine="np"`` path).
+"""
+
+from repro.store.kernels import (
+    DEFAULT_BLOCK_ROWS,
+    StoreAnalysis,
+    analyze_store,
+    merged_duration_histogram,
+    sort_shard_to_scratch,
+)
+from repro.store.synthetic import synthetic_triple_batches
+from repro.store.triples import (
+    COLUMN_DTYPES,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    STORE_FORMAT_VERSION,
+    ShardColumns,
+    StoreCorruptError,
+    TripleStore,
+    TripleStoreWriter,
+    build_store_from_columns,
+    build_store_from_triples,
+    load_triple_store,
+    shard_of_v4,
+)
+
+__all__ = [
+    "COLUMN_DTYPES",
+    "DEFAULT_BLOCK_ROWS",
+    "MANIFEST_NAME",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "ShardColumns",
+    "StoreAnalysis",
+    "StoreCorruptError",
+    "TripleStore",
+    "TripleStoreWriter",
+    "analyze_store",
+    "build_store_from_columns",
+    "build_store_from_triples",
+    "load_triple_store",
+    "merged_duration_histogram",
+    "shard_of_v4",
+    "sort_shard_to_scratch",
+    "synthetic_triple_batches",
+]

@@ -21,6 +21,7 @@ from repro.stream.associations import (
     AssociationStreamEngine,
     AssociationStreamResult,
     run_association_stream,
+    run_association_stream_over_store,
 )
 from repro.stream.checkpoint import CheckpointStore, default_checkpoint_dir
 from repro.stream.chunks import (
@@ -64,6 +65,7 @@ __all__ = [
     "manifest_from_scenario",
     "record_chunks",
     "run_association_stream",
+    "run_association_stream_over_store",
     "run_atlas_stream",
     "stream_triples_from_csv",
     "triple_chunks",

@@ -77,6 +77,112 @@ class AssociationStreamEngine:
         self._triples_seen += len(chunk.triples)
         self._next_chunk = chunk.index + 1
 
+    def fold_columns(self, days, v4_keys, v6_keys, chunk_index: Optional[int] = None) -> None:
+        """Vectorized fold of one day-window given as columnar arrays.
+
+        ``v6_keys`` are packed upper-64-bit /64 keys (the triple-store
+        layout); state keys stay full 128-bit ints, so the resulting
+        engine state — and every downstream artifact, including
+        :meth:`state_dict` snapshots compared by value — equals
+        :meth:`fold_chunk` over the same window's sorted triples
+        exactly.  The work per call is a few lexsorts plus
+        per-*unique-key* (not per-row) dictionary updates: within one
+        window every /64's rows sort to the same ``(day, v4)`` sequence
+        the scalar fold visits, and runs of equal ``(v6, v4)`` collapse
+        to segment endpoints before touching python state.
+        """
+        import numpy as np
+
+        n = len(days)
+        if n != len(v4_keys) or n != len(v6_keys):
+            raise ValueError("column arrays must have equal length")
+        if chunk_index is not None:
+            self._next_chunk = chunk_index + 1
+        if n == 0:
+            return
+        order = np.lexsort((np.asarray(v4_keys), np.asarray(days), np.asarray(v6_keys)))
+        day_sorted = np.asarray(days)[order].astype(np.int64)
+        v4_sorted = np.asarray(v4_keys)[order]
+        v6_sorted = np.asarray(v6_keys)[order]
+
+        new_v6 = np.empty(n, dtype=bool)
+        new_v6[0] = True
+        np.not_equal(v6_sorted[1:], v6_sorted[:-1], out=new_v6[1:])
+        new_seg = new_v6.copy()
+        new_seg[1:] |= v4_sorted[1:] != v4_sorted[:-1]
+
+        seg_starts = np.flatnonzero(new_seg)
+        seg_ends = np.empty_like(seg_starts)
+        seg_ends[:-1] = seg_starts[1:] - 1
+        seg_ends[-1] = n - 1
+        seg_v4 = v4_sorted[seg_starts]
+        seg_first = day_sorted[seg_starts]
+        seg_last = day_sorted[seg_ends]
+
+        # Group segments by /64: the first segment of each group is where
+        # new_v6 held at the segment's start row.
+        group_first_seg = np.flatnonzero(new_v6[seg_starts])
+        group_last_seg = np.empty_like(group_first_seg)
+        group_last_seg[:-1] = group_first_seg[1:] - 1
+        group_last_seg[-1] = len(seg_starts) - 1
+
+        # Middle segments (neither first nor last of their group) close
+        # unconditionally — their durations never interact with the open
+        # run, so they accumulate straight into the counter.
+        middle = np.ones(len(seg_starts), dtype=bool)
+        middle[group_first_seg] = False
+        middle[group_last_seg] = False
+        if middle.any():
+            mid_durations = seg_last[middle] - seg_first[middle] + 1
+            values, counts = np.unique(mid_durations, return_counts=True)
+            for value, count in zip(values.tolist(), counts.tolist()):
+                self._durations[value] += count
+
+        # First/last segments need the open-run state; one iteration per
+        # /64 seen this window.
+        group_v6 = v6_sorted[seg_starts[group_first_seg]]
+        for position, v6_packed in enumerate(group_v6.tolist()):
+            key = v6_packed << 64
+            first_seg = group_first_seg[position]
+            last_seg = group_last_seg[position]
+            first_v4 = int(seg_v4[first_seg])
+            start = int(seg_first[first_seg])
+            run = self._open.get(key)
+            if run is not None:
+                if run[0] == first_v4:
+                    start = run[1]  # the open run continues into this window
+                else:
+                    self._durations[run[2] - run[1] + 1] += 1
+            if first_seg == last_seg:
+                self._open[key] = [first_v4, start, int(seg_last[first_seg])]
+            else:
+                self._durations[int(seg_last[first_seg]) - start + 1] += 1
+                self._open[key] = [
+                    int(seg_v4[last_seg]),
+                    int(seg_first[last_seg]),
+                    int(seg_last[last_seg]),
+                ]
+
+        # Degree state: one update per distinct (v4, v6) pair and per
+        # distinct v4 — again per-key, not per-row.
+        pair_order = np.lexsort((v6_sorted, v4_sorted))
+        pair_v4 = v4_sorted[pair_order]
+        pair_v6 = v6_sorted[pair_order]
+        new_pair = np.empty(n, dtype=bool)
+        new_pair[0] = True
+        new_pair[1:] = (pair_v4[1:] != pair_v4[:-1]) | (pair_v6[1:] != pair_v6[:-1])
+        pair_starts = np.flatnonzero(new_pair)
+        for v4_key, v6_packed in zip(
+            pair_v4[pair_starts].tolist(), pair_v6[pair_starts].tolist()
+        ):
+            v6_full = v6_packed << 64
+            self._v4_unique.setdefault(v4_key, set()).add(v6_full)
+            self._v6_partners.setdefault(v6_full, set()).add(v4_key)
+        hit_keys, hit_counts = np.unique(v4_sorted, return_counts=True)
+        for v4_key, count in zip(hit_keys.tolist(), hit_counts.tolist()):
+            self._v4_hits[v4_key] += count
+        self._triples_seen += n
+
     def state_dict(self) -> dict:
         """Snapshot (references live containers — pickle before folding on)."""
         return {
@@ -181,9 +287,68 @@ def run_association_stream(
     return result
 
 
+def run_association_stream_over_store(
+    triple_store,
+    chunk_days: int,
+    store=None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    stop_after_chunks: Optional[int] = None,
+    min_days: int = 0,
+) -> Optional[AssociationStreamResult]:
+    """Out-of-core :func:`run_association_stream` over a sharded triple store.
+
+    Day windows are gathered straight off the memmapped shards
+    (:meth:`repro.store.TripleStore.day_window_columns`) and folded with
+    the vectorized :meth:`AssociationStreamEngine.fold_columns`, so
+    neither the triples nor any per-row python objects ever materialize.
+    The window schedule matches :func:`repro.stream.chunks.triple_chunks`
+    — ``[k*chunk_days, (k+1)*chunk_days)``, empty windows included — so
+    results and resume points line up with the CSV path exactly.
+    Checkpoint identity comes from the store's content digest.
+    """
+    if chunk_days < 1:
+        raise ValueError("chunk_days must be >= 1")
+    engine = AssociationStreamEngine()
+    key = None
+    if store is not None:
+        key = store.key(
+            "association-stream",
+            triple_store.digest(),
+            {"chunk_days": chunk_days},
+        )
+        if resume:
+            state = store.load("association-stream", key)
+            if state is not None:
+                engine.load_state(state)
+    last_day = triple_store.day_max if triple_store.day_max is not None else 0
+    min_chunks = max(1, -(-min_days // chunk_days)) if min_days else 1
+    total_chunks = max(last_day // chunk_days + 1, min_chunks)
+    folded = 0
+    for index in range(engine.next_chunk, total_chunks):
+        lo = index * chunk_days
+        days, v4_keys, v6_keys = triple_store.day_window_columns(lo, lo + chunk_days)
+        engine.fold_columns(days, v4_keys, v6_keys, chunk_index=index)
+        folded += 1
+        at_checkpoint = (
+            store is not None and checkpoint_every and folded % checkpoint_every == 0
+        )
+        if at_checkpoint:
+            store.save("association-stream", key, engine.state_dict())
+        if stop_after_chunks is not None and folded >= stop_after_chunks:
+            if store is not None and not at_checkpoint:
+                store.save("association-stream", key, engine.state_dict())
+            return None
+    result = engine.finalize(chunks_folded=folded)
+    if store is not None:
+        store.save("association-stream", key, engine.state_dict())
+    return result
+
+
 __all__ = [
     "STATE_VERSION",
     "AssociationStreamEngine",
     "AssociationStreamResult",
     "run_association_stream",
+    "run_association_stream_over_store",
 ]

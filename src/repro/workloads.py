@@ -686,13 +686,63 @@ def stream_analyze_atlas_scenario(
     )
 
 
+def build_cdn_triple_store(
+    scenario: CdnScenario,
+    directory,
+    shards: int = 16,
+    spill_rows: int = 1 << 18,
+):
+    """Persist a CDN scenario's triples as a sharded memmap store.
+
+    The dataset streams into the store lazily
+    (:meth:`~repro.cdn.collector.CdnDataset.iter_triples`), so the only
+    full-population copy that ever exists is the on-disk one.  Returns
+    the opened :class:`repro.store.TripleStore`.
+    """
+    from repro.store import build_store_from_triples
+
+    return build_store_from_triples(
+        scenario.dataset.iter_triples(),
+        directory,
+        shards=shards,
+        spill_rows=spill_rows,
+        source={
+            "kind": "cdn-scenario",
+            "days": scenario.days,
+            "asns": sorted(scenario.dataset.triples_by_asn),
+        },
+    )
+
+
+def analyze_triple_store(store, workers: Optional[int] = None, block_rows=None):
+    """Out-of-core Section-5 analysis of a triple store (or its path).
+
+    Accepts an open :class:`repro.store.TripleStore` or a directory
+    path; ``workers`` fans the per-shard pass out over the zero-copy
+    pool (``None`` = ``$REPRO_WORKERS``).  Artifacts are bit-identical
+    to the in-RAM ``engine="np"`` path (see
+    :func:`repro.perf.verify.store_diffs`).
+    """
+    from repro.store import DEFAULT_BLOCK_ROWS, TripleStore, analyze_store
+
+    if not isinstance(store, TripleStore):
+        store = TripleStore.open(store)
+    return analyze_store(
+        store,
+        workers=workers,
+        block_rows=DEFAULT_BLOCK_ROWS if block_rows is None else block_rows,
+    )
+
+
 __all__ = [
     "AtlasAnalysis",
     "AtlasScenario",
     "CdnScenario",
     "analyze_atlas_scenario",
+    "analyze_triple_store",
     "build_atlas_scenario",
     "build_cdn_scenario",
+    "build_cdn_triple_store",
     "periodicity_for_scenario",
     "stream_analyze_atlas_scenario",
 ]

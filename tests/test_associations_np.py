@@ -101,3 +101,75 @@ class TestEdgeCases:
             v4_degree_counts_np(np.zeros(2), np.zeros(1))
         with pytest.raises(ValueError):
             v6_degree_counts_np(np.zeros(2), np.zeros(1))
+
+
+class TestSparsePopulationGuards:
+    """Opt-in empty/single-tuple behavior used by the out-of-core path.
+
+    Sparse shards routinely hand the kernels zero or one row; the store
+    kernels must get typed empty results back instead of exceptions,
+    while the historical raise-on-empty default stays untouched (see
+    ``TestEdgeCases.test_empty``).
+    """
+
+    def test_degree_count_arrays_empty(self):
+        from repro.core.associations_np import degree_count_arrays
+
+        keys, unique, hits = degree_count_arrays(
+            np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint64)
+        )
+        assert len(keys) == len(unique) == len(hits) == 0
+        assert unique.dtype == np.int64 and hits.dtype == np.int64
+
+    def test_degree_count_arrays_single_row(self):
+        from repro.core.associations_np import degree_count_arrays
+
+        keys, unique, hits = degree_count_arrays(
+            np.array([7 << 8], dtype=np.uint32), np.array([3], dtype=np.uint64)
+        )
+        assert keys.tolist() == [7 << 8]
+        assert unique.tolist() == [1] and hits.tolist() == [1]
+
+    def test_box_stats_np_empty_opt_in(self):
+        from repro.core.associations_np import box_stats_np
+
+        with pytest.raises(ValueError):
+            box_stats_np(np.empty(0))
+        assert box_stats_np(np.empty(0), empty_ok=True) is None
+
+    def test_box_stats_np_single_value(self):
+        from repro.core.associations_np import box_stats_np
+
+        stats = box_stats_np(np.array([9]))
+        assert stats == box_stats([9])
+
+    def test_box_stats_from_counts_empty_opt_in(self):
+        from repro.core.associations_np import box_stats_from_counts
+
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            box_stats_from_counts(empty, empty)
+        assert box_stats_from_counts(empty, empty, empty_ok=True) is None
+
+    def test_box_stats_from_counts_single_bucket(self):
+        from repro.core.associations_np import box_stats_from_counts, box_stats_np
+
+        stats = box_stats_from_counts(np.array([4]), np.array([3]))
+        assert stats == box_stats_np(np.array([4, 4, 4]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 40), st.integers(1, 50)),
+            min_size=1,
+            max_size=60,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_box_stats_from_counts_matches_expansion(self, buckets):
+        from repro.core.associations_np import box_stats_from_counts, box_stats_np
+
+        values = np.array([value for value, _count in buckets])
+        counts = np.array([count for _value, count in buckets])
+        expanded = np.repeat(values, counts)
+        assert box_stats_from_counts(values, counts) == box_stats_np(expanded)

@@ -35,6 +35,15 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     assert analysis["default_engine"] in ("np", "py")
     for stage in ("table1", "figure1", "figure5", "table2", "periodicity"):
         assert analysis["stages"][stage]["py_seconds"] >= 0.0
+    store = payload["store"]
+    assert store["parity"] is True
+    assert store["tuples"] == 1_000_000
+    assert store["build_tuples_per_second"] > 0
+    assert store["analyze_tuples_per_second"] > 0
+    # The RSS gate (analyzer peak delta vs materialized-triples
+    # footprint) ran and stayed within bounds, or RSS was unreadable.
+    if store["rss_fraction_of_materialized"] is not None:
+        assert store["rss_fraction_of_materialized"] <= store["rss_gate_fraction"]
     history = tmp_path / "BENCH_history.jsonl"
     assert history.exists()
     records = [json.loads(line) for line in history.read_text().splitlines()]

@@ -1,0 +1,412 @@
+"""Tests for the sharded memmap triple store (``repro.store``).
+
+Covers the on-disk round trip, the durability contract (truncated or
+corrupt stores are detected at open and treated as rebuildable misses,
+mirroring the checkpoint store), randomized out-of-core-vs-in-RAM
+parity, the zero-copy worker handoff, the store-driven streaming pass,
+and the ``repro store build|analyze`` CLI pair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.perf.parallel import map_store_shards
+from repro.perf.verify import assert_store_equal
+from repro.store import (
+    COLUMN_DTYPES,
+    MANIFEST_NAME,
+    StoreCorruptError,
+    TripleStore,
+    TripleStoreWriter,
+    analyze_store,
+    build_store_from_columns,
+    build_store_from_triples,
+    load_triple_store,
+    shard_of_v4,
+    synthetic_triple_batches,
+)
+from repro.stream import run_association_stream, run_association_stream_over_store
+from repro.stream.checkpoint import CheckpointStore
+
+
+def _example_triples(count: int = 400, seed: int = 7, days: int = 45):
+    """Random association triples with realistic key alignment.
+
+    /24 keys are network addresses (low 8 bits zero) and /64 keys carry
+    their payload in the upper 64 bits, exactly as collected data does.
+    """
+    rng = random.Random(seed)
+    triples = []
+    for _ in range(count):
+        v6 = rng.randrange(1, 40)
+        v4 = rng.randrange(0, 12) << 8
+        triples.append((rng.randrange(0, days), v4, (0x2001_0DB8_0000_0000 | v6) << 64))
+    triples.sort()
+    return triples
+
+
+class TestSharding:
+    def test_aligned_keys_spread_over_power_of_two_shards(self):
+        # /24 keys always have 8 trailing zero bits; a low-bits hash
+        # reduction would map every one of them to shard 0.
+        keys = (np.arange(4096, dtype=np.uint64) << np.uint64(8)).astype(np.uint32)
+        ids = shard_of_v4(keys, 16)
+        counts = np.bincount(ids, minlength=16)
+        assert counts.min() > 0
+        assert counts.max() < 2 * counts.mean()
+
+    def test_deterministic_and_in_range(self):
+        keys = np.arange(0, 1 << 20, 1 << 8, dtype=np.uint32)
+        for shards in (1, 3, 16, 64):
+            ids = shard_of_v4(keys, shards)
+            assert ids.min() >= 0 and ids.max() < shards
+            assert np.array_equal(ids, shard_of_v4(keys, shards))
+
+
+class TestRoundTrip:
+    def test_triples_survive_the_store(self, tmp_path):
+        triples = _example_triples()
+        store = build_store_from_triples(triples, tmp_path / "store", shards=4)
+        assert store.total_triples == len(triples)
+        assert sorted(store.iter_triples()) == triples
+        assert store.day_min == min(t[0] for t in triples)
+        assert store.day_max == max(t[0] for t in triples)
+        assert store.nbytes == len(triples) * sum(
+            np.dtype(d).itemsize for d in COLUMN_DTYPES.values()
+        )
+
+    def test_shard_assignment_matches_hash(self, tmp_path):
+        triples = _example_triples()
+        store = build_store_from_triples(triples, tmp_path / "store", shards=4)
+        for shard in store.iter_shards():
+            if len(shard):
+                assert np.all(shard_of_v4(np.asarray(shard.v4), 4) == shard.index)
+
+    def test_spills_do_not_change_content(self, tmp_path):
+        triples = _example_triples()
+        with TripleStoreWriter(tmp_path / "spilled", shards=4, spill_rows=16) as writer:
+            writer.extend(triples, batch_rows=32)
+        assert writer.spill_events > 4
+        spilled = TripleStore.open(tmp_path / "spilled")
+        buffered = build_store_from_triples(triples, tmp_path / "buffered", shards=4)
+        assert sorted(spilled.iter_triples()) == sorted(buffered.iter_triples())
+        assert spilled.digest() == buffered.digest()
+
+    def test_empty_store(self, tmp_path):
+        store = build_store_from_triples([], tmp_path / "empty", shards=3)
+        assert store.total_triples == 0
+        assert list(store.iter_triples()) == []
+        analysis = analyze_store(store)
+        assert analysis.box is None
+        assert analysis.duration_count == 0
+        assert len(analysis.v4_keys) == 0 and len(analysis.v6_keys) == 0
+
+    def test_writer_rejects_out_of_range_values(self, tmp_path):
+        writer = TripleStoreWriter(tmp_path / "store", shards=2)
+        ok = np.zeros(1, dtype=np.int64)
+        with pytest.raises(ValueError, match="day out of uint16"):
+            writer.append_columns(np.array([1 << 16]), ok, ok)
+        with pytest.raises(ValueError, match="v4 key out of uint32"):
+            writer.append_columns(ok, np.array([1 << 32]), ok)
+
+    def test_writer_refuses_existing_directory(self, tmp_path):
+        build_store_from_triples([], tmp_path / "store", shards=1)
+        with pytest.raises(FileExistsError):
+            TripleStoreWriter(tmp_path / "store", shards=1)
+
+    def test_digest_tracks_content(self, tmp_path):
+        triples = _example_triples()
+        one = build_store_from_triples(triples, tmp_path / "one", shards=4)
+        two = build_store_from_triples(triples, tmp_path / "two", shards=4)
+        other = build_store_from_triples(triples[:-1], tmp_path / "other", shards=4)
+        assert one.digest() == two.digest()
+        assert one.digest() != other.digest()
+
+    def test_day_window_partitions_and_sorts(self, tmp_path):
+        triples = _example_triples()
+        store = build_store_from_triples(triples, tmp_path / "store", shards=4)
+        gathered = []
+        for start in range(0, 45, 10):
+            days, v4, v6 = store.day_window_columns(start, start + 10)
+            window = list(zip(days.tolist(), v4.tolist(), v6.tolist()))
+            assert window == sorted(window)
+            assert all(start <= day < start + 10 for day, _v4, _v6 in window)
+            gathered.extend(
+                (day, v4_key, v6_key << 64) for day, v4_key, v6_key in window
+            )
+        assert sorted(gathered) == triples
+
+
+class TestDurability:
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StoreCorruptError, match="no manifest"):
+            TripleStore.open(tmp_path / "nowhere")
+
+    def test_load_missing_directory_is_a_plain_miss(self, tmp_path):
+        assert load_triple_store(tmp_path / "nowhere") is None
+        assert not (tmp_path / "nowhere").exists()
+
+    def test_truncated_shard_detected_and_rebuildable(self, tmp_path):
+        target = tmp_path / "store"
+        store = build_store_from_triples(_example_triples(), target, shards=2)
+        victim = target / "shard-0000.v6"
+        victim.write_bytes(victim.read_bytes()[:-8])
+        with pytest.raises(StoreCorruptError, match="bytes on disk"):
+            TripleStore.open(target)
+        # The loader mirrors CheckpointStore: corrupt -> delete + miss,
+        # so the caller rebuilds instead of analyzing garbage.
+        assert load_triple_store(target) is None
+        assert not target.exists()
+        rebuilt = build_store_from_triples(_example_triples(), target, shards=2)
+        assert rebuilt.digest() == store.digest()
+
+    def test_unfinalized_build_reads_as_corrupt(self, tmp_path):
+        target = tmp_path / "store"
+        writer = TripleStoreWriter(target, shards=2)
+        writer.extend(_example_triples(64))
+        # No finalize(): a killed build leaves no manifest behind.
+        assert load_triple_store(target) is None
+        assert not target.exists()
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda m: m.update(version=99),
+            lambda m: m.update(format="something-else"),
+            lambda m: m.update(total_triples=m["total_triples"] + 1),
+            lambda m: m.update(dtypes={"day": "<u4", "v4": "<u4", "v6": "<u8"}),
+            lambda m: m["shard_rows"].pop(),
+        ],
+    )
+    def test_stale_or_inconsistent_manifest_is_corrupt(self, tmp_path, mutation):
+        target = tmp_path / "store"
+        build_store_from_triples(_example_triples(), target, shards=2)
+        manifest = json.loads((target / MANIFEST_NAME).read_text())
+        mutation(manifest)
+        (target / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StoreCorruptError):
+            TripleStore.open(target)
+        assert load_triple_store(target) is None
+
+    def test_unparseable_manifest_is_corrupt(self, tmp_path):
+        target = tmp_path / "store"
+        build_store_from_triples(_example_triples(), target, shards=2)
+        (target / MANIFEST_NAME).write_text("{not json")
+        assert load_triple_store(target) is None
+
+    def test_bit_rot_caught_by_checksums_only(self, tmp_path):
+        target = tmp_path / "store"
+        build_store_from_triples(_example_triples(), target, shards=2)
+        victim = target / "shard-0001.day"
+        blob = bytearray(victim.read_bytes())
+        blob[0] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        # Same size: the cheap structural open cannot see the flip...
+        store = TripleStore.open(target)
+        # ...but the full-read verification must.
+        with pytest.raises(StoreCorruptError, match="checksum mismatch"):
+            store.verify()
+        with pytest.raises(StoreCorruptError, match="checksum mismatch"):
+            TripleStore.open(target, verify=True)
+        assert load_triple_store(target, verify=True) is None
+
+    def test_corrupt_miss_is_counted(self, tmp_path):
+        from repro.obs import telemetry, telemetry_snapshot
+
+        target = tmp_path / "store"
+        build_store_from_triples(_example_triples(), target, shards=1)
+        (target / MANIFEST_NAME).unlink()
+        with telemetry(True, reset=True):
+            assert load_triple_store(target) is None
+            counters = telemetry_snapshot()["metrics"]["counters"]
+        assert counters["store.misses"]["reason=corrupt"] == 1
+
+
+class TestParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_store_matches_in_ram_np(self, tmp_path, seed):
+        rng = random.Random(seed)
+        triples = _example_triples(
+            count=rng.randrange(50, 600), seed=seed, days=rng.randrange(10, 80)
+        )
+        assert_store_equal(triples, tmp_path, shards=(1, 4))
+
+    def test_single_triple_population(self, tmp_path):
+        assert_store_equal([(3, 7 << 8, 1 << 70)], tmp_path, shards=(1, 4))
+
+    def test_columnar_build_matches_python_build(self, tmp_path):
+        batches = list(synthetic_triple_batches(5_000, batch_rows=1_024, seed=5))
+        columnar = build_store_from_columns(batches, tmp_path / "columnar", shards=5)
+        triples = [
+            (int(day), int(v4), int(v6) << 64)
+            for days, v4s, v6s in batches
+            for day, v4, v6 in zip(days.tolist(), v4s.tolist(), v6s.tolist())
+        ]
+        pythonic = build_store_from_triples(triples, tmp_path / "pythonic", shards=5)
+        assert columnar.digest() == pythonic.digest()
+
+    def test_shard_count_does_not_change_artifacts(self, tmp_path):
+        batches = list(synthetic_triple_batches(8_000, batch_rows=2_048, seed=9))
+        summaries = []
+        for shards in (1, 3, 8):
+            store = build_store_from_columns(
+                batches, tmp_path / f"store-{shards}", shards=shards
+            )
+            summary = analyze_store(store, block_rows=512).summary()
+            summary.pop("shards")
+            summaries.append(summary)
+        assert summaries[0] == summaries[1] == summaries[2]
+
+
+class TestZeroCopyHandoff:
+    def test_pool_path_matches_serial(self, tmp_path, monkeypatch):
+        store = build_store_from_triples(
+            _example_triples(800), tmp_path / "store", shards=4
+        )
+        serial = analyze_store(store, workers=1)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        pooled = analyze_store(store, workers=2)
+        assert pooled.duration_counts == serial.duration_counts
+        assert pooled.box == serial.box
+        assert np.array_equal(pooled.v4_keys, serial.v4_keys)
+        assert np.array_equal(pooled.v6_unique, serial.v6_unique)
+        assert pooled.delegation == serial.delegation
+
+    def test_map_store_shards_passes_paths_not_arrays(self, tmp_path, monkeypatch):
+        # Workers reopen the store by path; the task receives the
+        # worker-local TripleStore, and results come back in shard order.
+        store = build_store_from_triples(
+            _example_triples(300), tmp_path / "store", shards=3
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        rows = map_store_shards(_shard_row_task, store, workers=2)
+        assert rows == [
+            {"shard": index, "rows": count}
+            for index, count in enumerate(store.shard_rows)
+        ]
+
+    def test_analyze_reads_every_shard(self, tmp_path):
+        from repro.obs import telemetry, telemetry_snapshot
+
+        store = build_store_from_triples(
+            _example_triples(200), tmp_path / "store", shards=4
+        )
+        with telemetry(True, reset=True):
+            analyze_store(store)
+            counters = telemetry_snapshot()["metrics"]["counters"]
+        assert counters["store.shards_read"][""] >= store.shards
+        assert counters["store.bytes_mapped"][""] >= store.nbytes
+
+
+def _shard_row_task(store, index):
+    return {"shard": index, "rows": len(store.shard(index))}
+
+
+class TestStreamOverStore:
+    def test_checkpoint_resume_matches_uninterrupted_run(self, tmp_path):
+        triples = _example_triples(500, seed=11, days=60)
+        store = build_store_from_triples(triples, tmp_path / "store", shards=4)
+        reference = run_association_stream(iter(triples), chunk_days=7)
+        checkpoints = CheckpointStore(tmp_path / "ckpt")
+        half = run_association_stream_over_store(
+            store, chunk_days=7, store=checkpoints, stop_after_chunks=3
+        )
+        assert half is None  # interrupted: checkpoint saved, no result yet
+        resumed = run_association_stream_over_store(
+            store, chunk_days=7, store=checkpoints, resume=True
+        )
+        for field in (
+            "durations", "box", "v4_unique", "v4_hits",
+            "v6_degrees", "fraction_v6_degree_one", "triples_seen",
+        ):
+            assert getattr(resumed, field) == getattr(reference, field)
+        # chunks_folded counts post-resume folds only, same as the CSV
+        # resume path.
+        assert resumed.chunks_folded == reference.chunks_folded - 3
+
+    def test_checkpoint_key_tracks_store_digest(self, tmp_path):
+        store_a = build_store_from_triples(
+            _example_triples(100, seed=1), tmp_path / "a", shards=2
+        )
+        store_b = build_store_from_triples(
+            _example_triples(100, seed=2), tmp_path / "b", shards=2
+        )
+        checkpoints = CheckpointStore(tmp_path / "ckpt")
+        key_a = checkpoints.key(
+            "association-stream", store_a.digest(), {"chunk_days": 7}
+        )
+        key_b = checkpoints.key(
+            "association-stream", store_b.digest(), {"chunk_days": 7}
+        )
+        assert key_a != key_b
+
+
+class TestCli:
+    def test_build_and_analyze_synthetic(self, tmp_path, capsys):
+        target = tmp_path / "store"
+        assert main([
+            "store", "build", "--synthetic", "20000", "--seed", "4",
+            "--shards", "4", "--output", str(target),
+        ]) == 0
+        assert "20000 triples" in capsys.readouterr().out
+        summary_path = tmp_path / "summary.json"
+        assert main([
+            "store", "analyze", "--store", str(target), "--verify",
+            "--json", str(summary_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "associations" in out
+        summary = json.loads(summary_path.read_text())
+        assert summary["total_triples"] == 20000
+        assert summary["shards"] == 4
+
+    def test_build_refuses_existing_output(self, tmp_path, capsys):
+        target = tmp_path / "store"
+        assert main([
+            "store", "build", "--synthetic", "100", "--output", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "store", "build", "--synthetic", "100", "--output", str(target),
+        ]) == 1
+        assert "exists" in capsys.readouterr().err
+
+    def test_analyze_corrupt_store_fails_with_rebuild_hint(self, tmp_path, capsys):
+        target = tmp_path / "store"
+        assert main([
+            "store", "build", "--synthetic", "100", "--output", str(target),
+        ]) == 0
+        (target / MANIFEST_NAME).write_text("{broken")
+        capsys.readouterr()
+        assert main(["store", "analyze", "--store", str(target)]) == 1
+        assert "rebuild" in capsys.readouterr().err
+
+    def test_build_from_csv_matches_synthetic_reference(self, tmp_path, capsys):
+        csv_path = tmp_path / "cdn.csv"
+        assert main([
+            "simulate-cdn", "--days", "15", "--seed", "6",
+            "--fixed-subscribers", "40", "--mobile-devices", "30",
+            "--featured-subscribers", "20", "--output", str(csv_path),
+        ]) == 0
+        target = tmp_path / "store"
+        assert main([
+            "store", "build", "--triples", str(csv_path),
+            "--shards", "3", "--output", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "analyze", "--store", str(target)]) == 0
+        out = capsys.readouterr().out
+        store = TripleStore.open(target)
+        from repro.io.records import read_association_csv
+
+        with csv_path.open() as stream:
+            csv_triples = sorted(read_association_csv(stream))
+        assert sorted(store.iter_triples()) == csv_triples
+        assert f"{len(csv_triples)}" in out
