@@ -12,8 +12,13 @@ RSS, and checking the checkpointable state stays bounded as the stream
 grows), builds and analyzes a synthetic sharded memmap triple store
 out-of-core (gating build/analyze throughput and the analyzer's peak
 RSS against a fraction of what materializing the same tuples as Python
-triples would cost), and records everything in the repo-root
-``BENCH_baseline.json`` — the repository's perf trajectory artifact.
+triples would cost), times the end-to-end report suite (all artifacts
+plus periodicity) under both the per-kernel ``np`` engine and the
+single-pass ``fused`` engine — enforcing bit-identity, a strict fused
+end-to-end win in full mode, and recording the peak-RSS delta of the
+zero-copy fused worker fan-out — and records everything in the
+repo-root ``BENCH_baseline.json`` — the repository's perf trajectory
+artifact.
 Each run is additionally appended to ``BENCH_history.jsonl`` next to
 the baseline, so the perf trend across runs stays inspectable.
 
@@ -553,6 +558,94 @@ def run_baseline(args: argparse.Namespace) -> dict:
     else:  # pragma: no cover - numpy is a baked-in dependency
         print("store: numpy unavailable, out-of-core store not benchmarked")
 
+    # End-to-end report stage: the full artifact suite
+    # (analyze_atlas_scenario + periodicity_for_scenario) timed per
+    # engine with column packs invalidated first, so each engine pays
+    # its own packing cost.  The fused single-pass engine must stay
+    # bit-identical to the per-kernel np path and, in full mode, be
+    # strictly faster end to end.  A second fused run fans the per-AS
+    # work out to a worker pool over the memmapped arena to record the
+    # zero-copy handoff's wall time and peak-RSS delta.
+    report_stats = None
+    if engine_available:
+
+        def _report_suite(engine_name, workers=None, profile_tag=None):
+            serial_atlas.invalidate_analysis_columns()
+            rss_start = current_rss_bytes()
+            with maybe_profile(profile_tag or f"report_{engine_name}"), \
+                    RssSampler() as sampler:
+                start = time.perf_counter()
+                analysis = analyze_atlas_scenario(
+                    serial_atlas, engine=engine_name, workers=workers
+                )
+                periods = periodicity_for_scenario(
+                    serial_atlas, min_probes=2, engine=engine_name
+                )
+                elapsed = time.perf_counter() - start
+            rss_delta = (
+                sampler.peak_bytes - rss_start
+                if sampler.peak_bytes is not None and rss_start is not None
+                else None
+            )
+            return analysis, periods, elapsed, rss_delta
+
+        np_report, np_report_periods, report_np_s, report_np_rss = _report_suite("np")
+        fused_report, fused_report_periods, report_fused_s, report_fused_rss = (
+            _report_suite("fused")
+        )
+        report_parity = (
+            (np_report.table1, np_report.table2, np_report.figure1, np_report.figure5)
+            == (fused_report.table1, fused_report.table2, fused_report.figure1,
+                fused_report.figure5)
+            and np_report_periods == fused_report_periods
+        )
+        if not report_parity:
+            failures.append("report stage parity violated: fused != np artifacts")
+        fused_par, fused_par_periods, report_fused_par_s, report_fused_par_rss = (
+            _report_suite("fused", workers=args.workers,
+                          profile_tag="report_fused_workers")
+        )
+        workers_parity = (
+            fused_par == fused_report and fused_par_periods == fused_report_periods
+        )
+        if not workers_parity:
+            failures.append(
+                "report stage parity violated: fused workers != fused serial"
+            )
+        report_speedup = report_np_s / max(report_fused_s, 1e-9)
+        report_enforced = not args.check
+        if report_enforced and report_fused_s >= report_np_s:
+            failures.append(
+                f"fused end-to-end report {report_fused_s:.3f}s not faster "
+                f"than per-kernel np {report_np_s:.3f}s"
+            )
+
+        def _mib(value):
+            return f"{value / 2**20:.0f} MiB" if value is not None else "n/a"
+
+        print(
+            f"report: np {report_np_s:.3f}s (peak RSS delta "
+            f"{_mib(report_np_rss)}), fused {report_fused_s:.3f}s "
+            f"({report_speedup:.2f}x, {_mib(report_fused_rss)}), fused "
+            f"{args.workers} workers {report_fused_par_s:.3f}s "
+            f"({_mib(report_fused_par_rss)}) — artifacts identical"
+        )
+        report_stats = {
+            "np_seconds": round(report_np_s, 4),
+            "fused_seconds": round(report_fused_s, 4),
+            "fused_speedup": round(report_speedup, 4),
+            "fused_workers_seconds": round(report_fused_par_s, 4),
+            "workers": args.workers,
+            "np_peak_rss_delta_bytes": report_np_rss,
+            "fused_peak_rss_delta_bytes": report_fused_rss,
+            "fused_workers_peak_rss_delta_bytes": report_fused_par_rss,
+            "parity": report_parity,
+            "workers_parity": workers_parity,
+            "speedup_enforced": report_enforced,
+        }
+    else:  # pragma: no cover - numpy is a baked-in dependency
+        print("report: numpy unavailable, fused engine not benchmarked")
+
     total_serial = atlas_serial_s + cdn_serial_s
     total_parallel = atlas_parallel_s + cdn_parallel_s
     speedup = total_serial / max(total_parallel, 1e-9)
@@ -597,6 +690,7 @@ def run_baseline(args: argparse.Namespace) -> dict:
         "telemetry": telemetry_stats,
         "streaming": streaming,
         "store": store_stats,
+        "report": report_stats,
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
         "peak_rss_bytes": current_rss_bytes(),

@@ -1,0 +1,237 @@
+"""Render the ``BENCH_history.jsonl`` perf trend and gate regressions.
+
+Reads the JSONL history that ``scripts.bench_baseline`` appends on
+every run and prints the per-stage wall times (scenario builds, the
+per-kernel analysis stages, telemetry, streaming, the out-of-core
+store, and the end-to-end report suite under both the ``np`` and
+``fused`` engines) as one fixed-width table per benchmark mode
+(``check`` vs ``full`` runs are never compared against each other —
+they run at different scales).
+
+Usage::
+
+    PYTHONPATH=src python -m scripts.bench_report            # print trend
+    PYTHONPATH=src python -m scripts.bench_report --check    # gate newest run
+
+``--check`` compares the newest entry of each mode against up to the
+three previous same-mode entries and fails (exit 1) only when a stage
+is slower than *every* one of them by more than ``--tolerance``
+(default 1.0, i.e. 2x — recorded history on loaded single-core hosts
+shows untouched stages jittering by 1.8x run to run, so anything
+tighter gates on the weather; pass a smaller ``--tolerance`` on quiet
+dedicated hardware).  Stages absent from either side — e.g. history
+recorded before the stage existed — are skipped, so the gate is safe
+to run against old history files, and a missing or short history
+passes with a note rather than failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if "repro" not in sys.modules:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.core.report import render_table  # noqa: E402
+from repro.perf.timing import DEFAULT_HISTORY_PATH  # noqa: E402
+
+
+def _get(entry: dict, *path):
+    """``entry[path[0]][path[1]]...`` or None when any hop is missing."""
+    value = entry
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+#: Stage label -> extractor over one history entry, in display order.
+#: Extractors return seconds (float) or None when the entry predates
+#: the stage or the stage was skipped (e.g. numpy unavailable).
+STAGE_EXTRACTORS: Dict[str, Callable[[dict], Optional[float]]] = {
+    "build_atlas": lambda e: _get(e, "build", "atlas", "serial_seconds"),
+    "build_cdn": lambda e: _get(e, "build", "cdn", "serial_seconds"),
+    "cache_warm": lambda e: _get(e, "cache", "warm_seconds"),
+    **{
+        f"analysis_{stage}": (
+            lambda e, s=stage: _get(e, "analysis", "stages", s, "np_seconds")
+        )
+        for stage in ("table1", "figure1", "figure5", "table2", "periodicity")
+    },
+    "telemetry": lambda e: _get(e, "telemetry", "enabled_seconds"),
+    "streaming": lambda e: _get(e, "streaming", "seconds"),
+    "store_build": lambda e: _get(e, "store", "build_seconds"),
+    "store_analyze": lambda e: _get(e, "store", "analyze_seconds"),
+    "report_np": lambda e: _get(e, "report", "np_seconds"),
+    "report_fused": lambda e: _get(e, "report", "fused_seconds"),
+    "report_fused_workers": lambda e: _get(e, "report", "fused_workers_seconds"),
+}
+
+#: Synthetic end-to-end row: the sum of every recorded stage, so the
+#: trend table closes with one comparable total per run.
+END_TO_END = "end_to_end"
+
+
+def load_history(path: Path, section: str = "bench_baseline") -> List[dict]:
+    """Parse the history JSONL, keeping well-formed ``section`` entries."""
+    entries = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return entries
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("section") == section:
+            entries.append(record)
+    return entries
+
+
+def stage_seconds(entry: dict) -> Dict[str, float]:
+    """Per-stage wall times of one entry, plus the end-to-end sum."""
+    stages = {
+        label: value
+        for label, extract in STAGE_EXTRACTORS.items()
+        if (value := extract(entry)) is not None
+    }
+    if stages:
+        stages[END_TO_END] = round(sum(stages.values()), 4)
+    return stages
+
+
+def trend_table(entries: List[dict], mode: str, last: int) -> Optional[str]:
+    """The per-stage trend of ``mode`` entries as a rendered table."""
+    selected = [e for e in entries if e.get("mode") == mode][-last:]
+    if not selected:
+        return None
+    per_run = [stage_seconds(entry) for entry in selected]
+    headers = ["stage"] + [
+        str(entry.get("recorded", "?"))[:19] for entry in selected
+    ]
+    rows = []
+    for label in [*STAGE_EXTRACTORS, END_TO_END]:
+        values = [run.get(label) for run in per_run]
+        if all(value is None for value in values):
+            continue
+        rows.append(
+            [label] + [f"{v:.3f}s" if v is not None else "-" for v in values]
+        )
+    return render_table(
+        headers, rows, title=f"BENCH_history trend — mode={mode} "
+        f"(last {len(selected)} run(s))"
+    )
+
+
+#: Same-mode predecessors considered per stage in ``--check`` mode.
+BASELINE_WINDOW = 3
+
+
+def check_regressions(entries: List[dict], tolerance: float) -> List[str]:
+    """Stage regressions of the newest run vs its same-mode window.
+
+    A stage fails only when the newest run is slower than *every* one
+    of the last :data:`BASELINE_WINDOW` same-mode predecessors that
+    recorded it by more than ``tolerance`` — one historically noisy
+    run can never mask a regression the rest of the window would
+    catch, and one historically *fast* run can't trip the gate on its
+    own.  The end-to-end total is re-summed per predecessor over the
+    stages shared with the newest entry, so history written before a
+    stage existed never counts the new stage as a regression.  Returns
+    human-readable failure strings; empty means the gate passes.
+    """
+    failures = []
+    for mode in ("check", "full"):
+        selected = [e for e in entries if e.get("mode") == mode]
+        if len(selected) < 2:
+            continue
+        window = [stage_seconds(e) for e in selected[-1 - BASELINE_WINDOW:-1]]
+        newest = stage_seconds(selected[-1])
+        # Per label: the smallest newest-vs-predecessor ratio, i.e. the
+        # comparison against the stage's most favorable recent run.
+        best: Dict[str, tuple] = {}
+
+        def _consider(label, old_value, new_value):
+            if old_value is None or old_value <= 0 or new_value is None:
+                return
+            ratio = new_value / old_value
+            if label not in best or ratio < best[label][0]:
+                best[label] = (ratio, old_value, new_value)
+
+        for previous in window:
+            shared = [
+                label for label in STAGE_EXTRACTORS
+                if label in previous and label in newest
+            ]
+            for label in shared:
+                _consider(label, previous[label], newest[label])
+            if shared:
+                _consider(
+                    END_TO_END,
+                    sum(previous[label] for label in shared),
+                    sum(newest[label] for label in shared),
+                )
+        for label, (ratio, old_value, new_value) in sorted(best.items()):
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"[{mode}] {label} regressed {ratio:.2f}x: "
+                    f"{old_value:.3f}s -> {new_value:.3f}s "
+                    f"(tolerance {1.0 + tolerance:.2f}x)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point: print the trend, optionally gate regressions."""
+    parser = argparse.ArgumentParser(
+        description="Print the BENCH_history.jsonl perf trend per stage."
+    )
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY_PATH,
+                        help="history JSONL path (default: repo root)")
+    parser.add_argument("--last", type=int, default=5,
+                        help="runs per mode to show in the table (default: 5)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the newest run regressed vs the "
+                        "previous same-mode run beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="allowed fractional slowdown per stage vs the "
+                        "most favorable recent same-mode run in --check "
+                        "mode (default: 1.0 = 2x, sized for shared-host "
+                        "timing noise)")
+    args = parser.parse_args(argv)
+
+    entries = load_history(args.history)
+    if not entries:
+        print(f"no bench_baseline history at {args.history}")
+        return 0
+    printed = False
+    for mode in ("check", "full"):
+        table = trend_table(entries, mode, max(args.last, 1))
+        if table is not None:
+            if printed:
+                print()
+            print(table)
+            printed = True
+    if not args.check:
+        return 0
+    failures = check_regressions(entries, args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("bench_report --check: no stage regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

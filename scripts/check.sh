@@ -7,6 +7,7 @@
 #   1. ruff check src/ tests/ scripts/   (skipped when ruff is not installed)
 #   2. python -m pytest -x -q            (the tier-1 suite)
 #   3. python -m scripts.bench_baseline --check
+#   4. python -m scripts.bench_report --check   (perf-trend regression gate)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -30,5 +31,8 @@ python -m pytest -x -q
 
 echo "== bench_baseline --check =="
 python -m scripts.bench_baseline --check
+
+echo "== bench_report --check =="
+python -m scripts.bench_report --check
 
 echo "== all checks passed =="

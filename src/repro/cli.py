@@ -82,9 +82,10 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--engine", choices=("np", "py"), default=None,
-                        help="analysis kernels: columnar numpy ('np') or the "
-                        "pure-Python reference ('py'); both are bit-identical "
+    parser.add_argument("--engine", choices=("np", "py", "fused"), default=None,
+                        help="analysis kernels: columnar numpy ('np'), the "
+                        "pure-Python reference ('py'), or the single-pass "
+                        "fused engine ('fused'); all are bit-identical "
                         "(default: $REPRO_ANALYSIS_ENGINE, else np)")
 
 
@@ -230,7 +231,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             by_probe[run.probe_id][run.family].append(run)
 
     durations = {4: [], 6: []}
-    if engine == "np":
+    if engine in ("np", "fused"):
         try:
             from repro.core import analysis_np as anp
 
@@ -271,7 +272,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             f"{label}: n={len(sample)} total={series.total_years:.1f}y "
             f"cumulative-TTF {summary}"
         )
-        if engine == "np":
+        if engine in ("np", "fused"):
             from repro.core.analysis_np import detect_periods_np
 
             modes = detect_periods_np(sample)

@@ -1,0 +1,245 @@
+"""Flat buffer arena backing the columnar run packs.
+
+A :class:`ColumnArena` stores a set of named 1-D numpy arrays
+back-to-back in one contiguous byte buffer, with a small self-describing
+header (magic, format version, JSON column spec, free-form metadata).
+The arena is the serialization unit of :class:`repro.core.analysis_np.ProbeColumns`:
+
+- **in memory** the packed columns are views into one flat buffer, so a
+  whole pack travels as a single ``bytes`` object (picklable, hashable);
+- **on disk** the same layout is a file that any process can
+  ``np.memmap`` read-only, so pool workers, streaming run sources and
+  the out-of-core store map packs **zero-copy by path** instead of
+  re-packing (or re-pickling) per process.
+
+Layout (format version 1)::
+
+    bytes 0..7    magic  b"RPRARENA"
+    bytes 8..15   header length ``H`` (uint64 little-endian)
+    bytes 16..16+H  header JSON: {"version", "meta", "columns"}
+                    columns: [[name, dtype_str, count, offset], ...]
+                    (offset is relative to the payload start)
+    16+H..P       zero padding so the payload starts 64-byte aligned
+    P..           column payloads, each 16-byte aligned
+
+All offsets in the spec are relative to the payload start, so the header
+can be rewritten (e.g. with extra metadata) without touching payload
+bytes.  Column dtypes are limited to fixed-width little-endian numeric
+types; every column the run packs use is 8 bytes wide, keeping views
+naturally aligned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: File/bytes magic prefix of a serialized arena.
+ARENA_MAGIC = b"RPRARENA"
+
+#: Format version written into (and required of) arena headers.
+ARENA_FORMAT_VERSION = 1
+
+_HEADER_LEN_BYTES = 8
+_PAYLOAD_ALIGN = 64
+_COLUMN_ALIGN = 16
+
+
+def _align(offset: int, alignment: int) -> int:
+    """Round ``offset`` up to the next multiple of ``alignment``."""
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class ColumnArena:
+    """Named 1-D numpy columns packed into one flat byte buffer.
+
+    Build one from arrays with :meth:`build`, or rehydrate with
+    :meth:`from_bytes` / :meth:`open` (the latter memory-maps the file,
+    so column views share pages with every other process mapping the
+    same path).  Column views are read-only: an arena is an immutable
+    snapshot, which is what makes sharing it by buffer or path safe.
+    """
+
+    def __init__(
+        self,
+        buffer: np.ndarray,
+        spec: List[Tuple[str, str, int, int]],
+        meta: Optional[dict] = None,
+        path: Optional[Path] = None,
+    ) -> None:
+        if buffer.dtype != np.uint8 or buffer.ndim != 1:
+            raise ValueError("arena buffer must be a flat uint8 array")
+        self._buffer = buffer
+        self._spec = [(str(n), str(d), int(c), int(o)) for n, d, c, o in spec]
+        self.meta: dict = dict(meta or {})
+        self.path = Path(path) if path is not None else None
+        self._views: Dict[str, np.ndarray] = {}
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, columns: Dict[str, np.ndarray], meta: Optional[dict] = None
+    ) -> "ColumnArena":
+        """Pack named 1-D arrays into a fresh arena (copies once)."""
+        spec: List[Tuple[str, str, int, int]] = []
+        offset = 0
+        arrays = []
+        for name, array in columns.items():
+            array = np.ascontiguousarray(array)
+            if array.ndim != 1:
+                raise ValueError(f"arena column {name!r} must be 1-D")
+            if array.dtype.hasobject:
+                raise ValueError(f"arena column {name!r} has object dtype")
+            offset = _align(offset, _COLUMN_ALIGN)
+            spec.append((name, array.dtype.str, len(array), offset))
+            arrays.append((offset, array))
+            offset += array.nbytes
+        buffer = np.zeros(offset, dtype=np.uint8)
+        for start, array in arrays:
+            buffer[start : start + array.nbytes] = array.view(np.uint8)
+        arena = cls(buffer, spec, meta=meta)
+        return arena
+
+    # -- access -------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Column names, in payload order."""
+        return tuple(name for name, _, _, _ in self._spec)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (header excluded)."""
+        return int(self._buffer.nbytes)
+
+    def __contains__(self, name: str) -> bool:
+        return any(entry[0] == name for entry in self._spec)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Read-only view of one column (no copy)."""
+        view = self._views.get(name)
+        if view is None:
+            for col_name, dtype_str, count, offset in self._spec:
+                if col_name == name:
+                    dtype = np.dtype(dtype_str)
+                    raw = self._buffer[offset : offset + count * dtype.itemsize]
+                    view = raw.view(dtype)
+                    view.flags.writeable = False
+                    self._views[name] = view
+                    break
+            else:
+                raise KeyError(name)
+        return view
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """All columns as a name -> read-only view mapping."""
+        return {name: self[name] for name in self.names}
+
+    # -- serialization ------------------------------------------------
+
+    def _header_bytes(self) -> bytes:
+        header = {
+            "version": ARENA_FORMAT_VERSION,
+            "meta": self.meta,
+            "columns": [list(entry) for entry in self._spec],
+        }
+        return json.dumps(header, sort_keys=True).encode("utf-8")
+
+    def to_bytes(self) -> bytes:
+        """Serialize header + payload into one ``bytes`` object."""
+        header = self._header_bytes()
+        prefix_len = len(ARENA_MAGIC) + _HEADER_LEN_BYTES + len(header)
+        payload_start = _align(prefix_len, _PAYLOAD_ALIGN)
+        out = bytearray(payload_start + self.nbytes)
+        out[: len(ARENA_MAGIC)] = ARENA_MAGIC
+        out[len(ARENA_MAGIC) : len(ARENA_MAGIC) + _HEADER_LEN_BYTES] = len(
+            header
+        ).to_bytes(_HEADER_LEN_BYTES, "little")
+        out[len(ARENA_MAGIC) + _HEADER_LEN_BYTES : prefix_len] = header
+        out[payload_start:] = self._buffer.tobytes()
+        return bytes(out)
+
+    def save(self, path) -> Path:
+        """Write the arena to ``path`` (memmap-openable afterwards)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "wb") as stream:
+            stream.write(self.to_bytes())
+        self.path = target
+        return target
+
+    @staticmethod
+    def _parse_header(data) -> Tuple[dict, int]:
+        """Validate magic, return (header dict, payload offset)."""
+        magic = bytes(data[: len(ARENA_MAGIC)])
+        if magic != ARENA_MAGIC:
+            raise ValueError(f"not a column arena (bad magic {magic!r})")
+        header_len = int.from_bytes(
+            bytes(data[len(ARENA_MAGIC) : len(ARENA_MAGIC) + _HEADER_LEN_BYTES]),
+            "little",
+        )
+        start = len(ARENA_MAGIC) + _HEADER_LEN_BYTES
+        header = json.loads(bytes(data[start : start + header_len]).decode("utf-8"))
+        version = header.get("version")
+        if version != ARENA_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported arena format version {version!r} "
+                f"(expected {ARENA_FORMAT_VERSION})"
+            )
+        payload_start = _align(start + header_len, _PAYLOAD_ALIGN)
+        return header, payload_start
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnArena":
+        """Rehydrate an arena from :meth:`to_bytes` output."""
+        header, payload_start = cls._parse_header(data)
+        buffer = np.frombuffer(data, dtype=np.uint8, offset=payload_start)
+        return cls(buffer, [tuple(e) for e in header["columns"]], meta=header["meta"])
+
+    @classmethod
+    def open(cls, path, mmap: bool = True) -> "ColumnArena":
+        """Open a saved arena; ``mmap=True`` maps it read-only, zero-copy."""
+        target = Path(path)
+        if mmap:
+            raw = np.memmap(target, dtype=np.uint8, mode="r")
+        else:
+            raw = np.fromfile(target, dtype=np.uint8)
+        header, payload_start = cls._parse_header(raw)
+        buffer = raw[payload_start:]
+        return cls(
+            buffer, [tuple(e) for e in header["columns"]], meta=header["meta"], path=target
+        )
+
+    def is_memmapped(self) -> bool:
+        """True when the payload is a memory-mapped file view."""
+        base = self._buffer
+        while base is not None:
+            if isinstance(base, np.memmap):
+                return True
+            base = getattr(base, "base", None)
+        return False
+
+    # -- pickling -----------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle as serialized bytes (one buffer, not per-column arrays)."""
+        return (ColumnArena.from_bytes, (self.to_bytes(),))
+
+
+def arena_from_arrays(
+    named: Iterable[Tuple[str, np.ndarray]], meta: Optional[dict] = None
+) -> ColumnArena:
+    """Convenience builder from an iterable of ``(name, array)`` pairs."""
+    return ColumnArena.build(dict(named), meta=meta)
+
+
+__all__ = [
+    "ARENA_FORMAT_VERSION",
+    "ARENA_MAGIC",
+    "ColumnArena",
+    "arena_from_arrays",
+]

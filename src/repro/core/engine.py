@@ -21,8 +21,14 @@ try:
 except ImportError:  # pragma: no cover - numpy is a baked-in dependency
     _HAS_NUMPY = False
 
-#: Environment override for the default analysis engine ("np" or "py").
+#: Environment override for the default analysis engine
+#: ("np", "py" or "fused").
 ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
+
+#: Engines accepted by :func:`resolve_engine`.  "fused" is the
+#: single-pass engine of :mod:`repro.core.fused`; like "np" it degrades
+#: to "py" when NumPy is unavailable.
+ENGINES = ("np", "py", "fused")
 
 #: Errors on which a NumPy fast path silently falls back to the
 #: reference (unpackable value types, out-of-range integers); genuine
@@ -32,16 +38,17 @@ FALLBACK_ERRORS = (TypeError, ValueError, OverflowError)
 
 def resolve_engine(engine: Optional[str] = None) -> str:
     """Effective analysis engine: explicit value, else the environment,
-    else ``"np"`` when NumPy is available."""
+    else ``"np"`` when NumPy is available.  The columnar engines
+    (``"np"``, ``"fused"``) degrade to ``"py"`` without NumPy."""
     if engine is None:
         engine = os.environ.get(ENGINE_ENV, "").strip().lower() or None
     if engine is None:
         return "np" if _HAS_NUMPY else "py"
-    if engine not in ("np", "py"):
-        raise ValueError(f"engine must be 'np' or 'py', got {engine!r}")
-    if engine == "np" and not _HAS_NUMPY:
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine in ("np", "fused") and not _HAS_NUMPY:
         return "py"
     return engine
 
 
-__all__ = ["ENGINE_ENV", "FALLBACK_ERRORS", "resolve_engine"]
+__all__ = ["ENGINE_ENV", "ENGINES", "FALLBACK_ERRORS", "resolve_engine"]

@@ -5,13 +5,14 @@ benchmark harness: each ``figureN_*`` / ``tableN`` function computes the
 data behind one of the paper's artifacts, and ``render_table`` produces
 the ASCII form the benchmarks print.
 
-Every analysis entry point takes an ``engine="np"|"py"`` knob choosing
-between the pure-Python reference kernels and the columnar NumPy engine
-(:mod:`repro.core.analysis_np`).  The default (``engine=None``) reads
-``$REPRO_ANALYSIS_ENGINE`` and otherwise picks ``"np"`` whenever NumPy
-is importable; the two engines produce bit-identical artifacts (the
-parity tests enforce this), and the NumPy path falls back to the
-reference automatically on inputs it cannot pack columnar.
+Every analysis entry point takes an ``engine="np"|"py"|"fused"`` knob
+choosing between the pure-Python reference kernels, the per-kernel
+columnar NumPy engine (:mod:`repro.core.analysis_np`), and the fused
+single-pass engine (:mod:`repro.core.fused`).  The default
+(``engine=None``) reads ``$REPRO_ANALYSIS_ENGINE`` and otherwise picks
+``"np"`` whenever NumPy is importable; all engines produce bit-identical
+artifacts (the parity tests enforce this), and the columnar paths fall
+back to the reference automatically on inputs they cannot pack.
 """
 
 from __future__ import annotations
@@ -58,6 +59,24 @@ def _note_fallback(artifact: str, exc: BaseException) -> None:
     )
 
 
+def _note_fused_fallback(artifact: str, exc: BaseException) -> None:
+    """Record one fused-engine fallback to the reference path."""
+    metric_inc("analysis.fused.fallbacks", artifact=artifact)
+    _log.debug(
+        "fused engine fell back to python",
+        extra={"artifact": artifact, "error": type(exc).__name__},
+    )
+
+
+def _fused_stats(probes, plen: int = 64, columns=None):
+    """Fused stats for a probe population (pack reused when supplied)."""
+    from repro.core import fused as _fused
+
+    if columns is None or columns.plen != plen:
+        columns = _anp.ProbeColumns(probes, plen=plen)
+    return _fused.fused_probe_stats(columns)
+
+
 # -- per-probe plumbing -------------------------------------------------------
 
 
@@ -101,7 +120,15 @@ def as_durations(
     :class:`~repro.core.analysis_np.ProbeColumns` for these probes so
     the NumPy path reuses one pack across artifacts.
     """
-    if resolve_engine(engine) == "np":
+    resolved = resolve_engine(engine)
+    if resolved == "fused":
+        try:
+            from repro.core import fused as _fused
+
+            return _fused.as_durations_from_stats(_fused_stats(probes, columns=columns))
+        except _FALLBACK_ERRORS as exc:
+            _note_fused_fallback("as_durations", exc)
+    elif resolved == "np":
         try:
             return _as_durations_np(probes, columns=columns)
         except _FALLBACK_ERRORS as exc:
@@ -169,7 +196,17 @@ def table1_row(
     columns: Optional["_anp.ProbeColumns"] = None,
 ) -> Table1Row:
     """Aggregate one AS's probes into its Table 1 row."""
-    if resolve_engine(engine) == "np":
+    resolved = resolve_engine(engine)
+    if resolved == "fused":
+        try:
+            from repro.core import fused as _fused
+
+            return _fused.table1_from_stats(
+                _fused_stats(probes, columns=columns), name, asn, country
+            )
+        except _FALLBACK_ERRORS as exc:
+            _note_fused_fallback("table1", exc)
+    elif resolved == "np":
         try:
             return _table1_row_np(name, asn, country, probes, columns=columns)
         except _FALLBACK_ERRORS as exc:
@@ -247,7 +284,7 @@ def figure1_series(
     label: str, durations: Sequence[float], engine: Optional[str] = None
 ) -> Figure1Series:
     """One cumulative-TTF curve sampled on the canonical grid."""
-    if resolve_engine(engine) == "np":
+    if resolve_engine(engine) in ("np", "fused"):
         try:
             return _figure1_series_np(label, durations)
         except _FALLBACK_ERRORS as exc:
@@ -301,7 +338,15 @@ def table2_row(
     columns: Optional["_anp.ProbeColumns"] = None,
 ) -> CrossingRates:
     """Aggregate one AS's probes into its Table 2 crossing rates."""
-    if resolve_engine(engine) == "np":
+    resolved = resolve_engine(engine)
+    if resolved == "fused":
+        try:
+            from repro.core import fused as _fused
+
+            return _fused.table2_from_stats(_fused_stats(probes, columns=columns), table)
+        except _FALLBACK_ERRORS as exc:
+            _note_fused_fallback("table2", exc)
+    elif resolved == "np":
         try:
             return _table2_row_np(probes, table, columns=columns)
         except _FALLBACK_ERRORS as exc:
@@ -338,7 +383,15 @@ def figure5_for_as(
     columns: Optional["_anp.ProbeColumns"] = None,
 ) -> CplHistogram:
     """The Figure 5 CPL histogram for one AS's probes."""
-    if resolve_engine(engine) == "np":
+    resolved = resolve_engine(engine)
+    if resolved == "fused":
+        try:
+            from repro.core import fused as _fused
+
+            return _fused.figure5_from_stats(_fused_stats(probes, columns=columns))
+        except _FALLBACK_ERRORS as exc:
+            _note_fused_fallback("figure5", exc)
+    elif resolved == "np":
         try:
             return _figure5_for_as_np(probes, columns=columns)
         except _FALLBACK_ERRORS as exc:
@@ -380,7 +433,21 @@ def periodic_networks(
     counting with per-network bincount reductions over the (optionally
     memoized) :class:`~repro.core.analysis_np.ProbeColumns` packs.
     """
-    if resolve_engine(engine) == "np":
+    resolved = resolve_engine(engine)
+    if resolved == "fused":
+        try:
+            from repro.core import fused as _fused
+
+            return _fused.periodic_networks_fused(
+                probes_by_network,
+                candidate_periods,
+                tolerance,
+                min_probes,
+                columns_by_network,
+            )
+        except _FALLBACK_ERRORS as exc:
+            _note_fused_fallback("periodicity", exc)
+    elif resolved == "np":
         try:
             return _periodic_networks_np(
                 probes_by_network,

@@ -338,11 +338,118 @@ def map_store_shards(task, store, workers: Optional[int] = None) -> List:
     return [task(store, index) for index in range(store.shards)]
 
 
+# ---------------------------------------------------------------------------
+# Zero-copy fused-analysis fan-out
+# ---------------------------------------------------------------------------
+
+#: Worker-process pack handle installed by :func:`_fused_worker_init`.
+_FUSED_STATE: dict = {}
+
+
+def _fused_worker_init(arena_path: str, table, telemetry: bool) -> None:
+    """Pool initializer: each worker maps the probe pack by *path*.
+
+    The arena is opened as a read-only memmap, so every worker (and the
+    parent) shares the pack's pages — no column array is ever pickled
+    into the pool; the only per-task bytes are the ``(name, asn,
+    country)`` group tuple in and the small artifact objects out.
+    """
+    from repro.core.analysis_np import ProbeColumns
+
+    _FUSED_STATE["columns"] = ProbeColumns.from_arena(arena_path)
+    _FUSED_STATE["table"] = table
+    _worker_telemetry_init(telemetry)
+
+
+def _fused_group_artifacts(group):
+    """One AS's artifacts from the worker's memmapped pack.
+
+    Selecting the AS's probes out of the global pack and running the
+    fused pass over the sub-pack is bit-identical to masking the global
+    fused stats: every artifact is per-probe local and the CSR gather
+    preserves probe order.
+    """
+    from repro.core import fused
+
+    import numpy as np
+
+    name, asn, country = group
+    columns = _FUSED_STATE["columns"]
+    sub = columns.select(np.flatnonzero(columns.asns() == asn))
+    stats = fused.fused_probe_stats(sub)
+    table = _FUSED_STATE["table"]
+    result = {
+        "table1": fused.table1_from_stats(stats, name, asn, country),
+        "figure1": fused.figure1_from_stats(stats, name),
+        "figure5": fused.figure5_from_stats(stats),
+    }
+    if table is not None:
+        result["table2"] = fused.table2_from_stats(stats, table)
+    return result
+
+
+def _fused_group_task(group):
+    return _with_worker_metrics(_fused_group_artifacts, group, kind="fused_analysis")
+
+
+def run_fused_analysis(
+    columns,
+    groups: Sequence[Tuple[str, int, str]],
+    table: Optional[RoutingTable] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, dict]:
+    """Fan the fused per-AS analysis out over a pool, zero-copy.
+
+    The parent saves ``columns`` (a
+    :class:`repro.core.analysis_np.ProbeColumns`) as one arena file and
+    ships only its *path* to the pool; workers memory-map the pack and
+    return small artifact objects, merged in ``groups`` order.  Returns
+    the same ``{"table1", "table2", "figure1", "figure5"}`` dicts as
+    :func:`repro.core.fused.fused_analysis_artifacts`, bit-identically —
+    with one worker (or an unpicklable table) it *is* that serial call.
+    """
+    import shutil
+    import tempfile
+
+    effective = effective_workers(resolve_workers(workers), len(groups))
+    if effective > 1 and (table is None or _all_picklable([table])):
+        _log.debug(
+            "fanning out fused analysis",
+            extra={"groups": len(groups), "workers": effective},
+        )
+        scratch = tempfile.mkdtemp(prefix="repro-fused-")
+        try:
+            arena_path = columns.save_arena(os.path.join(scratch, "probes.arena"))
+            with ProcessPoolExecutor(
+                max_workers=effective,
+                mp_context=_mp_context(),
+                initializer=_fused_worker_init,
+                initargs=(str(arena_path), table, telemetry_enabled()),
+            ) as pool:
+                per_group = _merge_worker_results(pool.map(_fused_group_task, groups))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        merged: Dict[str, dict] = {
+            "table1": {},
+            "table2": {},
+            "figure1": {},
+            "figure5": {},
+        }
+        for (name, _asn, _country), artifacts in zip(groups, per_group):
+            for kind, value in artifacts.items():
+                merged[kind][name] = value
+        return merged
+    from repro.core.fused import fused_analysis_artifacts
+
+    return fused_analysis_artifacts(columns, groups, table)
+
+
 __all__ = [
     "WORKERS_ENV",
     "collect_associations",
     "effective_workers",
     "map_store_shards",
     "resolve_workers",
+    "run_fused_analysis",
     "run_isp_simulations",
 ]

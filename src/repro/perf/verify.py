@@ -19,7 +19,11 @@ chunk-by-chunk replay (any chunk size, with or without a mid-stream
 checkpoint/restore) must be bit-identical to the batch np report.
 :func:`store_diffs` extends the contract to the out-of-core sharded
 memmap store: shard-by-shard analysis must match the in-RAM np path
-artifact for artifact, at every shard count.
+artifact for artifact, at every shard count.  :func:`fused_engine_diffs`
+holds the fused single-pass engine (:mod:`repro.core.fused`) to the
+same bar: ``engine="fused"`` must be bit-identical to both ``"np"`` and
+``"py"`` across every report artifact, including after an arena
+save/memmap round-trip of the buffer-backed pack.
 """
 
 from __future__ import annotations
@@ -149,6 +153,131 @@ def assert_analysis_engines_equal(probes: Sequence, table=None, triples=None) ->
     diffs = analysis_engine_diffs(probes, table, triples)
     if diffs:
         raise AssertionError("analysis engines differ: " + "; ".join(diffs))
+
+
+def fused_engine_diffs(
+    scenario: "AtlasScenario" = None,
+    probes_per_as: int = 4,
+    years: float = 0.5,
+    seed: int = 0,
+    min_probes: int = 2,
+    arena_dir=None,
+) -> List[str]:
+    """Fused-engine parity differences ([] if bit-identical).
+
+    The fused-parity contract, at two levels:
+
+    1. **Scenario level** — ``engine="fused"`` must reproduce every
+       ``analyze_atlas_scenario`` artifact and the periodicity result of
+       both ``"np"`` and ``"py"`` bit-identically (a small scenario is
+       built when none is supplied).
+    2. **Report-entry level** — each report entry point called with
+       ``engine="fused"`` over the scenario's probes must match the
+       ``"py"`` reference.
+
+    With ``arena_dir`` set, a buffer round-trip is verified too: the
+    global pack is saved as an arena file, reopened memory-mapped, and
+    the fused artifacts recomputed from the mapped pack must match.
+    """
+    from repro.core import report
+    from repro.workloads import (
+        analyze_atlas_scenario,
+        build_atlas_scenario,
+        periodicity_for_scenario,
+    )
+
+    if scenario is None:
+        scenario = build_atlas_scenario(
+            probes_per_as=probes_per_as, years=years, seed=seed, cache=False
+        )
+    results = {}
+    for engine in ("py", "np", "fused"):
+        analysis = analyze_atlas_scenario(scenario, engine=engine)
+        periods = periodicity_for_scenario(
+            scenario, min_probes=min_probes, engine=engine
+        )
+        results[engine] = (analysis, periods)
+    diffs: List[str] = []
+    fused_analysis, fused_periods = results["fused"]
+    for other in ("np", "py"):
+        other_analysis, other_periods = results[other]
+        for artifact in ("table1", "table2", "figure1", "figure5"):
+            if getattr(fused_analysis, artifact) != getattr(other_analysis, artifact):
+                diffs.append(f"{artifact}: fused diverges from {other}")
+        if fused_periods != other_periods:
+            diffs.append(f"periodicity: fused diverges from {other}")
+
+    probes = scenario.probes
+    entry_points = [
+        (
+            "table1_row",
+            lambda engine: report.table1_row("AS", 0, "XX", probes, engine=engine),
+        ),
+        ("as_durations", lambda engine: report.as_durations(probes, engine=engine)),
+        (
+            "figure1_for_as",
+            lambda engine: report.figure1_for_as("AS", probes, engine=engine),
+        ),
+        ("figure5_for_as", lambda engine: report.figure5_for_as(probes, engine=engine)),
+        (
+            "table2_row",
+            lambda engine: report.table2_row(probes, scenario.table, engine=engine),
+        ),
+        (
+            "periodic_networks",
+            lambda engine: report.periodic_networks(
+                {"AS": probes}, min_probes=min_probes, engine=engine
+            ),
+        ),
+    ]
+    for label, compute in entry_points:
+        if compute("fused") != compute("py"):
+            diffs.append(f"{label}: fused entry point diverges from py reference")
+
+    if arena_dir is not None:
+        try:
+            from pathlib import Path
+
+            from repro.core.analysis_np import ProbeColumns
+            from repro.core.fused import fused_analysis_artifacts
+        except ImportError:
+            return diffs
+        columns = scenario.analysis_columns(None, engine="fused")
+        if columns is None:
+            diffs.append("arena: no columnar pack available for the round-trip")
+            return diffs
+        groups = [
+            (name, isp.asn, isp.config.country)
+            for name, isp in scenario.isps.items()
+        ]
+        direct = fused_analysis_artifacts(columns, groups, scenario.table)
+        path = columns.save_arena(Path(arena_dir) / "fused-verify.arena")
+        mapped = ProbeColumns.from_arena(path)
+        reopened = fused_analysis_artifacts(mapped, groups, scenario.table)
+        if direct != reopened:
+            diffs.append("arena: memmapped pack artifacts diverge from in-memory pack")
+    return diffs
+
+
+def assert_fused_engines_equal(
+    scenario: "AtlasScenario" = None,
+    probes_per_as: int = 4,
+    years: float = 0.5,
+    seed: int = 0,
+    min_probes: int = 2,
+    arena_dir=None,
+) -> None:
+    """Raise AssertionError naming every fused-engine divergence."""
+    diffs = fused_engine_diffs(
+        scenario,
+        probes_per_as=probes_per_as,
+        years=years,
+        seed=seed,
+        min_probes=min_probes,
+        arena_dir=arena_dir,
+    )
+    if diffs:
+        raise AssertionError("fused engine differs: " + "; ".join(diffs))
 
 
 def _streaming_result_diffs(result, batch, periods, label: str) -> List[str]:
@@ -347,10 +476,12 @@ def telemetry_invariance_diffs(
     with telemetry(False):
         plain = build_atlas_scenario(**params)
         plain_analysis = analyze_atlas_scenario(plain)
+        plain_fused = analyze_atlas_scenario(plain, engine="fused")
         plain_periods = periodicity_for_scenario(plain)
     with telemetry(True, reset=True):
         traced = build_atlas_scenario(**params)
         traced_analysis = analyze_atlas_scenario(traced)
+        traced_fused = analyze_atlas_scenario(traced, engine="fused")
         traced_periods = periodicity_for_scenario(traced)
     diffs = [
         f"telemetry: {diff}" for diff in atlas_scenario_diffs(plain, traced)
@@ -358,6 +489,10 @@ def telemetry_invariance_diffs(
     for artifact in ("table1", "table2", "figure1", "figure5"):
         if getattr(plain_analysis, artifact) != getattr(traced_analysis, artifact):
             diffs.append(f"telemetry: {artifact} diverges with telemetry enabled")
+        if getattr(plain_fused, artifact) != getattr(traced_fused, artifact):
+            diffs.append(
+                f"telemetry: fused {artifact} diverges with telemetry enabled"
+            )
     if plain_periods != traced_periods:
         diffs.append("telemetry: periodicity diverges with telemetry enabled")
     return diffs
@@ -391,11 +526,13 @@ __all__ = [
     "assert_analysis_engines_equal",
     "assert_atlas_scenarios_equal",
     "assert_cdn_scenarios_equal",
+    "assert_fused_engines_equal",
     "assert_store_equal",
     "assert_streaming_replay_equal",
     "assert_telemetry_invariant",
     "atlas_scenario_diffs",
     "cdn_scenario_diffs",
+    "fused_engine_diffs",
     "store_diffs",
     "streaming_replay_diffs",
     "telemetry_invariance_diffs",

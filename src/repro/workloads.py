@@ -11,8 +11,10 @@ Three entry points:
   RUM association dataset for the Section 4/5.3 analyses.
 * :func:`analyze_atlas_scenario` — run the full Section 3/5 analysis
   stack (Table 1/2, Figures 1/5) over a built Atlas scenario, through
-  either the pure-Python reference kernels or the columnar NumPy engine
-  (``engine="py"|"np"``, see :mod:`repro.core.analysis_np`).
+  the pure-Python reference kernels, the per-kernel columnar NumPy
+  engine, or the fused single-pass engine
+  (``engine="py"|"np"|"fused"``, see :mod:`repro.core.analysis_np` and
+  :mod:`repro.core.fused`).
 
 Both are deterministic in their ``seed``, *independent of the*
 ``workers=`` *knob*: the per-ISP simulations and per-population CDN
@@ -94,7 +96,27 @@ class AtlasScenario:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self.__dict__.setdefault("_columns_state", {})
+        raw = self.__dict__.get("_columns_state") or {}
+        # Scenario pickles predating the buffer-backed pack format (or
+        # written by a different format version) may carry memo entries
+        # keyed under an older layout; keep only entries whose key leads
+        # with the current format version so stale packs repack lazily
+        # instead of failing downstream.
+        valid = {}
+        if isinstance(raw, dict):
+            try:
+                from repro.core.analysis_np import COLUMNS_FORMAT_VERSION
+            except ImportError:
+                COLUMNS_FORMAT_VERSION = None
+            for key, entry in raw.items():
+                if (
+                    COLUMNS_FORMAT_VERSION is not None
+                    and isinstance(key, tuple)
+                    and key
+                    and key[0] == COLUMNS_FORMAT_VERSION
+                ):
+                    valid[key] = entry
+        self.__dict__["_columns_state"] = valid
 
     def probes_in(self, asn: int) -> List[SanitizedProbe]:
         """The sanitized probes attributed to ``asn``."""
@@ -112,22 +134,26 @@ class AtlasScenario:
         Returns the shared :class:`repro.core.analysis_np.ProbeColumns`
         for ``asn``'s probes (all probes when ``asn is None``) so every
         table/figure computed from this scenario reuses one CSR pack.
-        Returns ``None`` for the pure-Python engine or when NumPy is
-        unavailable.  The cache key includes the resolved engine and the
-        identity/size of ``self.probes``, so flipping
-        ``$REPRO_ANALYSIS_ENGINE`` mid-session or re-sanitizing the
-        probe list can never serve stale columns.
+        Both columnar engines (``"np"`` and ``"fused"``) share the same
+        packs; the pure-Python engine (or a NumPy-less interpreter) gets
+        ``None``.  The cache key leads with the pack format version
+        (:data:`repro.core.analysis_np.COLUMNS_FORMAT_VERSION`) — so
+        entries from an older buffer layout repack instead of being
+        served stale — and includes the identity/size of
+        ``self.probes``, so flipping ``$REPRO_ANALYSIS_ENGINE``
+        mid-session or re-sanitizing the probe list can never serve
+        stale columns.
         """
         from repro.core.engine import resolve_engine
 
         resolved = resolve_engine(engine)
-        if resolved != "np":
+        if resolved not in ("np", "fused"):
             return None
         try:
-            from repro.core.analysis_np import ProbeColumns
+            from repro.core.analysis_np import COLUMNS_FORMAT_VERSION, ProbeColumns
         except ImportError:
             return None
-        key = (resolved, asn, id(self.probes), len(self.probes))
+        key = (COLUMNS_FORMAT_VERSION, asn, id(self.probes), len(self.probes))
         cached = self._columns_state.get(key)
         # The cache entry pins the exact probe list it was packed from, so
         # a replaced ``self.probes`` can never alias a stale pack even if
@@ -156,15 +182,25 @@ class AtlasAnalysis:
 
 
 def analyze_atlas_scenario(
-    scenario: AtlasScenario, engine: Optional[str] = None
+    scenario: AtlasScenario,
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> AtlasAnalysis:
     """Compute Table 1/2 and Figures 1/5 for every featured AS.
 
     ``engine`` picks the analysis kernels: ``"py"`` is the pure-Python
-    reference, ``"np"`` the columnar engine (``None`` reads
+    reference, ``"np"`` the per-kernel columnar engine, ``"fused"`` the
+    single-pass engine of :mod:`repro.core.fused` (``None`` reads
     ``$REPRO_ANALYSIS_ENGINE``, defaulting to ``"np"`` when NumPy is
-    available).  Both engines yield bit-identical artifacts.
+    available).  All engines yield bit-identical artifacts.
+
+    ``workers`` only applies to the fused engine: with ``workers > 1``
+    the per-AS assembly fans out over a process pool that memory-maps
+    the scenario's arena-backed pack by path
+    (:func:`repro.perf.parallel.run_fused_analysis`) — zero-copy, and
+    bit-identical to the serial fused run.
     """
+    from repro.core.engine import FALLBACK_ERRORS
     from repro.core.report import (
         figure1_for_as,
         figure5_for_as,
@@ -172,9 +208,47 @@ def analyze_atlas_scenario(
         table1_row,
         table2_row,
     )
+    from repro.obs import metric_inc
 
     resolved = resolve_engine(engine)
     _log.info("analysis engine resolved", extra={"engine": resolved})
+    if resolved == "fused":
+        columns = scenario.analysis_columns(None, engine=resolved)
+        if columns is not None:
+            groups = [
+                (name, isp.asn, isp.config.country)
+                for name, isp in scenario.isps.items()
+            ]
+            try:
+                with span("analysis/report", engine=resolved, networks=len(groups)):
+                    if resolve_workers(workers) > 1:
+                        from repro.perf.parallel import run_fused_analysis
+
+                        artifacts = run_fused_analysis(
+                            columns, groups, scenario.table, workers=workers
+                        )
+                    else:
+                        from repro.core.fused import fused_analysis_artifacts
+
+                        artifacts = fused_analysis_artifacts(
+                            columns, groups, scenario.table
+                        )
+                return AtlasAnalysis(
+                    engine=resolved,
+                    table1=artifacts["table1"],
+                    table2=artifacts["table2"],
+                    figure1=artifacts["figure1"],
+                    figure5=artifacts["figure5"],
+                )
+            except FALLBACK_ERRORS as exc:
+                metric_inc("analysis.fused.fallbacks", artifact="report")
+                _log.debug(
+                    "fused scenario analysis fell back to the per-AS path",
+                    extra={"error": type(exc).__name__},
+                )
+        # Fall through to the per-AS loop; the report-layer entry points
+        # still dispatch each artifact through the fused (or reference)
+        # path as appropriate.
     table1 = {}
     table2 = {}
     figure1 = {}
@@ -218,16 +292,44 @@ def periodicity_for_scenario(
     Returns ``(v4_nds_periods, v6_periods)`` from
     :func:`repro.core.report.periodic_networks`, dispatched through the
     analysis-engine knob and reusing the scenario's memoized column
-    packs on the NumPy path.
+    packs on the columnar paths.  The fused engine detects every
+    network's periods from one global pass
+    (:func:`repro.core.fused.fused_network_periods`), reusing the
+    scenario's global pack and its cached fused stats.
     """
+    from repro.core.engine import FALLBACK_ERRORS
     from repro.core.report import periodic_networks, resolve_engine
 
     resolved = resolve_engine(engine)
+    if resolved == "fused":
+        columns = scenario.analysis_columns(None, engine=resolved)
+        if columns is not None:
+            groups = [
+                (name, isp.asn, isp.config.country)
+                for name, isp in scenario.isps.items()
+            ]
+            try:
+                with span(
+                    "analysis/periodicity", engine=resolved, networks=len(groups)
+                ):
+                    from repro.core.fused import fused_network_periods
+
+                    return fused_network_periods(
+                        columns, groups, tolerance=tolerance, min_probes=min_probes
+                    )
+            except FALLBACK_ERRORS as exc:
+                from repro.obs import metric_inc
+
+                metric_inc("analysis.fused.fallbacks", artifact="periodicity")
+                _log.debug(
+                    "fused periodicity fell back to the per-network path",
+                    extra={"error": type(exc).__name__},
+                )
     probes_by_network = {
         name: scenario.probes_in(isp.asn) for name, isp in scenario.isps.items()
     }
     columns_by_network = None
-    if resolved == "np":
+    if resolved in ("np", "fused"):
         columns_by_network = {
             name: scenario.analysis_columns(isp.asn, engine=resolved)
             for name, isp in scenario.isps.items()

@@ -44,14 +44,32 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     # footprint) ran and stayed within bounds, or RSS was unreadable.
     if store["rss_fraction_of_materialized"] is not None:
         assert store["rss_fraction_of_materialized"] <= store["rss_gate_fraction"]
+    report = payload["report"]
+    assert report["parity"] is True
+    assert report["workers_parity"] is True
+    assert report["speedup_enforced"] is False  # --check records, full gates
+    assert report["np_seconds"] >= 0.0
+    assert report["fused_seconds"] >= 0.0
+    assert report["fused_workers_seconds"] >= 0.0
     history = tmp_path / "BENCH_history.jsonl"
     assert history.exists()
     records = [json.loads(line) for line in history.read_text().splitlines()]
     assert records and records[-1]["section"] == "bench_baseline"
     assert records[-1]["ok"] is True
+    assert records[-1]["report"]["parity"] is True
     out = capsys.readouterr().out
     assert "results identical" in out
     assert "artifacts identical" in out
+    assert "report: np" in out
+
+    # The trend reporter consumes the freshly appended history and its
+    # regression gate passes on a single-entry history.
+    from scripts.bench_report import main as report_main
+
+    assert report_main(["--history", str(history), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "report_fused" in out
+    assert "end_to_end" in out
 
 
 def test_profile_hook_writes_artifacts(tmp_path, monkeypatch):

@@ -1,0 +1,352 @@
+"""Parity and buffer-backing tests for the fused single-pass engine.
+
+The fused engine (``repro.core.fused``) computes every per-probe
+intermediate in one traversal of the packed run columns; everything it
+emits must be *bit-identical* to both the per-kernel columnar engine
+(``"np"``) and the pure-Python reference (``"py"``).  The randomized
+streams here reuse the awkward shapes of ``test_analysis_np.py`` —
+observation gaps, single-run probes, probes with no runs, v6-only
+probes — across several ASes so the per-AS selection paths are
+exercised too.  The second half covers the buffer-backed pack: arena
+byte/file/pickle round-trips, memory-mapped zero-copy rehydration, the
+format-version guards, and the worker-pool fan-out that shares one
+arena by path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.atlas.echo import EchoRun  # noqa: E402
+from repro.atlas.sanitize import SanitizedProbe  # noqa: E402
+from repro.bgp.table import RoutingTable  # noqa: E402
+from repro.core import fused  # noqa: E402
+from repro.core.analysis_np import (  # noqa: E402
+    COLUMNS_FORMAT_VERSION,
+    ProbeColumns,
+)
+from repro.core.arena import ColumnArena  # noqa: E402
+from repro.core.report import (  # noqa: E402
+    as_durations,
+    figure1_for_as,
+    figure5_for_as,
+    periodic_networks,
+    table1_row,
+    table2_row,
+)
+from repro.ip.addr import IPv4Address, IPv6Address  # noqa: E402
+from repro.ip.prefix import IPv4Prefix, IPv6Prefix  # noqa: E402
+from repro.perf.parallel import run_fused_analysis  # noqa: E402
+
+pytestmark = pytest.mark.fused
+
+SEEDS = (0, 1, 2, 7, 2020)
+ENGINES = ("py", "np", "fused")
+
+_V4_POOL = [0xC6336400 + i for i in range(0, 96, 7)]  # 198.51.100.0/24 area
+_V6_BASE = 0x20010DB8 << 96
+
+
+def _v6_value(rng: random.Random) -> int:
+    pool = rng.randrange(4)  # few /64s so rekeying actually merges
+    iid = rng.randrange(1 << 16)
+    return _V6_BASE | (pool << 64) | iid
+
+
+def _random_runs(rng: random.Random, probe_id: int, family: int) -> list:
+    """One probe's run stream: gaps, merges, censored edges — the works."""
+    shape = rng.random()
+    if shape < 0.15:
+        return []  # probe with no runs in this family
+    count = 1 if shape < 0.3 else rng.randrange(2, 9)
+    runs = []
+    hour = rng.randrange(0, 6)
+    identical = rng.random() < 0.15  # all runs carry the same value
+    fixed_v4 = rng.choice(_V4_POOL)
+    fixed_v6 = _v6_value(rng)
+    for _ in range(count):
+        span = rng.randrange(1, 8)
+        observed = rng.randrange(1, span + 1)
+        max_gap = 0 if observed == span else rng.randrange(0, span)
+        if family == 4:
+            value = IPv4Address(fixed_v4 if identical else rng.choice(_V4_POOL))
+        else:
+            value = IPv6Address(fixed_v6 if identical else _v6_value(rng))
+        runs.append(
+            EchoRun(
+                probe_id=probe_id,
+                family=family,
+                value=value,
+                first=hour,
+                last=hour + span - 1,
+                observed=observed,
+                max_gap=max_gap,
+            )
+        )
+        hour += span + rng.choice([0, 0, 0, 1, 3])
+    return runs
+
+
+_ASNS = (64500, 64501, 64502)
+
+
+def _random_probes(seed: int, count: int = 18) -> list:
+    """A multi-AS probe population with every awkward shape mixed in."""
+    rng = random.Random(seed)
+    probes = []
+    for index in range(count):
+        v4_runs = _random_runs(rng, index, 4)
+        v6_runs = _random_runs(rng, index, 6)
+        probes.append(
+            SanitizedProbe(
+                probe_id=str(index),
+                asn=_ASNS[index % len(_ASNS)],
+                dual_stack=bool(v6_runs) and rng.random() < 0.7,
+                v4_runs=v4_runs,
+                v6_runs=v6_runs,
+            )
+        )
+    return probes
+
+
+def _routing_table() -> RoutingTable:
+    table = RoutingTable()
+    table.announce(IPv4Prefix.parse("198.51.100.0/24"), 64500)
+    table.announce(IPv4Prefix.parse("198.51.100.32/27"), 64501)  # more specific
+    table.announce(IPv6Prefix.parse("2001:db8::/32"), 64500)
+    table.announce(IPv6Prefix.parse("2001:db8:0:1::/64"), 64502)
+    return table
+
+
+def _artifacts(probes, table, engine):
+    """Every report entry point under one engine, per AS."""
+    by_asn = {asn: [p for p in probes if p.asn == asn] for asn in _ASNS}
+    out = {}
+    for asn, members in by_asn.items():
+        out[asn] = {
+            "table1": table1_row(f"AS{asn}", asn, "US", members, engine=engine),
+            "durations": as_durations(members, engine=engine),
+            "figure1": figure1_for_as(f"AS{asn}", members, engine=engine),
+            "figure5": figure5_for_as(members, engine=engine),
+            "table2": table2_row(members, table, engine=engine),
+        }
+    out["periods"] = periodic_networks(
+        {f"AS{asn}": members for asn, members in by_asn.items()},
+        min_probes=2,
+        engine=engine,
+    )
+    return out
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_three_way_engine_parity(seed):
+    """fused == np == py on every report artifact, randomized streams."""
+    probes = _random_probes(seed)
+    table = _routing_table()
+    py = _artifacts(probes, table, "py")
+    np_result = _artifacts(probes, table, "np")
+    fused_result = _artifacts(probes, table, "fused")
+    assert np_result == py
+    assert fused_result == py
+
+
+@pytest.mark.parametrize(
+    "probes",
+    [
+        [],  # no probes at all
+        [SanitizedProbe("0", 64500, False, [], [])],  # probe with no runs
+        [  # single-run probe: no changes, no sandwiched durations
+            SanitizedProbe(
+                "0", 64500, False,
+                [EchoRun(0, 4, IPv4Address(_V4_POOL[0]), 0, 5, 6, 0)], [],
+            )
+        ],
+        [  # v6-only probe: v4 pack is empty, v6 side fully exercised
+            SanitizedProbe(
+                "0", 64500, True, [],
+                [
+                    EchoRun(0, 6, IPv6Address(_V6_BASE | (1 << 64)), 0, 3, 4, 0),
+                    EchoRun(0, 6, IPv6Address(_V6_BASE | (2 << 64)), 4, 9, 6, 0),
+                    EchoRun(0, 6, IPv6Address(_V6_BASE | (1 << 64)), 10, 12, 3, 0),
+                ],
+            )
+        ],
+    ],
+    ids=["empty", "no-runs", "single-run", "v6-only"],
+)
+def test_edge_case_parity(probes):
+    """Degenerate populations agree across all three engines."""
+    table = _routing_table()
+    reference = None
+    for engine in ENGINES:
+        artifacts = (
+            table1_row("edge", 64500, "US", probes, engine=engine),
+            as_durations(probes, engine=engine),
+            figure5_for_as(probes, engine=engine),
+            table2_row(probes, table, engine=engine),
+        )
+        if reference is None:
+            reference = artifacts
+        else:
+            assert artifacts == reference, engine
+
+
+def test_fused_stats_memoized_on_pack():
+    """fused_probe_stats reuses one FusedProbeStats per pack."""
+    columns = ProbeColumns(_random_probes(0))
+    first = fused.fused_probe_stats(columns)
+    assert fused.fused_probe_stats(columns) is first
+
+
+# ---------------------------------------------------------------------------
+# Buffer-backed pack: arena round-trips and zero-copy rehydration
+# ---------------------------------------------------------------------------
+
+
+def _pack_artifacts(columns, table):
+    """Fused artifacts computed straight from a pack (no probe objects)."""
+    groups = [(f"AS{asn}", asn, "US") for asn in _ASNS]
+    return fused.fused_analysis_artifacts(columns, groups, table)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_arena_roundtrips(seed, tmp_path):
+    """Bytes, file/memmap, and pickle round-trips preserve the pack."""
+    probes = _random_probes(seed)
+    table = _routing_table()
+    columns = ProbeColumns(probes)
+    reference = _pack_artifacts(columns, table)
+
+    arena = columns.arena()
+    # The installed views alias the arena buffer: one allocation.
+    assert np.shares_memory(columns.v4().value_lo, arena["v4.value_lo"])
+    assert np.shares_memory(columns.asns(), arena["probe.asn"])
+
+    # bytes round-trip (zero-copy frombuffer on rehydrate)
+    from_bytes = ProbeColumns.from_arena(arena.to_bytes())
+    assert from_bytes.probes is None
+    assert _pack_artifacts(from_bytes, table) == reference
+
+    # file round-trip, memory-mapped
+    path = columns.save_arena(tmp_path / "pack.arena")
+    mapped = ProbeColumns.from_arena(path)
+    assert mapped._arena.is_memmapped()
+    assert mapped.n_probes == columns.n_probes
+    assert _pack_artifacts(mapped, table) == reference
+
+    # pickle round-trip serializes the arena, not the probe objects
+    unpickled = pickle.loads(pickle.dumps(columns, pickle.HIGHEST_PROTOCOL))
+    assert unpickled.probes is None
+    assert _pack_artifacts(unpickled, table) == reference
+
+    # per-AS selection out of the memmapped pack matches probe re-packing
+    for asn in _ASNS:
+        sub = mapped.select(np.flatnonzero(mapped.asns() == asn))
+        direct = ProbeColumns([p for p in probes if p.asn == asn])
+        assert np.array_equal(sub.v4().value_lo, direct.v4().value_lo)
+        assert np.array_equal(sub.v6().offsets, direct.v6().offsets)
+
+
+def test_arena_format_guards(tmp_path):
+    """Stale or foreign arenas are rejected with a repack hint."""
+    columns = ProbeColumns(_random_probes(1, count=4))
+    stale = ColumnArena.build(
+        {name: columns.arena()[name] for name in columns.arena().names},
+        meta={**columns.arena().meta, "format": COLUMNS_FORMAT_VERSION - 1},
+    )
+    with pytest.raises(ValueError, match="repack"):
+        ProbeColumns.from_arena(stale)
+    foreign = ColumnArena.build(
+        {"x": np.arange(3, dtype=np.int64)}, meta={"kind": "something-else"}
+    )
+    with pytest.raises(ValueError, match="probe-columns"):
+        ProbeColumns.from_arena(foreign)
+    # A stale pickled pack is equally refused (callers repack instead).
+    state = columns.__getstate__()
+    state["format"] = COLUMNS_FORMAT_VERSION - 1
+    with pytest.raises(ValueError, match="repack"):
+        ProbeColumns.__new__(ProbeColumns).__setstate__(state)
+
+
+def test_scenario_memo_drops_stale_format_entries():
+    """Unpickled scenarios keep only current-format column memo entries."""
+    from repro.workloads import build_atlas_scenario
+
+    scenario = build_atlas_scenario(probes_per_as=2, years=0.2, seed=0, cache=False)
+    fresh = scenario.analysis_columns(None, engine="fused")
+    assert fresh is not None
+    state = scenario.__getstate__()
+    # Simulate a cache pickle written under an older pack layout: the
+    # memo entry's key leads with a stale format version.
+    state["_columns_state"] = {
+        (COLUMNS_FORMAT_VERSION - 1, None, 123, 4): ("stale", "pack"),
+        "legacy-key": ("stale", "pack"),
+    }
+    revived = scenario.__class__.__new__(scenario.__class__)
+    revived.__setstate__(state)
+    assert revived._columns_state == {}  # stale entries dropped, not served
+    repacked = revived.analysis_columns(None, engine="np")
+    assert repacked is not None  # repacks lazily instead of failing
+    assert revived.analysis_columns(None, engine="np") is repacked
+
+
+def test_worker_fanout_matches_serial(tmp_path):
+    """run_fused_analysis with a pool is bit-identical to the serial pass.
+
+    The pool hands each worker the pack *by path*: workers memmap the
+    arena instead of unpickling column arrays, so the parent only ships
+    the path string and small per-AS artifacts come back.
+    """
+    probes = _random_probes(2020)
+    table = _routing_table()
+    columns = ProbeColumns(probes)
+    groups = [(f"AS{asn}", asn, "US") for asn in _ASNS]
+    serial = run_fused_analysis(columns, groups, table, workers=1)
+    pooled = run_fused_analysis(columns, groups, table, workers=2)
+    assert pooled == serial
+    assert serial == fused.fused_analysis_artifacts(columns, groups, table)
+
+    # The zero-copy handoff: a pack reopened from the saved arena path is
+    # memory-mapped and serves the same artifacts without probe objects.
+    path = columns.save_arena(tmp_path / "fanout.arena")
+    reopened = ProbeColumns.from_arena(path)
+    assert reopened._arena.is_memmapped()
+    assert fused.fused_analysis_artifacts(reopened, groups, table) == serial
+
+
+def test_workloads_fused_engine_end_to_end():
+    """analyze/periodicity under engine='fused' match 'np', workers too."""
+    from repro.workloads import (
+        analyze_atlas_scenario,
+        build_atlas_scenario,
+        periodicity_for_scenario,
+    )
+
+    scenario = build_atlas_scenario(probes_per_as=3, years=0.4, seed=7, cache=False)
+    np_analysis = analyze_atlas_scenario(scenario, engine="np")
+    fused_analysis = analyze_atlas_scenario(scenario, engine="fused")
+    assert fused_analysis.engine == "fused"
+    assert (
+        fused_analysis.table1,
+        fused_analysis.table2,
+        fused_analysis.figure1,
+        fused_analysis.figure5,
+    ) == (np_analysis.table1, np_analysis.table2, np_analysis.figure1,
+          np_analysis.figure5)
+    pooled = analyze_atlas_scenario(scenario, engine="fused", workers=2)
+    assert pooled == fused_analysis
+    assert periodicity_for_scenario(
+        scenario, min_probes=2, engine="fused"
+    ) == periodicity_for_scenario(scenario, min_probes=2, engine="np")
+
+
+def test_fused_verify_helper():
+    """perf.verify's fused gate passes on a fresh scenario."""
+    from repro.perf.verify import fused_engine_diffs
+
+    assert fused_engine_diffs(probes_per_as=3, years=0.3, seed=1) == []
