@@ -12,7 +12,10 @@ RSS, and checking the checkpointable state stays bounded as the stream
 grows), builds and analyzes a synthetic sharded memmap triple store
 out-of-core (gating build/analyze throughput and the analyzer's peak
 RSS against a fraction of what materializing the same tuples as Python
-triples would cost), times the end-to-end report suite (all artifacts
+triples would cost, plus a parallel segment build of the same feed that
+must compact to a byte-identical digest and — in full mode on
+multi-core hosts — beat the serial build by ``--min-store-build-speedup``
+in tuples/s), times the end-to-end report suite (all artifacts
 plus periodicity) under both the per-kernel ``np`` engine and the
 single-pass ``fused`` engine — enforcing bit-identity, a strict fused
 end-to-end win in full mode, and recording the peak-RSS delta of the
@@ -90,6 +93,7 @@ FULL_SCALE = {
     # hold as Python triples, the point of the out-of-core store.
     "store": {"tuples": 100_000_000, "shards": 64,
               "batch_rows": 1 << 20, "block_rows": 1 << 18,
+              "segment_rows": 1 << 22,
               "v4_pool": 200_000, "v6_pool": 2_000_000},
 }
 #: CI smoke scales (sub-second serial builds).
@@ -107,6 +111,7 @@ CHECK_SCALE = {
     # matches the full-scale regime instead of being nearly all-unique.
     "store": {"tuples": 1_000_000, "shards": 16,
               "batch_rows": 1 << 16, "block_rows": 1 << 13,
+              "segment_rows": 1 << 18,
               "v4_pool": 2_000, "v6_pool": 20_000},
 }
 
@@ -485,6 +490,64 @@ def run_baseline(args: argparse.Namespace) -> dict:
                 f"{store_build_s:.2f}s ({build_rate:.0f} tuples/s)"
             )
 
+            # Parallel segment build of the same feed: always exercised
+            # (serially on one core, so CI still covers the segment
+            # writer + compaction machinery) with digest parity against
+            # the serial store enforced unconditionally; the >= 2x
+            # tuples/s gate only applies where the hardware can deliver
+            # it (full mode, multi-core, >= 2 workers).
+            import shutil as _shutil
+
+            from repro.store import parallel_build_store
+
+            store_cores = os.cpu_count() or 1
+            with maybe_profile("store_build_parallel"):
+                start = time.perf_counter()
+                parallel_store = parallel_build_store(
+                    synthetic_triple_batches(
+                        store_tuples,
+                        batch_rows=store_scale["batch_rows"],
+                        seed=args.seed,
+                        v4_pool=store_scale["v4_pool"],
+                        v6_pool=store_scale["v6_pool"],
+                    ),
+                    Path(tmp) / "store-parallel",
+                    shards=store_scale["shards"],
+                    workers=args.workers,
+                    segment_rows=store_scale["segment_rows"],
+                    source={"kind": "synthetic", "seed": args.seed},
+                )
+                store_parallel_s = time.perf_counter() - start
+            parallel_rate = store_tuples / max(store_parallel_s, 1e-9)
+            parallel_digest_match = parallel_store.digest() == store.digest()
+            if not parallel_digest_match:
+                failures.append(
+                    "parallel store build digest differs from serial build"
+                )
+            build_speedup = store_build_s / max(store_parallel_s, 1e-9)
+            build_speedup_enforced = (
+                not args.check and store_cores >= 2 and args.workers >= 2
+            )
+            print(
+                f"store: parallel build ({args.workers} workers on "
+                f"{store_cores} core(s)) {store_parallel_s:.2f}s "
+                f"({parallel_rate:.0f} tuples/s), speedup {build_speedup:.2f}x"
+                + ("" if build_speedup_enforced else " (not enforced)")
+                + ", digest "
+                + ("identical" if parallel_digest_match else "DIVERGED")
+            )
+            if (
+                build_speedup_enforced
+                and build_speedup < args.min_store_build_speedup
+            ):
+                failures.append(
+                    f"parallel store build speedup {build_speedup:.2f}x below "
+                    f"required {args.min_store_build_speedup:.2f}x"
+                )
+            # Drop the parallel copy before the RSS-gated analyze pass —
+            # at full scale it doubles the stage's disk footprint.
+            _shutil.rmtree(parallel_store.directory, ignore_errors=True)
+
             footprint = _materialized_triple_bytes(store_tuples)
             rss_start = current_rss_bytes()
             with maybe_profile("store_analyze"), RssSampler() as sampler:
@@ -541,6 +604,13 @@ def run_baseline(args: argparse.Namespace) -> dict:
                 "digest": store.digest(),
                 "build_seconds": round(store_build_s, 4),
                 "build_tuples_per_second": round(build_rate, 1),
+                "segment_rows": store_scale["segment_rows"],
+                "build_workers": args.workers,
+                "build_parallel_seconds": round(store_parallel_s, 4),
+                "build_parallel_tuples_per_second": round(parallel_rate, 1),
+                "build_speedup": round(build_speedup, 3),
+                "build_speedup_enforced": build_speedup_enforced,
+                "parallel_digest_match": parallel_digest_match,
                 "analyze_seconds": round(store_analyze_s, 4),
                 "analyze_tuples_per_second": round(analyze_rate, 1),
                 "throughput_enforced": not args.check,
@@ -739,6 +809,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=100_000.0,
                         help="required out-of-core analyze throughput in "
                         "full mode (default: 100000)")
+    parser.add_argument("--min-store-build-speedup", type=float, default=2.0,
+                        help="required parallel-vs-serial store build "
+                        "tuples/s speedup in full mode on multi-core hosts "
+                        "(default: 2.0)")
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--output", type=Path,
                         default=_REPO_ROOT / "BENCH_baseline.json",

@@ -4,9 +4,10 @@ Reads the JSONL history that ``scripts.bench_baseline`` appends on
 every run and prints the per-stage wall times (scenario builds, the
 per-kernel analysis stages, telemetry, streaming, the out-of-core
 store, and the end-to-end report suite under both the ``np`` and
-``fused`` engines) as one fixed-width table per benchmark mode
-(``check`` vs ``full`` runs are never compared against each other —
-they run at different scales).
+``fused`` engines) plus the store build/analyze throughputs (tuples/s)
+as one fixed-width table per benchmark mode (``check`` vs ``full``
+runs are never compared against each other — they run at different
+scales).
 
 Usage::
 
@@ -15,7 +16,9 @@ Usage::
 
 ``--check`` compares the newest entry of each mode against up to the
 three previous same-mode entries and fails (exit 1) only when a stage
-is slower than *every* one of them by more than ``--tolerance``
+is slower than *every* one of them by more than ``--tolerance`` (for
+the throughput stages: when its tuples/s rate fell below every one of
+them by more than the same factor)
 (default 1.0, i.e. 2x — recorded history on loaded single-core hosts
 shows untouched stages jittering by 1.8x run to run, so anything
 tighter gates on the weather; pass a smaller ``--tolerance`` on quiet
@@ -73,6 +76,19 @@ STAGE_EXTRACTORS: Dict[str, Callable[[dict], Optional[float]]] = {
     "report_fused_workers": lambda e: _get(e, "report", "fused_workers_seconds"),
 }
 
+#: Stage label -> throughput extractor (tuples/s, higher is better).
+#: Gated inversely to the seconds stages: a regression is the newest
+#: run's *rate* falling below every recent same-mode run's by more than
+#: the tolerance factor.  Store build/analyze regressions trip CI here
+#: even when their wall seconds hide inside the end-to-end sum.
+RATE_EXTRACTORS: Dict[str, Callable[[dict], Optional[float]]] = {
+    "store_build_rate": lambda e: _get(e, "store", "build_tuples_per_second"),
+    "store_build_parallel_rate": lambda e: _get(
+        e, "store", "build_parallel_tuples_per_second"
+    ),
+    "store_analyze_rate": lambda e: _get(e, "store", "analyze_tuples_per_second"),
+}
+
 #: Synthetic end-to-end row: the sum of every recorded stage, so the
 #: trend table closes with one comparable total per run.
 END_TO_END = "end_to_end"
@@ -110,12 +126,22 @@ def stage_seconds(entry: dict) -> Dict[str, float]:
     return stages
 
 
+def stage_rates(entry: dict) -> Dict[str, float]:
+    """Per-stage throughputs (tuples/s) of one entry; no synthetic sum."""
+    return {
+        label: value
+        for label, extract in RATE_EXTRACTORS.items()
+        if (value := extract(entry)) is not None and value > 0
+    }
+
+
 def trend_table(entries: List[dict], mode: str, last: int) -> Optional[str]:
     """The per-stage trend of ``mode`` entries as a rendered table."""
     selected = [e for e in entries if e.get("mode") == mode][-last:]
     if not selected:
         return None
     per_run = [stage_seconds(entry) for entry in selected]
+    per_run_rates = [stage_rates(entry) for entry in selected]
     headers = ["stage"] + [
         str(entry.get("recorded", "?"))[:19] for entry in selected
     ]
@@ -126,6 +152,13 @@ def trend_table(entries: List[dict], mode: str, last: int) -> Optional[str]:
             continue
         rows.append(
             [label] + [f"{v:.3f}s" if v is not None else "-" for v in values]
+        )
+    for label in RATE_EXTRACTORS:
+        values = [run.get(label) for run in per_run_rates]
+        if all(value is None for value in values):
+            continue
+        rows.append(
+            [label] + [f"{v:,.0f}/s" if v is not None else "-" for v in values]
         )
     return render_table(
         headers, rows, title=f"BENCH_history trend — mode={mode} "
@@ -147,8 +180,12 @@ def check_regressions(entries: List[dict], tolerance: float) -> List[str]:
     catch, and one historically *fast* run can't trip the gate on its
     own.  The end-to-end total is re-summed per predecessor over the
     stages shared with the newest entry, so history written before a
-    stage existed never counts the new stage as a regression.  Returns
-    human-readable failure strings; empty means the gate passes.
+    stage existed never counts the new stage as a regression.  The
+    store throughput stages (:data:`RATE_EXTRACTORS`, tuples/s) are
+    gated the same way with the ratio inverted — higher is better, so
+    the newest rate must fall below every recent run's by more than the
+    tolerance factor to fail.  Returns human-readable failure strings;
+    empty means the gate passes.
     """
     failures = []
     for mode in ("check", "full"):
@@ -157,14 +194,19 @@ def check_regressions(entries: List[dict], tolerance: float) -> List[str]:
             continue
         window = [stage_seconds(e) for e in selected[-1 - BASELINE_WINDOW:-1]]
         newest = stage_seconds(selected[-1])
-        # Per label: the smallest newest-vs-predecessor ratio, i.e. the
-        # comparison against the stage's most favorable recent run.
+        rate_window = [stage_rates(e) for e in selected[-1 - BASELINE_WINDOW:-1]]
+        newest_rates = stage_rates(selected[-1])
+        # Per label: the smallest newest-vs-predecessor slowdown ratio,
+        # i.e. the comparison against the stage's most favorable recent
+        # run (for rates the ratio is old/new, so "slowdown" throughout).
         best: Dict[str, tuple] = {}
 
-        def _consider(label, old_value, new_value):
+        def _consider(label, old_value, new_value, invert=False):
             if old_value is None or old_value <= 0 or new_value is None:
                 return
-            ratio = new_value / old_value
+            if invert and new_value <= 0:
+                return
+            ratio = old_value / new_value if invert else new_value / old_value
             if label not in best or ratio < best[label][0]:
                 best[label] = (ratio, old_value, new_value)
 
@@ -181,11 +223,20 @@ def check_regressions(entries: List[dict], tolerance: float) -> List[str]:
                     sum(previous[label] for label in shared),
                     sum(newest[label] for label in shared),
                 )
+        for previous in rate_window:
+            for label in RATE_EXTRACTORS:
+                if label in previous and label in newest_rates:
+                    _consider(
+                        label, previous[label], newest_rates[label], invert=True
+                    )
         for label, (ratio, old_value, new_value) in sorted(best.items()):
             if ratio > 1.0 + tolerance:
+                unit = "/s" if label in RATE_EXTRACTORS else "s"
+                fmt = "{:,.0f}" if label in RATE_EXTRACTORS else "{:.3f}"
                 failures.append(
                     f"[{mode}] {label} regressed {ratio:.2f}x: "
-                    f"{old_value:.3f}s -> {new_value:.3f}s "
+                    f"{fmt.format(old_value)}{unit} -> "
+                    f"{fmt.format(new_value)}{unit} "
                     f"(tolerance {1.0 + tolerance:.2f}x)"
                 )
     return failures

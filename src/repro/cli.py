@@ -18,10 +18,13 @@ Commands
     Run the chunked, checkpointable streaming analysis (bit-identical
     to ``report``'s batch np artifacts) over a built scenario or an
     exported run-stream file, optionally resuming from a checkpoint.
-``store build`` / ``store analyze``
+``store build`` / ``store analyze`` / ``store compact``
     Build a sharded memory-mapped triple store (from a CSV, a synthetic
-    feed, or a CDN simulation) and analyze it shard-by-shard out-of-core
-    — artifacts bit-identical to the in-RAM ``engine="np"`` path.
+    feed, or a CDN simulation — ``--workers N`` fans the build out to
+    parallel segment writers, byte-identical to the serial build),
+    analyze it shard-by-shard out-of-core (artifacts bit-identical to
+    the in-RAM ``engine="np"`` path), and merge finalized stores via
+    k-way compaction (incremental append-then-compact).
 """
 
 from __future__ import annotations
@@ -437,6 +440,7 @@ def cmd_store_build(args: argparse.Namespace) -> int:
             output,
             shards=args.shards,
             spill_rows=args.spill_rows,
+            workers=args.workers,
             source={"kind": "csv", "path": str(args.triples)},
         )
     elif args.synthetic:
@@ -449,6 +453,7 @@ def cmd_store_build(args: argparse.Namespace) -> int:
             output,
             shards=args.shards,
             spill_rows=args.spill_rows,
+            workers=args.workers,
             source={"kind": "synthetic", "total": args.synthetic, "seed": args.seed},
         )
     else:
@@ -460,7 +465,9 @@ def cmd_store_build(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=_cache_flag(args),
         )
-        store = build_cdn_triple_store(scenario, output, shards=args.shards)
+        store = build_cdn_triple_store(
+            scenario, output, shards=args.shards, workers=args.workers
+        )
     print(
         f"built store at {store.directory}: {store.total_triples} triples in "
         f"{store.shards} shard(s), days {store.day_min}..{store.day_max}"
@@ -514,6 +521,39 @@ def cmd_store_analyze(args: argparse.Namespace) -> int:
         json_path.parent.mkdir(parents=True, exist_ok=True)
         json_path.write_text(json_module.dumps(summary, indent=1) + "\n")
         print(f"summary written to {json_path}")
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """Compact (merge) finalized triple stores into one store."""
+    from repro.store import StoreCorruptError, TripleStore, compact_stores
+
+    output = Path(args.output)
+    if output.exists():
+        print(f"error: {output} already exists", file=sys.stderr)
+        return 1
+    stores = []
+    for path in args.inputs:
+        try:
+            stores.append(TripleStore.open(Path(path)))
+        except StoreCorruptError as exc:
+            print(f"error: {exc} — rebuild with 'repro store build'", file=sys.stderr)
+            return 1
+    merged = compact_stores(
+        stores,
+        output,
+        shards=args.shards,
+        workers=args.workers,
+        source={
+            "kind": "compaction",
+            "inputs": [str(store.directory) for store in stores],
+        },
+    )
+    print(
+        f"compacted {len(stores)} store(s) into {merged.directory}: "
+        f"{merged.total_triples} triples in {merged.shards} shard(s), "
+        f"days {merged.day_min}..{merged.day_max}"
+    )
     return 0
 
 
@@ -673,6 +713,24 @@ def build_parser() -> argparse.ArgumentParser:
                                help="worker processes for the per-shard pass "
                                "(default: $REPRO_WORKERS or serial)")
     store_analyze.set_defaults(func=cmd_store_analyze)
+
+    store_compact = store_commands.add_parser(
+        "compact",
+        help="merge finalized stores into one (incremental append-then-compact)",
+        parents=[common],
+    )
+    store_compact.add_argument("--inputs", required=True, nargs="+", metavar="DIR",
+                               help="finalized store directories to merge")
+    store_compact.add_argument("--output", required=True, metavar="DIR",
+                               help="merged store directory to create "
+                               "(must not exist)")
+    store_compact.add_argument("--shards", type=int, default=None,
+                               help="output shard count (default: the first "
+                               "input's; differing inputs are re-hashed)")
+    store_compact.add_argument("--workers", type=int, default=None,
+                               help="worker processes for the per-shard merge "
+                               "(default: $REPRO_WORKERS or serial)")
+    store_compact.set_defaults(func=cmd_store_compact)
 
     return parser
 

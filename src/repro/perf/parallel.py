@@ -30,8 +30,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.registry import Registry
 from repro.bgp.table import RoutingTable
@@ -155,6 +157,73 @@ def _merge_worker_results(outcomes):
         registry.merge(delta)
         results.append(result)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Streamed fan-out over an unbounded unit stream
+# ---------------------------------------------------------------------------
+
+
+def _streamed_unit_task(payload):
+    task, unit, kind = payload
+    return _with_worker_metrics(task, unit, kind=kind)
+
+
+def map_streamed(
+    task,
+    units: Iterable,
+    workers: Optional[int] = None,
+    kind: str = "stream",
+    max_inflight: Optional[int] = None,
+) -> Iterator:
+    """Yield ``task(unit)`` results in submission order, bounded fan-out.
+
+    Unlike :func:`map_store_shards`, ``units`` may be an *unbounded*
+    lazily generated stream (e.g. column slabs off a 100M-row synthetic
+    feed): at most ``max_inflight`` (default ``2 * workers``) units are
+    ever pickled into the pool at once, so parent memory stays bounded
+    while unit generation overlaps worker execution.  ``task`` must be
+    a module-level callable (or ``functools.partial`` of one).  Results
+    come back in submission order regardless of completion order, and
+    worker telemetry deltas fold into the parent as each result is
+    drained.  With one effective worker this degrades to the serial
+    loop — the generator must be consumed fully either way.
+    """
+    if max_inflight is not None and max_inflight < 1:
+        raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+    effective = max(1, min(resolve_workers(workers), os.cpu_count() or 1))
+    if effective <= 1:
+        for unit in units:
+            yield task(unit)
+        return
+    registry = get_registry()
+    inflight = max_inflight if max_inflight is not None else 2 * effective
+    _log.debug(
+        "fanning out unit stream",
+        extra={"workers": effective, "max_inflight": inflight, "kind": kind},
+    )
+    with ProcessPoolExecutor(
+        max_workers=effective,
+        mp_context=_mp_context(),
+        initializer=_worker_telemetry_init,
+        initargs=(telemetry_enabled(),),
+    ) as pool:
+        pending: deque = deque()
+        iterator = iter(units)
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < inflight:
+                try:
+                    unit = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending.append(pool.submit(_streamed_unit_task, (task, unit, kind)))
+            if not pending:
+                break
+            result, delta = pending.popleft().result()
+            registry.merge(delta)
+            yield result
 
 
 # ---------------------------------------------------------------------------
@@ -307,7 +376,29 @@ def _store_shard_task(unit):
     )
 
 
-def map_store_shards(task, store, workers: Optional[int] = None) -> List:
+def _discard_scratch_files(scratch) -> None:
+    """Best-effort removal of the files inside a scratch directory.
+
+    The directory itself is left in place — it belongs to the caller —
+    but any partial per-shard outputs written before a failure are
+    unlinked so a retried pass never memmaps stale runs.
+    """
+    if scratch is None:
+        return
+    try:
+        children = list(Path(scratch).iterdir())
+    except OSError:
+        return
+    for child in children:
+        try:
+            child.unlink()
+        except OSError:
+            pass
+
+
+def map_store_shards(
+    task, store, workers: Optional[int] = None, scratch=None
+) -> List:
     """Run ``task(store, shard_index)`` over every shard of a triple store.
 
     ``task`` must be a module-level callable (or a ``functools.partial``
@@ -319,23 +410,34 @@ def map_store_shards(task, store, workers: Optional[int] = None) -> List:
     in shard-index order, so the reduction is deterministic regardless
     of scheduling.  With one core/shard/worker this degrades to the
     serial loop.
+
+    ``scratch`` names the directory those intermediates land in: when a
+    task raises mid-pool, the files completed shards already wrote
+    there are deleted before the exception propagates, instead of being
+    leaked into the temp dir for the caller to trip over.
     """
     effective = effective_workers(resolve_workers(workers), store.shards)
-    if effective > 1:
-        _log.debug(
-            "fanning out store shards",
-            extra={"shards": store.shards, "workers": effective},
-        )
-        with ProcessPoolExecutor(
-            max_workers=effective,
-            mp_context=_mp_context(),
-            initializer=_store_worker_init,
-            initargs=(str(store.directory), telemetry_enabled()),
-        ) as pool:
-            return _merge_worker_results(
-                pool.map(_store_shard_task, [(task, i) for i in range(store.shards)])
+    try:
+        if effective > 1:
+            _log.debug(
+                "fanning out store shards",
+                extra={"shards": store.shards, "workers": effective},
             )
-    return [task(store, index) for index in range(store.shards)]
+            with ProcessPoolExecutor(
+                max_workers=effective,
+                mp_context=_mp_context(),
+                initializer=_store_worker_init,
+                initargs=(str(store.directory), telemetry_enabled()),
+            ) as pool:
+                return _merge_worker_results(
+                    pool.map(
+                        _store_shard_task, [(task, i) for i in range(store.shards)]
+                    )
+                )
+        return [task(store, index) for index in range(store.shards)]
+    except Exception:
+        _discard_scratch_files(scratch)
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -449,6 +551,7 @@ __all__ = [
     "collect_associations",
     "effective_workers",
     "map_store_shards",
+    "map_streamed",
     "resolve_workers",
     "run_fused_analysis",
     "run_isp_simulations",

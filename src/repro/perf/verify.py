@@ -380,8 +380,11 @@ def store_diffs(
     trailing-zero profile — and the store-driven streaming pass must
     match the in-memory chunked stream.  Each shard count in ``shards``
     is verified independently (1 exercises the degenerate single-shard
-    merge, >1 the k-way pivot merge).  ``directory`` holds the
-    temporary stores (one subdirectory per shard count).
+    merge, >1 the k-way pivot merge).  Build-mode digest parity is
+    checked too: the parallel segment build and a compaction of two
+    incrementally built halves must both produce byte-identical stores
+    (same ``digest()``) to the serial single-pass build.  ``directory``
+    holds the temporary stores (one subdirectory per shard count).
     """
     from pathlib import Path
 
@@ -443,6 +446,43 @@ def store_diffs(
         streamed = run_association_stream_over_store(store, chunk_days=chunk_days)
         if streamed != ref_stream:
             diffs.append(f"{label}: store-driven stream diverges from chunked stream")
+
+    # Build-mode parity: every path that finalizes a store — serial
+    # writer, parallel segment build + compaction, incremental two-half
+    # merge — must emit byte-identical shards (same digest()) for the
+    # same triple multiset.
+    from repro.store import compact_stores, parallel_build_store
+    from repro.store.triples import triple_column_batches
+
+    count = shards[-1] if shards else 4
+    serial = build_store_from_triples(
+        iter(materialized), Path(directory) / "parity-serial", shards=count
+    )
+    segment_rows = max(1, len(materialized) // 3)
+    parallel = parallel_build_store(
+        triple_column_batches(iter(materialized)),
+        Path(directory) / "parity-parallel",
+        shards=count,
+        workers=2,
+        segment_rows=segment_rows,
+    )
+    if parallel.digest() != serial.digest():
+        diffs.append("parallel segment build digest diverges from serial build")
+    half = len(materialized) // 2
+    first = build_store_from_triples(
+        iter(materialized[:half]), Path(directory) / "parity-half-a", shards=count
+    )
+    second = build_store_from_triples(
+        iter(materialized[half:]), Path(directory) / "parity-half-b", shards=count
+    )
+    merged = compact_stores(
+        [first, second], Path(directory) / "parity-merged", shards=count
+    )
+    if merged.digest() != serial.digest():
+        diffs.append(
+            "compacting two incrementally built stores diverges from a "
+            "single-pass build"
+        )
     return diffs
 
 

@@ -15,10 +15,24 @@ from repro.store.kernels import (
     merged_duration_histogram,
     sort_shard_to_scratch,
 )
+from repro.store.segments import (
+    DEFAULT_SEGMENT_ROWS,
+    SEGMENT_FORMAT,
+    SEGMENT_FORMAT_VERSION,
+    SEGMENT_MANIFEST_NAME,
+    ShardSource,
+    compact_shard,
+    compact_sources,
+    compact_stores,
+    load_segment,
+    parallel_build_store,
+    write_segment,
+)
 from repro.store.synthetic import synthetic_triple_batches
 from repro.store.triples import (
     COLUMN_DTYPES,
     MANIFEST_NAME,
+    ROW_ORDER,
     STORE_FORMAT,
     STORE_FORMAT_VERSION,
     ShardColumns,
@@ -27,17 +41,28 @@ from repro.store.triples import (
     TripleStoreWriter,
     build_store_from_columns,
     build_store_from_triples,
+    canonical_order,
     load_triple_store,
+    normalize_columns,
     shard_of_v4,
+    triple_column_batches,
+    write_shard_columns,
+    write_store_manifest,
 )
 
 __all__ = [
     "COLUMN_DTYPES",
     "DEFAULT_BLOCK_ROWS",
+    "DEFAULT_SEGMENT_ROWS",
     "MANIFEST_NAME",
+    "ROW_ORDER",
+    "SEGMENT_FORMAT",
+    "SEGMENT_FORMAT_VERSION",
+    "SEGMENT_MANIFEST_NAME",
     "STORE_FORMAT",
     "STORE_FORMAT_VERSION",
     "ShardColumns",
+    "ShardSource",
     "StoreAnalysis",
     "StoreCorruptError",
     "TripleStore",
@@ -45,9 +70,19 @@ __all__ = [
     "analyze_store",
     "build_store_from_columns",
     "build_store_from_triples",
-    "load_triple_store",
+    "canonical_order",
+    "compact_shard",
+    "compact_sources",
+    "compact_stores",
+    "load_segment",
     "merged_duration_histogram",
+    "normalize_columns",
+    "parallel_build_store",
     "shard_of_v4",
     "sort_shard_to_scratch",
     "synthetic_triple_batches",
+    "triple_column_batches",
+    "write_segment",
+    "write_shard_columns",
+    "write_store_manifest",
 ]

@@ -91,17 +91,25 @@ def sort_shard_to_scratch(store: TripleStore, index: int, scratch: str) -> dict:
     Runs inside pool workers (module-level, so it pickles by
     reference via :func:`functools.partial`).  Returns only row counts
     — the arrays themselves stay on disk for the parent to memmap.
+
+    For **canonical** stores (format v2, rows finalized in the
+    ``(v6, day, v4)`` order this pass would impose) the sort and the
+    scratch copy of the run are skipped entirely — the merge reads the
+    shard's own memmapped columns as the sorted run, saving a full
+    lexsort plus one store's worth of scratch writes per analysis.
     """
     scratch_dir = Path(scratch)
     shard = store.shard(index)
     rows = len(shard)
     if rows == 0:
         return {"shard": index, "rows": 0, "v4_groups": 0, "v6_groups": 0}
-    order = np.lexsort((shard.v4, shard.days, shard.v6))
-    _write_scratch(scratch_dir, "sorted", index, "day", np.asarray(shard.days)[order])
-    _write_scratch(scratch_dir, "sorted", index, "v4", np.asarray(shard.v4)[order])
-    v6_sorted = np.asarray(shard.v6)[order]
-    _write_scratch(scratch_dir, "sorted", index, "v6", v6_sorted)
+    if not store.canonical:
+        order = np.lexsort((shard.v4, shard.days, shard.v6))
+        _write_scratch(
+            scratch_dir, "sorted", index, "day", np.asarray(shard.days)[order]
+        )
+        _write_scratch(scratch_dir, "sorted", index, "v4", np.asarray(shard.v4)[order])
+        _write_scratch(scratch_dir, "sorted", index, "v6", np.asarray(shard.v6)[order])
 
     v4_keys, v4_unique, v4_hits = degree_count_arrays(
         np.asarray(shard.v4), np.asarray(shard.v6)
@@ -137,21 +145,31 @@ def merged_duration_histogram(
     ``v6 <= pivot`` from every shard — at least one row per step (the
     pivot shard's), and never a split /64 group, so the in-RAM duration
     kernel applies per block unchanged.
+
+    Canonical stores skip the scratch runs: their shard files *are*
+    ``(v6, day, v4)``-sorted, so the merge consumes the store's own
+    memmapped columns directly.
     """
     day_max = store.day_max if store.day_max is not None else 0
     histogram = np.zeros(day_max + 2, dtype=np.int64)
-    v6_runs = [
-        _read_scratch(scratch, "sorted", shard, "v6", rows)
-        for shard, rows in enumerate(shard_rows)
-    ]
-    day_runs = [
-        _read_scratch(scratch, "sorted", shard, "day", rows)
-        for shard, rows in enumerate(shard_rows)
-    ]
-    v4_runs = [
-        _read_scratch(scratch, "sorted", shard, "v4", rows)
-        for shard, rows in enumerate(shard_rows)
-    ]
+    if store.canonical:
+        shard_columns = [store.shard(index) for index in range(len(shard_rows))]
+        v6_runs = [columns.v6 for columns in shard_columns]
+        day_runs = [columns.days for columns in shard_columns]
+        v4_runs = [columns.v4 for columns in shard_columns]
+    else:
+        v6_runs = [
+            _read_scratch(scratch, "sorted", shard, "v6", rows)
+            for shard, rows in enumerate(shard_rows)
+        ]
+        day_runs = [
+            _read_scratch(scratch, "sorted", shard, "day", rows)
+            for shard, rows in enumerate(shard_rows)
+        ]
+        v4_runs = [
+            _read_scratch(scratch, "sorted", shard, "v4", rows)
+            for shard, rows in enumerate(shard_rows)
+        ]
     offsets = [0] * len(shard_rows)
     while True:
         active = [s for s in range(len(shard_rows)) if offsets[s] < shard_rows[s]]
@@ -329,7 +347,7 @@ def analyze_store(
     try:
         with span("store/analyze", shards=store.shards, rows=store.total_triples):
             task = partial(sort_shard_to_scratch, scratch=str(scratch))
-            results = map_store_shards(task, store, workers=workers)
+            results = map_store_shards(task, store, workers=workers, scratch=scratch)
             results.sort(key=lambda meta: meta["shard"])
             shard_rows = [meta["rows"] for meta in results]
 

@@ -49,9 +49,16 @@ from repro.obs import get_logger, metric_inc, span
 _log = get_logger("store")
 
 STORE_FORMAT = "repro-triple-store"
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
+
+#: Canonical per-shard row order (lexsort key, most significant first).
+#: Version 2 finalizes every shard in this order, which makes the store
+#: digest a pure function of the triple multiset: serial builds,
+#: parallel segment builds and compactions of the same input all
+#: produce byte-identical shards.
+ROW_ORDER = "v6,day,v4"
 
 #: Column name -> little-endian on-disk dtype.
 COLUMN_DTYPES: Dict[str, str] = {"day": "<u2", "v4": "<u4", "v6": "<u8"}
@@ -79,6 +86,18 @@ def shard_of_v4(v4_keys: np.ndarray, shards: int) -> np.ndarray:
     return ((hashed >> np.uint64(16)) % np.uint64(shards)).astype(np.int64)
 
 
+def canonical_order(days: np.ndarray, v4: np.ndarray, v6: np.ndarray) -> np.ndarray:
+    """The canonical per-shard permutation: lexsort by ``(v6, day, v4)``.
+
+    This is the same key :func:`repro.store.kernels.sort_shard_to_scratch`
+    merges by, so canonically ordered shards double as pre-sorted runs
+    for the analysis merge.  Because the key covers every column, equal
+    rows are interchangeable — any builder that ends with this sort
+    emits byte-identical shard files for the same row multiset.
+    """
+    return np.lexsort((v4, days, v6))
+
+
 def _shard_file(directory: Path, shard: int, column: str) -> Path:
     return directory / f"shard-{shard:04d}.{column}"
 
@@ -92,6 +111,82 @@ def _shard_checksum(directory: Path, shard: int) -> str:
             for block in iter(lambda: stream.read(1 << 20), b""):
                 digest.update(block)
     return digest.hexdigest()
+
+
+def _checksum_of_arrays(days: np.ndarray, v4: np.ndarray, v6: np.ndarray) -> str:
+    """The shard checksum computed from in-RAM columns.
+
+    Column files are the raw little-endian array bytes concatenated in
+    :data:`COLUMNS` order, so hashing the arrays directly is identical
+    to :func:`_shard_checksum` over the written files — writers use
+    this to checksum while the sorted columns are still in memory
+    instead of re-reading what they just wrote.
+    """
+    digest = hashlib.sha256()
+    for column, array in (("day", days), ("v4", v4), ("v6", v6)):
+        digest.update(
+            np.ascontiguousarray(array.astype(COLUMN_DTYPES[column], copy=False))
+            .tobytes()
+        )
+    return digest.hexdigest()
+
+
+def write_shard_columns(
+    directory: Path, shard: int, days: np.ndarray, v4: np.ndarray, v6: np.ndarray
+) -> str:
+    """Write one shard's columns in canonical row order; return checksum.
+
+    The single sort-and-write primitive shared by the serial writer's
+    finalize and segment compaction — both paths emitting the same
+    bytes for the same row multiset is what makes build-mode digest
+    parity structural rather than coincidental.
+    """
+    order = canonical_order(days, v4, v6)
+    sorted_columns = {
+        "day": days[order].astype(COLUMN_DTYPES["day"], copy=False),
+        "v4": v4[order].astype(COLUMN_DTYPES["v4"], copy=False),
+        "v6": v6[order].astype(COLUMN_DTYPES["v6"], copy=False),
+    }
+    for column in COLUMNS:
+        sorted_columns[column].tofile(_shard_file(directory, shard, column))
+    return _checksum_of_arrays(
+        sorted_columns["day"], sorted_columns["v4"], sorted_columns["v6"]
+    )
+
+
+def write_store_manifest(
+    directory: Path,
+    shards: int,
+    shard_rows: Sequence[int],
+    checksums: Sequence[str],
+    total_rows: int,
+    day_min: Optional[int],
+    day_max: Optional[int],
+    source: Optional[dict] = None,
+) -> None:
+    """Atomically write a version-2 store manifest (tmp + rename).
+
+    Shared by the serial writer and the compactor so every finalized
+    store records the same fields — including ``row_order``, the marker
+    readers use to trust shards as pre-sorted runs.
+    """
+    manifest = {
+        "format": STORE_FORMAT,
+        "version": STORE_FORMAT_VERSION,
+        "row_order": ROW_ORDER,
+        "shards": int(shards),
+        "dtypes": dict(COLUMN_DTYPES),
+        "shard_rows": [int(rows) for rows in shard_rows],
+        "shard_checksums": list(checksums),
+        "total_triples": int(total_rows),
+        "day_min": day_min,
+        "day_max": day_max,
+        "source": dict(source) if source else {},
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    temp = directory / f"{MANIFEST_NAME}.tmp{os.getpid()}"
+    temp.write_text(json.dumps(manifest, sort_keys=True, indent=1) + "\n")
+    os.replace(temp, directory / MANIFEST_NAME)
 
 
 @dataclass
@@ -109,6 +204,73 @@ class ShardColumns:
     @property
     def nbytes(self) -> int:
         return self.days.nbytes + self.v4.nbytes + self.v6.nbytes
+
+
+def normalize_columns(
+    days: np.ndarray, v4_keys: np.ndarray, v6_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate one columnar batch and narrow it to the on-disk dtypes.
+
+    Shared by the serial writer and the segment writers so both reject
+    the same malformed input the same way: arrays must be 1-D and
+    equal-length, days must fit ``uint16`` and /24 keys ``uint32``.
+    Non-contiguous or misaligned inputs are fine — ``astype`` copies
+    into fresh contiguous arrays.  Returns ``(day, v4, v6)`` columns.
+    """
+    days = np.asarray(days)
+    v4_keys = np.asarray(v4_keys)
+    v6_keys = np.asarray(v6_keys)
+    if days.ndim != 1 or v4_keys.ndim != 1 or v6_keys.ndim != 1:
+        raise ValueError("column batch arrays must be one-dimensional")
+    if not (len(days) == len(v4_keys) == len(v6_keys)):
+        raise ValueError("column batch arrays must have equal length")
+    if len(days) == 0:
+        return (
+            np.empty(0, dtype=np.uint16),
+            np.empty(0, dtype=np.uint32),
+            np.empty(0, dtype=np.uint64),
+        )
+    if days.min() < 0 or days.max() > np.iinfo(np.uint16).max:
+        raise ValueError("day out of uint16 range")
+    if v4_keys.min() < 0 or int(v4_keys.max()) > np.iinfo(np.uint32).max:
+        raise ValueError("v4 key out of uint32 range")
+    return (
+        days.astype(np.uint16),
+        v4_keys.astype(np.uint32),
+        v6_keys.astype(np.uint64),
+    )
+
+
+def triple_column_batches(
+    triples: Iterable[Triple], batch_rows: int = 1 << 16
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Batch python ``(day, v4, v6)`` triples into columnar arrays.
+
+    The v6 key is narrowed to its upper 64 bits (the /64 bijection used
+    throughout the store).  Consumes the iterable lazily — this is the
+    shared triples→columns adapter for both the serial writer and the
+    parallel segment build.
+    """
+    days: List[int] = []
+    v4s: List[int] = []
+    v6s: List[int] = []
+    for day, v4_key, v6_key in triples:
+        days.append(day)
+        v4s.append(v4_key)
+        v6s.append(v6_key >> 64)
+        if len(days) >= batch_rows:
+            yield (
+                np.array(days, dtype=np.int64),
+                np.array(v4s, dtype=np.uint64),
+                np.array(v6s, dtype=np.uint64),
+            )
+            days, v4s, v6s = [], [], []
+    if days:
+        yield (
+            np.array(days, dtype=np.int64),
+            np.array(v4s, dtype=np.uint64),
+            np.array(v6s, dtype=np.uint64),
+        )
 
 
 class TripleStoreWriter:
@@ -168,20 +330,9 @@ class TripleStoreWriter:
         """
         if self._finalized:
             raise ValueError("writer already finalized")
-        days = np.asarray(days)
-        v4_keys = np.asarray(v4_keys)
-        v6_keys = np.asarray(v6_keys)
-        if not (len(days) == len(v4_keys) == len(v6_keys)):
-            raise ValueError("column batch arrays must have equal length")
-        if len(days) == 0:
+        day_col, v4_col, v6_col = normalize_columns(days, v4_keys, v6_keys)
+        if len(day_col) == 0:
             return 0
-        if days.min() < 0 or days.max() > np.iinfo(np.uint16).max:
-            raise ValueError("day out of uint16 range")
-        if v4_keys.min() < 0 or int(v4_keys.max()) > np.iinfo(np.uint32).max:
-            raise ValueError("v4 key out of uint32 range")
-        day_col = days.astype(np.uint16)
-        v4_col = v4_keys.astype(np.uint32)
-        v6_col = v6_keys.astype(np.uint64)
 
         lo, hi = int(day_col.min()), int(day_col.max())
         self._day_min = lo if self._day_min is None else min(self._day_min, lo)
@@ -207,26 +358,8 @@ class TripleStoreWriter:
         materialize.
         """
         appended = 0
-        days: List[int] = []
-        v4s: List[int] = []
-        v6s: List[int] = []
-        for day, v4_key, v6_key in triples:
-            days.append(day)
-            v4s.append(v4_key)
-            v6s.append(v6_key >> 64)
-            if len(days) >= batch_rows:
-                appended += self.append_columns(
-                    np.array(days, dtype=np.int64),
-                    np.array(v4s, dtype=np.uint64),
-                    np.array(v6s, dtype=np.uint64),
-                )
-                days, v4s, v6s = [], [], []
-        if days:
-            appended += self.append_columns(
-                np.array(days, dtype=np.int64),
-                np.array(v4s, dtype=np.uint64),
-                np.array(v6s, dtype=np.uint64),
-            )
+        for days, v4_keys, v6_keys in triple_column_batches(triples, batch_rows):
+            appended += self.append_columns(days, v4_keys, v6_keys)
         return appended
 
     def _buffer(
@@ -254,32 +387,55 @@ class TripleStoreWriter:
 
     # -- finalize -----------------------------------------------------------
 
+    def _canonicalize_shard(self, shard: int) -> str:
+        """Rewrite one spilled shard in canonical row order; return checksum.
+
+        Peak memory is one shard's columns — the same bound the
+        analysis kernels already live under.
+        """
+        rows = self._shard_rows[shard]
+        if rows == 0:
+            return _checksum_of_arrays(
+                np.empty(0, dtype=np.uint16),
+                np.empty(0, dtype=np.uint32),
+                np.empty(0, dtype=np.uint64),
+            )
+        columns = {
+            column: np.fromfile(
+                _shard_file(self.directory, shard, column),
+                dtype=COLUMN_DTYPES[column],
+            )
+            for column in COLUMNS
+        }
+        return write_shard_columns(
+            self.directory, shard, columns["day"], columns["v4"], columns["v6"]
+        )
+
     def finalize(self) -> "TripleStore":
-        """Flush buffers, checksum shards, write the manifest, reopen."""
+        """Flush buffers, canonical-sort and checksum shards, write the manifest.
+
+        Each shard is rewritten in :data:`ROW_ORDER` before hashing, so
+        the finalized bytes (and hence :meth:`TripleStore.digest`)
+        depend only on the triple multiset, never on append order.
+        """
         if self._finalized:
             raise ValueError("writer already finalized")
         with span("store/finalize", shards=self.shards, rows=self.total_rows):
             for shard in range(self.shards):
                 self._spill(shard)
             checksums = [
-                _shard_checksum(self.directory, shard) for shard in range(self.shards)
+                self._canonicalize_shard(shard) for shard in range(self.shards)
             ]
-            manifest = {
-                "format": STORE_FORMAT,
-                "version": STORE_FORMAT_VERSION,
-                "shards": self.shards,
-                "dtypes": dict(COLUMN_DTYPES),
-                "shard_rows": list(self._shard_rows),
-                "shard_checksums": checksums,
-                "total_triples": self.total_rows,
-                "day_min": self._day_min,
-                "day_max": self._day_max,
-                "source": self.source,
-                "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            }
-            temp = self.directory / f"{MANIFEST_NAME}.tmp{os.getpid()}"
-            temp.write_text(json.dumps(manifest, sort_keys=True, indent=1) + "\n")
-            os.replace(temp, self.directory / MANIFEST_NAME)
+            write_store_manifest(
+                self.directory,
+                self.shards,
+                self._shard_rows,
+                checksums,
+                self.total_rows,
+                self._day_min,
+                self._day_max,
+                self.source,
+            )
         self._finalized = True
         _log.info(
             "store finalized",
@@ -386,6 +542,16 @@ class TripleStore:
     # -- reading -------------------------------------------------------------
 
     @property
+    def canonical(self) -> bool:
+        """Whether shard rows are in the canonical ``(v6, day, v4)`` order.
+
+        Version-2 manifests always record :data:`ROW_ORDER`; readers
+        use this to treat shards as pre-sorted runs (skipping the
+        analysis-side lexsort entirely).
+        """
+        return self.manifest.get("row_order") == ROW_ORDER
+
+    @property
     def nbytes(self) -> int:
         """Total on-disk column bytes across all shards."""
         return self.total_triples * _ROW_BYTES
@@ -490,14 +656,24 @@ def build_store_from_triples(
     shards: int = 16,
     spill_rows: int = 1 << 18,
     source: Optional[dict] = None,
+    workers: Optional[int] = None,
+    segment_rows: Optional[int] = None,
 ) -> TripleStore:
-    """One-call build: stream python triples into a finalized store."""
-    with span("store/build", shards=shards):
-        writer = TripleStoreWriter(
-            directory, shards=shards, spill_rows=spill_rows, source=source
-        )
-        writer.extend(triples)
-        return writer.finalize()
+    """One-call build: stream python triples into a finalized store.
+
+    ``workers`` > 1 (on a multi-core host) routes through the parallel
+    segment build (:func:`repro.store.segments.parallel_build_store`),
+    which compacts to the byte-identical store the serial path writes.
+    """
+    return build_store_from_columns(
+        triple_column_batches(triples),
+        directory,
+        shards=shards,
+        spill_rows=spill_rows,
+        source=source,
+        workers=workers,
+        segment_rows=segment_rows,
+    )
 
 
 def build_store_from_columns(
@@ -506,8 +682,29 @@ def build_store_from_columns(
     shards: int = 16,
     spill_rows: int = 1 << 18,
     source: Optional[dict] = None,
+    workers: Optional[int] = None,
+    segment_rows: Optional[int] = None,
 ) -> TripleStore:
-    """One-call build from columnar ``(days, v4, v6_upper)`` batches."""
+    """One-call build from columnar ``(days, v4, v6_upper)`` batches.
+
+    ``workers`` > 1 (on a multi-core host) fans the stream out to
+    segment writers and k-way compacts; serial otherwise.  Both paths
+    finalize in canonical row order, so they produce the same
+    :meth:`TripleStore.digest` for the same input.
+    """
+    from repro.perf.parallel import effective_workers, resolve_workers
+
+    if effective_workers(resolve_workers(workers), units=1 << 30) > 1:
+        from repro.store.segments import parallel_build_store
+
+        return parallel_build_store(
+            batches,
+            directory,
+            shards=shards,
+            workers=workers,
+            segment_rows=segment_rows,
+            source=source,
+        )
     with span("store/build", shards=shards):
         writer = TripleStoreWriter(
             directory, shards=shards, spill_rows=spill_rows, source=source
@@ -520,6 +717,7 @@ def build_store_from_columns(
 __all__ = [
     "COLUMN_DTYPES",
     "MANIFEST_NAME",
+    "ROW_ORDER",
     "STORE_FORMAT",
     "STORE_FORMAT_VERSION",
     "ShardColumns",
@@ -528,6 +726,11 @@ __all__ = [
     "TripleStoreWriter",
     "build_store_from_columns",
     "build_store_from_triples",
+    "canonical_order",
     "load_triple_store",
+    "normalize_columns",
     "shard_of_v4",
+    "triple_column_batches",
+    "write_shard_columns",
+    "write_store_manifest",
 ]

@@ -793,13 +793,17 @@ def build_cdn_triple_store(
     directory,
     shards: int = 16,
     spill_rows: int = 1 << 18,
+    workers: Optional[int] = None,
 ):
     """Persist a CDN scenario's triples as a sharded memmap store.
 
     The dataset streams into the store lazily
     (:meth:`~repro.cdn.collector.CdnDataset.iter_triples`), so the only
-    full-population copy that ever exists is the on-disk one.  Returns
-    the opened :class:`repro.store.TripleStore`.
+    full-population copy that ever exists is the on-disk one.
+    ``workers`` > 1 (on a multi-core host) fans the build out to
+    parallel segment writers and compacts — byte-identical to the
+    serial build (``None`` = ``$REPRO_WORKERS``).  Returns the opened
+    :class:`repro.store.TripleStore`.
     """
     from repro.store import build_store_from_triples
 
@@ -808,6 +812,7 @@ def build_cdn_triple_store(
         directory,
         shards=shards,
         spill_rows=spill_rows,
+        workers=workers,
         source={
             "kind": "cdn-scenario",
             "days": scenario.days,

@@ -40,6 +40,13 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     assert store["tuples"] == 1_000_000
     assert store["build_tuples_per_second"] > 0
     assert store["analyze_tuples_per_second"] > 0
+    # The 1M-tuple parallel build ran against the same synthetic feed
+    # and compacted to the byte-identical store as the serial build.
+    assert store["parallel_digest_match"] is True
+    assert store["build_workers"] == 2
+    assert store["build_parallel_tuples_per_second"] > 0
+    assert store["build_speedup"] > 0
+    assert store["build_speedup_enforced"] is False  # --check records only
     # The RSS gate (analyzer peak delta vs materialized-triples
     # footprint) ran and stayed within bounds, or RSS was unreadable.
     if store["rss_fraction_of_materialized"] is not None:

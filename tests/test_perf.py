@@ -20,6 +20,8 @@ from repro.perf.parallel import (
     WORKERS_ENV,
     collect_associations,
     effective_workers,
+    map_store_shards,
+    map_streamed,
     resolve_workers,
     run_isp_simulations,
 )
@@ -195,6 +197,98 @@ def test_collect_associations_empty_populations_serial_path():
     table = RoutingTable()
     dataset = collect_associations([], table, registry, workers=4)
     assert dataset.total_collected == 0
+
+
+# ---------------------------------------------------------------------------
+# Streamed fan-out and scratch hygiene
+# ---------------------------------------------------------------------------
+
+
+def _square(value):
+    return value * value
+
+
+def test_map_streamed_serial_preserves_order():
+    assert list(map_streamed(_square, range(7), workers=1)) == [
+        v * v for v in range(7)
+    ]
+
+
+def test_map_streamed_pool_preserves_order(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    assert list(map_streamed(_square, range(23), workers=2)) == [
+        v * v for v in range(23)
+    ]
+
+
+def test_map_streamed_consumes_unbounded_streams_lazily(monkeypatch):
+    # A generator longer than any in-flight window must not be drained
+    # eagerly: stop consuming results and the stream stops advancing.
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    pulled = []
+
+    def stream():
+        for value in range(10_000):
+            pulled.append(value)
+            yield value
+
+    results = map_streamed(_square, stream(), workers=2, max_inflight=4)
+    head = [next(results) for _ in range(8)]
+    assert head == [v * v for v in range(8)]
+    assert len(pulled) < 64  # bounded look-ahead, not full materialization
+    results.close()
+
+
+def test_map_streamed_rejects_bad_inflight():
+    with pytest.raises(ValueError):
+        list(map_streamed(_square, range(3), workers=1, max_inflight=0))
+
+
+def _build_scratch_store(tmp_path):
+    from repro.store import build_store_from_triples
+
+    store = build_store_from_triples(
+        [(day, (day % 5) << 8, (day + 1) << 64) for day in range(40)],
+        tmp_path / "store",
+        shards=4,
+    )
+    scratch = tmp_path / "scratch"
+    scratch.mkdir()
+    return store, scratch
+
+
+def _boom_task(store, index, scratch):
+    from pathlib import Path
+
+    if index >= 2:
+        raise RuntimeError("shard task failed")
+    (Path(scratch) / f"run-{index:04d}.bin").write_bytes(b"x" * 16)
+    return index
+
+
+def test_map_store_shards_discards_scratch_on_serial_failure(tmp_path):
+    import functools
+
+    store, scratch = _build_scratch_store(tmp_path)
+    task = functools.partial(_boom_task, scratch=str(scratch))
+    with pytest.raises(RuntimeError, match="shard task failed"):
+        map_store_shards(task, store, workers=1, scratch=scratch)
+    # The completed shards' partial runs are gone; the directory (owned
+    # by the caller) survives for the retry.
+    assert scratch.is_dir()
+    assert list(scratch.iterdir()) == []
+
+
+def test_map_store_shards_discards_scratch_on_pool_failure(tmp_path, monkeypatch):
+    import functools
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    store, scratch = _build_scratch_store(tmp_path)
+    task = functools.partial(_boom_task, scratch=str(scratch))
+    with pytest.raises(RuntimeError, match="shard task failed"):
+        map_store_shards(task, store, workers=2, scratch=scratch)
+    assert scratch.is_dir()
+    assert list(scratch.iterdir()) == []
 
 
 # ---------------------------------------------------------------------------
