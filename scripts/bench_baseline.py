@@ -19,7 +19,11 @@ in tuples/s), times the end-to-end report suite (all artifacts
 plus periodicity) under both the per-kernel ``np`` engine and the
 single-pass ``fused`` engine — enforcing bit-identity, a strict fused
 end-to-end win in full mode, and recording the peak-RSS delta of the
-zero-copy fused worker fan-out — and records everything in the
+zero-copy fused worker fan-out — exercises the ``repro.serve``
+query engine (cold-vs-warm artifact latency, batched-vs-sequential
+coalescing on 64 queries with a ``--min-serve-speedup`` gate in full
+mode, and a served-vs-direct parity sweep over every query family on
+every run) — and records everything in the
 repo-root ``BENCH_baseline.json`` — the repository's perf trajectory
 artifact.
 Each run is additionally appended to ``BENCH_history.jsonl`` next to
@@ -71,6 +75,13 @@ from repro.perf.timing import (  # noqa: E402
 from repro.perf.verify import (  # noqa: E402
     assert_atlas_scenarios_equal,
     assert_cdn_scenarios_equal,
+    serve_diffs,
+)
+from repro.serve import (  # noqa: E402
+    ArtifactRegistry,
+    QueryEngine,
+    StabilityQuery,
+    observed_prefixes,
 )
 from repro.workloads import (  # noqa: E402
     analyze_atlas_scenario,
@@ -716,6 +727,76 @@ def run_baseline(args: argparse.Namespace) -> dict:
     else:  # pragma: no cover - numpy is a baked-in dependency
         print("report: numpy unavailable, fused engine not benchmarked")
 
+    serve_stats = None
+    if engine_available:
+        serve_registry = ArtifactRegistry(name="bench")
+        serve_engine = QueryEngine(serial_atlas, registry=serve_registry)
+        observed = observed_prefixes(serial_atlas, 4, 24)
+        n_serve_queries = 64
+        serve_queries = [
+            StabilityQuery(observed[index % len(observed)])
+            for index in range(n_serve_queries)
+        ]
+        with maybe_profile("serve_cold"):
+            start = time.perf_counter()
+            serve_engine.run(serve_queries[0])
+            serve_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        serve_engine.run(serve_queries[0])
+        serve_warm_s = time.perf_counter() - start
+        with maybe_profile("serve_sequential"):
+            start = time.perf_counter()
+            sequential_results = [serve_engine.run(q) for q in serve_queries]
+            serve_sequential_s = time.perf_counter() - start
+        with maybe_profile("serve_batched"):
+            start = time.perf_counter()
+            batched_results = serve_engine.run_batch(serve_queries)
+            serve_batched_s = time.perf_counter() - start
+        if batched_results != sequential_results:
+            failures.append(
+                "serve stage parity violated: batched != sequential results"
+            )
+        if serve_registry.stats.misses != 1:
+            failures.append(
+                "serve stage recomputed analysis on a warm registry "
+                f"(misses={serve_registry.stats.misses}, expected 1)"
+            )
+        # Full parity gate against the pure-Python reference on a small
+        # dedicated scenario: every query family, every run.
+        serve_parity = serve_diffs(
+            probes_per_as=2, years=0.4, seed=args.seed, max_prefixes=2, budget=4
+        )
+        for diff in serve_parity:
+            failures.append(f"serve stage parity violated: {diff}")
+        serve_batch_speedup = serve_sequential_s / max(serve_batched_s, 1e-9)
+        serve_enforced = not args.check
+        if serve_enforced and serve_batch_speedup < args.min_serve_speedup:
+            failures.append(
+                f"serve batching speedup {serve_batch_speedup:.2f}x below "
+                f"required {args.min_serve_speedup:.2f}x on "
+                f"{n_serve_queries} coalesced queries"
+            )
+        print(
+            f"serve: cold {serve_cold_s:.3f}s, warm {serve_warm_s * 1e3:.2f}ms, "
+            f"{n_serve_queries} queries sequential {serve_sequential_s:.3f}s vs "
+            f"batched {serve_batched_s:.3f}s ({serve_batch_speedup:.2f}x), "
+            f"direct-parity diffs {len(serve_parity)}"
+        )
+        serve_stats = {
+            "cold_seconds": round(serve_cold_s, 4),
+            "warm_seconds": round(serve_warm_s, 6),
+            "queries": n_serve_queries,
+            "sequential_seconds": round(serve_sequential_s, 4),
+            "batched_seconds": round(serve_batched_s, 4),
+            "batch_speedup": round(serve_batch_speedup, 4),
+            "parity_diffs": len(serve_parity),
+            "registry": serve_registry.stats.as_dict(),
+            "artifact_bytes": serve_registry.total_bytes,
+            "speedup_enforced": serve_enforced,
+        }
+    else:  # pragma: no cover - numpy is a baked-in dependency
+        print("serve: numpy unavailable, batched query engine not benchmarked")
+
     total_serial = atlas_serial_s + cdn_serial_s
     total_parallel = atlas_parallel_s + cdn_parallel_s
     speedup = total_serial / max(total_parallel, 1e-9)
@@ -761,6 +842,7 @@ def run_baseline(args: argparse.Namespace) -> dict:
         "streaming": streaming,
         "store": store_stats,
         "report": report_stats,
+        "serve": serve_stats,
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
         "peak_rss_bytes": current_rss_bytes(),
@@ -809,6 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=100_000.0,
                         help="required out-of-core analyze throughput in "
                         "full mode (default: 100000)")
+    parser.add_argument("--min-serve-speedup", type=float, default=2.0,
+                        help="required batched-vs-sequential serve query "
+                        "speedup on 64 coalesced queries in full mode "
+                        "(default: 2.0)")
     parser.add_argument("--min-store-build-speedup", type=float, default=2.0,
                         help="required parallel-vs-serial store build "
                         "tuples/s speedup in full mode on multi-core hosts "

@@ -163,6 +163,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
     table1_rows = []
     table2_rows = []
+    table1_by_name = {}
+    table2_by_name = {}
     with span("analysis/report", networks=len(scenario.isps)):
         for name, isp in scenario.isps.items():
             probes = scenario.probes_in(isp.asn)
@@ -172,6 +174,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                     name, isp.asn, isp.config.country, probes,
                     engine=args.engine, columns=columns,
                 )
+            table1_by_name[name] = row
             table1_rows.append(
                 [row.name, row.asn, row.all_probes, row.all_v4_changes, row.ds_probes,
                  f"{row.ds_v4_changes} ({row.ds_v4_share_pct:.0f}%)", row.ds_v6_changes]
@@ -180,6 +183,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                 rates = table2_row(
                     probes, scenario.table, engine=args.engine, columns=columns
                 )
+            table2_by_name[name] = rates
             table2_rows.append(
                 [name, f"{rates.diff_slash24_pct:.0f}%", f"{rates.v4_diff_bgp_pct:.0f}%",
                  f"{rates.v6_diff_bgp_pct:.0f}%"]
@@ -214,6 +218,96 @@ def cmd_report(args: argparse.Namespace) -> int:
             ))
         else:
             print("Periodic renumbering: none detected")
+    if args.json:
+        from repro.core.engine import resolve_engine
+        from repro.serve.wire import report_payload, write_json
+
+        payload = report_payload(
+            resolve_engine(args.engine),
+            table1_by_name,
+            table2_by_name,
+            v4_periods,
+            v6_periods,
+            scenario=scenario,
+        )
+        path = write_json(payload, Path(args.json))
+        print(f"report written to {path}")
+    return 0
+
+
+def _print_serve_status() -> None:
+    """Render the uniform component-stats table (``repro serve --status``)."""
+    from repro.perf.cache import iter_component_stats
+
+    rows = [
+        [component, identity, stats.hits, stats.misses, stats.puts,
+         stats.errors, stats.evictions]
+        for component, identity, stats in iter_component_stats()
+    ]
+    if not rows:
+        print("no cache-like components active")
+        return
+    print(render_table(
+        ["component", "identity", "hits", "misses", "puts", "errors", "evictions"],
+        rows,
+        title="Serving components",
+    ))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Answer address-dynamics queries from precomputed artifacts."""
+    import json as json_module
+
+    from repro.serve import ServeApp, build_graph, make_server, write_graph
+
+    scenario = build_atlas_scenario(
+        probes_per_as=args.probes_per_as,
+        years=args.years,
+        seed=args.seed,
+        workers=args.workers,
+        cache=_cache_flag(args),
+    )
+    app = ServeApp(scenario)
+    acted = False
+    if args.query:
+        payload = json_module.loads(args.query)
+        if isinstance(payload, list):
+            payload = {"queries": payload}
+        status, document = app.handle("POST", "/query", payload)
+        if status != 200:
+            print(f"error: {document.get('error')}", file=sys.stderr)
+            return 1
+        print(json_module.dumps(document, indent=2, sort_keys=True))
+        acted = True
+    if args.export_graph:
+        graph = build_graph(scenario)
+        path = write_graph(graph, Path(args.export_graph))
+        print(
+            f"graph written to {path} "
+            f"({len(graph.nodes)} nodes, {len(graph.edges)} edges)"
+        )
+        acted = True
+    if args.port is not None:
+        enable_telemetry()  # keep /metrics live for HTTP clients
+        server = make_server(app, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(
+            f"serving on http://{host}:{port} "
+            "(GET /healthz /status /metrics /graph, POST /query)"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            server.server_close()
+        return 0
+    if args.status or not acted:
+        # Prime the artifact so the status table shows real serving
+        # traffic rather than all-zero registries.
+        app.engine.artifact()
+        app.engine.artifact()
+        _print_serve_status()
     return 0
 
 
@@ -611,7 +705,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_atlas_args(report)
     _add_engine_arg(report)
+    report.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as machine-readable JSON "
+                        "(the serve layer's wire format)")
     report.set_defaults(func=cmd_report)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve address-dynamics queries from precomputed artifacts",
+        parents=[common],
+    )
+    _add_atlas_args(serve)
+    serve.add_argument("--status", action="store_true",
+                       help="print the uniform component stats table "
+                       "(scenario caches, checkpoint stores, artifact "
+                       "registries) and exit")
+    serve.add_argument("--query", default=None, metavar="JSON",
+                       help="answer one query (JSON object) or a coalesced "
+                       "batch (JSON array) and exit; e.g. "
+                       "'{\"kind\": \"stability\", \"prefix\": \"192.0.2.0/24\"}'")
+    serve.add_argument("--export-graph", default=None, metavar="PATH",
+                       help="write the knowledge graph as node/edge JSONL "
+                       "and exit")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="start the HTTP JSON API on this port "
+                       "(0 picks a free port); omit to run one-shot actions")
+    serve.set_defaults(func=cmd_serve)
 
     convert = commands.add_parser(
         "convert-atlas",

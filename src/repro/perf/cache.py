@@ -27,7 +27,7 @@ import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.obs import get_logger, metric_inc
 
@@ -91,12 +91,30 @@ def _canonical(value) -> str:
 
 @dataclass
 class CacheStats:
-    """Counters for one :class:`ScenarioCache` instance."""
+    """Counters for one cache-like component.
+
+    Shared by :class:`ScenarioCache`,
+    :class:`repro.stream.checkpoint.CheckpointStore` and
+    :class:`repro.serve.registry.ArtifactRegistry` so introspection
+    (:func:`iter_component_stats`, ``repro serve --status``) renders
+    every component the same way.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (stable key order)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "errors": self.errors,
+            "evictions": self.evictions,
+        }
 
 
 class ScenarioCache:
@@ -206,6 +224,39 @@ def iter_cache_stats():
         yield directory, cache.stats
 
 
+#: Component stats row: ``(component kind, identity, CacheStats)``.
+StatsRow = Tuple[str, str, CacheStats]
+
+_stats_providers: List[Callable[[], Iterable[StatsRow]]] = []
+
+
+def register_stats_provider(provider: Callable[[], Iterable[StatsRow]]):
+    """Register a callable yielding :data:`StatsRow` tuples.
+
+    Other cache-like components (checkpoint stores, artifact
+    registries) hook themselves into :func:`iter_component_stats` with
+    this — the serving status view and telemetry dumps then see every
+    component through one protocol.  Idempotent per callable; returns
+    ``provider`` so it can be used as a decorator.
+    """
+    if provider not in _stats_providers:
+        _stats_providers.append(provider)
+    return provider
+
+
+def iter_component_stats() -> Iterator[StatsRow]:
+    """Yield ``(component, identity, CacheStats)`` for every component.
+
+    Scenario caches report first, then every registered provider in
+    registration order (checkpoint stores, artifact registries, ...).
+    """
+    for directory, stats in iter_cache_stats():
+        yield "scenario-cache", str(directory), stats
+    for provider in list(_stats_providers):
+        for row in provider():
+            yield row
+
+
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_ENV",
@@ -214,5 +265,7 @@ __all__ = [
     "code_fingerprint",
     "get_scenario_cache",
     "iter_cache_stats",
+    "iter_component_stats",
+    "register_stats_provider",
     "resolve_cache_flag",
 ]

@@ -547,6 +547,86 @@ def assert_telemetry_invariant(
         raise AssertionError("telemetry perturbs results: " + "; ".join(diffs))
 
 
+def serve_diffs(
+    scenario: "AtlasScenario" = None,
+    probes_per_as: int = 4,
+    years: float = 0.5,
+    seed: int = 0,
+    max_prefixes: int = 4,
+    budget: int = 8,
+) -> List[str]:
+    """Served-vs-direct parity differences ([] if bit-identical).
+
+    The serving contract: every answer out of
+    :class:`repro.serve.engine.QueryEngine` — batched *or* sequential —
+    must be bit-identical to
+    :func:`repro.serve.engine.compute_direct`, the pure-Python
+    per-probe walk through the same :mod:`repro.core.report` /
+    periodicity kernels that ``workloads.analyze_atlas_scenario``'s
+    ``"py"`` engine runs.  Queries are harvested from the scenario
+    itself so all four families are exercised on observed targets (plus
+    deliberately unobserved prefixes for the empty-membership path, and
+    shorter-than-/64 supernets for the multi-group batch path).
+    """
+    from repro.ip import parse_prefix
+    from repro.serve.engine import QueryEngine, compute_direct, observed_prefixes
+    from repro.serve.queries import (
+        DualStackQuery,
+        HitlistQuery,
+        LifetimeQuery,
+        StabilityQuery,
+    )
+    from repro.workloads import build_atlas_scenario
+
+    if scenario is None:
+        scenario = build_atlas_scenario(
+            probes_per_as=probes_per_as, years=years, seed=seed, cache=False
+        )
+    queries = []
+    v4_prefixes = observed_prefixes(scenario, 4, 24, limit=max_prefixes)
+    v6_prefixes = observed_prefixes(scenario, 6, 64, limit=max_prefixes)
+    for prefix in v4_prefixes + v6_prefixes:
+        queries.append(StabilityQuery(prefix))
+        queries.append(DualStackQuery(prefix))
+    for prefix in v6_prefixes:
+        queries.append(HitlistQuery(prefix, budget=budget, seed=seed))
+        queries.append(StabilityQuery(prefix.supernet(56)))
+    for name in scenario.isps:
+        queries.append(LifetimeQuery(name))
+    queries.append(StabilityQuery(parse_prefix("198.51.100.0/24")))
+    queries.append(DualStackQuery(parse_prefix("2001:db8::/64")))
+
+    engine = QueryEngine(scenario)
+    batched = engine.run_batch(queries)
+    sequential = [engine.run(query) for query in queries]
+    diffs: List[str] = []
+    for query, served, single in zip(queries, batched, sequential):
+        label = (
+            f"{type(query).__name__}"
+            f"({getattr(query, 'prefix', getattr(query, 'network', ''))})"
+        )
+        if served != single:
+            diffs.append(f"{label}: batched result diverges from sequential")
+        direct = compute_direct(scenario, query)
+        if served != direct:
+            diffs.append(f"{label}: served result diverges from direct computation")
+    return diffs
+
+
+def assert_serve_equal(
+    scenario: "AtlasScenario" = None,
+    probes_per_as: int = 4,
+    years: float = 0.5,
+    seed: int = 0,
+) -> None:
+    """Raise AssertionError naming every served-query divergence."""
+    diffs = serve_diffs(
+        scenario, probes_per_as=probes_per_as, years=years, seed=seed
+    )
+    if diffs:
+        raise AssertionError("served queries differ: " + "; ".join(diffs))
+
+
 def assert_atlas_scenarios_equal(a: AtlasScenario, b: AtlasScenario) -> None:
     """Raise AssertionError naming every diverging Atlas scenario field."""
     diffs = atlas_scenario_diffs(a, b)
@@ -567,12 +647,14 @@ __all__ = [
     "assert_atlas_scenarios_equal",
     "assert_cdn_scenarios_equal",
     "assert_fused_engines_equal",
+    "assert_serve_equal",
     "assert_store_equal",
     "assert_streaming_replay_equal",
     "assert_telemetry_invariant",
     "atlas_scenario_diffs",
     "cdn_scenario_diffs",
     "fused_engine_diffs",
+    "serve_diffs",
     "store_diffs",
     "streaming_replay_diffs",
     "telemetry_invariance_diffs",

@@ -1,0 +1,220 @@
+"""Stdlib-only serving front-end: JSON-over-HTTP plus an in-process client.
+
+:class:`ServeApp` is the transport-free application object — it maps
+``(method, path, payload)`` to ``(status, document)`` so tests can
+exercise the full API without sockets.  :func:`make_server` wraps an
+app in a ``http.server`` ``ThreadingHTTPServer``;
+:class:`ServeClient` speaks to either an in-process app or a running
+server over ``urllib`` with the same call surface.
+
+Endpoints
+---------
+
+``GET /healthz``
+    Liveness plus scenario shape (probes, networks, end hour).
+``GET /status``
+    Uniform cache/registry counters from
+    :func:`repro.perf.cache.iter_component_stats`.
+``GET /metrics``
+    The ``repro.obs`` registry snapshot — the built-in dashboard.
+``GET /graph``
+    The knowledge graph (nodes + edges, see :mod:`repro.serve.graph`).
+``POST /query``
+    One query object, or ``{"queries": [...]}`` for a coalesced batch.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.request import Request, urlopen
+
+from repro.obs import get_logger, get_registry
+from repro.perf.cache import iter_component_stats
+from repro.serve.engine import QueryEngine
+from repro.serve.queries import query_from_dict, result_to_dict
+from repro.serve.registry import ArtifactRegistry
+
+_log = get_logger("serve.server")
+
+
+def status_rows() -> List[Dict[str, Any]]:
+    """Uniform component-stats rows (the ``/status`` document body)."""
+    return [
+        {"component": component, "identity": identity, **stats.as_dict()}
+        for component, identity, stats in iter_component_stats()
+    ]
+
+
+class ServeApp:
+    """The transport-independent serving application for one scenario."""
+
+    def __init__(
+        self,
+        scenario: Any,
+        registry: Optional[ArtifactRegistry] = None,
+        key: Optional[str] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.engine = QueryEngine(scenario, registry=registry, key=key)
+
+    def handle(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch one request; returns ``(http status, json document)``."""
+        try:
+            if method == "GET":
+                return self._get(path)
+            if method == "POST" and path == "/query":
+                return self._query(payload)
+            return 404, {"error": f"no route for {method} {path}"}
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+
+    def _get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        if path in ("/", "/healthz"):
+            return 200, {
+                "status": "ok",
+                "probes": len(self.scenario.probes),
+                "networks": list(self.scenario.isps),
+                "end_hour": self.scenario.end_hour,
+                "artifact_key": self.engine.key,
+            }
+        if path == "/metrics":
+            return 200, get_registry().snapshot()
+        if path == "/status":
+            return 200, {"components": status_rows()}
+        if path == "/graph":
+            from repro.serve.graph import build_graph
+
+            graph = build_graph(self.scenario)
+            return 200, {
+                "nodes": graph.nodes,
+                "edges": graph.edges,
+                "node_counts": graph.node_counts(),
+                "edge_counts": graph.edge_counts(),
+            }
+        return 404, {"error": f"no route for GET {path}"}
+
+    def _query(self, payload: Optional[Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(payload, dict):
+            raise ValueError("POST /query expects a JSON object")
+        if "queries" in payload:
+            queries = [query_from_dict(item) for item in payload["queries"]]
+            results = self.engine.run_batch(queries)
+            return 200, {"results": [result_to_dict(result) for result in results]}
+        return 200, {"result": result_to_dict(self.engine.run(query_from_dict(payload)))}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: ServeApp  # set by make_server on the subclass
+
+    def _respond(self, status: int, document: Dict[str, Any]) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        status, document = self.app.handle("GET", self.path)
+        self._respond(status, document)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            self._respond(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        status, document = self.app.handle("POST", self.path, payload)
+        self._respond(status, document)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _log.debug("http " + format % args)
+
+
+def make_server(app: ServeApp, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``host:port``.
+
+    ``port=0`` picks a free port (``server.server_address`` has the
+    real one) — what the tests use.
+    """
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+class ServeClient:
+    """One call surface over an in-process app or a remote server.
+
+    Exactly one of ``app`` / ``base_url`` must be given.  The
+    in-process form is what the test suite drives; the HTTP form is a
+    thin ``urllib`` wrapper returning the same parsed documents.
+    """
+
+    def __init__(
+        self, app: Optional[ServeApp] = None, base_url: Optional[str] = None
+    ) -> None:
+        if (app is None) == (base_url is None):
+            raise ValueError("ServeClient needs exactly one of app= or base_url=")
+        self.app = app
+        self.base_url = base_url.rstrip("/") if base_url else None
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Raw ``(status, document)`` for one request."""
+        if self.app is not None:
+            return self.app.handle(method, path, payload)
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urlopen(request) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except Exception as exc:
+            status = getattr(exc, "code", None)
+            if status is None:
+                raise
+            body = exc.read().decode("utf-8")  # type: ignore[attr-defined]
+            return int(status), json.loads(body)
+
+    def _expect(self, method: str, path: str, payload=None) -> Dict[str, Any]:
+        status, document = self.request(method, path, payload)
+        if status != 200:
+            raise ValueError(f"{method} {path} failed ({status}): {document.get('error')}")
+        return document
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document."""
+        return self._expect("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The ``repro.obs`` registry snapshot."""
+        return self._expect("GET", "/metrics")
+
+    def status(self) -> List[Dict[str, Any]]:
+        """Uniform component-stats rows."""
+        return self._expect("GET", "/status")["components"]
+
+    def graph(self) -> Dict[str, Any]:
+        """The knowledge-graph document."""
+        return self._expect("GET", "/graph")
+
+    def query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one wire-form query."""
+        return self._expect("POST", "/query", payload)["result"]
+
+    def query_batch(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Answer a coalesced batch of wire-form queries."""
+        return self._expect("POST", "/query", {"queries": payloads})["results"]
+
+
+__all__ = ["ServeApp", "ServeClient", "make_server", "status_rows"]

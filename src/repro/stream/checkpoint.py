@@ -21,12 +21,30 @@ import json
 import os
 import pickle
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.obs import get_logger, metric_inc
-from repro.perf.cache import CACHE_DIR_ENV, _DEFAULT_DIR, code_fingerprint
+from repro.perf.cache import (
+    CACHE_DIR_ENV,
+    _DEFAULT_DIR,
+    CacheStats,
+    code_fingerprint,
+    register_stats_provider,
+)
 
 _log = get_logger("stream.checkpoint")
+
+#: Shared per-directory counters — every :class:`CheckpointStore`
+#: pointed at the same directory accumulates into one
+#: :class:`repro.perf.cache.CacheStats`, reported through
+#: :func:`repro.perf.cache.iter_component_stats`.
+_stats_by_directory: Dict[Path, CacheStats] = {}
+
+
+@register_stats_provider
+def _checkpoint_stats_rows():
+    for directory, stats in _stats_by_directory.items():
+        yield "checkpoint-store", str(directory), stats
 
 #: Version of the checkpoint container format (not the engine payloads,
 #: which carry their own ``state_version``).
@@ -46,6 +64,7 @@ class CheckpointStore:
         self.directory = (
             Path(directory).expanduser() if directory else default_checkpoint_dir()
         )
+        self.stats = _stats_by_directory.setdefault(self.directory, CacheStats())
 
     def key(self, kind: str, stream_id: str, params: dict) -> str:
         """Checkpoint address of one (engine kind, stream, parameters)."""
@@ -79,6 +98,7 @@ class CheckpointStore:
         with temp.open("wb") as stream:
             pickle.dump(envelope, stream, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp, path)
+        self.stats.puts += 1
         metric_inc("checkpoint.saves", kind=kind)
         _log.debug("checkpoint saved", extra={"kind": kind, "key": key[:12]})
         return path
@@ -100,10 +120,12 @@ class CheckpointStore:
                 or envelope.get("key") != key
             ):
                 raise ValueError("checkpoint envelope mismatch")
+            self.stats.hits += 1
             metric_inc("checkpoint.hits", kind=kind)
             _log.info("checkpoint hit", extra={"kind": kind, "key": key[:12]})
             return envelope["payload"]
         except FileNotFoundError:
+            self.stats.misses += 1
             metric_inc("checkpoint.misses", kind=kind, reason="absent")
             _log.debug("checkpoint miss", extra={"kind": kind, "key": key[:12]})
             return None
@@ -112,6 +134,8 @@ class CheckpointStore:
                 path.unlink()
             except OSError:
                 pass
+            self.stats.misses += 1
+            self.stats.errors += 1
             metric_inc("checkpoint.misses", kind=kind, reason="corrupt")
             _log.warning(
                 "corrupt checkpoint dropped", extra={"kind": kind, "key": key[:12]}

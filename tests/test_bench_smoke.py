@@ -58,6 +58,17 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     assert report["np_seconds"] >= 0.0
     assert report["fused_seconds"] >= 0.0
     assert report["fused_workers_seconds"] >= 0.0
+    serve = payload["serve"]
+    assert serve["parity_diffs"] == 0  # served == direct on every family
+    assert serve["queries"] == 64
+    assert serve["cold_seconds"] >= 0.0
+    assert serve["warm_seconds"] >= 0.0
+    assert serve["batch_speedup"] > 0
+    assert serve["speedup_enforced"] is False  # --check records, full gates
+    # Warm queries never recomputed analysis: exactly one registry miss
+    # (the cold artifact build), everything after that a hit.
+    assert serve["registry"]["misses"] == 1
+    assert serve["registry"]["hits"] >= 64
     history = tmp_path / "BENCH_history.jsonl"
     assert history.exists()
     records = [json.loads(line) for line in history.read_text().splitlines()]
@@ -68,6 +79,7 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     assert "results identical" in out
     assert "artifacts identical" in out
     assert "report: np" in out
+    assert "serve: cold" in out
 
     # The trend reporter consumes the freshly appended history and its
     # regression gate passes on a single-entry history.

@@ -50,6 +50,117 @@ class TestReport:
         assert "Table 1" in out and "Table 2" in out
         assert "DTAG" in out and "Netcologne" in out
 
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main([
+            "report", "--probes-per-as", "3", "--years", "0.5", "--seed", "3",
+            "--json", str(path),
+        ])
+        assert code == 0
+        assert f"report written to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-report/1"
+        assert set(payload["table1"]) == set(payload["table2"])
+        assert "DTAG" in payload["table1"]
+        row = payload["table1"]["DTAG"]
+        assert {"name", "asn", "all_probes", "all_v4_changes"} <= set(row)
+        assert set(payload["periodicity"]) == {"v4", "v6"}
+
+
+def _leading_json(out):
+    """Parse the JSON document at the start of ``out``.
+
+    ``main()`` may append scenario-cache stats lines after the command's
+    output when caches saw activity earlier in the process.
+    """
+    document, _end = json.JSONDecoder().raw_decode(out)
+    return document
+
+
+@pytest.mark.serve
+class TestServe:
+    ARGS = ["--probes-per-as", "2", "--years", "0.4", "--seed", "5"]
+
+    def test_status_table(self, capsys):
+        code = main(["serve", *self.ARGS, "--status"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving components" in out
+        assert "artifact-registry" in out
+
+    def test_query_one_shot(self, capsys):
+        code = main([
+            "serve", *self.ARGS,
+            "--query", '{"kind": "lifetime", "network": "DTAG"}',
+        ])
+        assert code == 0
+        document = _leading_json(capsys.readouterr().out)
+        assert document["result"]["kind"] == "lifetime"
+        assert document["result"]["asn"] == 3320
+
+    def test_query_batch_and_errors(self, capsys):
+        code = main([
+            "serve", *self.ARGS,
+            "--query",
+            '[{"kind": "lifetime", "network": "DTAG"},'
+            ' {"kind": "lifetime", "network": "Versatel"}]',
+        ])
+        assert code == 0
+        document = _leading_json(capsys.readouterr().out)
+        assert [r["network"] for r in document["results"]] == ["DTAG", "Versatel"]
+        code = main([
+            "serve", *self.ARGS, "--query", '{"kind": "nope"}',
+        ])
+        assert code == 1
+        assert "unknown query kind" in capsys.readouterr().err
+
+    def test_export_graph(self, tmp_path, capsys):
+        path = tmp_path / "graph.jsonl"
+        code = main(["serve", *self.ARGS, "--export-graph", str(path)])
+        assert code == 0
+        assert "graph written to" in capsys.readouterr().out
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {r["type"] for r in records} == {"node", "edge"}
+
+    def test_http_smoke(self):
+        """End-to-end over real sockets: ServeClient against http.server."""
+        import threading
+
+        from repro.serve import ServeApp, ServeClient, make_server, observed_prefixes
+        from repro.workloads import build_atlas_scenario
+
+        scenario = build_atlas_scenario(
+            probes_per_as=2, years=0.4, seed=5, cache=False
+        )
+        app = ServeApp(scenario)
+        server = make_server(app, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(base_url=f"http://{host}:{port}")
+            assert client.health()["status"] == "ok"
+            prefix = observed_prefixes(scenario, 6, 64, limit=1)[0]
+            http_result = client.query({"kind": "stability", "prefix": str(prefix)})
+            in_process = ServeClient(app=app).query(
+                {"kind": "stability", "prefix": str(prefix)}
+            )
+            assert http_result == in_process
+            batch = client.query_batch([
+                {"kind": "stability", "prefix": str(prefix)},
+                {"kind": "hitlist", "prefix": str(prefix), "budget": 4},
+            ])
+            assert [r["kind"] for r in batch] == ["stability", "hitlist"]
+            status, document = client.request("POST", "/query", {"kind": "nope"})
+            assert status == 400 and "unknown query kind" in document["error"]
+            assert any(
+                row["component"] == "artifact-registry" for row in client.status()
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
 
 class TestConvertAtlas:
     def test_roundtrip(self, tmp_path, capsys):

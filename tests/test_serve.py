@@ -1,0 +1,304 @@
+"""Serving-layer tests: query parity, registry LRU, batching, graph, API.
+
+The serving contract has three legs:
+
+1. **Parity** — every served answer (batched or sequential) is
+   bit-identical to the direct pure-Python computation
+   (:func:`repro.perf.verify.serve_diffs`).
+2. **No recomputation** — warm (registry-hit) queries never re-run
+   analysis, asserted via the ``serve.analysis.computes`` counter.
+3. **Bounded memory** — the artifact registry enforces its byte budget
+   with least-recently-used eviction.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import get_registry, telemetry
+from repro.perf.cache import CacheStats, iter_component_stats
+from repro.perf.verify import serve_diffs
+from repro.serve import (
+    ArtifactRegistry,
+    DualStackQuery,
+    HitlistQuery,
+    LifetimeQuery,
+    ServeApp,
+    ServeClient,
+    StabilityQuery,
+    QueryEngine,
+    build_graph,
+    compute_direct,
+    load_graph,
+    observed_prefixes,
+    query_from_dict,
+    query_to_dict,
+    result_to_dict,
+    write_graph,
+)
+from repro.serve.graph import EDGE_KINDS, NODE_KINDS
+from repro.stream.checkpoint import CheckpointStore
+from repro.workloads import build_atlas_scenario
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_atlas_scenario(probes_per_as=4, years=0.5, seed=0, cache=False)
+
+
+@pytest.fixture(scope="module")
+def sample_queries(scenario):
+    v4 = observed_prefixes(scenario, 4, 24, limit=3)
+    v6 = observed_prefixes(scenario, 6, 64, limit=3)
+    queries = [StabilityQuery(p) for p in v4 + v6]
+    queries += [DualStackQuery(p) for p in v4 + v6]
+    queries += [HitlistQuery(p, budget=8) for p in v6]
+    queries += [StabilityQuery(p.supernet(56)) for p in v6]
+    queries += [LifetimeQuery(name) for name in scenario.isps]
+    # duplicates must coalesce to the same answer
+    queries += [StabilityQuery(v4[0]), DualStackQuery(v6[0])]
+    return queries
+
+
+class TestQueryParity:
+    def test_serve_diffs_empty(self, scenario):
+        assert serve_diffs(scenario) == []
+
+    def test_batched_equals_sequential(self, scenario, sample_queries):
+        engine = QueryEngine(scenario)
+        batched = engine.run_batch(sample_queries)
+        sequential = [engine.run(query) for query in sample_queries]
+        assert batched == sequential
+
+    def test_batched_equals_direct(self, scenario, sample_queries):
+        engine = QueryEngine(scenario)
+        for query, served in zip(sample_queries, engine.run_batch(sample_queries)):
+            assert served == compute_direct(scenario, query)
+
+    def test_unobserved_prefix(self, scenario):
+        from repro.ip import parse_prefix
+
+        engine = QueryEngine(scenario)
+        result = engine.run(StabilityQuery(parse_prefix("198.51.100.0/24")))
+        assert result.probes_observed == 0
+        assert result.stability_class == "unobserved"
+        assert result == compute_direct(
+            scenario, StabilityQuery(parse_prefix("198.51.100.0/24"))
+        )
+
+    def test_unknown_network_raises(self, scenario):
+        engine = QueryEngine(scenario)
+        with pytest.raises(ValueError, match="unknown network"):
+            engine.run(LifetimeQuery("no-such-isp"))
+
+
+class TestWarmQueries:
+    def test_warm_queries_never_recompute(self, scenario, sample_queries):
+        registry = ArtifactRegistry(name="warm-test")
+        with telemetry(True, reset=True):
+            engine = QueryEngine(scenario, registry=registry)
+            engine.run_batch(sample_queries)
+            computes_cold = get_registry().counter("serve.analysis.computes")
+            for query in sample_queries[:4]:
+                engine.run(query)
+            engine.run_batch(sample_queries[:6])
+            computes_warm = get_registry().counter("serve.analysis.computes")
+        assert computes_cold == 1
+        assert computes_warm == 1  # warm queries hit the registry only
+        assert registry.stats.misses == 1
+        assert registry.stats.hits >= 5
+
+    def test_shared_registry_across_engines(self, scenario):
+        registry = ArtifactRegistry(name="shared-test")
+        with telemetry(True, reset=True):
+            first = QueryEngine(scenario, registry=registry)
+            second = QueryEngine(scenario, registry=registry)
+            first.run(LifetimeQuery(next(iter(scenario.isps))))
+            second.run(LifetimeQuery(next(iter(scenario.isps))))
+            assert get_registry().counter("serve.analysis.computes") == 1
+
+
+class TestArtifactRegistry:
+    def test_lru_eviction_order(self):
+        registry = ArtifactRegistry(budget_bytes=100, name="lru-test")
+        registry.put("a", "A", 40)
+        registry.put("b", "B", 40)
+        assert registry.get("a") == "A"  # refresh: b is now LRU
+        registry.put("c", "C", 40)
+        assert "b" not in registry
+        assert registry.get("a") == "A"
+        assert registry.get("c") == "C"
+        assert registry.stats.evictions == 1
+
+    def test_byte_budget_enforced(self):
+        registry = ArtifactRegistry(budget_bytes=100, name="budget-test")
+        for index in range(10):
+            registry.put(f"k{index}", index, 30)
+            assert registry.total_bytes <= 100
+        assert len(registry) == 3  # 3 * 30 <= 100 < 4 * 30
+
+    def test_oversized_entry_admitted_alone(self):
+        registry = ArtifactRegistry(budget_bytes=100, name="oversize-test")
+        registry.put("small", 1, 10)
+        registry.put("huge", 2, 500)
+        assert "small" not in registry
+        assert registry.get("huge") == 2
+        assert len(registry) == 1
+
+    def test_replacement_updates_bytes(self):
+        registry = ArtifactRegistry(budget_bytes=100, name="replace-test")
+        registry.put("a", 1, 60)
+        registry.put("a", 2, 30)
+        assert registry.total_bytes == 30
+        assert registry.get("a") == 2
+
+    def test_miss_counts(self):
+        registry = ArtifactRegistry(budget_bytes=10, name="miss-test")
+        assert registry.get("nope") is None
+        assert registry.stats.misses == 1
+        with pytest.raises(ValueError):
+            ArtifactRegistry(budget_bytes=0)
+
+
+class TestStatsProtocol:
+    def test_cache_stats_as_dict(self):
+        stats = CacheStats(hits=1, misses=2, puts=3, errors=4, evictions=5)
+        assert stats.as_dict() == {
+            "hits": 1, "misses": 2, "puts": 3, "errors": 4, "evictions": 5,
+        }
+
+    def test_registry_reports_component_stats(self):
+        registry = ArtifactRegistry(name="stats-proto-test")
+        registry.get("missing")
+        rows = {
+            (component, identity): stats
+            for component, identity, stats in iter_component_stats()
+        }
+        stats = rows[("artifact-registry", "stats-proto-test")]
+        assert stats.misses >= 1
+
+    def test_checkpoint_store_reports_component_stats(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        key = store.key("np", "stream-1", {"chunk": 16})
+        assert store.load("np", key) is None
+        store.save("np", key, {"state": 1})
+        assert store.load("np", key) == {"state": 1}
+        rows = {
+            (component, identity): stats
+            for component, identity, stats in iter_component_stats()
+        }
+        stats = rows[("checkpoint-store", str(store.directory))]
+        assert stats.misses == 1 and stats.hits == 1 and stats.puts == 1
+
+
+class TestWireFormat:
+    def test_query_round_trip(self, scenario):
+        v6 = observed_prefixes(scenario, 6, 64, limit=1)[0]
+        queries = [
+            StabilityQuery(v6),
+            LifetimeQuery("DTAG"),
+            DualStackQuery(v6.supernet(56)),
+            HitlistQuery(v6, budget=4, seed=2),
+        ]
+        for query in queries:
+            assert query_from_dict(query_to_dict(query)) == query
+
+    def test_result_is_json_encodable(self, scenario, sample_queries):
+        engine = QueryEngine(scenario)
+        for result in engine.run_batch(sample_queries):
+            document = result_to_dict(result)
+            assert json.loads(json.dumps(document)) == document
+
+    def test_bad_queries_rejected(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            query_from_dict({"kind": "nope"})
+        with pytest.raises(ValueError, match="hitlist"):
+            query_from_dict({"kind": "hitlist", "prefix": "192.0.2.0/24"})
+        with pytest.raises(ValueError, match="/64"):
+            query_from_dict({"kind": "stability", "prefix": "2001:db8::/80"})
+
+
+class TestKnowledgeGraph:
+    def test_round_trip_counts(self, scenario, tmp_path):
+        graph = build_graph(scenario)
+        path = write_graph(graph, tmp_path / "graph.jsonl")
+        loaded = load_graph(path)
+        assert loaded.node_counts() == graph.node_counts()
+        assert loaded.edge_counts() == graph.edge_counts()
+        assert loaded.nodes == graph.nodes
+        assert loaded.edges == graph.edges
+
+    def test_graph_shape(self, scenario):
+        graph = build_graph(scenario)
+        node_kinds = set(graph.node_counts())
+        edge_kinds = set(graph.edge_counts())
+        assert node_kinds <= set(NODE_KINDS)
+        assert edge_kinds == set(EDGE_KINDS)
+        node_ids = {node["id"] for node in graph.nodes}
+        assert len(node_ids) == len(graph.nodes)  # unique ids
+        for edge in graph.edges:
+            assert edge["src"] in node_ids and edge["dst"] in node_ids
+        # one stability classification per AS and family
+        classified = graph.edge_counts()["CLASSIFIED_AS"]
+        assert classified == 2 * len(scenario.isps)
+        assert graph.node_counts()["as"] == len(scenario.isps)
+
+    def test_graph_deterministic(self, scenario):
+        first = build_graph(scenario)
+        second = build_graph(scenario)
+        assert first.nodes == second.nodes
+        assert first.edges == second.edges
+
+
+class TestServeApp:
+    def test_health_and_query(self, scenario):
+        client = ServeClient(app=ServeApp(scenario))
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["probes"] == len(scenario.probes)
+        v4 = observed_prefixes(scenario, 4, 24, limit=1)[0]
+        result = client.query({"kind": "stability", "prefix": str(v4)})
+        assert result == result_to_dict(compute_direct(scenario, StabilityQuery(v4)))
+
+    def test_batch_endpoint(self, scenario):
+        client = ServeClient(app=ServeApp(scenario))
+        v4 = observed_prefixes(scenario, 4, 24, limit=2)
+        payloads = [{"kind": "stability", "prefix": str(p)} for p in v4]
+        payloads.append({"kind": "lifetime", "network": next(iter(scenario.isps))})
+        results = client.query_batch(payloads)
+        assert [r["kind"] for r in results] == ["stability", "stability", "lifetime"]
+        singles = [client.query(p) for p in payloads]
+        assert results == singles
+
+    def test_metrics_and_status(self, scenario):
+        with telemetry(True, reset=True):
+            app = ServeApp(scenario, registry=ArtifactRegistry(name="app-test"))
+            client = ServeClient(app=app)
+            client.query({"kind": "lifetime", "network": next(iter(scenario.isps))})
+            metrics = client.metrics()
+            assert metrics["counters"]["serve.queries"]
+            rows = client.status()
+        assert any(row["component"] == "artifact-registry" for row in rows)
+        for row in rows:
+            assert {"component", "identity", "hits", "misses"} <= set(row)
+
+    def test_error_paths(self, scenario):
+        client = ServeClient(app=ServeApp(scenario))
+        status, document = client.request("GET", "/nope")
+        assert status == 404
+        status, document = client.request("POST", "/query", {"kind": "nope"})
+        assert status == 400 and "unknown query kind" in document["error"]
+        status, document = client.request(
+            "POST", "/query", {"kind": "lifetime", "network": "no-such"}
+        )
+        assert status == 400 and "unknown network" in document["error"]
+
+    def test_client_needs_exactly_one_target(self, scenario):
+        with pytest.raises(ValueError):
+            ServeClient()
+        with pytest.raises(ValueError):
+            ServeClient(app=ServeApp(scenario), base_url="http://localhost:1")
