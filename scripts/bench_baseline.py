@@ -23,7 +23,10 @@ zero-copy fused worker fan-out — exercises the ``repro.serve``
 query engine (cold-vs-warm artifact latency, batched-vs-sequential
 coalescing on 64 queries with a ``--min-serve-speedup`` gate in full
 mode, and a served-vs-direct parity sweep over every query family on
-every run) — and records everything in the
+every run), gates the observability plane (disabled-telemetry analysis
+overhead at most ``--max-obs-overhead``, default 1.05x, plus
+cross-process stitched-trace invariance of the pooled fused artifacts)
+— and records everything in the
 repo-root ``BENCH_baseline.json`` — the repository's perf trajectory
 artifact.
 Each run is additionally appended to ``BENCH_history.jsonl`` next to
@@ -76,6 +79,7 @@ from repro.perf.verify import (  # noqa: E402
     assert_atlas_scenarios_equal,
     assert_cdn_scenarios_equal,
     serve_diffs,
+    telemetry_invariance_diffs,
 )
 from repro.serve import (  # noqa: E402
     ArtifactRegistry,
@@ -797,6 +801,62 @@ def run_baseline(args: argparse.Namespace) -> dict:
     else:  # pragma: no cover - numpy is a baked-in dependency
         print("serve: numpy unavailable, batched query engine not benchmarked")
 
+    # Observability plane: the instrumentation must be near-free when
+    # telemetry is *disabled* (the default), and the cross-process trace
+    # stitching must not perturb pooled fused artifacts.  The overhead
+    # gate re-times the same analysis stages measured earlier — both
+    # runs execute every guarded metric/span call site, so the ratio
+    # catches a disabled-path helper growing real work.
+    obs_stats = None
+    if engine_available:
+        with maybe_profile("obs_disabled_overhead"):
+            start = time.perf_counter()
+            obs_results, obs_timings = _run_analysis(serial_atlas, reference_engine)
+            obs_disabled_s = time.perf_counter() - start
+        if obs_results != reference_results:
+            failures.append(
+                "obs stage parity violated: instrumented rerun != reference"
+            )
+        obs_baseline_s = sum(np_timings.values())
+        obs_overhead = obs_disabled_s / max(obs_baseline_s, 1e-9)
+        obs_enforced = not args.check
+        if obs_enforced and obs_overhead > args.max_obs_overhead:
+            failures.append(
+                f"disabled-telemetry overhead {obs_overhead:.3f}x exceeds "
+                f"allowed {args.max_obs_overhead:.2f}x"
+            )
+        # Stitched-trace invariance: pooled fused analysis with worker
+        # span buffers flowing back to the parent must stay bit-identical
+        # to the untraced run.  Always enforced — determinism does not
+        # depend on the hardware.
+        with maybe_profile("obs_stitch_invariance"):
+            start = time.perf_counter()
+            stitch_diffs = telemetry_invariance_diffs(
+                probes_per_as=4, years=0.4, seed=args.seed, workers=2
+            )
+            obs_stitch_s = time.perf_counter() - start
+        for diff in stitch_diffs:
+            failures.append(f"obs stage invariance violated: {diff}")
+        print(
+            f"obs: disabled-telemetry analysis {obs_disabled_s:.3f}s vs "
+            f"{obs_baseline_s:.3f}s baseline ({obs_overhead:.2f}x"
+            + ("" if obs_enforced else ", not enforced")
+            + f"), stitched pooled invariance {obs_stitch_s:.2f}s "
+            + ("clean" if not stitch_diffs else f"{len(stitch_diffs)} DIFFS")
+        )
+        obs_stats = {
+            "disabled_seconds": round(obs_disabled_s, 4),
+            "baseline_seconds": round(obs_baseline_s, 4),
+            "disabled_overhead": round(obs_overhead, 4),
+            "max_overhead": args.max_obs_overhead,
+            "overhead_enforced": obs_enforced,
+            "stitch_seconds": round(obs_stitch_s, 4),
+            "stitch_workers": 2,
+            "stitch_diffs": len(stitch_diffs),
+        }
+    else:  # pragma: no cover - numpy is a baked-in dependency
+        print("obs: numpy unavailable, observability plane not benchmarked")
+
     total_serial = atlas_serial_s + cdn_serial_s
     total_parallel = atlas_parallel_s + cdn_parallel_s
     speedup = total_serial / max(total_parallel, 1e-9)
@@ -843,6 +903,7 @@ def run_baseline(args: argparse.Namespace) -> dict:
         "store": store_stats,
         "report": report_stats,
         "serve": serve_stats,
+        "obs": obs_stats,
         "speedup": round(speedup, 4),
         "speedup_enforced": speedup_enforced,
         "peak_rss_bytes": current_rss_bytes(),
@@ -895,6 +956,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="required batched-vs-sequential serve query "
                         "speedup on 64 coalesced queries in full mode "
                         "(default: 2.0)")
+    parser.add_argument("--max-obs-overhead", type=float, default=1.05,
+                        help="allowed disabled-telemetry analysis overhead "
+                        "ratio in full mode (default: 1.05)")
     parser.add_argument("--min-store-build-speedup", type=float, default=2.0,
                         help="required parallel-vs-serial store build "
                         "tuples/s speedup in full mode on multi-core hosts "

@@ -235,7 +235,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_serve_status() -> None:
+def _print_serve_status(app=None) -> None:
     """Render the uniform component-stats table (``repro serve --status``)."""
     from repro.perf.cache import iter_component_stats
 
@@ -246,12 +246,20 @@ def _print_serve_status() -> None:
     ]
     if not rows:
         print("no cache-like components active")
-        return
-    print(render_table(
-        ["component", "identity", "hits", "misses", "puts", "errors", "evictions"],
-        rows,
-        title="Serving components",
-    ))
+    else:
+        print(render_table(
+            ["component", "identity", "hits", "misses", "puts", "errors", "evictions"],
+            rows,
+            title="Serving components",
+        ))
+    if app is not None:
+        info = app.process_info()
+        peak = info.get("peak_rss_bytes")
+        peak_mib = f"{peak / 2**20:.1f} MiB" if peak else "n/a"
+        print(
+            f"process: pid={info['pid']} uptime={info['uptime_seconds']:.1f}s "
+            f"peak_rss={peak_mib} code={info['code_fingerprint'][:12]}"
+        )
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -267,7 +275,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=_cache_flag(args),
     )
-    app = ServeApp(scenario)
+    app = ServeApp(
+        scenario,
+        slow_query_ms=args.slow_query_ms,
+        flight_recorder=args.flight_recorder,
+    )
     acted = False
     if args.query:
         payload = json_module.loads(args.query)
@@ -293,7 +305,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host, port = server.server_address[:2]
         print(
             f"serving on http://{host}:{port} "
-            "(GET /healthz /status /metrics /graph, POST /query)"
+            "(GET /healthz /status /metrics /graph /debug/trace /debug/slow, "
+            "POST /query)"
         )
         try:
             server.serve_forever()
@@ -307,7 +320,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # traffic rather than all-zero registries.
         app.engine.artifact()
         app.engine.artifact()
-        _print_serve_status()
+        _print_serve_status(app)
     return 0
 
 
@@ -729,6 +742,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "and exit")
     serve.add_argument("--host", default="127.0.0.1",
                        help="HTTP bind address (default: 127.0.0.1)")
+    serve.add_argument("--slow-query-ms", type=float, default=250.0,
+                       metavar="MS",
+                       help="threshold for the structured slow-query log "
+                            "(default: 250)")
+    serve.add_argument("--flight-recorder", type=int, default=64, metavar="N",
+                       help="completed request spans kept in the /debug/trace "
+                            "ring buffer (default: 64)")
     serve.add_argument("--port", type=int, default=None, metavar="PORT",
                        help="start the HTTP JSON API on this port "
                        "(0 picks a free port); omit to run one-shot actions")

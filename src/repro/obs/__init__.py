@@ -59,6 +59,23 @@ CORE_COUNTERS = (
     "pool.tasks",
 )
 
+#: Latency histograms declared with explicit cumulative bucket bounds on
+#: enable (seconds; a ``+Inf`` edge is appended automatically).  The
+#: grid spans 100µs to ~1 minute, wide enough for serve queries, stream
+#: chunk folds and store shard kernels alike, and identical in every
+#: process so fork-shipped worker deltas merge bucket-for-bucket.
+LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
+)
+
+LATENCY_HISTOGRAMS = (
+    "serve.query.seconds",
+    "serve.batch.seconds",
+    "stream.chunk.seconds",
+    "store.shard.seconds",
+)
+
 
 class TelemetryState:
     """The process-global enabled flag + registry + tracer triple."""
@@ -104,6 +121,8 @@ def enable_telemetry(reset: bool = False) -> TelemetryState:
         _STATE.tracer.reset()
     for name in CORE_COUNTERS:
         _STATE.registry.register(name)
+    for name in LATENCY_HISTOGRAMS:
+        _STATE.registry.declare_histogram(name, LATENCY_BOUNDS)
     _STATE.enabled = True
     return _STATE
 
@@ -179,19 +198,32 @@ def telemetry_snapshot() -> dict:
     """JSON-ready dump of the span trees + metrics collected so far."""
     return {
         "enabled": _STATE.enabled,
+        "trace_id": _STATE.tracer.trace_id,
         "spans": _STATE.tracer.as_dicts(),
         "metrics": _STATE.registry.snapshot(),
     }
 
 
 def dump_telemetry(path, extra: Optional[dict] = None) -> Path:
-    """Write :func:`telemetry_snapshot` (plus ``extra`` keys) to ``path``."""
+    """Write :func:`telemetry_snapshot` (plus ``extra`` keys) to ``path``.
+
+    Crash-safe: the payload lands in a same-directory temp file first
+    and is moved into place with an atomic ``os.replace`` (the
+    ``CheckpointStore`` durability contract), so an interrupted dump
+    never leaves a truncated JSON document at ``path``.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     payload = telemetry_snapshot()
     if extra:
         payload.update(extra)
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    scratch = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    try:
+        scratch.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(scratch, target)
+    finally:
+        if scratch.exists():
+            scratch.unlink()
     return target
 
 
@@ -216,6 +248,8 @@ if os.environ.get(TELEMETRY_ENV, "").strip().lower() in _TRUTHY:
 
 __all__ = [
     "CORE_COUNTERS",
+    "LATENCY_BOUNDS",
+    "LATENCY_HISTOGRAMS",
     "LOG_ENV",
     "TELEMETRY_ENV",
     "KeyValueFormatter",

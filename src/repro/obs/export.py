@@ -1,0 +1,223 @@
+"""Prometheus text exposition of a metrics snapshot (and its parser).
+
+:func:`render_prometheus` turns a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict into the
+Prometheus text exposition format 0.0.4 — the payload behind
+``GET /metrics?format=prometheus`` in :mod:`repro.serve`.  Mapping:
+
+* dotted instrument names become ``repro_``-prefixed underscore names
+  (``serve.query.seconds`` → ``repro_serve_query_seconds``), with the
+  original dotted name preserved in the ``# HELP`` line;
+* the registry's ``"k=v,k2=v2"`` series keys become label sets
+  (values escaped per the exposition spec);
+* counters and gauges map directly; histograms with declared bounds
+  map to native histograms (``_bucket{le="..."}`` cumulative tallies +
+  ``_sum`` + ``_count``); base-2 exponent histograms have no fixed
+  ``le`` grid and map to summaries (``_sum`` + ``_count`` only).
+
+:func:`parse_prometheus` is the inverse reader used by the round-trip
+tests (and handy against any 0.0.4 payload): it returns per-family
+``{"type", "help", "samples"}`` dicts, where samples are
+``(sample_name, labels, value)`` triples in document order.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+#: Content-Type of the text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix namespacing every exported metric family.
+METRIC_PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(dotted: str) -> str:
+    """The exposition name of a dotted instrument name."""
+    return f"{METRIC_PREFIX}_{_NAME_OK.sub('_', dotted.replace('.', '_'))}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _labels_from_key(key: str) -> Dict[str, str]:
+    """Decode the registry's ``k=v,k2=v2`` series key ({} for "")."""
+    if not key:
+        return {}
+    labels = {}
+    for part in key.split(","):
+        name, _, value = part.partition("=")
+        labels[name] = value
+    return labels
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    number = float(value)
+    return repr(int(number)) if number == int(number) else repr(number)
+
+
+def render_prometheus(snapshot: Optional[dict] = None) -> str:
+    """The exposition-format rendering of ``snapshot``.
+
+    ``snapshot`` defaults to the live registry's current state.  The
+    registry's ``overflow`` cardinality bucket is exported with an
+    explicit ``overflow="true"`` label so capped series stay visible.
+    """
+    if snapshot is None:
+        from repro.obs import get_registry
+
+        snapshot = get_registry().snapshot()
+
+    lines: List[str] = []
+
+    def _series_labels(key: str) -> Dict[str, str]:
+        from repro.obs.metrics import OVERFLOW_LABEL
+
+        if key == OVERFLOW_LABEL:
+            return {"overflow": "true"}
+        return _labels_from_key(key)
+
+    for name in sorted(snapshot.get("counters", {})):
+        series = snapshot["counters"][name]
+        family = metric_name(name)
+        lines.append(f"# HELP {family} counter {name}")
+        lines.append(f"# TYPE {family} counter")
+        for key in sorted(series):
+            lines.append(f"{family}{_render_labels(_series_labels(key))} {_fmt(series[key])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        series = snapshot["gauges"][name]
+        family = metric_name(name)
+        lines.append(f"# HELP {family} gauge {name}")
+        lines.append(f"# TYPE {family} gauge")
+        for key in sorted(series):
+            lines.append(f"{family}{_render_labels(_series_labels(key))} {_fmt(series[key])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        series = snapshot["histograms"][name]
+        family = metric_name(name)
+        bounded = any("bounds" in data for data in series.values())
+        kind = "histogram" if bounded else "summary"
+        lines.append(f"# HELP {family} {kind} {name}")
+        lines.append(f"# TYPE {family} {kind}")
+        for key in sorted(series):
+            data = series[key]
+            labels = _series_labels(key)
+            if "bounds" in data:
+                for bound in data["bounds"]:
+                    bucket_labels = dict(labels, le=_fmt(float(bound)))
+                    tally = data["buckets"].get(bound, data["buckets"].get(float(bound), 0))
+                    lines.append(
+                        f"{family}_bucket{_render_labels(bucket_labels)} {_fmt(tally)}"
+                    )
+            rendered = _render_labels(labels)
+            lines.append(f"{family}_sum{rendered} {_fmt(data['sum'])}")
+            lines.append(f"{family}_count{rendered} {_fmt(data['count'])}")
+
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def parse_prometheus(text: str) -> Dict[str, dict]:
+    """Parse a 0.0.4 exposition document into per-family dicts.
+
+    Returns ``{family_name: {"type": str, "help": str, "samples":
+    [(sample_name, labels, value), ...]}}``.  ``_bucket``/``_sum``/
+    ``_count`` samples attach to their base family.  Raises
+    ``ValueError`` on lines that are neither comments nor samples.
+    """
+    families: Dict[str, dict] = {}
+
+    def _family(name: str) -> dict:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and trimmed in families:
+                base = trimmed
+                break
+        return families.setdefault(base, {"type": "untyped", "help": "", "samples": []})
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                family = families.setdefault(
+                    parts[2], {"type": "untyped", "help": "", "samples": []}
+                )
+                if parts[1] == "TYPE":
+                    family["type"] = parts[3] if len(parts) > 3 else "untyped"
+                else:
+                    family["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line {lineno}: {line!r}")
+        labels = {
+            found.group("name"): _unescape_label(found.group("value"))
+            for found in _LABEL.finditer(match.group("labels") or "")
+        }
+        _family(match.group("name"))["samples"].append(
+            (match.group("name"), labels, _parse_value(match.group("value")))
+        )
+    return families
+
+
+__all__ = [
+    "METRIC_PREFIX",
+    "PROMETHEUS_CONTENT_TYPE",
+    "metric_name",
+    "parse_prometheus",
+    "render_prometheus",
+]

@@ -18,17 +18,36 @@ Instrument semantics:
 
 * **counter** — monotonically increasing float/int sum;
 * **gauge** — last-written value (merge keeps the incoming value);
-* **histogram** — count/sum/min/max plus base-2 exponent buckets
-  (bucket ``k`` holds observations in ``[2**k, 2**(k+1))``), enough to
-  see a latency distribution without storing samples.
+* **histogram** — count/sum/min/max plus buckets.  By default buckets
+  are base-2 exponent tallies (bucket ``k`` holds observations in
+  ``[2**k, 2**(k+1))``); a histogram declared with explicit bounds via
+  :meth:`MetricsRegistry.declare_histogram` instead keeps
+  **cumulative** buckets keyed by float upper bound (Prometheus ``le``
+  semantics: bucket ``b`` counts every observation ``<= b``, with a
+  ``+Inf`` bound always present).  Cumulative storage keeps merge and
+  subtract plain bucket-wise addition/subtraction, so the fork-safe
+  worker-delta round trip holds for both kinds.
+
+Label cardinality is capped per instrument (``max_label_sets``, default
+64): once an instrument has that many distinct labeled series, further
+new label sets collapse into a single ``overflow`` series — unbounded
+per-probe/per-shard labels cannot grow a long-lived serve process's
+memory without bound.  The key ``"overflow"`` cannot collide with a
+real label set because encoded label keys always contain ``=``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 LabelKey = Tuple[str, ...]
+
+#: Series key absorbing label sets beyond an instrument's cardinality cap.
+OVERFLOW_LABEL = "overflow"
+
+#: Default cap on distinct labeled series per instrument.
+DEFAULT_MAX_LABEL_SETS = 64
 
 
 def _label_key(labels: Dict[str, object]) -> str:
@@ -48,10 +67,21 @@ def _bucket(value: float) -> int:
 class MetricsRegistry:
     """Counters, gauges and histograms addressed by name + labels."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        self.max_label_sets = max_label_sets
         self._counters: Dict[str, Dict[str, float]] = {}
         self._gauges: Dict[str, Dict[str, float]] = {}
         self._histograms: Dict[str, Dict[str, dict]] = {}
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+
+    def _admit(self, series: dict, key: str) -> str:
+        """``key``, or ``overflow`` once the instrument hit its label cap."""
+        if not key or key in series:
+            return key
+        labeled = sum(1 for existing in series if existing and existing != OVERFLOW_LABEL)
+        if labeled < self.max_label_sets:
+            return key
+        return OVERFLOW_LABEL
 
     # -- instruments ----------------------------------------------------------
 
@@ -60,7 +90,7 @@ class MetricsRegistry:
         series = self._counters.setdefault(name, {"": 0})
         series[""] = series.get("", 0) + value
         if labels:
-            key = _label_key(labels)
+            key = self._admit(series, _label_key(labels))
             series[key] = series.get(key, 0) + value
 
     def register(self, name: str) -> None:
@@ -70,23 +100,61 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float, **labels) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
         series = self._gauges.setdefault(name, {})
-        series[_label_key(labels)] = value
+        series[self._admit(series, _label_key(labels))] = value
+
+    def declare_histogram(self, name: str, bounds: Sequence[float]) -> None:
+        """Give histogram ``name`` explicit cumulative bucket bounds.
+
+        ``bounds`` are upper edges in seconds (or any unit); they are
+        sorted and a ``+Inf`` edge is appended if missing.  Every later
+        :meth:`observe` of ``name`` tallies into cumulative ``le``
+        buckets instead of base-2 exponent buckets.  Redeclaring with
+        identical bounds is a no-op; changing bounds after observations
+        exist raises, because existing cumulative tallies cannot be
+        re-bucketed.
+        """
+        edges = sorted(float(bound) for bound in bounds)
+        if not edges or edges[-1] != math.inf:
+            edges.append(math.inf)
+        declared = tuple(edges)
+        existing = self._bounds.get(name)
+        if existing is not None and existing != declared:
+            if name in self._histograms:
+                raise ValueError(
+                    f"histogram {name!r} already has observations with bounds {existing}"
+                )
+        self._bounds[name] = declared
+
+    def histogram_bounds(self, name: str) -> Optional[Tuple[float, ...]]:
+        """Declared cumulative bounds of ``name`` (None → base-2 buckets)."""
+        return self._bounds.get(name)
 
     def observe(self, name: str, value: float, **labels) -> None:
         """Record ``value`` into histogram ``name``."""
         series = self._histograms.setdefault(name, {})
-        key = _label_key(labels)
+        key = self._admit(series, _label_key(labels))
+        bounds = self._bounds.get(name)
         data = series.get(key)
         if data is None:
             data = series[key] = {
                 "count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {},
             }
+            if bounds is not None:
+                data["bounds"] = list(bounds)
+                data["buckets"] = {bound: 0 for bound in bounds}
         data["count"] += 1
         data["sum"] += value
         data["min"] = value if data["min"] is None else min(data["min"], value)
         data["max"] = value if data["max"] is None else max(data["max"], value)
-        bucket = _bucket(value)
-        data["buckets"][bucket] = data["buckets"].get(bucket, 0) + 1
+        buckets = data["buckets"]
+        if bounds is not None:
+            # Cumulative ``le`` semantics: every bound >= value counts it.
+            for bound in bounds:
+                if value <= bound:
+                    buckets[bound] += 1
+        else:
+            bucket = _bucket(value)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
 
     # -- reads ----------------------------------------------------------------
 
@@ -128,13 +196,16 @@ class MetricsRegistry:
         for name, series in snapshot.get("counters", {}).items():
             target = self._counters.setdefault(name, {"": 0})
             for key, value in series.items():
+                key = self._admit(target, key)
                 target[key] = target.get(key, 0) + value
         for name, series in snapshot.get("gauges", {}).items():
             target = self._gauges.setdefault(name, {})
-            target.update(series)
+            for key, value in series.items():
+                target[self._admit(target, key)] = value
         for name, series in snapshot.get("histograms", {}).items():
             target = self._histograms.setdefault(name, {})
             for key, data in series.items():
+                key = self._admit(target, key)
                 mine = target.get(key)
                 if mine is None:
                     target[key] = {**data, "buckets": dict(data["buckets"])}
@@ -148,6 +219,8 @@ class MetricsRegistry:
                         mine[edge] = (
                             theirs if mine[edge] is None else pick(mine[edge], theirs)
                         )
+                # Cumulative (bounded) and exponent buckets both merge by
+                # plain bucket-wise addition.
                 for bucket, count in data["buckets"].items():
                     mine["buckets"][bucket] = mine["buckets"].get(bucket, 0) + count
 
@@ -156,6 +229,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._bounds.clear()
 
 
 def subtract_snapshots(after: dict, before: dict) -> dict:
@@ -194,15 +268,25 @@ def subtract_snapshots(after: dict, before: dict) -> dict:
                 # after-side bounds still bound the delta's observations.
                 "min": data["min"],
                 "max": data["max"],
+                # Cumulative (bounded) and exponent buckets both subtract
+                # bucket-wise; declared-bound buckets keep zero tallies so
+                # the delta's bucket grid matches its declaration.
                 "buckets": {
                     bucket: tally - prior["buckets"].get(bucket, 0)
                     for bucket, tally in data["buckets"].items()
-                    if tally - prior["buckets"].get(bucket, 0)
+                    if "bounds" in data or tally - prior["buckets"].get(bucket, 0)
                 },
             }
+            if "bounds" in data:
+                out[key]["bounds"] = list(data["bounds"])
         if out:
             delta["histograms"][name] = out
     return delta
 
 
-__all__ = ["MetricsRegistry", "subtract_snapshots"]
+__all__ = [
+    "DEFAULT_MAX_LABEL_SETS",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "subtract_snapshots",
+]

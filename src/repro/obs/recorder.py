@@ -1,0 +1,168 @@
+"""In-memory flight recorder + slow-query log for long-lived services.
+
+Two bounded, thread-safe buffers back the live observability plane in
+:mod:`repro.serve`:
+
+* :class:`FlightRecorder` — a ring buffer of the last N completed
+  request records (trace id, duration, status, and the request's
+  serialized span tree).  Oldest entries evict first; every record
+  carries a monotonically increasing ``seq`` so eviction order is
+  checkable.  Served by ``GET /debug/trace``.
+* :class:`SlowQueryLog` — a threshold-gated structured log: requests
+  at or above ``threshold_ms`` are kept in their own ring buffer *and*
+  emitted as a warning through the ``repro.serve.slow`` logger, so
+  slow queries surface both in-band (``GET /debug/slow``) and in the
+  operator's log stream.
+
+Neither buffer touches the metrics/tracing switch: they are owned by
+the serve app, sized at construction, and drop data only by ring
+eviction — a long-lived process cannot grow them without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.log import get_logger
+
+
+class FlightRecorder:
+    """Ring buffer of the last ``capacity`` completed request records."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._recorded = 0
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        *,
+        trace_id: str = "",
+        status: str = "ok",
+        attrs: Optional[dict] = None,
+        spans: Optional[List[dict]] = None,
+    ) -> dict:
+        """Append one completed request; returns the stored record."""
+        entry = {
+            "name": name,
+            "duration_ms": round(duration_s * 1e3, 3),
+            "trace_id": trace_id,
+            "status": status,
+            "unix_time": round(time.time(), 3),
+        }
+        if attrs:
+            entry["attrs"] = dict(attrs)
+        if spans:
+            entry["spans"] = list(spans)
+        with self._lock:
+            self._seq += 1
+            self._recorded += 1
+            entry["seq"] = self._seq
+            self._entries.append(entry)
+        return entry
+
+    def entries(self, limit: Optional[int] = None) -> List[dict]:
+        """Retained records, oldest first (``limit`` keeps the newest)."""
+        with self._lock:
+            out = list(self._entries)
+        if limit is not None and limit >= 0:
+            out = out[len(out) - min(limit, len(out)):]
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        """Capacity / retained / total-recorded / evicted tallies."""
+        with self._lock:
+            retained = len(self._entries)
+            recorded = self._recorded
+        return {
+            "capacity": self.capacity,
+            "retained": retained,
+            "recorded": recorded,
+            "evicted": recorded - retained,
+        }
+
+    def clear(self) -> None:
+        """Drop retained entries (sequence numbers keep advancing)."""
+        with self._lock:
+            self._entries.clear()
+
+
+class SlowQueryLog:
+    """Keeps (and logs) requests slower than ``threshold_ms``."""
+
+    def __init__(self, threshold_ms: float = 250.0, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"slow-query log capacity must be >= 1, got {capacity}")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = capacity
+        self._entries: Deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._logger = get_logger("repro.serve.slow")
+
+    def observe(
+        self,
+        name: str,
+        duration_s: float,
+        *,
+        trace_id: str = "",
+        detail: Optional[dict] = None,
+    ) -> Optional[dict]:
+        """Record the request iff it crossed the threshold.
+
+        Returns the structured entry when kept, else ``None``.
+        """
+        duration_ms = duration_s * 1e3
+        if duration_ms < self.threshold_ms:
+            return None
+        entry = {
+            "name": name,
+            "duration_ms": round(duration_ms, 3),
+            "threshold_ms": self.threshold_ms,
+            "trace_id": trace_id,
+            "unix_time": round(time.time(), 3),
+        }
+        if detail:
+            entry["detail"] = dict(detail)
+        with self._lock:
+            self._seen += 1
+            entry["seq"] = self._seen
+            self._entries.append(entry)
+        self._logger.warning(
+            "slow query name=%s duration_ms=%.3f threshold_ms=%.1f trace_id=%s",
+            name,
+            duration_ms,
+            self.threshold_ms,
+            trace_id or "-",
+        )
+        return entry
+
+    def entries(self, limit: Optional[int] = None) -> List[dict]:
+        """Retained slow-query entries, oldest first."""
+        with self._lock:
+            out = list(self._entries)
+        if limit is not None and limit >= 0:
+            out = out[len(out) - min(limit, len(out)):]
+        return out
+
+    def stats(self) -> Dict[str, float]:
+        """Threshold / capacity / seen / retained tallies."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "seen": self._seen,
+                "retained": len(self._entries),
+            }
+
+
+__all__ = ["FlightRecorder", "SlowQueryLog"]

@@ -18,21 +18,32 @@ Finished trees are exportable three ways:
 
 Timing uses ``time.perf_counter`` only; spans never touch the RNG, so
 tracing any pipeline stage cannot perturb a seeded simulation.
+
+Cross-process stitching: every span carries a ``span_id`` (assigned by
+its tracer when pushed, ``"<pid hex>-<counter hex>"``), finished trees
+round-trip through :meth:`Span.as_dict` / :meth:`Span.from_dict`, and
+:meth:`Tracer.adopt` grafts serialized trees — e.g. a worker process's
+span buffer shipped back with its results — under the span currently
+open on this thread.  :meth:`Tracer.detach` is the worker-side reset: a
+forked pool worker inherits the parent's finished roots and open stack,
+and must drop both so it only ever ships spans *it* recorded.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 
 class Span:
     """One timed, attributed node of a trace tree."""
 
-    __slots__ = ("name", "attrs", "children", "start", "end", "_t0")
+    __slots__ = ("name", "attrs", "children", "start", "end", "span_id", "_t0")
 
     def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
         self.name = name
@@ -40,6 +51,7 @@ class Span:
         self.children: List[Span] = []
         self.start: Optional[float] = None  # seconds since tracer epoch
         self.end: Optional[float] = None
+        self.span_id: Optional[str] = None
         self._t0: float = 0.0
 
     @property
@@ -61,11 +73,32 @@ class Span:
             "start": round(self.start, 6) if self.start is not None else None,
             "duration": round(self.duration, 6),
         }
+        if self.span_id is not None:
+            node["span_id"] = self.span_id
         if self.attrs:
             node["attrs"] = dict(self.attrs)
         if self.children:
             node["children"] = [child.as_dict() for child in self.children]
         return node
+
+    @classmethod
+    def from_dict(cls, node: dict) -> "Span":
+        """Rebuild a finished span tree from its :meth:`as_dict` form.
+
+        The inverse used by :meth:`Tracer.adopt` to stitch worker span
+        buffers into the parent tree; timings are taken verbatim (a
+        forked worker shares the parent's ``perf_counter`` epoch, so
+        its offsets land on the same timeline).
+        """
+        span = cls(str(node.get("name", "")), node.get("attrs"))
+        span.span_id = node.get("span_id")
+        start = node.get("start")
+        duration = node.get("duration") or 0.0
+        if start is not None:
+            span.start = float(start)
+            span.end = float(start) + float(duration)
+        span.children = [cls.from_dict(child) for child in node.get("children", ())]
+        return span
 
 
 class _ActiveSpan:
@@ -88,13 +121,24 @@ class _ActiveSpan:
         return False
 
 
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id.
+
+    Drawn from ``os.urandom`` — never the seeded ``random`` module — so
+    minting ids cannot perturb a simulation's RNG draw order.
+    """
+    return os.urandom(8).hex()
+
+
 class Tracer:
     """Collects span trees; one instance per telemetry state."""
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
         self.roots: List[Span] = []
+        self.trace_id = new_trace_id()
         self._local = threading.local()
+        self._ids = itertools.count(1)
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -113,6 +157,8 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         stack = self._stack()
+        if span.span_id is None:
+            span.span_id = f"{os.getpid():x}-{next(self._ids):x}"
         span._t0 = time.perf_counter()
         span.start = span._t0 - self.epoch
         if stack:
@@ -133,6 +179,48 @@ class Tracer:
         """Drop finished trees and restart the epoch (open spans survive)."""
         self.roots.clear()
         self.epoch = time.perf_counter()
+        self.trace_id = new_trace_id()
+
+    def detach(self) -> None:
+        """Worker-side reset: drop inherited roots *and* this thread's stack.
+
+        A forked pool worker starts with a copy of the parent tracer —
+        finished roots it must not re-ship, and possibly an open span
+        stack it is not actually inside.  After ``detach`` every span
+        the worker records becomes a fresh root, which is exactly what
+        :meth:`pop_roots` ships back for stitching.  The epoch is kept:
+        under ``fork`` the parent's ``perf_counter`` origin is valid in
+        the child, so stitched offsets share one timeline.
+        """
+        self.roots.clear()
+        self._local.stack = []
+
+    def pop_roots(self, baseline: int = 0) -> List[dict]:
+        """Serialize and remove finished roots beyond index ``baseline``.
+
+        The worker-side half of span stitching: a pool task snapshots
+        ``len(tracer.roots)`` before running, then pops everything the
+        task added — the buffer that travels back with the result.
+        """
+        spans = [span.as_dict() for span in self.roots[baseline:]]
+        del self.roots[baseline:]
+        return spans
+
+    def adopt(self, nodes: Sequence[dict], parent: Optional[Span] = None) -> List[Span]:
+        """Graft serialized span trees into this tracer's live tree.
+
+        Each node (a :meth:`Span.as_dict` dict) becomes a child of
+        ``parent``, else of the span currently open on this thread,
+        else a new root.  Returns the adopted spans.
+        """
+        if parent is None:
+            parent = self.current()
+        adopted = [Span.from_dict(node) for node in nodes]
+        if parent is not None:
+            parent.children.extend(adopted)
+        else:
+            self.roots.extend(adopted)
+        return adopted
 
     # -- exports --------------------------------------------------------------
 
@@ -164,7 +252,10 @@ class Tracer:
                     "depth": depth,
                     "start": round(span.start, 6) if span.start is not None else None,
                     "duration": round(span.duration, 6),
+                    "trace_id": self.trace_id,
                 }
+                if span.span_id is not None:
+                    record["span_id"] = span.span_id
                 if span.attrs:
                     record["attrs"] = {
                         key: _jsonable(value) for key, value in span.attrs.items()
@@ -191,4 +282,4 @@ def _jsonable(value):
     return str(value)
 
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "Tracer", "new_trace_id"]

@@ -23,6 +23,13 @@ holds because
 
 Anything unpicklable (e.g. an exotic user-supplied config) falls back
 to the serial path — the fallback is a behaviour no-op by construction.
+
+Telemetry crosses the pool boundary in both directions: initializers
+ship the parent's enabled flag and
+:class:`~repro.obs.context.TraceContext`, each task runs inside a
+``pool/task`` span, and the worker's metric delta + finished span trees
+travel back with the result, merged/stitched in submission order — one
+coherent trace tree per run regardless of worker count.
 """
 
 from __future__ import annotations
@@ -50,9 +57,19 @@ from repro.obs import (
     enable_telemetry,
     get_logger,
     get_registry,
+    get_tracer,
     metric_inc,
+    span,
     subtract_snapshots,
     telemetry_enabled,
+)
+from repro.obs.context import (
+    TraceContext,
+    adopt_worker_spans,
+    context_attrs,
+    current_trace_context,
+    get_worker_context,
+    set_worker_context,
 )
 
 _log = get_logger("perf.parallel")
@@ -117,32 +134,50 @@ def _all_picklable(items: Sequence) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _worker_telemetry_init(enabled: bool) -> None:
-    """Pool initializer: mirror the parent's telemetry switch.
+def _worker_telemetry_init(
+    enabled: bool, context: Optional[TraceContext] = None
+) -> None:
+    """Pool initializer: mirror the parent's telemetry switch + trace.
 
     Under ``fork`` the child inherits the flag anyway; under ``spawn``
-    this is what turns the child's registry on.
+    this is what turns the child's registry on.  When enabled, the
+    inherited tracer is *detached* — a forked child starts with a copy
+    of the parent's finished roots and open-span stack, neither of
+    which this worker should re-ship — and the parent's
+    :class:`~repro.obs.context.TraceContext` is installed so every span
+    the worker records belongs to the parent's trace.
     """
     if enabled:
         enable_telemetry()
+        get_tracer().detach()
+        set_worker_context(context)
 
 
 def _with_worker_metrics(task, unit, *, kind: str):
-    """Run ``task(unit)`` and capture the child's metric delta.
+    """Run ``task(unit)`` capturing the child's metric delta and spans.
 
-    Returns ``(result, delta_or_None)``.  The delta is the difference
-    between the child registry before and after the task (a forked
-    child starts with a *copy* of the parent's counts), so merging it
-    in the parent never double-counts.  Each task also tallies
-    ``pool.tasks{kind=,worker=}`` — the worker-utilization signal.
+    Returns ``(result, delta_or_None, spans_or_None)``.  The delta is
+    the difference between the child registry before and after the task
+    (a forked child starts with a *copy* of the parent's counts), so
+    merging it in the parent never double-counts.  Each task also
+    tallies ``pool.tasks{kind=,worker=}`` — the worker-utilization
+    signal — and runs inside a ``pool/task`` span tagged with the
+    propagated trace context; the span trees the task finished are
+    popped off the worker tracer and shipped back with the result for
+    the parent to stitch (:func:`repro.obs.context.adopt_worker_spans`).
     """
     if not telemetry_enabled():
-        return task(unit), None
+        return task(unit), None, None
     registry = get_registry()
+    tracer = get_tracer()
+    baseline = len(tracer.roots)
     before = registry.snapshot()
     metric_inc("pool.tasks", kind=kind, worker=os.getpid())
-    result = task(unit)
-    return result, subtract_snapshots(registry.snapshot(), before)
+    attrs = context_attrs(get_worker_context())
+    with span("pool/task", kind=kind, worker=os.getpid(), **attrs):
+        result = task(unit)
+    delta = subtract_snapshots(registry.snapshot(), before)
+    return result, delta, tracer.pop_roots(baseline)
 
 
 def _run_sim_job_with_metrics(job):
@@ -150,11 +185,18 @@ def _run_sim_job_with_metrics(job):
 
 
 def _merge_worker_results(outcomes):
-    """Split ``(result, delta)`` pairs, folding deltas into the parent."""
+    """Split ``(result, delta, spans)`` triples, folding both into the parent.
+
+    Deltas merge into the parent registry and span buffers graft under
+    the parent's currently open span — in submission order for both, so
+    the stitched tree and merged counts are deterministic regardless of
+    worker scheduling.
+    """
     registry = get_registry()
     results = []
-    for result, delta in outcomes:
+    for result, delta, spans in outcomes:
         registry.merge(delta)
+        adopt_worker_spans(spans)
         results.append(result)
     return results
 
@@ -206,7 +248,7 @@ def map_streamed(
         max_workers=effective,
         mp_context=_mp_context(),
         initializer=_worker_telemetry_init,
-        initargs=(telemetry_enabled(),),
+        initargs=(telemetry_enabled(), current_trace_context()),
     ) as pool:
         pending: deque = deque()
         iterator = iter(units)
@@ -221,8 +263,9 @@ def map_streamed(
                 pending.append(pool.submit(_streamed_unit_task, (task, unit, kind)))
             if not pending:
                 break
-            result, delta = pending.popleft().result()
+            result, delta, spans = pending.popleft().result()
             registry.merge(delta)
+            adopt_worker_spans(spans)
             yield result
 
 
@@ -258,7 +301,7 @@ def run_isp_simulations(
                 max_workers=effective,
                 mp_context=_mp_context(),
                 initializer=_worker_telemetry_init,
-                initargs=(telemetry_enabled(),),
+                initargs=(telemetry_enabled(), current_trace_context()),
             ) as pool:
                 results = _merge_worker_results(
                     pool.map(_run_sim_job_with_metrics, sim_jobs)
@@ -286,11 +329,12 @@ def _collect_init(
     registry: Registry,
     filter_asn_mismatch: bool,
     telemetry: bool = False,
+    context: Optional[TraceContext] = None,
 ) -> None:
     _COLLECT_STATE["table"] = table
     _COLLECT_STATE["registry"] = registry
     _COLLECT_STATE["filter"] = filter_asn_mismatch
-    _worker_telemetry_init(telemetry)
+    _worker_telemetry_init(telemetry, context)
 
 
 def _collect_one_dataset(population) -> CdnDataset:
@@ -334,7 +378,13 @@ def collect_associations(
             max_workers=effective,
             mp_context=_mp_context(),
             initializer=_collect_init,
-            initargs=(table, registry, filter_asn_mismatch, telemetry_enabled()),
+            initargs=(
+                table,
+                registry,
+                filter_asn_mismatch,
+                telemetry_enabled(),
+                current_trace_context(),
+            ),
         ) as pool:
             batches = _merge_worker_results(pool.map(_collect_one, populations))
         merged = merge_datasets(batches)
@@ -353,7 +403,9 @@ def collect_associations(
 _STORE_STATE: dict = {}
 
 
-def _store_worker_init(directory: str, telemetry: bool) -> None:
+def _store_worker_init(
+    directory: str, telemetry: bool, context: Optional[TraceContext] = None
+) -> None:
     """Pool initializer: each worker opens the store by *path*.
 
     The worker memory-maps shard columns straight off disk, so the
@@ -364,7 +416,7 @@ def _store_worker_init(directory: str, telemetry: bool) -> None:
     from repro.store.triples import TripleStore
 
     _STORE_STATE["store"] = TripleStore.open(directory)
-    _worker_telemetry_init(telemetry)
+    _worker_telemetry_init(telemetry, context)
 
 
 def _store_shard_task(unit):
@@ -427,7 +479,11 @@ def map_store_shards(
                 max_workers=effective,
                 mp_context=_mp_context(),
                 initializer=_store_worker_init,
-                initargs=(str(store.directory), telemetry_enabled()),
+                initargs=(
+                    str(store.directory),
+                    telemetry_enabled(),
+                    current_trace_context(),
+                ),
             ) as pool:
                 return _merge_worker_results(
                     pool.map(
@@ -448,7 +504,9 @@ def map_store_shards(
 _FUSED_STATE: dict = {}
 
 
-def _fused_worker_init(arena_path: str, table, telemetry: bool) -> None:
+def _fused_worker_init(
+    arena_path: str, table, telemetry: bool, context: Optional[TraceContext] = None
+) -> None:
     """Pool initializer: each worker maps the probe pack by *path*.
 
     The arena is opened as a read-only memmap, so every worker (and the
@@ -460,7 +518,7 @@ def _fused_worker_init(arena_path: str, table, telemetry: bool) -> None:
 
     _FUSED_STATE["columns"] = ProbeColumns.from_arena(arena_path)
     _FUSED_STATE["table"] = table
-    _worker_telemetry_init(telemetry)
+    _worker_telemetry_init(telemetry, context)
 
 
 def _fused_group_artifacts(group):
@@ -526,7 +584,12 @@ def run_fused_analysis(
                 max_workers=effective,
                 mp_context=_mp_context(),
                 initializer=_fused_worker_init,
-                initargs=(str(arena_path), table, telemetry_enabled()),
+                initargs=(
+                    str(arena_path),
+                    table,
+                    telemetry_enabled(),
+                    current_trace_context(),
+                ),
             ) as pool:
                 per_group = _merge_worker_results(pool.map(_fused_group_task, groups))
         finally:

@@ -496,7 +496,7 @@ def assert_store_equal(
 
 
 def telemetry_invariance_diffs(
-    probes_per_as: int = 6, years: float = 1.1, seed: int = 0
+    probes_per_as: int = 6, years: float = 1.1, seed: int = 0, workers: int = 1
 ) -> List[str]:
     """Telemetry-on-vs-off artifact differences ([] if bit-identical).
 
@@ -504,7 +504,17 @@ def telemetry_invariance_diffs(
     touch RNG draw order or any artifact byte.  Builds and analyzes the
     same small scenario with telemetry off and on and compares scenario
     fields and every report artifact.
+
+    ``workers > 1`` additionally runs the fused analysis through the
+    process pool under both telemetry states, so cross-process span
+    propagation and stitching (``pool/task`` wrappers, shipped span
+    buffers, worker metric deltas) are themselves proven
+    artifact-invariant.  ``os.cpu_count`` is widened for the fan-out so
+    the pool path actually runs even on single-core CI hosts — this is
+    a correctness probe, not a perf measurement.
     """
+    import os as os_module
+
     from repro.obs import telemetry
     from repro.workloads import (
         analyze_atlas_scenario,
@@ -513,15 +523,28 @@ def telemetry_invariance_diffs(
     )
 
     params = dict(probes_per_as=probes_per_as, years=years, seed=seed, cache=False)
+
+    def _fan_out(scenario):
+        if workers <= 1:
+            return None
+        real_cpu_count = os_module.cpu_count
+        os_module.cpu_count = lambda: max(workers, real_cpu_count() or 1)
+        try:
+            return analyze_atlas_scenario(scenario, engine="fused", workers=workers)
+        finally:
+            os_module.cpu_count = real_cpu_count
+
     with telemetry(False):
         plain = build_atlas_scenario(**params)
         plain_analysis = analyze_atlas_scenario(plain)
         plain_fused = analyze_atlas_scenario(plain, engine="fused")
+        plain_pooled = _fan_out(plain)
         plain_periods = periodicity_for_scenario(plain)
     with telemetry(True, reset=True):
         traced = build_atlas_scenario(**params)
         traced_analysis = analyze_atlas_scenario(traced)
         traced_fused = analyze_atlas_scenario(traced, engine="fused")
+        traced_pooled = _fan_out(traced)
         traced_periods = periodicity_for_scenario(traced)
     diffs = [
         f"telemetry: {diff}" for diff in atlas_scenario_diffs(plain, traced)
@@ -533,16 +556,23 @@ def telemetry_invariance_diffs(
             diffs.append(
                 f"telemetry: fused {artifact} diverges with telemetry enabled"
             )
+        if plain_pooled is not None and (
+            getattr(plain_pooled, artifact) != getattr(traced_pooled, artifact)
+        ):
+            diffs.append(
+                f"telemetry: pooled fused {artifact} diverges with telemetry "
+                f"enabled (workers={workers})"
+            )
     if plain_periods != traced_periods:
         diffs.append("telemetry: periodicity diverges with telemetry enabled")
     return diffs
 
 
 def assert_telemetry_invariant(
-    probes_per_as: int = 6, years: float = 1.1, seed: int = 0
+    probes_per_as: int = 6, years: float = 1.1, seed: int = 0, workers: int = 1
 ) -> None:
     """Raise AssertionError naming every telemetry-induced divergence."""
-    diffs = telemetry_invariance_diffs(probes_per_as, years, seed)
+    diffs = telemetry_invariance_diffs(probes_per_as, years, seed, workers=workers)
     if diffs:
         raise AssertionError("telemetry perturbs results: " + "; ".join(diffs))
 

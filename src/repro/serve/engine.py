@@ -24,6 +24,7 @@ over the sanitized probes through :mod:`repro.core.report` /
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -37,7 +38,7 @@ from repro.core.hitlist import plan_rescan
 from repro.core.report import probe_v4_changes, probe_v6_changes
 from repro.ip import IPPrefix, IPv6Prefix
 from repro.ip.prefix import address_prefix
-from repro.obs import get_logger, metric_inc, span
+from repro.obs import get_logger, metric_inc, metric_observe, span
 from repro.serve.queries import (
     DualStackQuery,
     DualStackResult,
@@ -174,22 +175,28 @@ class QueryEngine:
         for query in queries:
             validate_query(query)
         metric_inc("serve.batches")
-        artifact = self.artifact()
-        if artifact.stats is None:
-            return [compute_direct(self.scenario, query) for query in queries]
-        results: List[Optional[Result]] = [None] * len(queries)
-        prefix_groups: Dict[Tuple[int, int], List[int]] = {}
-        with span("serve/batch", queries=len(queries)):
-            for i, query in enumerate(queries):
-                metric_inc("serve.queries", kind=type(query).__name__)
-                if isinstance(query, LifetimeQuery):
-                    results[i] = self._lifetime(artifact, query)
-                else:
-                    prefix = query.prefix
-                    prefix_groups.setdefault((prefix.family, prefix.plen), []).append(i)
-            for (family, plen), idxs in prefix_groups.items():
-                self._prefix_group(artifact, queries, results, family, plen, idxs)
-        return results  # type: ignore[return-value]
+        start = time.perf_counter()
+        try:
+            artifact = self.artifact()
+            if artifact.stats is None:
+                return [compute_direct(self.scenario, query) for query in queries]
+            results: List[Optional[Result]] = [None] * len(queries)
+            prefix_groups: Dict[Tuple[int, int], List[int]] = {}
+            with span("serve/batch", queries=len(queries)):
+                for i, query in enumerate(queries):
+                    metric_inc("serve.queries", kind=type(query).__name__)
+                    if isinstance(query, LifetimeQuery):
+                        results[i] = self._lifetime(artifact, query)
+                    else:
+                        prefix = query.prefix
+                        prefix_groups.setdefault(
+                            (prefix.family, prefix.plen), []
+                        ).append(i)
+                for (family, plen), idxs in prefix_groups.items():
+                    self._prefix_group(artifact, queries, results, family, plen, idxs)
+            return results  # type: ignore[return-value]
+        finally:
+            metric_observe("serve.batch.seconds", time.perf_counter() - start)
 
     # -- per-family answer assembly ------------------------------------
 

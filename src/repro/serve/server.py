@@ -14,29 +14,51 @@ Endpoints
     Liveness plus scenario shape (probes, networks, end hour).
 ``GET /status``
     Uniform cache/registry counters from
-    :func:`repro.perf.cache.iter_component_stats`.
+    :func:`repro.perf.cache.iter_component_stats`, plus a ``process``
+    block: uptime, code fingerprint, peak RSS, recorder stats.
 ``GET /metrics``
-    The ``repro.obs`` registry snapshot — the built-in dashboard.
+    The ``repro.obs`` registry snapshot (JSON), or the Prometheus text
+    exposition with ``?format=prometheus``.
 ``GET /graph``
     The knowledge graph (nodes + edges, see :mod:`repro.serve.graph`).
+``GET /debug/trace``
+    The flight recorder: the last N completed request spans
+    (``?limit=`` trims to the newest entries).
+``GET /debug/slow``
+    The slow-query log: structured entries for requests at or above
+    the configured threshold.
 ``POST /query``
     One query object, or ``{"queries": [...]}`` for a coalesced batch.
+    Every response echoes a per-request ``trace_id`` (client-supplied
+    via a ``"trace_id"`` body key, else freshly minted).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs
 from urllib.request import Request, urlopen
 
-from repro.obs import get_logger, get_registry
-from repro.perf.cache import iter_component_stats
+from repro.obs import get_logger, get_registry, metric_observe, span, telemetry_enabled
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.recorder import FlightRecorder, SlowQueryLog
+from repro.obs.trace import Span
+from repro.perf.cache import code_fingerprint, iter_component_stats
+from repro.perf.timing import RssSampler, current_rss_bytes
 from repro.serve.engine import QueryEngine
 from repro.serve.queries import query_from_dict, result_to_dict
 from repro.serve.registry import ArtifactRegistry
+from repro.serve.wire import request_trace_id
 
 _log = get_logger("serve.server")
+
+#: A response document: a JSON-ready dict, or pre-rendered plain text
+#: (the Prometheus exposition) served verbatim.
+Document = Union[Dict[str, Any], str]
 
 
 def status_rows() -> List[Dict[str, Any]]:
@@ -55,24 +77,55 @@ class ServeApp:
         scenario: Any,
         registry: Optional[ArtifactRegistry] = None,
         key: Optional[str] = None,
+        slow_query_ms: float = 250.0,
+        flight_recorder: int = 64,
     ) -> None:
         self.scenario = scenario
         self.engine = QueryEngine(scenario, registry=registry, key=key)
+        self.recorder = FlightRecorder(capacity=flight_recorder)
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        # Unstarted sampler: one manual /proc read per request/status call
+        # tracks peak RSS without a thread per app.
+        self._rss = RssSampler()
+        self._started_monotonic = time.perf_counter()
+        self._started_unix = time.time()
 
     def handle(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
-    ) -> Tuple[int, Dict[str, Any]]:
-        """Dispatch one request; returns ``(http status, json document)``."""
+    ) -> Tuple[int, Document]:
+        """Dispatch one request; returns ``(http status, document)``.
+
+        The document is a JSON-ready dict, except for pre-rendered
+        plain-text bodies (``/metrics?format=prometheus``) which come
+        back as ``str``.
+        """
+        path, _, query_string = path.partition("?")
+        params = {key: values[-1] for key, values in parse_qs(query_string).items()}
         try:
             if method == "GET":
-                return self._get(path)
+                return self._get(path, params)
             if method == "POST" and path == "/query":
                 return self._query(payload)
             return 404, {"error": f"no route for {method} {path}"}
         except ValueError as exc:
             return 400, {"error": str(exc)}
 
-    def _get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+    def process_info(self) -> Dict[str, Any]:
+        """Process vitals correlating recorder entries with process state."""
+        self._rss.sample()
+        return {
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.perf_counter() - self._started_monotonic, 3),
+            "started_unix": round(self._started_unix, 3),
+            "code_fingerprint": code_fingerprint(),
+            "peak_rss_bytes": self._rss.peak_bytes,
+            "current_rss_bytes": current_rss_bytes(),
+            "telemetry_enabled": telemetry_enabled(),
+            "flight_recorder": self.recorder.stats(),
+            "slow_queries": self.slow_log.stats(),
+        }
+
+    def _get(self, path: str, params: Dict[str, str]) -> Tuple[int, Document]:
         if path in ("/", "/healthz"):
             return 200, {
                 "status": "ok",
@@ -82,9 +135,26 @@ class ServeApp:
                 "artifact_key": self.engine.key,
             }
         if path == "/metrics":
-            return 200, get_registry().snapshot()
+            form = params.get("format", "json")
+            if form in ("prometheus", "text"):
+                return 200, render_prometheus()
+            if form == "json":
+                return 200, get_registry().snapshot()
+            raise ValueError(f"unknown metrics format {form!r}")
         if path == "/status":
-            return 200, {"components": status_rows()}
+            return 200, {"components": status_rows(), "process": self.process_info()}
+        if path == "/debug/trace":
+            limit = int(params["limit"]) if "limit" in params else None
+            return 200, {
+                "entries": self.recorder.entries(limit),
+                "stats": self.recorder.stats(),
+            }
+        if path == "/debug/slow":
+            limit = int(params["limit"]) if "limit" in params else None
+            return 200, {
+                "entries": self.slow_log.entries(limit),
+                "stats": self.slow_log.stats(),
+            }
         if path == "/graph":
             from repro.serve.graph import build_graph
 
@@ -100,20 +170,58 @@ class ServeApp:
     def _query(self, payload: Optional[Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
         if not isinstance(payload, dict):
             raise ValueError("POST /query expects a JSON object")
-        if "queries" in payload:
-            queries = [query_from_dict(item) for item in payload["queries"]]
-            results = self.engine.run_batch(queries)
-            return 200, {"results": [result_to_dict(result) for result in results]}
-        return 200, {"result": result_to_dict(self.engine.run(query_from_dict(payload)))}
+        trace_id = request_trace_id(payload)
+        batch = "queries" in payload
+        kind = "batch" if batch else str(payload.get("kind", "query"))
+        name = f"batch[{len(payload['queries'])}]" if batch else kind
+        self._rss.sample()
+        status = "ok"
+        request_span: Any = None
+        start = time.perf_counter()
+        try:
+            with span(
+                "serve/request", endpoint="/query", kind=kind, trace_id=trace_id
+            ) as request_span:
+                if batch:
+                    queries = [query_from_dict(item) for item in payload["queries"]]
+                    results = self.engine.run_batch(queries)
+                    document = {
+                        "results": [result_to_dict(result) for result in results],
+                    }
+                else:
+                    result = self.engine.run(query_from_dict(payload))
+                    document = {"result": result_to_dict(result)}
+            document["trace_id"] = trace_id
+            return 200, document
+        except ValueError:
+            status = "error"
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            metric_observe("serve.query.seconds", elapsed, kind=kind)
+            spans = (
+                [request_span.as_dict()] if isinstance(request_span, Span) else None
+            )
+            self.recorder.record(
+                name, elapsed, trace_id=trace_id, status=status, spans=spans
+            )
+            self.slow_log.observe(
+                name, elapsed, trace_id=trace_id, detail={"kind": kind}
+            )
 
 
 class _Handler(BaseHTTPRequestHandler):
     app: ServeApp  # set by make_server on the subclass
 
-    def _respond(self, status: int, document: Dict[str, Any]) -> None:
-        body = json.dumps(document).encode("utf-8")
+    def _respond(self, status: int, document: Document) -> None:
+        if isinstance(document, str):
+            body = document.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(document).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -165,8 +273,12 @@ class ServeClient:
 
     def request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
-    ) -> Tuple[int, Dict[str, Any]]:
-        """Raw ``(status, document)`` for one request."""
+    ) -> Tuple[int, Document]:
+        """Raw ``(status, document)`` for one request.
+
+        Text documents (``/metrics?format=prometheus``) come back as
+        ``str``; everything else is the parsed JSON object.
+        """
         if self.app is not None:
             return self.app.handle(method, path, payload)
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
@@ -178,7 +290,11 @@ class ServeClient:
         )
         try:
             with urlopen(request) as response:
-                return response.status, json.loads(response.read().decode("utf-8"))
+                raw = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "")
+                if content_type.startswith("application/json"):
+                    return response.status, json.loads(raw)
+                return response.status, raw
         except Exception as exc:
             status = getattr(exc, "code", None)
             if status is None:
@@ -196,13 +312,32 @@ class ServeClient:
         """The ``/healthz`` document."""
         return self._expect("GET", "/healthz")
 
-    def metrics(self) -> Dict[str, Any]:
-        """The ``repro.obs`` registry snapshot."""
-        return self._expect("GET", "/metrics")
+    def metrics(self, format: Optional[str] = None) -> Document:  # noqa: A002
+        """The registry snapshot (JSON), or text with ``format="prometheus"``."""
+        path = "/metrics" if format is None else f"/metrics?format={format}"
+        status, document = self.request("GET", path)
+        if status != 200:
+            error = document.get("error") if isinstance(document, dict) else document
+            raise ValueError(f"GET {path} failed ({status}): {error}")
+        return document
 
     def status(self) -> List[Dict[str, Any]]:
         """Uniform component-stats rows."""
         return self._expect("GET", "/status")["components"]
+
+    def process_info(self) -> Dict[str, Any]:
+        """The ``/status`` process block (uptime, fingerprint, peak RSS)."""
+        return self._expect("GET", "/status")["process"]
+
+    def debug_trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The flight-recorder document (``limit`` keeps the newest)."""
+        path = "/debug/trace" if limit is None else f"/debug/trace?limit={limit}"
+        return self._expect("GET", path)
+
+    def debug_slow(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The slow-query-log document."""
+        path = "/debug/slow" if limit is None else f"/debug/slow?limit={limit}"
+        return self._expect("GET", path)
 
     def graph(self) -> Dict[str, Any]:
         """The knowledge-graph document."""

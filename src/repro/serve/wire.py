@@ -11,9 +11,32 @@ Python numbers.  Everything the helpers emit round-trips through
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+#: Wire shape of a trace id: 8-32 lowercase hex chars (the tracer mints
+#: 16; foreign callers may propagate their own width).
+_TRACE_ID = re.compile(r"^[0-9a-f]{8,32}$")
+
+
+def request_trace_id(payload: Optional[Dict[str, Any]]) -> str:
+    """The trace id of one ``POST /query`` request.
+
+    A client may propagate its own id via a ``"trace_id"`` key in the
+    request body (ignored by :func:`repro.serve.queries.query_from_dict`,
+    so it rides alongside the query fields); anything absent or
+    malformed gets a freshly minted id.  The id is echoed in the
+    response document and keys the flight-recorder / slow-query-log
+    entries, so one id follows the request end to end.
+    """
+    from repro.obs.trace import new_trace_id
+
+    supplied = (payload or {}).get("trace_id")
+    if isinstance(supplied, str) and _TRACE_ID.match(supplied):
+        return supplied
+    return new_trace_id()
 
 
 def jsonable(value: Any) -> Any:
@@ -91,4 +114,4 @@ def write_json(payload: Dict[str, Any], path: Path) -> Path:
     return path
 
 
-__all__ = ["jsonable", "report_payload", "write_json"]
+__all__ = ["jsonable", "report_payload", "request_trace_id", "write_json"]

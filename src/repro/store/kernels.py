@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
@@ -48,7 +49,7 @@ from repro.core.associations_np import (
     degree_count_arrays,
 )
 from repro.core.delegation import TrailingZeroProfile, trailing_zero_profile_np
-from repro.obs import get_logger, metric_inc, span
+from repro.obs import get_logger, metric_inc, metric_observe, span
 from repro.store.triples import TripleStore
 
 _log = get_logger("store.kernels")
@@ -98,6 +99,7 @@ def sort_shard_to_scratch(store: TripleStore, index: int, scratch: str) -> dict:
     shard's own memmapped columns as the sorted run, saving a full
     lexsort plus one store's worth of scratch writes per analysis.
     """
+    kernel_start = time.perf_counter()
     scratch_dir = Path(scratch)
     shard = store.shard(index)
     rows = len(shard)
@@ -123,6 +125,7 @@ def sort_shard_to_scratch(store: TripleStore, index: int, scratch: str) -> dict:
     )
     _write_scratch(scratch_dir, "v6deg", index, "v6", v6_keys)
     _write_scratch(scratch_dir, "v6deg", index, "count", v6_unique)
+    metric_observe("store.shard.seconds", time.perf_counter() - kernel_start)
     return {
         "shard": index,
         "rows": rows,

@@ -35,6 +35,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import math
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -42,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.periodicity import CANONICAL_PERIODS
 from repro.core.report import Table1Row, figure1_series
 from repro.core.spatial import CplHistogram, CrossingRates
-from repro.obs import get_logger, metric_inc, span
+from repro.obs import get_logger, metric_inc, metric_observe, span
 from repro.stream.chunks import RunChunk, StreamManifest
 
 try:
@@ -630,7 +631,9 @@ def run_atlas_stream(
                     )
         folded = 0
         for chunk in source.chunks(chunk_hours, start_chunk=engine.next_chunk):
+            fold_start = time.perf_counter()
             engine.fold_chunk(chunk)
+            metric_observe("stream.chunk.seconds", time.perf_counter() - fold_start)
             folded += 1
             metric_inc("stream.chunks_processed")
             if on_chunk is not None:

@@ -69,6 +69,12 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     # (the cold artifact build), everything after that a hit.
     assert serve["registry"]["misses"] == 1
     assert serve["registry"]["hits"] >= 64
+    obs = payload["obs"]
+    assert obs["stitch_diffs"] == 0  # pooled stitched run == untraced run
+    assert obs["stitch_workers"] == 2
+    assert obs["disabled_overhead"] > 0
+    assert obs["max_overhead"] == 1.05
+    assert obs["overhead_enforced"] is False  # --check records, full gates
     history = tmp_path / "BENCH_history.jsonl"
     assert history.exists()
     records = [json.loads(line) for line in history.read_text().splitlines()]
@@ -80,6 +86,7 @@ def test_bench_baseline_check_mode(isolated_cache, tmp_path, capsys):
     assert "artifacts identical" in out
     assert "report: np" in out
     assert "serve: cold" in out
+    assert "obs: disabled-telemetry" in out
 
     # The trend reporter consumes the freshly appended history and its
     # regression gate passes on a single-entry history.
